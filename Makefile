@@ -1,0 +1,39 @@
+GO ?= go
+
+.PHONY: all build vet test test-race bench examples experiments paper clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/netmon
+	$(GO) run ./examples/approxdep
+	$(GO) run ./examples/olapsynopsis
+	$(GO) run ./examples/distributed
+
+# Every table and figure of the paper at the default (laptop) scale.
+experiments:
+	$(GO) run ./cmd/impbench -exp all
+
+# The paper's full-scale configuration; takes much longer.
+paper:
+	$(GO) run ./cmd/impbench -exp all -paper
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,136 @@
+package implicate_test
+
+import (
+	"fmt"
+	"log"
+
+	"implicate"
+)
+
+// The one-to-one implication of the paper's introduction: how many
+// destinations are contacted by just a single source?
+func ExampleNewSketch() {
+	cond := implicate.Conditions{
+		MaxMultiplicity:  1,
+		MinSupport:       1,
+		TopC:             1,
+		MinTopConfidence: 1.0,
+	}
+	sk, err := implicate.NewSketch(cond, implicate.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// (Destination, Source) projections of the Table 1 stream.
+	pairs := [][2]string{
+		{"D2", "S1"}, {"D1", "S2"}, {"D3", "S1"}, {"D1", "S2"},
+		{"D3", "S1"}, {"D3", "S1"}, {"D3", "S1"}, {"D3", "S3"},
+	}
+	for _, p := range pairs {
+		sk.Add(p[0], p[1])
+	}
+	fmt.Printf("%.0f\n", sk.ImplicationCount())
+	// Output: 2
+}
+
+// Declarative use: the same question through the SQL-like dialect with the
+// exact backend.
+func ExampleEngine() {
+	schema, _ := implicate.NewSchema("Source", "Destination", "Service", "Time")
+	eng := implicate.NewEngine(schema)
+	st, err := eng.RegisterSQL(`
+		SELECT COUNT(DISTINCT Destination) FROM traffic
+		WHERE Destination IMPLIES Source`, implicate.ExactBackend())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range []implicate.Tuple{
+		{"S1", "D2", "WWW", "Morning"},
+		{"S2", "D1", "FTP", "Morning"},
+		{"S1", "D3", "WWW", "Morning"},
+		{"S2", "D1", "P2P", "Noon"},
+		{"S1", "D3", "P2P", "Afternoon"},
+		{"S1", "D3", "WWW", "Afternoon"},
+		{"S1", "D3", "P2P", "Afternoon"},
+		{"S3", "D3", "P2P", "Night"},
+	} {
+		eng.Process(t)
+	}
+	fmt.Printf("%.0f\n", st.Count())
+	// Output: 2
+}
+
+// Noise-tolerant one-to-many implications: services used by at most two
+// sources 80% of the time (§3.1.2 of the paper).
+func ExampleParseQuery() {
+	q, err := implicate.ParseQuery(`
+		SELECT COUNT(DISTINCT Service) FROM traffic
+		WHERE Service IMPLIES Source
+		WITH SUPPORT >= 1, MULTIPLICITY <= 5, CONFIDENCE >= 0.8 TOP 2`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(q.Cond)
+	// Output: K=5 τ=1 ψ2=0.80
+}
+
+// Distributed aggregation: two nodes sketch disjoint streams and the
+// coordinator merges them.
+func ExampleSketch_Merge() {
+	cond := implicate.Conditions{MaxMultiplicity: 1, MinSupport: 2, TopC: 1, MinTopConfidence: 1}
+	opts := implicate.Options{Seed: 7}
+	nodeA, _ := implicate.NewSketch(cond, opts)
+	nodeB, _ := implicate.NewSketch(cond, opts)
+	for i := 0; i < 500; i++ {
+		a := fmt.Sprintf("flow-a-%d", i)
+		nodeA.Add(a, "dst")
+		nodeA.Add(a, "dst")
+		b := fmt.Sprintf("flow-b-%d", i)
+		nodeB.Add(b, "dst")
+		nodeB.Add(b, "dst")
+	}
+	if err := nodeA.Merge(nodeB); err != nil {
+		log.Fatal(err)
+	}
+	total := nodeA.ImplicationCount()
+	fmt.Println(total > 800 && total < 1250)
+	// Output: true
+}
+
+// Sliding-window monitoring: the implication count over the most recent
+// tuples only (§3.2 of the paper).
+func ExampleNewSliding() {
+	cond := implicate.Conditions{MaxMultiplicity: 1, MinSupport: 2, TopC: 1, MinTopConfidence: 1}
+	var seed uint64
+	win, _ := implicate.NewSliding(1000, 100, func() implicate.Estimator {
+		seed++
+		sk, _ := implicate.NewSketch(cond, implicate.Options{Seed: seed})
+		return sk
+	})
+	// 400 flows early, then 2000 quiet tuples: the early flows age out.
+	for i := 0; i < 400; i++ {
+		f := fmt.Sprintf("flow%d", i)
+		win.Add(f, "dst")
+		win.Add(f, "dst")
+	}
+	inWindow := win.ImplicationCount()
+	for i := 0; i < 2000; i++ {
+		win.Add(fmt.Sprintf("one-off%d", i), "x")
+	}
+	aged := win.ImplicationCount()
+	fmt.Println(inWindow > 300, aged < 100)
+	// Output: true true
+}
+
+// Confidence amplification per §4.7.1: the median of independent sketches.
+func ExampleNewEpsDelta() {
+	cond := implicate.Conditions{MaxMultiplicity: 1, MinSupport: 2, TopC: 1, MinTopConfidence: 1}
+	est, _ := implicate.NewEpsDelta(cond, implicate.Options{Seed: 1}, implicate.GroupsFor(0.05))
+	for i := 0; i < 800; i++ {
+		a := fmt.Sprintf("item%d", i)
+		est.Add(a, "partner")
+		est.Add(a, "partner")
+	}
+	count := est.ImplicationCount()
+	fmt.Println(count > 600 && count < 1000)
+	// Output: true
+}

@@ -1,0 +1,112 @@
+// Olapsynopsis runs the §2 "multi-dimensional histograms" pre-pass: before
+// building a synopsis for a multi-dimensional dataset, estimate which
+// attribute pairs carry significant dependency structure so the model part
+// of the synopsis captures them and the independence assumption is only
+// applied where it is safe.
+//
+// One NIPS/CI sketch per ordered attribute pair maintains the implication
+// count X → Y in a single pass. Raw implication ratios reward skew as well
+// as dependence (any value trivially "implies" a low-cardinality target),
+// so each pair also runs a control sketch fed with the PREVIOUS tuple's
+// Y-value: the control preserves both marginals but breaks the
+// within-tuple association, giving an independence baseline. The
+// dependence score is the excess of the real ratio over the control's.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"implicate"
+	"implicate/internal/gen"
+)
+
+func main() {
+	const tuples = 400_000
+
+	dims := []string{"A", "B", "C", "D", "E", "F", "G", "H"}
+	cond := implicate.Conditions{
+		MaxMultiplicity:  2,   // a value may map to at most two partners...
+		MinSupport:       25,  // ...once it has been seen enough...
+		TopC:             1,   // ...with one partner dominating...
+		MinTopConfidence: 0.6, // ...at least 60% of the time.
+	}
+
+	type probe struct {
+		x, y    int
+		sketch  *implicate.Sketch
+		control *implicate.Sketch
+	}
+	var probes []*probe
+	var seed uint64
+	newSketch := func() *implicate.Sketch {
+		seed++
+		sk, err := implicate.NewSketch(cond, implicate.Options{Seed: seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sk
+	}
+	for x := range dims {
+		for y := range dims {
+			if x == y {
+				continue
+			}
+			probes = append(probes, &probe{x: x, y: y, sketch: newSketch(), control: newSketch()})
+		}
+	}
+
+	g := gen.NewOLAP(gen.OLAPConfig{Seed: 5})
+	prev := g.NextIDs()
+	for g.Tuples() < tuples {
+		ids := g.NextIDs()
+		for _, p := range probes {
+			p.sketch.Add(gen.SingleKey(ids[p.x]), gen.SingleKey(ids[p.y]))
+			p.control.Add(gen.SingleKey(ids[p.x]), gen.SingleKey(prev[p.y]))
+		}
+		prev = ids
+	}
+
+	ratio := func(s *implicate.Sketch) float64 {
+		sup := s.SupportedDistinct()
+		if sup <= 0 {
+			return 0
+		}
+		return s.ImplicationCount() / sup
+	}
+	type scored struct {
+		name                string
+		excess, real, null  float64
+		implications, f0sup float64
+	}
+	var results []scored
+	for _, p := range probes {
+		real, null := ratio(p.sketch), ratio(p.control)
+		results = append(results, scored{
+			name:         dims[p.x] + "->" + dims[p.y],
+			excess:       real - null,
+			real:         real,
+			null:         null,
+			implications: p.sketch.ImplicationCount(),
+			f0sup:        p.sketch.SupportedDistinct(),
+		})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].excess > results[j].excess })
+
+	fmt.Printf("olapsynopsis: dependence scores after %d tuples (%s)\n", tuples, cond)
+	fmt.Println("  pair    excess    real    null   implications  supported")
+	const cutoff = 0.005
+	shown := 0
+	for _, r := range results {
+		if r.excess < cutoff {
+			break
+		}
+		fmt.Printf("  %-6s  %6.3f  %6.3f  %6.3f  %12.0f  %9.0f\n",
+			r.name, r.excess, r.real, r.null, r.implications, r.f0sup)
+		shown++
+	}
+	fmt.Printf("  ... %d more pairs at or below the independence baseline\n", len(results)-shown)
+	fmt.Println("\npairs with positive excess should enter the synopsis' dependency model;")
+	fmt.Println("the rest can safely use low-dimensional independent histograms.")
+}

@@ -1,0 +1,3 @@
+module implicate
+
+go 1.22

@@ -1,0 +1,104 @@
+package implicate_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"implicate"
+	"implicate/internal/stream"
+)
+
+// Example-style integration test: the public API end to end on the paper's
+// running example.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	schema, err := implicate.NewSchema("Source", "Destination", "Service", "Time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := implicate.NewEngine(schema)
+	st, err := eng.RegisterSQL(`
+		SELECT COUNT(DISTINCT Destination) FROM traffic
+		WHERE Destination IMPLIES Source`, implicate.ExactBackend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := eng.RegisterSQL(`
+		SELECT COUNT(DISTINCT Destination) FROM traffic
+		WHERE Destination IMPLIES Source`, implicate.SketchBackend(implicate.Options{Seed: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := []implicate.Tuple{
+		{"S1", "D2", "WWW", "Morning"},
+		{"S2", "D1", "FTP", "Morning"},
+		{"S1", "D3", "WWW", "Morning"},
+		{"S2", "D1", "P2P", "Noon"},
+		{"S1", "D3", "P2P", "Afternoon"},
+		{"S1", "D3", "WWW", "Afternoon"},
+		{"S1", "D3", "P2P", "Afternoon"},
+		{"S3", "D3", "P2P", "Night"},
+	}
+	if _, err := eng.Consume(stream.NewMemSource(tuples)); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Count(); got != 2 {
+		t.Fatalf("exact count = %v, want 2", got)
+	}
+	if got := sk.Count(); got < 1 || got > 4 {
+		t.Fatalf("sketch count = %v, want ≈2", got)
+	}
+}
+
+func TestPublicConstructors(t *testing.T) {
+	cond := implicate.Conditions{MaxMultiplicity: 2, MinSupport: 3, TopC: 1, MinTopConfidence: 0.8}
+	if _, err := implicate.NewSketch(cond, implicate.Options{}); err != nil {
+		t.Errorf("NewSketch: %v", err)
+	}
+	if _, err := implicate.NewExact(cond); err != nil {
+		t.Errorf("NewExact: %v", err)
+	}
+	if _, err := implicate.NewILC(cond, 0.05, 0.01); err != nil {
+		t.Errorf("NewILC: %v", err)
+	}
+	if _, err := implicate.NewDistinctSampling(cond, 1920, 39, 1); err != nil {
+		t.Errorf("NewDistinctSampling: %v", err)
+	}
+	if _, err := implicate.ParseQuery(`SELECT COUNT(DISTINCT a) FROM s`); err != nil {
+		t.Errorf("ParseQuery: %v", err)
+	}
+}
+
+func TestPublicIncrementalAndSliding(t *testing.T) {
+	cond := implicate.Conditions{MaxMultiplicity: 1, MinSupport: 2, TopC: 1, MinTopConfidence: 1}
+	ex, _ := implicate.NewExact(cond)
+	inc := implicate.NewIncremental(ex)
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("a%d", i)
+		inc.Add(k, "b")
+		inc.Add(k, "b")
+	}
+	m := inc.Snapshot("t1")
+	for i := 20; i < 25; i++ {
+		k := fmt.Sprintf("a%d", i)
+		inc.Add(k, "b")
+		inc.Add(k, "b")
+	}
+	if got := inc.Since(m); got != 5 {
+		t.Fatalf("incremental = %v, want 5", got)
+	}
+
+	sl, err := implicate.NewSliding(100, 20, func() implicate.Estimator {
+		e, _ := implicate.NewExact(cond)
+		return e
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		sl.Add(fmt.Sprintf("x%d", i/2), "y")
+	}
+	if got := sl.ImplicationCount(); math.Abs(got-50) > 15 {
+		t.Fatalf("sliding count = %v, want ≈50", got)
+	}
+}

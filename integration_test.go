@@ -1,0 +1,157 @@
+package implicate_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"implicate"
+	"implicate/internal/gen"
+	"implicate/internal/stream"
+)
+
+// TestPipelineFileRoundTrip drives the whole stack the way the command-line
+// tools do: generate a network-traffic stream, write it to disk with the
+// text codec, read it back, run one query through four backends at once,
+// and cross-check the estimates against the exact answer.
+func TestPipelineFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traffic.tsv")
+
+	// Generate and persist.
+	g := gen.NewNetTraffic(gen.NetTrafficConfig{
+		Seed: 12, Sources: 800, Destinations: 300,
+		FlashSources: 50, FlashTargets: 2, FlashAfter: 10_000,
+	})
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := stream.NewWriter(f, gen.NetTrafficSchema())
+	const tuples = 40_000
+	for i := 0; i < tuples; i++ {
+		tup, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read back and evaluate.
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	r, err := stream.NewReader(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const sql = `
+		SELECT COUNT(DISTINCT Source) FROM traffic
+		WHERE Source IMPLIES Destination
+		WITH SUPPORT >= 20, MULTIPLICITY <= 3, CONFIDENCE >= 0.9 TOP 3`
+
+	eng := implicate.NewEngine(r.Schema())
+	backends := map[string]implicate.Backend{
+		"exact": implicate.ExactBackend(),
+		"nips":  implicate.SketchBackend(implicate.Options{Seed: 3}),
+		"ilc": func(c implicate.Conditions) (implicate.Estimator, error) {
+			return implicate.NewILC(c, 0.001, 0.001)
+		},
+		"ds": func(c implicate.Conditions) (implicate.Estimator, error) {
+			return implicate.NewDistinctSampling(c, 1920, 39, 9)
+		},
+	}
+	stmts := map[string]*implicate.Statement{}
+	for name, b := range backends {
+		st, err := eng.RegisterSQL(sql, b)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		stmts[name] = st
+	}
+	n, err := eng.Consume(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != tuples {
+		t.Fatalf("read %d tuples, wrote %d", n, tuples)
+	}
+
+	// The flash crowd creates ~50 hammering sources; background sources are
+	// too diffuse to qualify.
+	exactCount := stmts["exact"].Count()
+	if exactCount < 30 || exactCount > 70 {
+		t.Fatalf("exact count %v outside the constructed range", exactCount)
+	}
+	if got := stmts["nips"].Count(); math.Abs(got-exactCount)/exactCount > 0.5 {
+		t.Errorf("nips count %v too far from exact %v", got, exactCount)
+	}
+	// DS and ILC only need to produce finite answers here; their accuracy
+	// characteristics are covered by the Figure 7 experiments.
+	for _, name := range []string{"ds", "ilc"} {
+		if got := stmts[name].Count(); math.IsNaN(got) || math.IsInf(got, 0) || got < 0 {
+			t.Errorf("%s count %v is not a finite non-negative number", name, got)
+		}
+	}
+}
+
+// TestPipelineCheckpointResume exercises serialize → restore mid-stream and
+// confirms the resumed sketch finishes with the same answer as an
+// uninterrupted one.
+func TestPipelineCheckpointResume(t *testing.T) {
+	cond := implicate.Conditions{MaxMultiplicity: 2, MinSupport: 10, TopC: 1, MinTopConfidence: 0.8}
+	full, err := implicate.NewSketch(cond, implicate.Options{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := implicate.NewSketch(cond, implicate.Options{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g1 := gen.NewOLAP(gen.OLAPConfig{Seed: 2})
+	for g1.Tuples() < 60_000 {
+		ids := g1.NextIDs()
+		a, b := gen.SingleKey(ids[4]), gen.SingleKey(ids[1])
+		full.Add(a, b)
+		if g1.Tuples() <= 30_000 {
+			half.Add(a, b)
+		}
+	}
+
+	data, err := half.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := implicate.UnmarshalSketch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay the second half into the restored sketch.
+	g2 := gen.NewOLAP(gen.OLAPConfig{Seed: 2})
+	for g2.Tuples() < 60_000 {
+		ids := g2.NextIDs()
+		if g2.Tuples() > 30_000 {
+			resumed.Add(gen.SingleKey(ids[4]), gen.SingleKey(ids[1]))
+		}
+	}
+
+	if got, want := resumed.ImplicationCount(), full.ImplicationCount(); got != want {
+		t.Fatalf("resumed count %v != uninterrupted %v", got, want)
+	}
+	if resumed.Tuples() != full.Tuples() {
+		t.Fatalf("resumed tuples %d != %d", resumed.Tuples(), full.Tuples())
+	}
+}

@@ -1,0 +1,24 @@
+// Package core implements the paper's primary contribution: the NIPS
+// (Non-Implication Probabilistic Sampling) algorithm and its companion CI
+// (Counting Implications) estimator (Sismanis & Roussopoulos, ICDE 2005,
+// §4).
+//
+// NIPS extends Flajolet–Martin probabilistic counting to implication
+// statistics. A cell of the counting bitmap may be assigned the value one as
+// soon as one itemset hashed into it is confirmed to NOT imply B — a
+// monotone event, because an itemset that once violated the implication
+// conditions is excluded forever (§3.1.1). Itemsets whose fate is still
+// open are tracked, with their per-b support counters, inside a small
+// floating fringe zone of the bitmap (§4.3.2). Bounding the fringe to F
+// cells bounds memory at O(K·2^F) counter entries per bitmap while only
+// introducing error for non-implication counts smaller than 2^−F·F0(A)
+// (§4.3.3).
+//
+// CI derives the implication count as the difference of two probabilistic
+// counts read off the same bitmaps: S = F0^sup(A) − ~S, where F0^sup counts
+// distinct itemsets meeting the minimum-support condition and ~S counts
+// confirmed non-implications (§4.4). Accuracy is boosted by stochastic
+// averaging over m bitmaps (§4.7); this implementation adds the standard
+// Flajolet–Martin bias correction and a small-cardinality correction on top
+// of the paper's raw 2^R arithmetic (both are exposed).
+package core

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDump(t *testing.T) {
+	s := MustSketch(testConditions(), Options{Bitmaps: 4, Seed: 1})
+	var empty strings.Builder
+	s.Dump(&empty, 0)
+	if !strings.Contains(empty.String(), "(empty)") {
+		t.Fatalf("empty dump missing empty marker:\n%s", empty.String())
+	}
+	for i := 0; i < 2000; i++ {
+		s.AddIDs(uint64(i%300), uint64(i%300))
+		s.AddIDs(uint64(100000+i), uint64(i%7)) // violators and one-offs
+	}
+	var out strings.Builder
+	s.Dump(&out, 2)
+	text := out.String()
+	for _, want := range []string{"NIPS/CI sketch", "estimates:", "fringe:", "bitmap   0", "more bitmaps"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("dump missing %q:\n%s", want, text)
+		}
+	}
+	var cells strings.Builder
+	s.DumpCells(&cells, 0)
+	if !strings.Contains(cells.String(), "cell ") || !strings.Contains(cells.String(), "supp=") {
+		t.Errorf("cell dump malformed:\n%s", cells.String())
+	}
+	var bad strings.Builder
+	s.DumpCells(&bad, 99)
+	if !strings.Contains(bad.String(), "out of range") {
+		t.Error("out-of-range bitmap not reported")
+	}
+}

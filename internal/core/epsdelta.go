@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"implicate/internal/imps"
+)
+
+// EpsDelta amplifies the sketch's confidence the way §4.7.1 prescribes:
+// NIPS approximates the non-implication count exactly like the basic
+// probabilistic counter, so the standard median-of-independent-copies
+// technique of Bar-Yossef et al. lifts the constant success probability of
+// one sketch to 1−δ. It runs g ≈ O(log 1/δ) independently seeded sketches
+// and answers every query with the median of their estimates.
+//
+// The per-sketch relative error is governed by its bitmap count
+// (≈0.78/√m), so choose Options.Bitmaps for the target ε and Groups for
+// the target δ. EpsDelta implements imps.Estimator.
+type EpsDelta struct {
+	sketches []*Sketch
+}
+
+// NewEpsDelta returns a median-of-groups estimator over g independently
+// seeded sketches built from cond and opts. g must be odd and >= 1.
+func NewEpsDelta(cond imps.Conditions, opts Options, g int) (*EpsDelta, error) {
+	if g < 1 || g%2 == 0 {
+		return nil, fmt.Errorf("core: group count must be odd and positive, got %d", g)
+	}
+	e := &EpsDelta{}
+	for i := 0; i < g; i++ {
+		o := opts
+		o.Seed = opts.Seed + uint64(i)*0x9e3779b97f4a7c15 + 1
+		s, err := NewSketch(cond, o)
+		if err != nil {
+			return nil, err
+		}
+		e.sketches = append(e.sketches, s)
+	}
+	return e, nil
+}
+
+// GroupsFor returns the group count needed for failure probability δ under
+// the standard Chernoff amplification bound.
+func GroupsFor(delta float64) int {
+	if delta <= 0 || delta >= 1 {
+		return 1
+	}
+	g := int(math.Ceil(12 * math.Log(1/delta)))
+	if g%2 == 0 {
+		g++
+	}
+	return g
+}
+
+// Add observes one tuple in every group.
+func (e *EpsDelta) Add(a, b string) {
+	for _, s := range e.sketches {
+		s.Add(a, b)
+	}
+}
+
+// AddIDs is the integer-keyed fast path.
+func (e *EpsDelta) AddIDs(a, b uint64) {
+	for _, s := range e.sketches {
+		s.AddIDs(a, b)
+	}
+}
+
+func (e *EpsDelta) median(f func(*Sketch) float64) float64 {
+	ests := make([]float64, len(e.sketches))
+	for i, s := range e.sketches {
+		ests[i] = f(s)
+	}
+	sort.Float64s(ests)
+	return ests[len(ests)/2]
+}
+
+// ImplicationCount returns the median implication-count estimate.
+func (e *EpsDelta) ImplicationCount() float64 {
+	return e.median((*Sketch).ImplicationCount)
+}
+
+// NonImplicationCount returns the median non-implication estimate.
+func (e *EpsDelta) NonImplicationCount() float64 {
+	return e.median((*Sketch).NonImplicationCount)
+}
+
+// SupportedDistinct returns the median F0^sup estimate.
+func (e *EpsDelta) SupportedDistinct() float64 {
+	return e.median((*Sketch).SupportedDistinct)
+}
+
+// AvgMultiplicity returns the median of the groups' aggregates.
+func (e *EpsDelta) AvgMultiplicity() float64 {
+	return e.median((*Sketch).AvgMultiplicity)
+}
+
+// Tuples returns the number of tuples observed.
+func (e *EpsDelta) Tuples() int64 { return e.sketches[0].Tuples() }
+
+// Groups returns the number of independent sketches.
+func (e *EpsDelta) Groups() int { return len(e.sketches) }
+
+// MemEntries sums the groups' footprints.
+func (e *EpsDelta) MemEntries() int {
+	n := 0
+	for _, s := range e.sketches {
+		n += s.MemEntries()
+	}
+	return n
+}
+
+var (
+	_ imps.Estimator            = (*EpsDelta)(nil)
+	_ imps.MultiplicityAverager = (*EpsDelta)(nil)
+)

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"implicate/internal/imps"
+)
+
+func TestNewEpsDeltaValidation(t *testing.T) {
+	cond := testConditions()
+	if _, err := NewEpsDelta(cond, Options{}, 0); err == nil {
+		t.Error("g=0 accepted")
+	}
+	if _, err := NewEpsDelta(cond, Options{}, 4); err == nil {
+		t.Error("even g accepted")
+	}
+	if _, err := NewEpsDelta(imps.Conditions{}, Options{}, 3); err == nil {
+		t.Error("bad conditions accepted")
+	}
+	if _, err := NewEpsDelta(cond, Options{}, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupsFor(t *testing.T) {
+	if g := GroupsFor(0.05); g%2 == 0 || g < 3 {
+		t.Fatalf("GroupsFor(0.05) = %d", g)
+	}
+	if g := GroupsFor(0); g != 1 {
+		t.Fatalf("GroupsFor(0) = %d", g)
+	}
+	if GroupsFor(0.001) <= GroupsFor(0.1) {
+		t.Fatal("smaller δ must need more groups")
+	}
+}
+
+// TestEpsDeltaTailSuppression: across many trials the median-of-groups
+// estimator must have fewer large deviations than a single sketch — the
+// whole point of the amplification.
+func TestEpsDeltaTailSuppression(t *testing.T) {
+	cond := imps.Conditions{MaxMultiplicity: 2, MinSupport: 4, TopC: 1, MinTopConfidence: 0.8}
+	const truth = 600.0
+	const trials = 30
+	const tail = 0.18 // deviation considered "large"
+	singleTails, medianTails := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		single := MustSketch(cond, Options{Seed: uint64(trial*101 + 7)})
+		med, err := NewEpsDelta(cond, Options{Seed: uint64(trial*900 + 13)}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(trial)))
+		type pair struct{ a, b uint64 }
+		var tuples []pair
+		for i := 0; i < int(truth); i++ {
+			for k := 0; k < 6; k++ {
+				tuples = append(tuples, pair{uint64(i), uint64(100000 + i)})
+			}
+		}
+		for i := 0; i < 1200; i++ {
+			for k := 0; k < 6; k++ {
+				tuples = append(tuples, pair{uint64(50000 + i), uint64(200000 + i*8 + k%4)})
+			}
+		}
+		rng.Shuffle(len(tuples), func(i, j int) { tuples[i], tuples[j] = tuples[j], tuples[i] })
+		for _, tp := range tuples {
+			single.AddIDs(tp.a, tp.b)
+			med.AddIDs(tp.a, tp.b)
+		}
+		if math.Abs(single.ImplicationCount()-truth)/truth > tail {
+			singleTails++
+		}
+		if math.Abs(med.ImplicationCount()-truth)/truth > tail {
+			medianTails++
+		}
+	}
+	if medianTails > singleTails {
+		t.Fatalf("median-of-5 had %d large deviations vs single's %d", medianTails, singleTails)
+	}
+	if medianTails > trials/4 {
+		t.Fatalf("median estimator exceeded the %.0f%% band in %d/%d trials", tail*100, medianTails, trials)
+	}
+}
+
+func TestEpsDeltaDelegation(t *testing.T) {
+	cond := testConditions()
+	e, err := NewEpsDelta(cond, Options{Seed: 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		for k := 0; k < 4; k++ {
+			e.Add(string(rune('A'+i%26))+"x", "p")
+		}
+	}
+	if e.Tuples() != 800 {
+		t.Fatalf("Tuples = %d", e.Tuples())
+	}
+	if e.Groups() != 3 {
+		t.Fatalf("Groups = %d", e.Groups())
+	}
+	if e.MemEntries() <= 0 {
+		t.Fatal("MemEntries not positive")
+	}
+	if e.NonImplicationCount() < 0 || e.SupportedDistinct() < 0 || e.AvgMultiplicity() < 0 {
+		t.Fatal("negative estimates")
+	}
+}

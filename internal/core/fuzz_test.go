@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"implicate/internal/imps"
+)
+
+// FuzzUnmarshalSketch checks the decoder never panics or over-allocates on
+// malformed input, and that valid encodings round-trip.
+func FuzzUnmarshalSketch(f *testing.F) {
+	mk := func(opts Options, n int) []byte {
+		cond := imps.Conditions{MaxMultiplicity: 2, MinSupport: 3, TopC: 1, MinTopConfidence: 0.8}
+		s := MustSketch(cond, opts)
+		for i := 0; i < n; i++ {
+			s.AddIDs(uint64(i%97), uint64(i%7))
+		}
+		data, err := s.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		return data
+	}
+	f.Add(mk(Options{Seed: 1}, 0))
+	f.Add(mk(Options{Seed: 2, Bitmaps: 8, FringeSize: 2}, 500))
+	f.Add(mk(Options{Seed: 3, Unbounded: true}, 2000))
+	f.Add([]byte("NIPS\x01"))
+	f.Add([]byte(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := UnmarshalSketch(data)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must behave like a sketch.
+		reencoded, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("decoded sketch failed to re-encode: %v", err)
+		}
+		s2, err := UnmarshalSketch(reencoded)
+		if err != nil {
+			t.Fatalf("re-encoded sketch failed to decode: %v", err)
+		}
+		if s2.ImplicationCount() != s.ImplicationCount() {
+			t.Fatal("re-encode changed the estimate")
+		}
+		s.AddIDs(1, 2) // and keep accepting updates
+	})
+}

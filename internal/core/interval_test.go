@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"implicate/internal/imps"
+)
+
+func TestIntervalEmpty(t *testing.T) {
+	s := MustSketch(testConditions(), Options{Seed: 1})
+	lo, hi := s.ImplicationCountInterval(2)
+	if lo != 0 || hi <= 0 || hi > 3 {
+		t.Fatalf("empty sketch interval = [%v,%v], want [0, small]", lo, hi)
+	}
+}
+
+func TestIntervalBracketsEstimate(t *testing.T) {
+	s := MustSketch(testConditions(), Options{Seed: 2})
+	for i := 0; i < 1000; i++ {
+		for k := 0; k < 4; k++ {
+			s.AddIDs(uint64(i), uint64(i))
+		}
+	}
+	est := s.ImplicationCount()
+	lo, hi := s.ImplicationCountInterval(2)
+	if !(lo <= est && est <= hi) {
+		t.Fatalf("interval [%v,%v] does not bracket the estimate %v", lo, hi, est)
+	}
+	lo1, hi1 := s.ImplicationCountInterval(1)
+	if hi1-lo1 >= hi-lo {
+		t.Fatalf("z=1 interval [%v,%v] not narrower than z=2 [%v,%v]", lo1, hi1, lo, hi)
+	}
+}
+
+// TestIntervalCoverage checks the z=2 interval covers the true count in a
+// clear majority of repeated runs (the Gaussian/Poisson approximations and
+// the weighted sample make exactly 95% unattainable, but coverage far below
+// ~3/4 would mean the variance model is broken).
+func TestIntervalCoverage(t *testing.T) {
+	cond := imps.Conditions{MaxMultiplicity: 2, MinSupport: 4, TopC: 1, MinTopConfidence: 0.8}
+	const truth = 1500
+	const runs = 40
+	covered := 0
+	for run := 0; run < runs; run++ {
+		s := MustSketch(cond, Options{Seed: uint64(run*37 + 5)})
+		rng := rand.New(rand.NewSource(int64(run)))
+		type pair struct{ a, b uint64 }
+		var tuples []pair
+		for i := 0; i < truth; i++ {
+			for k := 0; k < 6; k++ {
+				tuples = append(tuples, pair{uint64(i), uint64(1000000 + i)})
+			}
+		}
+		for i := 0; i < 1500; i++ { // violators
+			for k := 0; k < 6; k++ {
+				tuples = append(tuples, pair{uint64(500000 + i), uint64(2000000 + i*8 + k%4)})
+			}
+		}
+		rng.Shuffle(len(tuples), func(i, j int) { tuples[i], tuples[j] = tuples[j], tuples[i] })
+		for _, tp := range tuples {
+			s.AddIDs(tp.a, tp.b)
+		}
+		lo, hi := s.ImplicationCountInterval(2)
+		if lo <= truth && truth <= hi {
+			covered++
+		}
+	}
+	if covered < runs*3/4 {
+		t.Fatalf("z=2 interval covered the truth in only %d/%d runs", covered, runs)
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"implicate/internal/exact"
+	"implicate/internal/imps"
+)
+
+func TestMergeCompatibilityChecks(t *testing.T) {
+	cond := testConditions()
+	a := MustSketch(cond, Options{Seed: 1})
+	if err := a.Merge(nil); err == nil {
+		t.Error("nil sketch accepted")
+	}
+	otherCond := cond
+	otherCond.MinSupport++
+	if err := a.Merge(MustSketch(otherCond, Options{Seed: 1})); err == nil {
+		t.Error("different conditions accepted")
+	}
+	if err := a.Merge(MustSketch(cond, Options{Seed: 2})); err == nil {
+		t.Error("different seed accepted")
+	}
+	if err := a.Merge(MustSketch(cond, Options{FringeSize: 8, Seed: 1})); err == nil {
+		t.Error("different fringe accepted")
+	}
+}
+
+// TestMergeDisjointEqualsUnion: when the two halves touch disjoint itemset
+// populations, merging unbounded sketches must reproduce the single-sketch
+// run over the concatenated stream exactly (counter sums are then trivially
+// identical; bounded sketches additionally differ in float/overflow timing
+// and are covered by the statistical test below).
+func TestMergeDisjointEqualsUnion(t *testing.T) {
+	cond := imps.Conditions{MaxMultiplicity: 2, MinSupport: 3, TopC: 1, MinTopConfidence: 0.8}
+	opts := Options{Seed: 5, Unbounded: true}
+	whole := MustSketch(cond, opts)
+	left := MustSketch(cond, opts)
+	right := MustSketch(cond, opts)
+
+	feed := func(dsts []*Sketch, a, b uint64) {
+		for _, d := range dsts {
+			d.AddIDs(a, b)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 3000; i++ {
+		a := uint64(i)
+		partners := 1 + rng.Intn(4) // some imply, some violate multiplicity
+		for k := 0; k < 5; k++ {
+			b := uint64(100000 + i*10 + k%partners)
+			if i%2 == 0 {
+				feed([]*Sketch{whole, left}, a, b)
+			} else {
+				feed([]*Sketch{whole, right}, a, b)
+			}
+		}
+	}
+	if err := left.Merge(right); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := left.ImplicationCount(), whole.ImplicationCount(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("merged implication count %v != whole-stream %v", got, want)
+	}
+	if got, want := left.NonImplicationCount(), whole.NonImplicationCount(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("merged non-implication count %v != whole-stream %v", got, want)
+	}
+	if got, want := left.SupportedDistinct(), whole.SupportedDistinct(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("merged supported count %v != whole-stream %v", got, want)
+	}
+	if left.Tuples() != whole.Tuples() {
+		t.Errorf("merged tuples %d != %d", left.Tuples(), whole.Tuples())
+	}
+	if left.MemEntries() != whole.MemEntries() {
+		t.Errorf("merged entries %d != %d", left.MemEntries(), whole.MemEntries())
+	}
+}
+
+// TestMergeSplitStreamAccuracy: splitting one stream across two nodes and
+// merging must stay close to the exact count — the distributed-aggregation
+// use case (itemsets appear on BOTH nodes, so counters genuinely combine).
+func TestMergeSplitStreamAccuracy(t *testing.T) {
+	cond := imps.Conditions{MaxMultiplicity: 2, MinSupport: 6, TopC: 1, MinTopConfidence: 0.8}
+	var errSum float64
+	const runs = 5
+	for run := 0; run < runs; run++ {
+		opts := Options{Seed: uint64(run*19 + 3)}
+		left := MustSketch(cond, opts)
+		right := MustSketch(cond, opts)
+		ex := exact.MustCounter(cond)
+		rng := rand.New(rand.NewSource(int64(run)))
+
+		const nImp, nViol = 2000, 2000
+		type pair struct{ a, b uint64 }
+		var tuples []pair
+		for i := 0; i < nImp; i++ {
+			for k := 0; k < 8; k++ {
+				tuples = append(tuples, pair{uint64(i), uint64(1000000 + i)})
+			}
+		}
+		for i := 0; i < nViol; i++ {
+			for k := 0; k < 8; k++ {
+				tuples = append(tuples, pair{uint64(500000 + i), uint64(2000000 + i*10 + k%4)})
+			}
+		}
+		rng.Shuffle(len(tuples), func(i, j int) { tuples[i], tuples[j] = tuples[j], tuples[i] })
+		for n, tp := range tuples {
+			ex.Add(fmt.Sprint(tp.a), fmt.Sprint(tp.b))
+			if n%2 == 0 {
+				left.AddIDs(tp.a, tp.b)
+			} else {
+				right.AddIDs(tp.a, tp.b)
+			}
+		}
+		if err := left.Merge(right); err != nil {
+			t.Fatal(err)
+		}
+		if int(ex.ImplicationCount()) != nImp {
+			t.Fatalf("exact = %v, want %d", ex.ImplicationCount(), nImp)
+		}
+		errSum += math.Abs(left.ImplicationCount()-float64(nImp)) / float64(nImp)
+	}
+	if mean := errSum / runs; mean > 0.25 {
+		t.Errorf("merged-sketch mean error %.3f too large", mean)
+	}
+}
+
+// TestMergePreservesExclusions: an itemset excluded on one node must stay
+// excluded after the merge even if the other node saw it behaving well.
+func TestMergePreservesExclusions(t *testing.T) {
+	cond := imps.Conditions{MaxMultiplicity: 1, MinSupport: 2, TopC: 1, MinTopConfidence: 1.0}
+	opts := Options{Bitmaps: 1, Seed: 7}
+	left := MustSketch(cond, opts)
+	right := MustSketch(cond, opts)
+	// Node L: "a" violates (two partners, support 2).
+	left.Add("a", "x")
+	left.Add("a", "y")
+	// Node R: "a" looks perfectly implicating.
+	for i := 0; i < 10; i++ {
+		right.Add("a", "x")
+	}
+	if err := right.Merge(left); err != nil {
+		t.Fatal(err)
+	}
+	_, rank := right.router.Route(right.ahash.Sum("a"))
+	if !right.bms[0].value[rank] {
+		t.Fatal("exclusion lost in merge")
+	}
+	// And it stays out under further updates.
+	for i := 0; i < 10; i++ {
+		right.Add("a", "x")
+	}
+	if got := right.bms[0].cells[rank]; got != nil {
+		if idx := got.find(right.ahash.Sum("a")); idx >= 0 && !got.items[idx].st.excluded {
+			t.Fatal("excluded itemset re-admitted after merge")
+		}
+	}
+}
+
+// TestMergeInvariants runs the structural invariant checks on merged
+// sketches.
+func TestMergeInvariants(t *testing.T) {
+	cond := imps.Conditions{MaxMultiplicity: 2, MinSupport: 3, TopC: 1, MinTopConfidence: 0.7}
+	opts := Options{Bitmaps: 8, FringeSize: 3, Seed: 11}
+	a := MustSketch(cond, opts)
+	b := MustSketch(cond, opts)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 20000; i++ {
+		x, y := uint64(rng.Intn(4000)), uint64(rng.Intn(9))
+		if i%2 == 0 {
+			a.AddIDs(x, y)
+		} else {
+			b.AddIDs(x, y)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for bi := range a.bms {
+		bm := &a.bms[bi]
+		for j := 0; j < Levels; j++ {
+			if bm.dead[j] && bm.cells[j] != nil {
+				t.Fatalf("bitmap %d: dead cell %d holds memory", bi, j)
+			}
+			c := bm.cells[j]
+			if c == nil {
+				continue
+			}
+			nSup, nDoom, nTomb := 0, 0, 0
+			for k := range c.items {
+				st := &c.items[k].st
+				if st.excluded {
+					nTomb++
+					continue
+				}
+				if st.supp >= cond.MinSupport {
+					nSup++
+				}
+				if st.doomed {
+					nDoom++
+				}
+			}
+			if nSup != c.nSupported || nDoom != c.nDoomed || nTomb != c.nExcluded {
+				t.Fatalf("bitmap %d cell %d: census drift after merge", bi, j)
+			}
+		}
+	}
+	// Continued streaming after a merge must keep working.
+	for i := 0; i < 5000; i++ {
+		a.AddIDs(uint64(rng.Intn(4000)), uint64(rng.Intn(9)))
+	}
+	if a.ImplicationCount() < 0 {
+		t.Fatal("negative count")
+	}
+}

@@ -1,0 +1,46 @@
+package core
+
+// pairSet is the per-itemset partner-counter collection σ(a, b_j). The
+// maximum-multiplicity condition bounds it at K entries, and K is small in
+// every workload the framework targets (the paper's experiments use K ≤ 6),
+// so a linear-scan vector beats a hash map on both memory (no per-itemset
+// map header and buckets) and time (one cache line for typical K).
+type pairSet []pairEntry
+
+type pairEntry struct {
+	h uint64
+	n int64
+}
+
+// find returns the index of h, or -1.
+func (p pairSet) find(h uint64) int {
+	for i := range p {
+		if p[i].h == h {
+			return i
+		}
+	}
+	return -1
+}
+
+// get returns the count for h (0 when absent).
+func (p pairSet) get(h uint64) int64 {
+	if i := p.find(h); i >= 0 {
+		return p[i].n
+	}
+	return 0
+}
+
+// add appends a new entry; the caller has checked h is absent.
+func (p *pairSet) add(h uint64, n int64) {
+	*p = append(*p, pairEntry{h: h, n: n})
+}
+
+// clone deep-copies the set.
+func (p pairSet) clone() pairSet {
+	if p == nil {
+		return nil
+	}
+	out := make(pairSet, len(p))
+	copy(out, p)
+	return out
+}

@@ -1,0 +1,506 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"implicate/internal/exact"
+	"implicate/internal/imps"
+)
+
+func testConditions() imps.Conditions {
+	return imps.Conditions{MaxMultiplicity: 5, MinSupport: 3, TopC: 1, MinTopConfidence: 0.8}
+}
+
+func TestNewSketchValidation(t *testing.T) {
+	good := testConditions()
+	if _, err := NewSketch(good, Options{}); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if _, err := NewSketch(imps.Conditions{}, Options{}); err == nil {
+		t.Fatal("zero conditions accepted")
+	}
+	if _, err := NewSketch(good, Options{Bitmaps: 3}); err == nil {
+		t.Fatal("non-power-of-two bitmap count accepted")
+	}
+	if _, err := NewSketch(good, Options{FringeSize: -1}); err == nil {
+		t.Fatal("negative fringe accepted")
+	}
+	if _, err := NewSketch(good, Options{FringeSize: 65}); err == nil {
+		t.Fatal("fringe wider than the bitmap accepted")
+	}
+	if _, err := NewSketch(good, Options{Slack: -2}); err == nil {
+		t.Fatal("negative slack accepted")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	s := MustSketch(testConditions(), Options{})
+	o := s.Options()
+	if o.Bitmaps != DefaultBitmaps || o.FringeSize != DefaultFringeSize || o.Slack != DefaultSlack {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+}
+
+func TestEmptySketchCounts(t *testing.T) {
+	s := MustSketch(testConditions(), Options{})
+	if s.ImplicationCount() != 0 || s.NonImplicationCount() != 0 || s.SupportedDistinct() != 0 {
+		t.Fatal("empty sketch reports non-zero counts")
+	}
+	if s.Tuples() != 0 || s.MemEntries() != 0 {
+		t.Fatal("empty sketch reports observations")
+	}
+}
+
+// feedWorkload streams a synthetic workload with nImp implicating itemsets
+// (each appearing supp times with a single partner) and nNon
+// non-implicating itemsets (each appearing supp times spread over more
+// partners than the multiplicity allows) into each estimator, interleaved
+// deterministically.
+func feedWorkload(rng *rand.Rand, ests []imps.Estimator, cond imps.Conditions, nImp, nNon int, supp int) {
+	type pair struct{ a, b string }
+	var tuples []pair
+	for i := 0; i < nImp; i++ {
+		a := fmt.Sprintf("imp-%d", i)
+		for s := 0; s < supp; s++ {
+			tuples = append(tuples, pair{a, fmt.Sprintf("partner-%d", i)})
+		}
+	}
+	for i := 0; i < nNon; i++ {
+		a := fmt.Sprintf("non-%d", i)
+		for s := 0; s < supp; s++ {
+			// Cycle through K+3 partners so both the multiplicity and the
+			// top-confidence conditions eventually fail.
+			tuples = append(tuples, pair{a, fmt.Sprintf("nb-%d-%d", i, s%(cond.MaxMultiplicity+3))})
+		}
+	}
+	rng.Shuffle(len(tuples), func(i, j int) { tuples[i], tuples[j] = tuples[j], tuples[i] })
+	for _, tp := range tuples {
+		for _, e := range ests {
+			e.Add(tp.a, tp.b)
+		}
+	}
+}
+
+// TestSketchTracksExact is the central accuracy test: across a grid of
+// implication/non-implication mixes the sketch estimate must stay within a
+// few stochastic-averaging standard errors of the exact count.
+func TestSketchTracksExact(t *testing.T) {
+	cond := testConditions()
+	grid := []struct {
+		nImp, nNon int
+		maxErr     float64
+	}{
+		{1000, 0, 0.22},
+		{900, 100, 0.22},
+		{500, 500, 0.22},
+		{100, 900, 0.30}, // S is 10% of F0: fewer implications in the sample
+		{5000, 5000, 0.22},
+		{2000, 8000, 0.25},
+	}
+	for _, g := range grid {
+		g := g
+		t.Run(fmt.Sprintf("imp%d_non%d", g.nImp, g.nNon), func(t *testing.T) {
+			var errSum float64
+			const runs = 5
+			for run := 0; run < runs; run++ {
+				sk := MustSketch(cond, Options{Seed: uint64(run*131 + 7)})
+				ex := exact.MustCounter(cond)
+				rng := rand.New(rand.NewSource(int64(run*977 + 3)))
+				feedWorkload(rng, []imps.Estimator{sk, ex}, cond, g.nImp, g.nNon, int(cond.MinSupport)+4)
+
+				if int(ex.ImplicationCount()) != g.nImp {
+					t.Fatalf("exact counter disagrees with construction: got %v implications, want %d",
+						ex.ImplicationCount(), g.nImp)
+				}
+				if int(ex.NonImplicationCount()) != g.nNon {
+					t.Fatalf("exact counter: got %v non-implications, want %d",
+						ex.NonImplicationCount(), g.nNon)
+				}
+				errSum += math.Abs(sk.ImplicationCount()-float64(g.nImp)) / float64(g.nImp)
+			}
+			// The stochastic-averaging error with 64 bitmaps is ~10%; allow
+			// headroom for the small run count.
+			if mean := errSum / runs; mean > g.maxErr {
+				t.Errorf("mean relative error %.3f exceeds %.2f", mean, g.maxErr)
+			}
+		})
+	}
+}
+
+// TestBoundedMatchesUnbounded verifies the paper's Figure 4–6 claim that a
+// fringe of size four is indistinguishable from an unbounded fringe for all
+// but tiny non-implication counts.
+func TestBoundedMatchesUnbounded(t *testing.T) {
+	cond := testConditions()
+	bounded := MustSketch(cond, Options{Seed: 5})
+	unbounded := MustSketch(cond, Options{Seed: 5, Unbounded: true})
+	ex := exact.MustCounter(cond)
+	rng := rand.New(rand.NewSource(17))
+	feedWorkload(rng, []imps.Estimator{bounded, unbounded, ex}, cond, 3000, 3000, 7)
+
+	b, u := bounded.ImplicationCount(), unbounded.ImplicationCount()
+	if diff := math.Abs(b-u) / u; diff > 0.20 {
+		t.Errorf("bounded %v vs unbounded %v differ by %.2f", b, u, diff)
+	}
+	if memB, memU := bounded.PeakMemEntries(), unbounded.PeakMemEntries(); memB >= memU {
+		t.Errorf("bounded fringe used %d entries, unbounded %d — bounding saved nothing", memB, memU)
+	}
+}
+
+// TestMemoryBound checks the O(K) per-bitmap space bound of §4.6: with
+// fringe F and slack s, at most s·(2^F−1) itemsets are tracked per bitmap,
+// each with at most K+1 counters (support + up to K pairs), regardless of
+// stream size, plus the bounded support-only cells.
+func TestMemoryBound(t *testing.T) {
+	cond := imps.Conditions{MaxMultiplicity: 2, MinSupport: 50, TopC: 1, MinTopConfidence: 0.9}
+	opts := Options{Bitmaps: 64, FringeSize: 4, Slack: 2, Seed: 1}
+	s := MustSketch(cond, opts)
+	rng := rand.New(rand.NewSource(2))
+	// A hostile stream: every tuple a fresh itemset, so cells see maximal
+	// distinct pressure.
+	for i := 0; i < 500000; i++ {
+		s.AddIDs(uint64(i), uint64(rng.Intn(100)))
+	}
+	perBitmap := opts.Slack * ((1 << opts.FringeSize) - 1) // fringe cells
+	perBitmap += Levels * opts.Slack << (opts.FringeSize - 1)
+	bound := opts.Bitmaps * perBitmap * (cond.MaxMultiplicity + 1)
+	if s.PeakMemEntries() > bound {
+		t.Fatalf("peak entries %d exceed bound %d", s.PeakMemEntries(), bound)
+	}
+	// The realistic bound is far smaller; make sure we are in its vicinity
+	// (paper: 15·K itemsets per bitmap for F=4).
+	realistic := opts.Bitmaps * opts.Slack * ((1 << opts.FringeSize) - 1) * (cond.MaxMultiplicity + 2)
+	if s.PeakMemEntries() > realistic {
+		t.Errorf("peak entries %d exceed the realistic budget %d", s.PeakMemEntries(), realistic)
+	}
+}
+
+// TestFringeInvariants streams random data and checks structural invariants
+// of every bitmap after every tuple batch.
+func TestFringeInvariants(t *testing.T) {
+	cond := imps.Conditions{MaxMultiplicity: 2, MinSupport: 2, TopC: 1, MinTopConfidence: 0.7}
+	s := MustSketch(cond, Options{Bitmaps: 8, FringeSize: 3, Seed: 3})
+	rng := rand.New(rand.NewSource(4))
+	check := func(step int) {
+		for bi := range s.bms {
+			b := &s.bms[bi]
+			if b.hi < 0 {
+				continue
+			}
+			if b.lo > Levels {
+				t.Fatalf("step %d bitmap %d: lo %d beyond bitmap", step, bi, b.lo)
+			}
+			if b.lo > 0 {
+				for j := 0; j < b.lo && j <= b.hi; j++ {
+					if !b.value[j] && b.cells[j] != nil && !b.cells[j].suppOnly && len(b.cells[j].items) > 0 {
+						t.Fatalf("step %d bitmap %d: full-tracking cell %d left of fringe lo=%d", step, bi, j, b.lo)
+					}
+				}
+			}
+			for j := b.hi + 1; j < Levels; j++ {
+				if b.value[j] || b.cells[j] != nil || b.dead[j] || b.touched[j] {
+					t.Fatalf("step %d bitmap %d: Zone-0 cell %d is touched (hi=%d)", step, bi, j, b.hi)
+				}
+			}
+			for j := 0; j < Levels; j++ {
+				if b.dead[j] && b.supped[j] && b.cells[j] != nil {
+					t.Fatalf("step %d bitmap %d: settled dead cell %d still holds memory", step, bi, j)
+				}
+				if b.dead[j] && b.cells[j] != nil && !b.cells[j].suppOnly {
+					t.Fatalf("step %d bitmap %d: dead cell %d holds full tracking", step, bi, j)
+				}
+				c := b.cells[j]
+				if c == nil {
+					continue
+				}
+				nSup, nDoom, nTomb := 0, 0, 0
+				for k := range c.items {
+					st := &c.items[k].st
+					if st.excluded {
+						nTomb++
+						if st.perB != nil || st.doomed {
+							t.Fatalf("step %d bitmap %d cell %d: tombstone retains state", step, bi, j)
+						}
+						continue
+					}
+					if st.supp >= s.cond.MinSupport {
+						nSup++
+						if st.doomed {
+							t.Fatalf("step %d bitmap %d cell %d: supported doomed itemset still tracked", step, bi, j)
+						}
+					}
+					if st.doomed {
+						nDoom++
+						if st.perB != nil {
+							t.Fatalf("step %d bitmap %d cell %d: doomed itemset retains pair counters", step, bi, j)
+						}
+					}
+				}
+				if nSup != c.nSupported || nDoom != c.nDoomed || nTomb != c.nExcluded {
+					t.Fatalf("step %d bitmap %d cell %d: census drift (sup %d vs %d, doomed %d vs %d, tomb %d vs %d)",
+						step, bi, j, c.nSupported, nSup, c.nDoomed, nDoom, c.nExcluded, nTomb)
+				}
+				if c.nExcluded > 0 && !b.value[j] {
+					t.Fatalf("step %d bitmap %d cell %d: tombstones without a recorded non-implication", step, bi, j)
+				}
+			}
+		}
+	}
+	for step := 0; step < 200; step++ {
+		for k := 0; k < 100; k++ {
+			s.AddIDs(uint64(rng.Intn(5000)), uint64(rng.Intn(7)))
+		}
+		check(step)
+	}
+}
+
+// TestSupportedDistinctIgnoresUnsupported verifies F0^sup counts only
+// itemsets at or above the minimum support.
+func TestSupportedDistinctIgnoresUnsupported(t *testing.T) {
+	cond := imps.Conditions{MaxMultiplicity: 3, MinSupport: 10, TopC: 1, MinTopConfidence: 0.5}
+	s := MustSketch(cond, Options{Seed: 9})
+	// 2000 itemsets with support 1 (below τ), 500 with support 12.
+	for i := 0; i < 2000; i++ {
+		s.AddIDs(uint64(i), 1)
+	}
+	for i := 0; i < 500; i++ {
+		for k := 0; k < 12; k++ {
+			s.AddIDs(uint64(100000+i), 1)
+		}
+	}
+	sup := s.SupportedDistinct()
+	if sup < 350 || sup > 650 {
+		t.Errorf("SupportedDistinct = %v, want ≈500", sup)
+	}
+	all := s.DistinctCount()
+	if all < 2000 || all > 3100 {
+		t.Errorf("DistinctCount = %v, want ≈2500", all)
+	}
+}
+
+// TestOnceViolatedForeverOut encodes §3.1.1: an itemset that once failed
+// top-confidence after reaching support must not re-enter the count even if
+// its confidence later recovers.
+func TestOnceViolatedForeverOut(t *testing.T) {
+	cond := imps.Conditions{MaxMultiplicity: 5, MinSupport: 4, TopC: 1, MinTopConfidence: 0.75}
+	ex := exact.MustCounter(cond)
+	// Four tuples: b1 b2 b1 b2 → at supp 4 top-1 confidence is 0.5 < 0.75.
+	ex.Add("a", "b1")
+	ex.Add("a", "b2")
+	ex.Add("a", "b1")
+	ex.Add("a", "b2")
+	if ex.NonImplicationCount() != 1 {
+		t.Fatalf("expected violation at supp=4, got ~S=%v", ex.NonImplicationCount())
+	}
+	// 100 more b1 tuples push the confidence back above 0.75 — too late.
+	for i := 0; i < 100; i++ {
+		ex.Add("a", "b1")
+	}
+	if ex.ImplicationCount() != 0 {
+		t.Fatalf("itemset re-entered the count after violation")
+	}
+	// The sketch obeys the same rule: its non-implication event is recorded
+	// by a one bit that is never erased.
+	sk := MustSketch(cond, Options{Bitmaps: 1, Seed: 3})
+	sk.Add("a", "b1")
+	sk.Add("a", "b2")
+	sk.Add("a", "b1")
+	sk.Add("a", "b2")
+	_, rank := sk.router.Route(sk.ahash.Sum("a"))
+	if !sk.bms[0].value[rank] {
+		t.Fatalf("violation at supp=4 not recorded in cell %d", rank)
+	}
+	for i := 0; i < 100; i++ {
+		sk.Add("a", "b1")
+	}
+	if !sk.bms[0].value[rank] {
+		t.Fatalf("non-implication record erased from cell %d", rank)
+	}
+}
+
+// TestMultiplicityViolation checks the doomed path: exceeding K distinct
+// partners confirms a non-implication as soon as the support arrives.
+func TestMultiplicityViolation(t *testing.T) {
+	cond := imps.Conditions{MaxMultiplicity: 2, MinSupport: 6, TopC: 2, MinTopConfidence: 0.1}
+	ex := exact.MustCounter(cond)
+	sk := MustSketch(cond, Options{Bitmaps: 1, Seed: 1})
+	for _, e := range []imps.Estimator{ex, sk} {
+		e.Add("a", "b1")
+		e.Add("a", "b2")
+		e.Add("a", "b3") // third distinct partner: doomed
+		if got := e.NonImplicationCount(); got != 0 {
+			t.Fatalf("non-implication confirmed before the minimum support: %v", got)
+		}
+		e.Add("a", "b1")
+		e.Add("a", "b1")
+		e.Add("a", "b1") // supp reaches 6
+	}
+	if ex.NonImplicationCount() != 1 {
+		t.Fatalf("exact: ~S = %v, want 1", ex.NonImplicationCount())
+	}
+	_, rank := sk.router.Route(sk.ahash.Sum("a"))
+	if !sk.bms[0].value[rank] {
+		t.Fatalf("sketch did not record the confirmed non-implication in cell %d", rank)
+	}
+}
+
+// TestNoReadmissionAfterViolation is the regression test for the tombstone
+// mechanism: a violator that keeps arriving with clean (single-partner)
+// tuples after its confirmation must never re-enter the implication sample.
+// Without tombstones such itemsets cycle through a fresh counted-as-implying
+// phase and inflate small counts by an order of magnitude.
+func TestNoReadmissionAfterViolation(t *testing.T) {
+	cond := imps.Conditions{MaxMultiplicity: 2, MinSupport: 5, TopC: 1, MinTopConfidence: 0.6}
+	sk := MustSketch(cond, Options{Seed: 21})
+	ex := exact.MustCounter(cond)
+	rng := rand.New(rand.NewSource(8))
+	// 50 genuine implications and 2000 violators that keep streaming clean
+	// tuples long after violating.
+	for i := 0; i < 50; i++ {
+		a := fmt.Sprintf("imp%d", i)
+		for k := 0; k < 8; k++ {
+			sk.Add(a, "p"+a)
+			ex.Add(a, "p"+a)
+		}
+	}
+	for round := 0; round < 40; round++ {
+		for i := 0; i < 2000; i++ {
+			a := fmt.Sprintf("viol%d", i)
+			// First rounds establish the violation (3 distinct partners);
+			// later rounds send a steady single partner.
+			b := "q"
+			if round < 3 {
+				b = fmt.Sprintf("q%d", round)
+			}
+			sk.Add(a, b)
+			ex.Add(a, b)
+			_ = rng
+		}
+	}
+	if got := ex.ImplicationCount(); got != 50 {
+		t.Fatalf("exact = %v, want 50", got)
+	}
+	if got := sk.ImplicationCount(); got > 250 {
+		t.Fatalf("sketch re-admitted violators: estimate %v for true count 50", got)
+	}
+}
+
+// TestRawVsCorrected sanity-checks the CI estimator family: at small counts
+// the small-range correction must beat the paper's raw 2^R arithmetic.
+func TestRawVsCorrected(t *testing.T) {
+	cond := testConditions()
+	var rawErr, corrErr, directErr float64
+	const truth, runs = 200.0, 10
+	for run := 0; run < runs; run++ {
+		s := MustSketch(cond, Options{Seed: uint64(run)})
+		for i := 0; i < int(truth); i++ {
+			for k := 0; k < 4; k++ {
+				s.AddIDs(uint64(run*100000+i), uint64(i))
+			}
+		}
+		rawErr += math.Abs(s.RawImplicationCount()-truth) / truth
+		corrErr += math.Abs(s.CIImplicationCount()-truth) / truth
+		directErr += math.Abs(s.ImplicationCount()-truth) / truth
+	}
+	if corrErr/runs > 0.25 {
+		t.Errorf("corrected CI estimator error %.3f too large at small counts", corrErr/runs)
+	}
+	if corrErr > rawErr {
+		t.Errorf("correction did not help at small counts: raw %.3f, corrected %.3f", rawErr/runs, corrErr/runs)
+	}
+	if directErr/runs > 0.15 {
+		t.Errorf("direct estimator error %.3f too large at small counts", directErr/runs)
+	}
+}
+
+// TestMinEstimable checks the 2^−F·F0 floor of §4.3.3 is reported and zero
+// for unbounded sketches.
+func TestMinEstimable(t *testing.T) {
+	cond := testConditions()
+	b := MustSketch(cond, Options{Seed: 2})
+	u := MustSketch(cond, Options{Seed: 2, Unbounded: true})
+	for i := 0; i < 10000; i++ {
+		b.AddIDs(uint64(i), 0)
+		u.AddIDs(uint64(i), 0)
+	}
+	if u.MinEstimable() != 0 {
+		t.Fatal("unbounded sketch reports a floor")
+	}
+	floor := b.MinEstimable()
+	want := b.DistinctCount() / 16 // F = 4
+	if math.Abs(floor-want) > 1e-9 {
+		t.Fatalf("MinEstimable = %v, want %v", floor, want)
+	}
+}
+
+func TestAddStringAndIDsConsistent(t *testing.T) {
+	cond := testConditions()
+	s := MustSketch(cond, Options{Seed: 11})
+	// Same logical stream through both entry points must produce identical
+	// per-path behaviour for repeated calls (determinism check).
+	s2 := MustSketch(cond, Options{Seed: 11})
+	for i := 0; i < 1000; i++ {
+		s.Add(fmt.Sprintf("a%d", i%50), fmt.Sprintf("b%d", i%7))
+		s2.Add(fmt.Sprintf("a%d", i%50), fmt.Sprintf("b%d", i%7))
+	}
+	if s.ImplicationCount() != s2.ImplicationCount() ||
+		s.NonImplicationCount() != s2.NonImplicationCount() {
+		t.Fatal("identical streams produced different sketches")
+	}
+}
+
+// TestReset checks a reset sketch behaves exactly like a fresh one.
+func TestReset(t *testing.T) {
+	cond := testConditions()
+	a := MustSketch(cond, Options{Seed: 31})
+	fresh := MustSketch(cond, Options{Seed: 31})
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 30000; i++ {
+		a.AddIDs(uint64(rng.Intn(2000)), uint64(rng.Intn(5)))
+	}
+	a.Reset()
+	if a.Tuples() != 0 || a.MemEntries() != 0 || a.PeakMemEntries() != 0 {
+		t.Fatalf("reset left state: tuples=%d entries=%d peak=%d", a.Tuples(), a.MemEntries(), a.PeakMemEntries())
+	}
+	if a.ImplicationCount() != 0 || a.NonImplicationCount() != 0 || a.DistinctCount() != 0 {
+		t.Fatal("reset left estimates")
+	}
+	rng2 := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		x, y := uint64(rng2.Intn(3000)), uint64(rng2.Intn(6))
+		a.AddIDs(x, y)
+		fresh.AddIDs(x, y)
+	}
+	if a.ImplicationCount() != fresh.ImplicationCount() ||
+		a.NonImplicationCount() != fresh.NonImplicationCount() ||
+		a.MemEntries() != fresh.MemEntries() {
+		t.Fatal("reset sketch diverged from a fresh one")
+	}
+}
+
+// TestSketchAvgMultiplicity checks the sampled average against a
+// constructed mixture (half the itemsets have one partner, half have
+// three).
+func TestSketchAvgMultiplicity(t *testing.T) {
+	cond := imps.Conditions{MaxMultiplicity: 3, MinSupport: 6, TopC: 3, MinTopConfidence: 0.9}
+	s := MustSketch(cond, Options{Seed: 17})
+	if s.AvgMultiplicity() != 0 {
+		t.Fatal("empty sketch has non-zero average")
+	}
+	for i := 0; i < 4000; i++ {
+		mult := 1
+		if i%2 == 0 {
+			mult = 3
+		}
+		for k := 0; k < 6; k++ { // support 6 for every itemset
+			s.AddIDs(uint64(i), uint64(i*10+k%mult))
+		}
+	}
+	got := s.AvgMultiplicity()
+	if got < 1.7 || got > 2.3 {
+		t.Fatalf("AvgMultiplicity = %v, want ≈2", got)
+	}
+}

@@ -1,0 +1,211 @@
+package dsample
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"implicate/internal/exact"
+	"implicate/internal/imps"
+)
+
+func cond() imps.Conditions {
+	return imps.Conditions{MaxMultiplicity: 2, MinSupport: 3, TopC: 1, MinTopConfidence: 0.8}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(imps.Conditions{}, 1920, 39, 1); err == nil {
+		t.Error("zero conditions accepted")
+	}
+	if _, err := New(cond(), 1, 39, 1); err == nil {
+		t.Error("size 1 accepted")
+	}
+	if _, err := New(cond(), 1920, 0, 1); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, err := New(cond(), 1920, 39, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDistinctCountAccuracy checks Gibbons' core property: the scaled
+// sample estimates the number of distinct values within sampling error,
+// insensitive to duplication skew.
+func TestDistinctCountAccuracy(t *testing.T) {
+	for _, f0 := range []int{500, 5000, 50000} {
+		var errSum float64
+		const runs = 10
+		for run := 0; run < runs; run++ {
+			s := Must(cond(), 1920, 39, uint64(run*71+5))
+			rng := rand.New(rand.NewSource(int64(run)))
+			for i := 0; i < f0; i++ {
+				// Skewed duplication: value i appears 1 + i%7 times.
+				for k := 0; k <= i%7; k++ {
+					s.Add(fmt.Sprintf("v%d", i), fmt.Sprintf("b%d", rng.Intn(2)))
+				}
+			}
+			errSum += math.Abs(s.DistinctCount()-float64(f0)) / float64(f0)
+		}
+		if mean := errSum / runs; mean > 0.15 {
+			t.Errorf("F0=%d: mean relative error %.3f", f0, mean)
+		}
+	}
+}
+
+// TestMemoryBudget checks the sampler never exceeds its entry budget.
+func TestMemoryBudget(t *testing.T) {
+	s := Must(cond(), 500, 10, 3)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200000; i++ {
+		s.Add(fmt.Sprintf("v%d", rng.Intn(100000)), fmt.Sprintf("b%d", rng.Intn(5)))
+		if s.MemEntries() > 500 {
+			t.Fatalf("budget exceeded at tuple %d: %d entries", i, s.MemEntries())
+		}
+	}
+	if s.Level() == 0 {
+		t.Fatal("level never rose despite pressure")
+	}
+}
+
+// TestImplicationEstimate compares DS against the exact counter on a mixed
+// workload; DS should be in the right ballpark for permissive conditions
+// (its documented weakness only bites with selective ones).
+func TestImplicationEstimate(t *testing.T) {
+	c := cond()
+	var errSum float64
+	const runs = 8
+	for run := 0; run < runs; run++ {
+		s := Must(c, 1920, 39, uint64(run*13+1))
+		ex := exact.MustCounter(c)
+		rng := rand.New(rand.NewSource(int64(run * 3)))
+		type pair struct{ a, b string }
+		var tuples []pair
+		for i := 0; i < 3000; i++ {
+			a := fmt.Sprintf("imp%d", i)
+			for k := 0; k < 5; k++ {
+				tuples = append(tuples, pair{a, fmt.Sprintf("p%d", i)})
+			}
+		}
+		for i := 0; i < 3000; i++ {
+			a := fmt.Sprintf("non%d", i)
+			for k := 0; k < 5; k++ {
+				tuples = append(tuples, pair{a, fmt.Sprintf("q%d", k)})
+			}
+		}
+		rng.Shuffle(len(tuples), func(i, j int) { tuples[i], tuples[j] = tuples[j], tuples[i] })
+		for _, tp := range tuples {
+			s.Add(tp.a, tp.b)
+			ex.Add(tp.a, tp.b)
+		}
+		if ex.ImplicationCount() != 3000 {
+			t.Fatalf("exact = %v, want 3000", ex.ImplicationCount())
+		}
+		errSum += math.Abs(s.ImplicationCount()-3000) / 3000
+	}
+	// DS error is dominated by the level-based scaling; allow a generous
+	// band (the paper's point is precisely that it is worse than NIPS).
+	if mean := errSum / runs; mean > 0.5 {
+		t.Errorf("mean relative error %.3f unexpectedly large even for permissive conditions", mean)
+	}
+}
+
+// TestSelectiveConditionsDegrade demonstrates the paper's §6.2 finding: when
+// the minimum support is selective, few sampled values qualify and the DS
+// estimate degrades relative to its own permissive-conditions accuracy.
+func TestSelectiveConditionsDegrade(t *testing.T) {
+	permissive := imps.Conditions{MaxMultiplicity: 2, MinSupport: 2, TopC: 1, MinTopConfidence: 0.8}
+	selective := imps.Conditions{MaxMultiplicity: 2, MinSupport: 40, TopC: 1, MinTopConfidence: 0.8}
+	var errPerm, errSel float64
+	const runs = 10
+	for run := 0; run < runs; run++ {
+		sp := Must(permissive, 500, 39, uint64(run*7+2))
+		ss := Must(selective, 500, 39, uint64(run*7+2))
+		rng := rand.New(rand.NewSource(int64(run)))
+		// 4000 itemsets; 10% are heavy (supp 50), the rest light (supp 3).
+		// Under the selective conditions only the heavy ones count.
+		type pair struct{ a, b string }
+		var tuples []pair
+		var heavy int
+		for i := 0; i < 4000; i++ {
+			a := fmt.Sprintf("a%d", i)
+			reps := 3
+			if i%10 == 0 {
+				reps = 50
+				heavy++
+			}
+			for k := 0; k < reps; k++ {
+				tuples = append(tuples, pair{a, "p" + a})
+			}
+		}
+		rng.Shuffle(len(tuples), func(i, j int) { tuples[i], tuples[j] = tuples[j], tuples[i] })
+		for _, tp := range tuples {
+			sp.Add(tp.a, tp.b)
+			ss.Add(tp.a, tp.b)
+		}
+		errPerm += math.Abs(sp.ImplicationCount()-4000) / 4000
+		errSel += math.Abs(ss.ImplicationCount()-float64(heavy)) / float64(heavy)
+	}
+	if errSel/runs <= errPerm/runs {
+		t.Errorf("selective conditions (%.3f) did not degrade DS relative to permissive (%.3f)",
+			errSel/runs, errPerm/runs)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := Must(cond(), 100, 5, 1)
+	if s.Tuples() != 0 || s.MemEntries() != 0 || s.Level() != 0 {
+		t.Fatal("fresh sketch not empty")
+	}
+	s.Add("a", "b")
+	if s.Tuples() != 1 {
+		t.Fatalf("Tuples = %d", s.Tuples())
+	}
+	if s.SupportedDistinct() != 0 {
+		t.Fatal("supported before τ")
+	}
+	s.Add("a", "b")
+	s.Add("a", "b")
+	if s.SupportedDistinct() < 1 || s.ImplicationCount() < 1 {
+		t.Fatalf("supported=%v implications=%v", s.SupportedDistinct(), s.ImplicationCount())
+	}
+	if s.NonImplicationCount() != 0 {
+		t.Fatal("phantom non-implication")
+	}
+}
+
+// TestPerValueCapFreezes exercises the t bound.
+func TestPerValueCapFreezes(t *testing.T) {
+	c := imps.Conditions{MaxMultiplicity: 100, MinSupport: 1, TopC: 1, MinTopConfidence: 0.01}
+	s := Must(c, 10000, 3, 1)
+	for k := 0; k < 10; k++ {
+		s.Add("a", fmt.Sprintf("b%d", k))
+	}
+	// Only t=3 partners tracked; entries stay bounded.
+	if s.MemEntries() > 4 {
+		t.Fatalf("MemEntries = %d, want <= 4 (1 value + 3 pairs)", s.MemEntries())
+	}
+}
+
+func TestDSAvgMultiplicity(t *testing.T) {
+	c := imps.Conditions{MaxMultiplicity: 3, MinSupport: 2, TopC: 3, MinTopConfidence: 0.5}
+	s := Must(c, 10000, 39, 4)
+	if s.AvgMultiplicity() != 0 {
+		t.Fatal("empty sampler has non-zero average")
+	}
+	// 200 itemsets with one partner, 200 with two: average 1.5 among the
+	// sampled ones.
+	for i := 0; i < 200; i++ {
+		a1 := fmt.Sprintf("one%d", i)
+		s.Add(a1, "x")
+		s.Add(a1, "x")
+		a2 := fmt.Sprintf("two%d", i)
+		s.Add(a2, "x")
+		s.Add(a2, "y")
+		s.Add(a2, "y")
+	}
+	got := s.AvgMultiplicity()
+	if got < 1.3 || got > 1.7 {
+		t.Fatalf("AvgMultiplicity = %v, want ≈1.5", got)
+	}
+}

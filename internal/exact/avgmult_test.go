@@ -1,0 +1,69 @@
+package exact
+
+import (
+	"testing"
+
+	"implicate/internal/imps"
+)
+
+func TestConditionsAccessor(t *testing.T) {
+	cnd := cond(3, 2, 1, 0.9)
+	c := MustCounter(cnd)
+	if c.Conditions() != cnd {
+		t.Fatalf("Conditions = %+v", c.Conditions())
+	}
+}
+
+func TestAvgMultiplicity(t *testing.T) {
+	c := MustCounter(cond(3, 2, 2, 0.5))
+	if c.AvgMultiplicity() != 0 {
+		t.Fatal("empty counter has non-zero average")
+	}
+	// a: two partners (2+2 tuples); b: one partner (2 tuples); v: violator
+	// with four partners — must not contribute.
+	for _, tp := range [][2]string{
+		{"a", "x"}, {"a", "x"}, {"a", "y"}, {"a", "y"},
+		{"b", "z"}, {"b", "z"},
+		{"v", "p1"}, {"v", "p2"}, {"v", "p3"}, {"v", "p4"},
+	} {
+		c.Add(tp[0], tp[1])
+	}
+	if c.NonImplicationCount() != 1 {
+		t.Fatalf("~S = %v, want 1 (v)", c.NonImplicationCount())
+	}
+	if got, want := c.AvgMultiplicity(), 1.5; got != want {
+		t.Fatalf("AvgMultiplicity = %v, want %v", got, want)
+	}
+	// Under-supported itemsets do not contribute either.
+	c.Add("fresh", "q")
+	if got := c.AvgMultiplicity(); got != 1.5 {
+		t.Fatalf("under-supported itemset changed the average: %v", got)
+	}
+}
+
+// TestAvgMultiplicityAgainstSketch cross-checks the sketch's sampled
+// average against the exact one on a mixed workload.
+func TestAvgMultiplicityAgainstSketch(t *testing.T) {
+	cnd := imps.Conditions{MaxMultiplicity: 4, MinSupport: 4, TopC: 4, MinTopConfidence: 0.9}
+	ex := MustCounter(cnd)
+	for i := 0; i < 3000; i++ {
+		a := key("a", i)
+		mult := 1 + i%4
+		for k := 0; k < 4*mult; k++ {
+			ex.Add(a, key("b", i*10+k%mult))
+		}
+	}
+	// Average multiplicity by construction: mean of 1..4 = 2.5.
+	if got := ex.AvgMultiplicity(); got != 2.5 {
+		t.Fatalf("exact AvgMultiplicity = %v, want 2.5", got)
+	}
+}
+
+func key(prefix string, n int) string {
+	buf := []byte(prefix)
+	for n > 0 {
+		buf = append(buf, byte('0'+n%10))
+		n /= 10
+	}
+	return string(buf)
+}

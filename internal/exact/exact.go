@@ -1,0 +1,187 @@
+// Package exact implements the exact implication counter the paper uses as
+// ground truth in §6: plain hash tables over every distinct A-itemset and
+// its B-partners, applying the same streaming semantics as the sketches —
+// an itemset that, at any point after reaching the minimum support, fails
+// the multiplicity or top-confidence condition is excluded forever
+// (§3.1.1). Memory is O(distinct itemsets · multiplicity); it exists to
+// validate the constrained-memory algorithms, not to compete with them.
+package exact
+
+import (
+	"sort"
+
+	"implicate/internal/imps"
+)
+
+// Counter is the exact implication counter. It implements imps.Estimator
+// (its "estimates" are exact). Not safe for concurrent use.
+type Counter struct {
+	cond    imps.Conditions
+	items   map[string]*state
+	tuples  int64
+	entries int
+
+	// cached aggregate counts, maintained incrementally
+	implications    int64
+	nonImplications int64
+	supported       int64
+
+	scratch []int64
+}
+
+type state struct {
+	supp int64
+	// out marks an itemset permanently excluded: after meeting the minimum
+	// support it violated multiplicity or top-confidence.
+	out  bool
+	perB map[string]int64
+}
+
+// NewCounter returns an exact counter for the given conditions.
+func NewCounter(cond imps.Conditions) (*Counter, error) {
+	if err := cond.Validate(); err != nil {
+		return nil, err
+	}
+	return &Counter{
+		cond:    cond,
+		items:   make(map[string]*state),
+		scratch: make([]int64, 0, 8),
+	}, nil
+}
+
+// MustCounter is NewCounter panicking on error.
+func MustCounter(cond imps.Conditions) *Counter {
+	c, err := NewCounter(cond)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Conditions returns the implication conditions.
+func (c *Counter) Conditions() imps.Conditions { return c.cond }
+
+// Add observes one tuple.
+func (c *Counter) Add(a, b string) {
+	c.tuples++
+	st := c.items[a]
+	if st == nil {
+		st = &state{perB: make(map[string]int64, 1)}
+		c.items[a] = st
+		c.entries++
+	}
+	st.supp++
+	if !st.out {
+		if _, ok := st.perB[b]; !ok {
+			c.entries++
+		}
+		st.perB[b]++
+	}
+	if st.supp == c.cond.MinSupport {
+		c.supported++
+		if !st.out {
+			// The itemset just became eligible; if it already satisfies all
+			// conditions it joins the implication count until disproven.
+			c.implications++
+		}
+	}
+	if st.supp >= c.cond.MinSupport && !st.out {
+		if len(st.perB) > c.cond.MaxMultiplicity || c.topConfidence(st) < c.cond.MinTopConfidence {
+			st.out = true
+			c.entries -= len(st.perB)
+			st.perB = nil
+			c.implications--
+			c.nonImplications++
+		}
+	}
+}
+
+func (c *Counter) topConfidence(st *state) float64 {
+	c.scratch = c.scratch[:0]
+	for _, v := range st.perB {
+		c.scratch = append(c.scratch, v)
+	}
+	return imps.TopConfidence(c.scratch, c.cond.TopC, st.supp)
+}
+
+// ImplicationCount returns the exact implication count S.
+func (c *Counter) ImplicationCount() float64 { return float64(c.implications) }
+
+// NonImplicationCount returns the exact non-implication count ~S.
+func (c *Counter) NonImplicationCount() float64 { return float64(c.nonImplications) }
+
+// SupportedDistinct returns the exact F0^sup(A).
+func (c *Counter) SupportedDistinct() float64 { return float64(c.supported) }
+
+// DistinctCount returns the exact F0(A).
+func (c *Counter) DistinctCount() float64 { return float64(len(c.items)) }
+
+// Tuples returns the number of tuples observed.
+func (c *Counter) Tuples() int64 { return c.tuples }
+
+// MemEntries reports held counter entries (itemset supports plus pair
+// counters).
+func (c *Counter) MemEntries() int { return c.entries }
+
+// Implies reports whether the itemset a currently participates in the
+// implication count.
+func (c *Counter) Implies(a string) bool {
+	st := c.items[a]
+	return st != nil && !st.out && st.supp >= c.cond.MinSupport
+}
+
+// Support returns σ(a).
+func (c *Counter) Support(a string) int64 {
+	if st := c.items[a]; st != nil {
+		return st.supp
+	}
+	return 0
+}
+
+// Multiplicity returns |φ(a→B)| for itemsets that have not been excluded;
+// for excluded itemsets the tracked partners were freed and it returns -1.
+func (c *Counter) Multiplicity(a string) int {
+	st := c.items[a]
+	switch {
+	case st == nil:
+		return 0
+	case st.out:
+		return -1
+	default:
+		return len(st.perB)
+	}
+}
+
+// AvgMultiplicity returns the mean number of distinct B-partners over the
+// itemsets currently in the implication count (Table 2's complex-aggregate
+// row), or 0 when the count is empty.
+func (c *Counter) AvgMultiplicity() float64 {
+	var n, sum float64
+	for _, st := range c.items {
+		if !st.out && st.supp >= c.cond.MinSupport {
+			n++
+			sum += float64(len(st.perB))
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+// Implicating returns the itemsets currently in the implication count, in
+// sorted order — the answer a frequent-itemset style algorithm would return
+// (useful in tests comparing against ILC).
+func (c *Counter) Implicating() []string {
+	var out []string
+	for a, st := range c.items {
+		if !st.out && st.supp >= c.cond.MinSupport {
+			out = append(out, a)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+var _ imps.Estimator = (*Counter)(nil)
+var _ imps.MultiplicityAverager = (*Counter)(nil)

@@ -1,0 +1,225 @@
+package exact
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"implicate/internal/imps"
+)
+
+func cond(k int, tau int64, c int, psi float64) imps.Conditions {
+	return imps.Conditions{MaxMultiplicity: k, MinSupport: tau, TopC: c, MinTopConfidence: psi}
+}
+
+func TestNewCounterValidation(t *testing.T) {
+	if _, err := NewCounter(imps.Conditions{}); err == nil {
+		t.Fatal("zero conditions accepted")
+	}
+	if _, err := NewCounter(cond(2, 1, 1, 0.5)); err != nil {
+		t.Fatalf("valid conditions rejected: %v", err)
+	}
+}
+
+// TestPaperSection312 reproduces the worked example of §3.1.2 on the Table 1
+// network stream: services used by at most two sources 80% of the time, with
+// maximum multiplicity five and minimum support one. WWW and FTP qualify;
+// P2P fails with top-2 confidence 75%.
+func TestPaperSection312(t *testing.T) {
+	// (Service, Source) pairs of Table 1, in row order: three WWW tuples
+	// (all S1), one FTP (S2), four P2P (S2, S1, S1, S3).
+	tuples := [][2]string{
+		{"WWW", "S1"}, {"FTP", "S2"}, {"WWW", "S1"}, {"P2P", "S2"},
+		{"P2P", "S1"}, {"WWW", "S1"}, {"P2P", "S1"}, {"P2P", "S3"},
+	}
+	c := MustCounter(cond(5, 1, 2, 0.8))
+	for _, tp := range tuples {
+		c.Add(tp[0], tp[1])
+	}
+	if got := c.ImplicationCount(); got != 2 {
+		t.Fatalf("implication count = %v, want 2 (WWW, FTP)", got)
+	}
+	if !c.Implies("WWW") || !c.Implies("FTP") || c.Implies("P2P") {
+		t.Fatalf("membership wrong: WWW=%v FTP=%v P2P=%v",
+			c.Implies("WWW"), c.Implies("FTP"), c.Implies("P2P"))
+	}
+	// With the threshold lowered to 75% P2P qualifies (§3.1.2): top-2
+	// confidence of P2P is (2+1)/4 = 75%.
+	c2 := MustCounter(cond(5, 1, 2, 0.75))
+	for _, tp := range tuples {
+		c2.Add(tp[0], tp[1])
+	}
+	if got := c2.ImplicationCount(); got != 3 {
+		t.Fatalf("implication count at ψ=0.75 = %v, want 3", got)
+	}
+	// Raising the minimum support to two drops FTP (§3.1.2).
+	c3 := MustCounter(cond(5, 2, 2, 0.8))
+	for _, tp := range tuples {
+		c3.Add(tp[0], tp[1])
+	}
+	if got := c3.ImplicationCount(); got != 1 {
+		t.Fatalf("implication count at τ=2 = %v, want 1 (WWW)", got)
+	}
+	if c3.Implies("FTP") {
+		t.Fatal("FTP passed despite support 1 < τ=2")
+	}
+}
+
+// TestPaperTable2OneToOne reproduces the destination→source example of §1:
+// destinations contacted by a single source.
+func TestPaperTable2OneToOne(t *testing.T) {
+	// (Destination, Source) pairs of Table 1.
+	tuples := [][2]string{
+		{"D2", "S1"}, {"D1", "S2"}, {"D3", "S1"}, {"D1", "S2"},
+		{"D3", "S1"}, {"D3", "S1"}, {"D3", "S1"}, {"D3", "S3"},
+	}
+	c := MustCounter(cond(1, 1, 1, 1.0))
+	for _, tp := range tuples {
+		c.Add(tp[0], tp[1])
+	}
+	// D2→S1 and D1→S2 hold exactly; D3 is contacted by S1 and S3.
+	if got := c.ImplicationCount(); got != 2 {
+		t.Fatalf("one-to-one count = %v, want 2", got)
+	}
+	// With 80% tolerance D3 qualifies too: S1 contacts it 4/5 of the time.
+	c2 := MustCounter(cond(5, 1, 1, 0.8))
+	for _, tp := range tuples {
+		c2.Add(tp[0], tp[1])
+	}
+	if got := c2.ImplicationCount(); got != 3 {
+		t.Fatalf("one-to-one count with noise = %v, want 3", got)
+	}
+}
+
+func TestCountsAndAccessors(t *testing.T) {
+	c := MustCounter(cond(2, 3, 1, 0.9))
+	if c.ImplicationCount() != 0 || c.Tuples() != 0 || c.MemEntries() != 0 {
+		t.Fatal("fresh counter not empty")
+	}
+	c.Add("a", "x")
+	c.Add("a", "x")
+	if c.SupportedDistinct() != 0 {
+		t.Fatal("supported before reaching τ")
+	}
+	if c.Support("a") != 2 || c.Support("zzz") != 0 {
+		t.Fatal("Support accessor wrong")
+	}
+	c.Add("a", "x")
+	if c.SupportedDistinct() != 1 || c.ImplicationCount() != 1 {
+		t.Fatalf("after τ: supported=%v implications=%v", c.SupportedDistinct(), c.ImplicationCount())
+	}
+	if c.Multiplicity("a") != 1 {
+		t.Fatalf("Multiplicity = %d, want 1", c.Multiplicity("a"))
+	}
+	if got := c.Implicating(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("Implicating = %v", got)
+	}
+	if c.DistinctCount() != 1 {
+		t.Fatalf("DistinctCount = %v", c.DistinctCount())
+	}
+}
+
+func TestViolationFreesMemory(t *testing.T) {
+	c := MustCounter(cond(1, 2, 1, 0.9))
+	c.Add("a", "x")
+	before := c.MemEntries()
+	c.Add("a", "y") // multiplicity 2 > K=1, supp 2 = τ → violation
+	if c.NonImplicationCount() != 1 {
+		t.Fatalf("~S = %v, want 1", c.NonImplicationCount())
+	}
+	if c.Multiplicity("a") != -1 {
+		t.Fatalf("Multiplicity of excluded itemset = %d, want -1", c.Multiplicity("a"))
+	}
+	if c.MemEntries() >= before+1 {
+		t.Fatalf("pair counters not freed: %d entries (before %d)", c.MemEntries(), before)
+	}
+	// Support keeps counting after exclusion.
+	c.Add("a", "z")
+	if c.Support("a") != 3 {
+		t.Fatalf("support stopped: %d", c.Support("a"))
+	}
+}
+
+// TestAgainstBruteForce replays random streams through the counter and a
+// straightforward quadratic re-evaluation, checking final counts agree.
+// The brute force recomputes, after each prefix, which itemsets violated at
+// that point, accumulating the "once out, forever out" set.
+func TestAgainstBruteForce(t *testing.T) {
+	type tuple struct{ a, b string }
+	eval := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cnd := cond(1+rng.Intn(3), int64(1+rng.Intn(4)), 1, []float64{0.5, 0.75, 1.0}[rng.Intn(3)])
+		if cnd.TopC > cnd.MaxMultiplicity {
+			cnd.TopC = cnd.MaxMultiplicity
+		}
+		n := 60 + rng.Intn(120)
+		stream := make([]tuple, n)
+		for i := range stream {
+			stream[i] = tuple{fmt.Sprintf("a%d", rng.Intn(8)), fmt.Sprintf("b%d", rng.Intn(5))}
+		}
+
+		c := MustCounter(cnd)
+		for _, tp := range stream {
+			c.Add(tp.a, tp.b)
+		}
+
+		// Brute force with full recomputation per prefix.
+		out := map[string]bool{}
+		supp := map[string]int64{}
+		pairs := map[string]map[string]int64{}
+		for _, tp := range stream {
+			supp[tp.a]++
+			if pairs[tp.a] == nil {
+				pairs[tp.a] = map[string]int64{}
+			}
+			if !out[tp.a] {
+				pairs[tp.a][tp.b]++
+			}
+			if supp[tp.a] >= cnd.MinSupport && !out[tp.a] {
+				var counts []int64
+				for _, v := range pairs[tp.a] {
+					counts = append(counts, v)
+				}
+				if len(pairs[tp.a]) > cnd.MaxMultiplicity ||
+					imps.TopConfidence(counts, cnd.TopC, supp[tp.a]) < cnd.MinTopConfidence {
+					out[tp.a] = true
+				}
+			}
+		}
+		var wantImp, wantNon, wantSup float64
+		for a, s := range supp {
+			if s >= cnd.MinSupport {
+				wantSup++
+				if out[a] {
+					wantNon++
+				} else {
+					wantImp++
+				}
+			}
+		}
+		return c.ImplicationCount() == wantImp &&
+			c.NonImplicationCount() == wantNon &&
+			c.SupportedDistinct() == wantSup
+	}
+	f := func(seed int64) bool { return eval(seed) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantSums(t *testing.T) {
+	c := MustCounter(cond(2, 2, 1, 0.8))
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		c.Add(fmt.Sprintf("a%d", rng.Intn(300)), fmt.Sprintf("b%d", rng.Intn(10)))
+		if i%500 == 0 {
+			if c.ImplicationCount()+c.NonImplicationCount() != c.SupportedDistinct() {
+				t.Fatalf("S + ~S != F0sup at tuple %d", i)
+			}
+			if c.SupportedDistinct() > c.DistinctCount() {
+				t.Fatalf("F0sup > F0 at tuple %d", i)
+			}
+		}
+	}
+}

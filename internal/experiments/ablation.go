@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"implicate/internal/core"
+	"implicate/internal/gen"
+	"implicate/internal/metrics"
+)
+
+// AblationConfig fixes the workload the design-choice ablations run on: one
+// Dataset One configuration, repeated Runs times per variant.
+type AblationConfig struct {
+	CardA int
+	Frac  float64
+	C     int
+	Runs  int
+	Seed  int64
+}
+
+func (c AblationConfig) withDefaults() AblationConfig {
+	if c.CardA == 0 {
+		c.CardA = 2000
+	}
+	if c.Frac == 0 {
+		c.Frac = 0.5
+	}
+	if c.C == 0 {
+		c.C = 2
+	}
+	if c.Runs == 0 {
+		c.Runs = 5
+	}
+	return c
+}
+
+func (c AblationConfig) dataset(run int) (*gen.DatasetOne, error) {
+	return gen.NewDatasetOne(gen.DatasetOneConfig{
+		CardA: c.CardA,
+		Count: int(float64(c.CardA) * c.Frac),
+		C:     c.C,
+		Seed:  c.Seed + int64(run)*7919,
+	})
+}
+
+// FringeRow is one fringe-size variant (§4.3.2/4.3.3 ablation: error and
+// memory versus F; F=0 denotes the unbounded fringe).
+type FringeRow struct {
+	FringeSize int // 0 = unbounded
+	Err        float64
+	PeakMem    int
+	Overflows  int
+}
+
+// RunFringeAblation sweeps the fringe size.
+func RunFringeAblation(cfg AblationConfig, sizes []int) ([]FringeRow, error) {
+	cfg = cfg.withDefaults()
+	if len(sizes) == 0 {
+		sizes = []int{2, 4, 8, 0}
+	}
+	var rows []FringeRow
+	for _, f := range sizes {
+		var werr metrics.Welford
+		var peak, overflows int
+		for run := 0; run < cfg.Runs; run++ {
+			d, err := cfg.dataset(run)
+			if err != nil {
+				return nil, err
+			}
+			opts := core.Options{Seed: uint64(cfg.Seed + int64(run)*13 + int64(f))}
+			if f == 0 {
+				opts.Unbounded = true
+			} else {
+				opts.FringeSize = f
+			}
+			sk, err := core.NewSketch(d.Conditions, opts)
+			if err != nil {
+				return nil, err
+			}
+			d.Feed(sk)
+			werr.Add(metrics.RelErr(float64(d.Count), sk.ImplicationCount()))
+			if m := sk.PeakMemEntries(); m > peak {
+				peak = m
+			}
+			overflows += sk.Fringe().Overflows
+		}
+		rows = append(rows, FringeRow{FringeSize: f, Err: werr.Mean(), PeakMem: peak, Overflows: overflows / cfg.Runs})
+	}
+	return rows, nil
+}
+
+// PrintFringeAblation renders the fringe sweep.
+func PrintFringeAblation(w io.Writer, rows []FringeRow) {
+	fmt.Fprintln(w, "Ablation — fringe size (error vs memory, §4.3.2–4.3.3)")
+	fmt.Fprintf(w, "  %10s  %10s  %12s  %10s\n", "F", "MeanErr", "PeakEntries", "Overflows")
+	for _, r := range rows {
+		name := fmt.Sprint(r.FringeSize)
+		if r.FringeSize == 0 {
+			name = "unbounded"
+		}
+		fmt.Fprintf(w, "  %10s  %10.4f  %12d  %10d\n", name, r.Err, r.PeakMem, r.Overflows)
+	}
+}
+
+// BitmapRow is one stochastic-averaging variant (§4.7 ablation).
+type BitmapRow struct {
+	Bitmaps     int
+	Err         float64
+	TheoryErr   float64 // 0.78/sqrt(m), the FM prediction
+	PeakEntries int
+}
+
+// RunBitmapAblation sweeps the bitmap count m.
+func RunBitmapAblation(cfg AblationConfig, ms []int) ([]BitmapRow, error) {
+	cfg = cfg.withDefaults()
+	if len(ms) == 0 {
+		ms = []int{8, 16, 32, 64, 128, 256}
+	}
+	var rows []BitmapRow
+	for _, m := range ms {
+		var werr metrics.Welford
+		var peak int
+		for run := 0; run < cfg.Runs; run++ {
+			d, err := cfg.dataset(run)
+			if err != nil {
+				return nil, err
+			}
+			sk, err := core.NewSketch(d.Conditions, core.Options{
+				Bitmaps: m, Seed: uint64(cfg.Seed + int64(run)*29 + int64(m)),
+			})
+			if err != nil {
+				return nil, err
+			}
+			d.Feed(sk)
+			werr.Add(metrics.RelErr(float64(d.Count), sk.ImplicationCount()))
+			if p := sk.PeakMemEntries(); p > peak {
+				peak = p
+			}
+		}
+		rows = append(rows, BitmapRow{
+			Bitmaps:     m,
+			Err:         werr.Mean(),
+			TheoryErr:   0.78 / math.Sqrt(float64(m)),
+			PeakEntries: peak,
+		})
+	}
+	return rows, nil
+}
+
+// PrintBitmapAblation renders the bitmap sweep.
+func PrintBitmapAblation(w io.Writer, rows []BitmapRow) {
+	fmt.Fprintln(w, "Ablation — bitmaps m (stochastic averaging accuracy, §4.7)")
+	fmt.Fprintf(w, "  %8s  %10s  %12s  %12s\n", "m", "MeanErr", "FM theory", "PeakEntries")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %8d  %10.4f  %12.4f  %12d\n", r.Bitmaps, r.Err, r.TheoryErr, r.PeakEntries)
+	}
+}
+
+// SlackRow is one per-cell capacity variant (§4.3.2's "double the allocated
+// memory" remark).
+type SlackRow struct {
+	Slack     int
+	Err       float64
+	Overflows int
+	PeakMem   int
+}
+
+// RunSlackAblation sweeps the capacity slack factor.
+func RunSlackAblation(cfg AblationConfig, slacks []int) ([]SlackRow, error) {
+	cfg = cfg.withDefaults()
+	if len(slacks) == 0 {
+		slacks = []int{1, 2, 3, 4}
+	}
+	var rows []SlackRow
+	for _, s := range slacks {
+		var werr metrics.Welford
+		var over, peak int
+		for run := 0; run < cfg.Runs; run++ {
+			d, err := cfg.dataset(run)
+			if err != nil {
+				return nil, err
+			}
+			sk, err := core.NewSketch(d.Conditions, core.Options{
+				Slack: s, Seed: uint64(cfg.Seed + int64(run)*17 + int64(s)),
+			})
+			if err != nil {
+				return nil, err
+			}
+			d.Feed(sk)
+			werr.Add(metrics.RelErr(float64(d.Count), sk.ImplicationCount()))
+			over += sk.Fringe().Overflows
+			if p := sk.PeakMemEntries(); p > peak {
+				peak = p
+			}
+		}
+		rows = append(rows, SlackRow{Slack: s, Err: werr.Mean(), Overflows: over / cfg.Runs, PeakMem: peak})
+	}
+	return rows, nil
+}
+
+// PrintSlackAblation renders the slack sweep.
+func PrintSlackAblation(w io.Writer, rows []SlackRow) {
+	fmt.Fprintln(w, "Ablation — per-cell capacity slack (§4.3.2)")
+	fmt.Fprintf(w, "  %8s  %10s  %10s  %12s\n", "slack", "MeanErr", "Overflows", "PeakEntries")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %8d  %10.4f  %10d  %12d\n", r.Slack, r.Err, r.Overflows, r.PeakMem)
+	}
+}
+
+// Lemma2Row is one point of the fringe-size law validation: with
+// non-implication ratio q = ~S/F0, Lemma 2 predicts a fringe of −log2 q
+// cells suffices; smaller fringes clamp the non-implication estimate near
+// the 2^−F·F0 floor (§4.3.3).
+type Lemma2Row struct {
+	Q         float64 // ~S / F0(A)
+	NeededF   float64 // −log2 q
+	FringeF   int
+	NonImpErr float64
+}
+
+// RunLemma2 sweeps q and F and reports the non-implication estimation
+// error, demonstrating the floor kicks in exactly when F < −log2 q.
+func RunLemma2(cfg AblationConfig, qs []float64, fs []int) ([]Lemma2Row, error) {
+	cfg = cfg.withDefaults()
+	if len(qs) == 0 {
+		qs = []float64{0.5, 0.25, 0.125, 0.0625, 0.03125}
+	}
+	if len(fs) == 0 {
+		fs = []int{2, 4, 8}
+	}
+	var rows []Lemma2Row
+	for _, q := range qs {
+		for _, f := range fs {
+			var werr metrics.Welford
+			for run := 0; run < cfg.Runs; run++ {
+				// Pick the implication count so that ~S/F0sup = q: with
+				// per-noise (CardA−Count)/3 and ~S = 2·per, solving
+				// q = ~S/(Count+~S) gives Count = 2·CardA·(1−q)/(2+q).
+				count := int(2 * float64(cfg.CardA) * (1 - q) / (2 + q))
+				d, err := gen.NewDatasetOne(gen.DatasetOneConfig{
+					CardA: cfg.CardA, Count: count, C: cfg.C,
+					Seed: cfg.Seed + int64(run)*31 + int64(f) + int64(q*1000),
+				})
+				if err != nil {
+					return nil, err
+				}
+				sk, err := core.NewSketch(d.Conditions, core.Options{
+					FringeSize: f, Seed: uint64(cfg.Seed+int64(run)) * 31,
+				})
+				if err != nil {
+					return nil, err
+				}
+				d.Feed(sk)
+				werr.Add(metrics.RelErr(float64(d.NonCount), sk.NonImplicationCount()))
+			}
+			rows = append(rows, Lemma2Row{
+				Q:         q,
+				NeededF:   -math.Log2(q),
+				FringeF:   f,
+				NonImpErr: werr.Mean(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintLemma2 renders the fringe-law validation.
+func PrintLemma2(w io.Writer, rows []Lemma2Row) {
+	fmt.Fprintln(w, "Ablation — Lemma 2 fringe-size law (non-implication error)")
+	fmt.Fprintf(w, "  %10s  %10s  %8s  %10s\n", "q=~S/F0", "-log2 q", "F", "NonImpErr")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %10.4f  %10.2f  %8d  %10.4f\n", r.Q, r.NeededF, r.FringeF, r.NonImpErr)
+	}
+}

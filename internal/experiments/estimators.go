@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"implicate/internal/core"
+	"implicate/internal/gen"
+	"implicate/internal/metrics"
+)
+
+// EstimatorRow is one point of the estimator-variant ablation (DESIGN.md
+// ablation 4): the same bounded sketch read through the direct
+// fringe-sample estimator, the corrected Algorithm-2 subtraction, and the
+// paper's raw 2^R arithmetic, as the implication count's share of the
+// supported population shrinks.
+type EstimatorRow struct {
+	// Frac is S / |A|: the implication count as a fraction of the itemset
+	// population.
+	Frac float64
+	// Ratio is S / F0^sup, the quantity §4.7.2's caveat is about.
+	Ratio float64
+	// DirectErr, CIErr and RawErr are the mean relative errors of the three
+	// read-outs on identical sketches.
+	DirectErr, CIErr, RawErr float64
+	// IntervalCoverage is the fraction of runs whose z=2 direct-estimator
+	// interval covered the truth.
+	IntervalCoverage float64
+}
+
+// RunEstimatorAblation sweeps the implication fraction and measures all
+// three estimator variants on the same sketches.
+func RunEstimatorAblation(cfg AblationConfig, fracs []float64) ([]EstimatorRow, error) {
+	cfg = cfg.withDefaults()
+	if len(fracs) == 0 {
+		fracs = []float64{0.05, 0.1, 0.25, 0.5, 0.75, 0.9}
+	}
+	var rows []EstimatorRow
+	for _, frac := range fracs {
+		count := int(float64(cfg.CardA) * frac)
+		if count < 1 {
+			count = 1
+		}
+		var direct, ci, raw metrics.Welford
+		covered := 0
+		var ratio float64
+		for run := 0; run < cfg.Runs; run++ {
+			d, err := gen.NewDatasetOne(gen.DatasetOneConfig{
+				CardA: cfg.CardA, Count: count, C: cfg.C,
+				Seed: cfg.Seed + int64(run)*101 + int64(frac*1000),
+			})
+			if err != nil {
+				return nil, err
+			}
+			sk, err := core.NewSketch(d.Conditions, core.Options{
+				Seed: uint64(cfg.Seed+int64(run)*7) * 0x9e3779b97f4a7c15,
+			})
+			if err != nil {
+				return nil, err
+			}
+			d.Feed(sk)
+			truth := float64(d.Count)
+			ratio = truth / float64(d.Supported)
+			direct.Add(metrics.RelErr(truth, sk.ImplicationCount()))
+			ci.Add(metrics.RelErr(truth, sk.CIImplicationCount()))
+			raw.Add(metrics.RelErr(truth, sk.RawImplicationCount()))
+			if lo, hi := sk.ImplicationCountInterval(2); lo <= truth && truth <= hi {
+				covered++
+			}
+		}
+		rows = append(rows, EstimatorRow{
+			Frac:             frac,
+			Ratio:            ratio,
+			DirectErr:        direct.Mean(),
+			CIErr:            ci.Mean(),
+			RawErr:           raw.Mean(),
+			IntervalCoverage: float64(covered) / float64(cfg.Runs),
+		})
+	}
+	return rows, nil
+}
+
+// PrintEstimatorAblation renders the estimator comparison.
+func PrintEstimatorAblation(w io.Writer, rows []EstimatorRow) {
+	fmt.Fprintln(w, "Ablation — estimator variants on identical sketches (DESIGN.md §3)")
+	fmt.Fprintf(w, "  %8s  %9s  %10s  %10s  %10s  %10s\n",
+		"S/|A|", "S/F0sup", "Direct", "CI(corr)", "Raw(Alg2)", "z=2 cover")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %8.2f  %9.3f  %10.4f  %10.4f  %10.4f  %9.0f%%\n",
+			r.Frac, r.Ratio, r.DirectErr, r.CIErr, r.RawErr, 100*r.IntervalCoverage)
+	}
+}

@@ -1,0 +1,205 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (§6), shared by cmd/impbench and the repository's
+// benchmarks. Each runner returns structured rows and can print them in a
+// layout mirroring the paper, so a run regenerates the table/figure series
+// directly.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"implicate/internal/core"
+	"implicate/internal/fm"
+	"implicate/internal/gen"
+	"implicate/internal/metrics"
+)
+
+// DatasetOneConfig parametrizes the Figures 4–6 reproduction: the Dataset
+// One error sweep over implication counts of 10%–90% of |A|, for bounded
+// (F=4) and unbounded fringes, with stochastic averaging over 64 bitmaps.
+// The paper runs 100 repetitions per point at cardinalities up to 100,000;
+// Runs and Cards scale that to the available time budget.
+type DatasetOneConfig struct {
+	// C is the one-to-c implication width: 1 (Figure 4), 2 (Figure 5) or 4
+	// (Figure 6).
+	C int
+	// Cards is the |A| sweep; the paper uses 100, 1e3, 1e4, 1e5.
+	Cards []int
+	// Fracs are the imposed implication counts as fractions of |A|; the
+	// paper sweeps 0.1–0.9.
+	Fracs []float64
+	// Runs is the number of repetitions per point (the paper uses 100).
+	Runs int
+	// Seed drives the generators; run r of point p uses a derived seed.
+	Seed int64
+	// Options configure the sketches (bitmaps, fringe size, slack).
+	Options core.Options
+}
+
+func (c DatasetOneConfig) withDefaults() DatasetOneConfig {
+	if c.C == 0 {
+		c.C = 1
+	}
+	if len(c.Cards) == 0 {
+		c.Cards = []int{100, 1000}
+	}
+	if len(c.Fracs) == 0 {
+		c.Fracs = []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	}
+	if c.Runs == 0 {
+		c.Runs = 5
+	}
+	return c
+}
+
+// DatasetOneRow is one point of a Figures 4–6 series.
+type DatasetOneRow struct {
+	CardA int
+	Count int // imposed implication count (the x-axis)
+	// BoundedErr/BoundedDev are the mean relative error and its standard
+	// error for the bounded fringe (the paper's "Bounded Fringe" series).
+	BoundedErr, BoundedDev float64
+	// UnboundedErr/UnboundedDev are the same for the unbounded fringe.
+	UnboundedErr, UnboundedDev float64
+	// CIErr is the mean error of the paper's Algorithm-2 position-difference
+	// estimator on the bounded sketch (the estimator ablation of DESIGN.md).
+	CIErr float64
+	// Tuples is the stream length of one run.
+	Tuples int
+}
+
+// RunDatasetOne executes the sweep and returns one row per (card, frac).
+func RunDatasetOne(cfg DatasetOneConfig) ([]DatasetOneRow, error) {
+	cfg = cfg.withDefaults()
+	var rows []DatasetOneRow
+	for _, card := range cfg.Cards {
+		for _, frac := range cfg.Fracs {
+			count := int(float64(card) * frac)
+			if count < 1 {
+				count = 1
+			}
+			var bErr, uErr, ciErr metrics.Welford
+			var tuples int
+			for run := 0; run < cfg.Runs; run++ {
+				seed := cfg.Seed + int64(card)*1_000_003 + int64(count)*97 + int64(run)
+				d, err := gen.NewDatasetOne(gen.DatasetOneConfig{
+					CardA: card, Count: count, C: cfg.C, Seed: seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				tuples = len(d.Pairs)
+				optsB := cfg.Options
+				optsB.Seed = uint64(seed) * 2654435761
+				optsU := optsB
+				optsU.Unbounded = true
+				bounded, err := core.NewSketch(d.Conditions, optsB)
+				if err != nil {
+					return nil, err
+				}
+				unbounded, err := core.NewSketch(d.Conditions, optsU)
+				if err != nil {
+					return nil, err
+				}
+				d.Feed(bounded, unbounded)
+				truth := float64(d.Count)
+				bErr.Add(metrics.RelErr(truth, bounded.ImplicationCount()))
+				uErr.Add(metrics.RelErr(truth, unbounded.ImplicationCount()))
+				ciErr.Add(metrics.RelErr(truth, bounded.CIImplicationCount()))
+			}
+			rows = append(rows, DatasetOneRow{
+				CardA:        card,
+				Count:        count,
+				BoundedErr:   bErr.Mean(),
+				BoundedDev:   bErr.StdErrOfMean(),
+				UnboundedErr: uErr.Mean(),
+				UnboundedDev: uErr.StdErrOfMean(),
+				CIErr:        ciErr.Mean(),
+				Tuples:       tuples,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintDatasetOne renders rows in the layout of Figures 4–6: one block per
+// cardinality, implication count on the x-axis, mean relative error per
+// series.
+func PrintDatasetOne(w io.Writer, figure string, c int, rows []DatasetOneRow) {
+	fmt.Fprintf(w, "%s — Dataset One, c=%d (mean relative error; ± is the std error of the mean)\n", figure, c)
+	last := -1
+	for _, r := range rows {
+		if r.CardA != last {
+			fmt.Fprintf(w, "|A| = %d\n", r.CardA)
+			fmt.Fprintf(w, "  %12s  %22s  %22s  %14s\n", "ImplCount", "BoundedFringe", "UnboundedFringe", "CI(Alg2)")
+			last = r.CardA
+		}
+		fmt.Fprintf(w, "  %12d  %10.4f ± %-9.4f  %10.4f ± %-9.4f  %14.4f\n",
+			r.Count, r.BoundedErr, r.BoundedDev, r.UnboundedErr, r.UnboundedDev, r.CIErr)
+	}
+}
+
+// Table5 reports the §6.2 algorithm parameters (Table 5), kept as a runner
+// so the reproduction prints exactly what it uses.
+type Table5 struct {
+	NIPSBitmaps   int
+	NIPSK         int
+	NIPSFringe    int
+	NIPSItemsets  int // (2^F −1)·bitmaps·K
+	DSSampleSize  int
+	DSBound       int
+	ILCEps        float64
+	FMBiasPhi     float64
+	FMStdErrorPct float64
+}
+
+// DefaultTable5 returns the paper's parameters.
+func DefaultTable5() Table5 {
+	return Table5{
+		NIPSBitmaps:   64,
+		NIPSK:         2,
+		NIPSFringe:    4,
+		NIPSItemsets:  (1<<4 - 1) * 64 * 2,
+		DSSampleSize:  1920,
+		DSBound:       39,
+		ILCEps:        0.01,
+		FMBiasPhi:     fm.Phi,
+		FMStdErrorPct: fm.StdError(64) * 100,
+	}
+}
+
+// Print renders Table 5.
+func (t Table5) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 5 — Algorithm parameters")
+	fmt.Fprintf(w, "  NIPS/CI bitmaps        %d\n", t.NIPSBitmaps)
+	fmt.Fprintf(w, "  NIPS/CI K              %d\n", t.NIPSK)
+	fmt.Fprintf(w, "  NIPS/CI fringe size    %d  (itemset budget %d)\n", t.NIPSFringe, t.NIPSItemsets)
+	fmt.Fprintf(w, "  DS sample size         %d\n", t.DSSampleSize)
+	fmt.Fprintf(w, "  DS bound t             %d\n", t.DSBound)
+	fmt.Fprintf(w, "  ILC ε                  %g\n", t.ILCEps)
+	fmt.Fprintf(w, "  FM bias φ              %.5f (expected error %.1f%%)\n", t.FMBiasPhi, t.FMStdErrorPct)
+}
+
+// Table3Row is one dimension of the §6.2 dataset.
+type Table3Row struct {
+	Dimension   string
+	Cardinality int
+}
+
+// Table3 returns the surrogate's dimension cardinalities, identical to the
+// paper's Table 3.
+func Table3() []Table3Row {
+	return []Table3Row{
+		{"A", gen.CardA}, {"B", gen.CardB}, {"C", gen.CardC}, {"D", gen.CardD},
+		{"E", gen.CardE}, {"F", gen.CardF}, {"G", gen.CardG}, {"H", gen.CardH},
+	}
+}
+
+// PrintTable3 renders Table 3.
+func PrintTable3(w io.Writer) {
+	fmt.Fprintln(w, "Table 3 — Dimension cardinalities (OLAP surrogate)")
+	for _, r := range Table3() {
+		fmt.Fprintf(w, "  %-2s %6d\n", r.Dimension, r.Cardinality)
+	}
+}

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"implicate/internal/core"
+	"implicate/internal/dsample"
+	"implicate/internal/exact"
+	"implicate/internal/gen"
+	"implicate/internal/imps"
+	"implicate/internal/lossy"
+	"implicate/internal/metrics"
+)
+
+// Workload selects one of the two §6.2 query workloads over the OLAP
+// stream.
+type Workload string
+
+const (
+	// WorkloadA is the conditional implication (A,B) → (E,G): large
+	// compound cardinality, large counts.
+	WorkloadA Workload = "A"
+	// WorkloadB is the unconditional implication E → B: moderate
+	// cardinalities, small counts.
+	WorkloadB Workload = "B"
+)
+
+// OLAPConfig parametrizes the Figure 7 / Table 4 reproduction.
+type OLAPConfig struct {
+	Workload Workload
+	// Tau is the absolute minimum support: 5 for Figure 7(a), 50 for 7(b).
+	Tau int64
+	// Psis are the minimum top-1 confidence variants; the paper plots 0.6
+	// and 0.8.
+	Psis []float64
+	// Checkpoints are the stream positions at which errors are recorded;
+	// the paper uses ≈{134.6k, 672.8k, 1.34M, 2.69M, 4.04M, 5.38M}.
+	Checkpoints []int64
+	Seed        int64
+	// Options configure the NIPS sketches (Table 5: 64 bitmaps, fringe 4).
+	Options core.Options
+	// DSSize/DSBound configure Distinct Sampling (Table 5: 1920 / 39).
+	DSSize, DSBound int
+	// ILCEps is the ILC approximation parameter (Table 5: 0.01); the
+	// relative support is pinned to its minimum legal value ε, the closest
+	// ILC can come to honouring an absolute support (§5.1.1).
+	ILCEps float64
+}
+
+func (c OLAPConfig) withDefaults() OLAPConfig {
+	if c.Workload == "" {
+		c.Workload = WorkloadA
+	}
+	if c.Tau == 0 {
+		c.Tau = 5
+	}
+	if len(c.Psis) == 0 {
+		c.Psis = []float64{0.6, 0.8}
+	}
+	if len(c.Checkpoints) == 0 {
+		c.Checkpoints = PaperCheckpoints()
+	}
+	if c.DSSize == 0 {
+		c.DSSize = 1920
+	}
+	if c.DSBound == 0 {
+		c.DSBound = 39
+	}
+	if c.ILCEps == 0 {
+		c.ILCEps = 0.01
+	}
+	return c
+}
+
+// PaperCheckpoints returns the six stream positions of Table 4 / Figure 7.
+func PaperCheckpoints() []int64 {
+	return []int64{134576, 672771, 1344591, 2690181, 4035475, 5381203}
+}
+
+// OLAPRow is one checkpoint of one ψ series.
+type OLAPRow struct {
+	Tuples int64
+	Psi    float64
+	// Exact is the ground-truth implication count at the checkpoint.
+	Exact float64
+	// Relative errors of the three competitors.
+	NIPSErr, DSErr, ILCErr float64
+	// Live memory entries of the three competitors at the checkpoint.
+	NIPSMem, DSMem, ILCMem int
+}
+
+// olapLane is one ψ variant's set of concurrent estimators.
+type olapLane struct {
+	psi  float64
+	nips *core.Sketch
+	ds   *dsample.Sketch
+	ilc  *lossy.ILC
+	ex   *exact.Counter
+}
+
+// RunOLAP streams the surrogate once, feeding every ψ lane's estimators,
+// and records relative errors at each checkpoint — the Figure 7 series.
+func RunOLAP(cfg OLAPConfig) ([]OLAPRow, error) {
+	cfg = cfg.withDefaults()
+	var lanes []*olapLane
+	for i, psi := range cfg.Psis {
+		cond := imps.Conditions{
+			MaxMultiplicity:  2, // Table 5: K=2
+			MinSupport:       cfg.Tau,
+			TopC:             1,
+			MinTopConfidence: psi,
+		}
+		opts := cfg.Options
+		opts.Seed = uint64(cfg.Seed)*0x9e3779b97f4a7c15 + uint64(i+1)
+		nips, err := core.NewSketch(cond, opts)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := dsample.New(cond, cfg.DSSize, cfg.DSBound, opts.Seed+7)
+		if err != nil {
+			return nil, err
+		}
+		ilc, err := lossy.NewILC(cond, cfg.ILCEps, cfg.ILCEps)
+		if err != nil {
+			return nil, err
+		}
+		ex, err := exact.NewCounter(cond)
+		if err != nil {
+			return nil, err
+		}
+		lanes = append(lanes, &olapLane{psi: psi, nips: nips, ds: ds, ilc: ilc, ex: ex})
+	}
+
+	o := gen.NewOLAP(gen.OLAPConfig{Seed: cfg.Seed})
+	var rows []OLAPRow
+	ci := 0
+	last := cfg.Checkpoints[len(cfg.Checkpoints)-1]
+	for o.Tuples() < last {
+		ids := o.NextIDs()
+		var a, b string
+		if cfg.Workload == WorkloadA {
+			a, b = gen.PairKey(ids[0], ids[1]), gen.PairKey(ids[4], ids[6])
+		} else {
+			a, b = gen.SingleKey(ids[4]), gen.SingleKey(ids[1])
+		}
+		for _, l := range lanes {
+			l.nips.Add(a, b)
+			l.ds.Add(a, b)
+			l.ilc.Add(a, b)
+			l.ex.Add(a, b)
+		}
+		if o.Tuples() == cfg.Checkpoints[ci] {
+			for _, l := range lanes {
+				truth := l.ex.ImplicationCount()
+				rows = append(rows, OLAPRow{
+					Tuples:  o.Tuples(),
+					Psi:     l.psi,
+					Exact:   truth,
+					NIPSErr: metrics.RelErr(truth, l.nips.ImplicationCount()),
+					DSErr:   metrics.RelErr(truth, l.ds.ImplicationCount()),
+					ILCErr:  metrics.RelErr(truth, l.ilc.ImplicationCount()),
+					NIPSMem: l.nips.MemEntries(),
+					DSMem:   l.ds.MemEntries(),
+					ILCMem:  l.ilc.MemEntries(),
+				})
+			}
+			ci++
+		}
+	}
+	return rows, nil
+}
+
+// PrintOLAP renders rows in the layout of Figure 7: relative error versus
+// stream size per algorithm and ψ.
+func PrintOLAP(w io.Writer, cfg OLAPConfig, rows []OLAPRow) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "Figure 7 — Workload %s, τ=%d (relative error %% vs stream size)\n", cfg.Workload, cfg.Tau)
+	fmt.Fprintf(w, "  %10s  %4s  %12s  %12s  %12s  %12s   %s\n",
+		"Tuples", "ψ1", "Exact S", "NIPS/CI", "DS", "ILC", "mem entries (NIPS/DS/ILC)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %10d  %4.2f  %12.0f  %11.1f%%  %11.1f%%  %11.1f%%   %d/%d/%d\n",
+			r.Tuples, r.Psi, r.Exact, 100*r.NIPSErr, 100*r.DSErr, 100*r.ILCErr,
+			r.NIPSMem, r.DSMem, r.ILCMem)
+	}
+}
+
+// Table4Row is one checkpoint of the Table 4 ground-truth counts.
+type Table4Row struct {
+	Tuples    int64
+	WorkloadA float64
+	WorkloadB float64
+}
+
+// RunTable4 replays the surrogate through exact counters for both §6.2
+// workloads at τ=5, ψ1=0.60 (the conditions Table 4 quotes) and reports
+// the counts at each checkpoint.
+func RunTable4(checkpoints []int64, seed int64) ([]Table4Row, error) {
+	if len(checkpoints) == 0 {
+		checkpoints = PaperCheckpoints()
+	}
+	cond := imps.Conditions{MaxMultiplicity: 2, MinSupport: 5, TopC: 1, MinTopConfidence: 0.60}
+	exA, err := exact.NewCounter(cond)
+	if err != nil {
+		return nil, err
+	}
+	exB, err := exact.NewCounter(cond)
+	if err != nil {
+		return nil, err
+	}
+	o := gen.NewOLAP(gen.OLAPConfig{Seed: seed})
+	var rows []Table4Row
+	ci := 0
+	for o.Tuples() < checkpoints[len(checkpoints)-1] {
+		ids := o.NextIDs()
+		exA.Add(gen.PairKey(ids[0], ids[1]), gen.PairKey(ids[4], ids[6]))
+		exB.Add(gen.SingleKey(ids[4]), gen.SingleKey(ids[1]))
+		if o.Tuples() == checkpoints[ci] {
+			rows = append(rows, Table4Row{
+				Tuples:    o.Tuples(),
+				WorkloadA: exA.ImplicationCount(),
+				WorkloadB: exB.ImplicationCount(),
+			})
+			ci++
+		}
+	}
+	return rows, nil
+}
+
+// PrintTable4 renders the Table 4 counts next to the paper's.
+func PrintTable4(w io.Writer, rows []Table4Row) {
+	paperA := []float64{608, 12787, 34816, 84190, 132161, 187584}
+	paperB := []float64{50, 125, 152, 165, 182, 188}
+	fmt.Fprintln(w, "Table 4 — Implication counts w.r.t. tuples (surrogate vs paper)")
+	fmt.Fprintf(w, "  %10s  %14s %12s  %14s %12s\n", "Tuples", "A,B→E,G", "(paper)", "E→B", "(paper)")
+	for i, r := range rows {
+		pa, pb := "-", "-"
+		if i < len(paperA) {
+			pa = fmt.Sprintf("%.0f", paperA[i])
+			pb = fmt.Sprintf("%.0f", paperB[i])
+		}
+		fmt.Fprintf(w, "  %10d  %14.0f %12s  %14.0f %12s\n", r.Tuples, r.WorkloadA, pa, r.WorkloadB, pb)
+	}
+}

@@ -1,0 +1,117 @@
+package fm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBottomKValidation(t *testing.T) {
+	if _, err := NewBottomK(0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewBottomK(64, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBottomKExactBelowK(t *testing.T) {
+	b, _ := NewBottomK(100, 1)
+	for i := 0; i < 60; i++ {
+		for rep := 0; rep < 3; rep++ { // duplicates must not count
+			b.Add(fmt.Sprintf("x%d", i))
+		}
+	}
+	if got := b.Estimate(); got != 60 {
+		t.Fatalf("estimate below k = %v, want exactly 60", got)
+	}
+	if b.Size() != 60 {
+		t.Fatalf("Size = %d", b.Size())
+	}
+}
+
+// TestBottomKHeapInvariant property-checks the retained set: it must hold
+// exactly the k smallest distinct hash values of the inserted keys.
+func TestBottomKHeapInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(30)
+		b, _ := NewBottomK(k, uint64(seed))
+		var hashes []uint64
+		seen := map[uint64]bool{}
+		n := 10 + rng.Intn(300)
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("key-%d", rng.Intn(200))
+			h := b.hash.Sum(key)
+			b.Add(key)
+			if !seen[h] {
+				seen[h] = true
+				hashes = append(hashes, h)
+			}
+		}
+		sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+		if len(hashes) > k {
+			hashes = hashes[:k]
+		}
+		if len(hashes) != b.Size() {
+			return false
+		}
+		for _, h := range hashes {
+			if _, ok := b.in[h]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBottomKAccuracy(t *testing.T) {
+	for _, f0 := range []int{2000, 50000} {
+		var errSum float64
+		const runs = 10
+		for run := 0; run < runs; run++ {
+			b, _ := NewBottomK(1024, uint64(run*13+1))
+			for i := 0; i < f0; i++ {
+				b.Add(fmt.Sprintf("v%d-%d", run, i))
+			}
+			errSum += math.Abs(b.Estimate()-float64(f0)) / float64(f0)
+		}
+		// k=1024 gives ≈1/√k ≈ 3% expected error.
+		if mean := errSum / runs; mean > 0.10 {
+			t.Errorf("F0=%d: mean error %.3f", f0, mean)
+		}
+	}
+}
+
+func TestEpsDeltaF0(t *testing.T) {
+	if _, err := NewEpsDeltaF0(0, 0.1, 1); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := NewEpsDeltaF0(0.1, 1.5, 1); err == nil {
+		t.Error("delta=1.5 accepted")
+	}
+	e, err := NewEpsDeltaF0(0.1, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Groups()%2 == 0 {
+		t.Fatalf("even group count %d", e.Groups())
+	}
+	const f0 = 20000
+	for i := 0; i < f0; i++ {
+		e.Add(fmt.Sprintf("el%d", i))
+	}
+	est := e.Estimate()
+	if math.Abs(est-f0)/f0 > 0.1 {
+		t.Fatalf("estimate %v outside ε=0.1 of %d", est, f0)
+	}
+	if e.MemEntries() <= 0 {
+		t.Fatal("no retained entries")
+	}
+}

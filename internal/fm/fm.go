@@ -1,0 +1,131 @@
+// Package fm implements Flajolet–Martin probabilistic counting of distinct
+// elements (the zeroth frequency moment F0), the substrate the paper's
+// NIPS/CI algorithm extends (§4.1.1). It provides the single-bitmap basic
+// procedure and the multi-bitmap stochastic-averaging estimator (PCSA) with
+// the standard bias correction and a small-cardinality correction.
+package fm
+
+import (
+	"fmt"
+	"math"
+
+	"implicate/internal/xhash"
+)
+
+// Phi is the Flajolet–Martin bias-correction constant: the expected position
+// R of the leftmost zero in the bitmap satisfies E[R] ≈ log2(Phi·F0).
+const Phi = 0.77351
+
+// kappa parametrizes the Scheuermann–Mauve small-range correction for PCSA:
+// E ≈ (m/Phi)·(2^R̄ − 2^(−kappa·R̄)), which removes the severe upward bias of
+// the raw estimator when fewer than ~10–20 elements land in each bitmap.
+const kappa = 1.75
+
+// Bitmap is the single 64-cell bitmap of the basic counting procedure of
+// §4.1.1. The zero value is ready to use.
+type Bitmap struct {
+	bits uint64
+}
+
+// Set records an element hashed to cell i (i = p(hash(x))).
+func (b *Bitmap) Set(i int) {
+	if i < 0 || i > 63 {
+		panic(fmt.Sprintf("fm: cell %d out of range", i))
+	}
+	b.bits |= 1 << uint(i)
+}
+
+// Get reports whether cell i has been set.
+func (b *Bitmap) Get(i int) bool { return b.bits>>uint(i)&1 == 1 }
+
+// R returns the position of the leftmost (least significant) zero cell, the
+// estimator of log2(Phi·F0).
+func (b *Bitmap) R() int {
+	for i := 0; i < 64; i++ {
+		if b.bits>>uint(i)&1 == 0 {
+			return i
+		}
+	}
+	return 64
+}
+
+// Estimate returns the basic single-bitmap estimate 2^R / Phi.
+func (b *Bitmap) Estimate() float64 {
+	return math.Exp2(float64(b.R())) / Phi
+}
+
+// Sketch is the stochastic-averaging (PCSA) F0 estimator: m bitmaps, each
+// receiving a 1/m share of the distinct elements, combined through the mean
+// leftmost-zero position.
+type Sketch struct {
+	router xhash.Router
+	hash   xhash.Hash
+	bms    []Bitmap
+}
+
+// NewSketch returns a Sketch over m bitmaps (a power of two) using the
+// seeded hash family member.
+func NewSketch(m int, seed uint64) (*Sketch, error) {
+	router, err := xhash.NewRouter(m)
+	if err != nil {
+		return nil, err
+	}
+	return &Sketch{router: router, hash: xhash.New(seed), bms: make([]Bitmap, m)}, nil
+}
+
+// Add observes one element.
+func (s *Sketch) Add(key string) { s.AddHash(s.hash.Sum(key)) }
+
+// AddHash observes an element by its precomputed hash value.
+func (s *Sketch) AddHash(h uint64) {
+	bm, rank := s.router.Route(h)
+	if rank > 63 {
+		rank = 63
+	}
+	s.bms[bm].Set(rank)
+}
+
+// Bitmaps returns the number of bitmaps.
+func (s *Sketch) Bitmaps() int { return len(s.bms) }
+
+// MeanR returns the mean leftmost-zero position across bitmaps.
+func (s *Sketch) MeanR() float64 {
+	var sum int
+	for i := range s.bms {
+		sum += s.bms[i].R()
+	}
+	return float64(sum) / float64(len(s.bms))
+}
+
+// Estimate returns the bias-corrected PCSA estimate of F0, including the
+// small-range correction.
+func (s *Sketch) Estimate() float64 {
+	return CorrectedEstimate(s.MeanR(), len(s.bms))
+}
+
+// RawEstimate returns the uncorrected PCSA estimate (m/Phi)·2^R̄, matching
+// the arithmetic of the paper's Algorithm 2 scaled across bitmaps.
+func (s *Sketch) RawEstimate() float64 {
+	return RawEstimate(s.MeanR(), len(s.bms))
+}
+
+// RawEstimate converts a mean leftmost-zero position over m bitmaps into the
+// classic PCSA cardinality estimate.
+func RawEstimate(meanR float64, m int) float64 {
+	return float64(m) / Phi * math.Exp2(meanR)
+}
+
+// CorrectedEstimate applies the small-range correction to the PCSA estimate.
+// For large meanR the correction term vanishes and it agrees with
+// RawEstimate.
+func CorrectedEstimate(meanR float64, m int) float64 {
+	e := float64(m) / Phi * (math.Exp2(meanR) - math.Exp2(-kappa*meanR))
+	if e < 0 {
+		return 0
+	}
+	return e
+}
+
+// StdError returns the theoretical relative standard error of a PCSA
+// estimate over m bitmaps, ≈ 0.78/sqrt(m).
+func StdError(m int) float64 { return 0.78 / math.Sqrt(float64(m)) }

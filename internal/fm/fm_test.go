@@ -1,0 +1,160 @@
+package fm
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"implicate/internal/xhash"
+)
+
+func TestBitmapBasics(t *testing.T) {
+	var b Bitmap
+	if b.R() != 0 {
+		t.Fatalf("empty bitmap R = %d, want 0", b.R())
+	}
+	b.Set(0)
+	b.Set(1)
+	b.Set(3)
+	if !b.Get(0) || !b.Get(1) || b.Get(2) || !b.Get(3) {
+		t.Fatal("Get/Set mismatch")
+	}
+	if b.R() != 2 {
+		t.Fatalf("R = %d, want 2 (leftmost zero)", b.R())
+	}
+}
+
+func TestBitmapSetPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set(64) did not panic")
+		}
+	}()
+	var b Bitmap
+	b.Set(64)
+}
+
+func TestBitmapFullR(t *testing.T) {
+	var b Bitmap
+	for i := 0; i < 64; i++ {
+		b.Set(i)
+	}
+	if b.R() != 64 {
+		t.Fatalf("full bitmap R = %d, want 64", b.R())
+	}
+}
+
+// TestLemma1 verifies the expected cell-hit counts of Lemma 1: with F0
+// distinct elements, cell i receives about F0/2^(i+1) of them.
+func TestLemma1(t *testing.T) {
+	h := xhash.New(5)
+	const f0 = 1 << 15
+	var hits [64]int
+	for i := 0; i < f0; i++ {
+		hits[xhash.Rank(h.SumUint64(uint64(i)))]++
+	}
+	for i := 0; i < 8; i++ {
+		expected := float64(f0) / math.Exp2(float64(i+1))
+		got := float64(hits[i])
+		if got < 0.85*expected || got > 1.15*expected {
+			t.Errorf("cell %d: %v hits, Lemma 1 expects ≈%v", i, got, expected)
+		}
+	}
+}
+
+func TestSketchValidation(t *testing.T) {
+	if _, err := NewSketch(3, 0); err == nil {
+		t.Fatal("non-power-of-two bitmap count accepted")
+	}
+	if _, err := NewSketch(64, 0); err != nil {
+		t.Fatalf("NewSketch(64): %v", err)
+	}
+}
+
+// TestSketchAccuracy drives the PCSA estimator across four decades of
+// cardinality and requires the relative error to stay within a few standard
+// errors of the theoretical 0.78/sqrt(m).
+func TestSketchAccuracy(t *testing.T) {
+	const m = 64
+	tolerance := 3 * StdError(m)
+	for _, f0 := range []int{100, 1000, 10000, 100000} {
+		var errSum float64
+		const runs = 10
+		for run := 0; run < runs; run++ {
+			s, err := NewSketch(m, uint64(run)*977+13)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < f0; i++ {
+				// Feed every element three times: duplicates must not move F0.
+				k := fmt.Sprintf("el-%d-%d", run, i)
+				s.Add(k)
+				s.Add(k)
+				s.Add(k)
+			}
+			est := s.Estimate()
+			errSum += math.Abs(est-float64(f0)) / float64(f0)
+		}
+		if mean := errSum / runs; mean > tolerance {
+			t.Errorf("F0=%d: mean relative error %.3f exceeds %.3f", f0, mean, tolerance)
+		}
+	}
+}
+
+// TestSmallRangeCorrection checks the corrected estimator is usable at very
+// small cardinalities where the raw PCSA estimate is badly biased upward.
+func TestSmallRangeCorrection(t *testing.T) {
+	const m = 64
+	for _, f0 := range []int{10, 30, 60} {
+		var rawSum, corrSum float64
+		const runs = 20
+		for run := 0; run < runs; run++ {
+			s, _ := NewSketch(m, uint64(run)*31+7)
+			for i := 0; i < f0; i++ {
+				s.Add(fmt.Sprintf("k%d-%d", run, i))
+			}
+			rawSum += s.RawEstimate()
+			corrSum += s.Estimate()
+		}
+		raw, corr := rawSum/runs, corrSum/runs
+		rawErr := math.Abs(raw-float64(f0)) / float64(f0)
+		corrErr := math.Abs(corr-float64(f0)) / float64(f0)
+		if corrErr > 0.35 {
+			t.Errorf("F0=%d: corrected estimate %v has error %.2f", f0, corr, corrErr)
+		}
+		if corrErr > rawErr {
+			t.Errorf("F0=%d: correction made things worse (raw %.2f, corrected %.2f)", f0, rawErr, corrErr)
+		}
+	}
+}
+
+func TestEstimateEmpty(t *testing.T) {
+	s, _ := NewSketch(16, 0)
+	if est := s.Estimate(); est != 0 {
+		t.Fatalf("empty sketch estimate = %v, want 0", est)
+	}
+	if r := s.MeanR(); r != 0 {
+		t.Fatalf("empty sketch MeanR = %v, want 0", r)
+	}
+}
+
+func TestEstimateMonotoneUnderInsertions(t *testing.T) {
+	s, _ := NewSketch(32, 9)
+	prev := 0.0
+	for i := 0; i < 5000; i++ {
+		s.Add(fmt.Sprintf("x%d", i))
+		if i%500 == 0 {
+			cur := s.MeanR()
+			if cur < prev {
+				t.Fatalf("MeanR decreased from %v to %v at i=%d", prev, cur, i)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestStdError(t *testing.T) {
+	if se := StdError(64); math.Abs(se-0.0975) > 1e-4 {
+		t.Fatalf("StdError(64) = %v, want ≈0.0975", se)
+	}
+}

@@ -1,0 +1,217 @@
+package gen
+
+import (
+	"fmt"
+	"testing"
+
+	"implicate/internal/exact"
+	"implicate/internal/imps"
+)
+
+// TestDatasetOneGroundTruth is the generator's self-consistency check (the
+// property DESIGN.md promises): replaying the stream through the exact
+// counter must yield exactly the imposed implication, non-implication and
+// supported counts, for every c the paper uses.
+func TestDatasetOneGroundTruth(t *testing.T) {
+	for _, c := range []int{1, 2, 4} {
+		for _, frac := range []float64{0.1, 0.5, 0.9} {
+			cfg := DatasetOneConfig{CardA: 400, Count: int(400 * frac), C: c, Seed: int64(c*100) + int64(frac*10)}
+			d, err := NewDatasetOne(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ex := exact.MustCounter(d.Conditions)
+			d.Feed(ex)
+			if got := int(ex.ImplicationCount()); got != d.Count {
+				t.Errorf("c=%d frac=%.1f: exact implications %d != imposed %d", c, frac, got, d.Count)
+			}
+			if got := int(ex.NonImplicationCount()); got != d.NonCount {
+				t.Errorf("c=%d frac=%.1f: exact non-implications %d != imposed %d", c, frac, got, d.NonCount)
+			}
+			if got := int(ex.SupportedDistinct()); got != d.Supported {
+				t.Errorf("c=%d frac=%.1f: exact supported %d != imposed %d", c, frac, got, d.Supported)
+			}
+		}
+	}
+}
+
+func TestDatasetOneValidation(t *testing.T) {
+	bad := []DatasetOneConfig{
+		{CardA: 0, Count: 1},
+		{CardA: 100, Count: 0},
+		{CardA: 100, Count: 101},
+		{CardA: 100, Count: 10, Support: 5},
+		{CardA: 100, Count: 10, C: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewDatasetOne(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestDatasetOneDeterministic(t *testing.T) {
+	cfg := DatasetOneConfig{CardA: 120, Count: 60, C: 2, Seed: 5}
+	d1 := MustDatasetOne(cfg)
+	d2 := MustDatasetOne(cfg)
+	if len(d1.Pairs) != len(d2.Pairs) {
+		t.Fatal("lengths differ")
+	}
+	for i := range d1.Pairs {
+		if d1.Pairs[i] != d2.Pairs[i] {
+			t.Fatalf("pair %d differs", i)
+		}
+	}
+}
+
+func TestDatasetOneTupleVolume(t *testing.T) {
+	// §6.1 quotes ≈3.1M tuples for |A|=10000, S=5000, c=4. Check our
+	// generator is in that ballpark at a scaled-down configuration: the
+	// expected count is S·(50·(c+1)/2+4) + per·(50+8) + per·50 + per·40.
+	cfg := DatasetOneConfig{CardA: 1000, Count: 500, C: 4, Seed: 1}
+	d := MustDatasetOne(cfg)
+	per := (cfg.CardA - cfg.Count) / 3
+	expected := cfg.Count*(50*(4+1)/2+4) + per*58 + per*50 + per*40
+	got := len(d.Pairs)
+	if got < expected*85/100 || got > expected*115/100 {
+		t.Fatalf("tuple volume %d, expected ≈%d", got, expected)
+	}
+}
+
+func TestKeyUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := uint64(0); i < 1000; i++ {
+		k := Key(i)
+		if seen[k] {
+			t.Fatalf("Key(%d) collides", i)
+		}
+		seen[k] = true
+	}
+	if PairKey(1, 2) == PairKey(2, 1) {
+		t.Fatal("PairKey not order-sensitive")
+	}
+	if SingleKey(7) == SingleKey(8) {
+		t.Fatal("SingleKey collision")
+	}
+}
+
+// TestOLAPShape verifies the surrogate reproduces the Table 4 shape: both
+// workload counts grow with the stream and workload A dominates workload B
+// by orders of magnitude.
+func TestOLAPShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stream too long for -short")
+	}
+	o := NewOLAP(OLAPConfig{Seed: 3})
+	condA := imps.Conditions{MaxMultiplicity: 2, MinSupport: 5, TopC: 1, MinTopConfidence: 0.60}
+	condB := condA
+	exA := exact.MustCounter(condA)
+	exB := exact.MustCounter(condB)
+	checkpoints := []int64{134576, 672771, 1344591}
+	var lastA, lastB float64
+	ci := 0
+	for o.Tuples() < checkpoints[len(checkpoints)-1] {
+		ids := o.NextIDs()
+		exA.Add(PairKey(ids[0], ids[1]), PairKey(ids[4], ids[6]))
+		exB.Add(SingleKey(ids[4]), SingleKey(ids[1]))
+		if o.Tuples() == checkpoints[ci] {
+			a, b := exA.ImplicationCount(), exB.ImplicationCount()
+			if a <= lastA {
+				t.Errorf("checkpoint %d: workload A count %v did not grow from %v", checkpoints[ci], a, lastA)
+			}
+			if b < lastB {
+				t.Errorf("checkpoint %d: workload B count %v shrank from %v", checkpoints[ci], b, lastB)
+			}
+			// Table 4's own ratios run from 12× (first row) to 1000×
+			// (last); require clear dominance throughout.
+			if a < 8*b {
+				t.Errorf("checkpoint %d: workload A (%v) does not dominate workload B (%v)", checkpoints[ci], a, b)
+			}
+			lastA, lastB = a, b
+			ci++
+		}
+	}
+	// Magnitude sanity against Table 4 row 3 (1.34M tuples: A=34816, B=152):
+	// same order of magnitude, not exact values.
+	if lastA < 5000 || lastA > 300000 {
+		t.Errorf("workload A count %v far from the Table 4 magnitude", lastA)
+	}
+	if lastB < 20 || lastB > 600 {
+		t.Errorf("workload B count %v far from the Table 4 magnitude", lastB)
+	}
+}
+
+func TestOLAPDimensionRanges(t *testing.T) {
+	o := NewOLAP(OLAPConfig{Seed: 1})
+	cards := [8]uint32{CardA, CardB, CardC, CardD, CardE, CardF, CardG, CardH}
+	for i := 0; i < 20000; i++ {
+		ids := o.NextIDs()
+		for d, v := range ids {
+			if v >= cards[d] {
+				t.Fatalf("dimension %d value %d out of range %d", d, v, cards[d])
+			}
+		}
+	}
+	if o.Tuples() != 20000 {
+		t.Fatalf("Tuples = %d", o.Tuples())
+	}
+}
+
+func TestOLAPNextTupleForm(t *testing.T) {
+	o := NewOLAP(OLAPConfig{Seed: 2})
+	schema := OLAPSchema()
+	tup, err := o.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tup) != schema.Len() {
+		t.Fatalf("tuple arity %d != schema %d", len(tup), schema.Len())
+	}
+}
+
+func TestNetTrafficFlashCrowd(t *testing.T) {
+	g := NewNetTraffic(NetTrafficConfig{
+		Seed: 4, FlashSources: 500, FlashTargets: 2, FlashAfter: 5000,
+	})
+	schema := NetTrafficSchema()
+	pSrc := schema.MustProj("Source")
+	pDst := schema.MustProj("Destination")
+	attackBefore, attackAfter := 0, 0
+	for i := 0; i < 20000; i++ {
+		tup, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tup) != 4 {
+			t.Fatalf("arity %d", len(tup))
+		}
+		if len(pDst.Key(tup)) == 0 || len(pSrc.Key(tup)) == 0 {
+			t.Fatal("empty keys")
+		}
+		if tup[1] == "victim-0" || tup[1] == "victim-1" {
+			if i < 5000 {
+				attackBefore++
+			} else {
+				attackAfter++
+			}
+		}
+	}
+	if attackBefore != 0 {
+		t.Fatalf("%d attack tuples before onset", attackBefore)
+	}
+	if attackAfter < 4000 {
+		t.Fatalf("only %d attack tuples after onset", attackAfter)
+	}
+}
+
+func TestNetTrafficDeterministic(t *testing.T) {
+	g1 := NewNetTraffic(NetTrafficConfig{Seed: 9})
+	g2 := NewNetTraffic(NetTrafficConfig{Seed: 9})
+	for i := 0; i < 1000; i++ {
+		t1, _ := g1.Next()
+		t2, _ := g2.Next()
+		if fmt.Sprint(t1) != fmt.Sprint(t2) {
+			t.Fatalf("tuple %d differs", i)
+		}
+	}
+}

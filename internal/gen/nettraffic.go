@@ -1,0 +1,99 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"implicate/internal/stream"
+)
+
+// NetTrafficSchema is the router-stream schema of Table 1.
+func NetTrafficSchema() *stream.Schema {
+	return stream.MustSchema("Source", "Destination", "Service", "Time")
+}
+
+// NetTrafficConfig parametrizes the simulated router stream used by the
+// examples: background traffic over a population of sources and
+// destinations, plus two injectable phenomena from §1 — a flash crowd /
+// DDoS pattern (a huge number of sources converging on very few
+// destinations) and port-scan style probing (single sources touching many
+// destinations).
+type NetTrafficConfig struct {
+	Seed         int64
+	Sources      int // background source population (default 5000)
+	Destinations int // background destination population (default 2000)
+	// FlashSources is the number of distinct attack sources; each
+	// contributes FlashRate of the post-onset traffic toward FlashTargets
+	// destinations. Zero disables the injection.
+	FlashSources int
+	FlashTargets int
+	// FlashAfter is the tuple index at which the flash crowd begins.
+	FlashAfter int64
+	// FlashShare is the fraction of post-onset tuples that belong to the
+	// flash crowd (default 0.4 when FlashSources > 0).
+	FlashShare float64
+}
+
+func (c NetTrafficConfig) withDefaults() NetTrafficConfig {
+	if c.Sources == 0 {
+		c.Sources = 5000
+	}
+	if c.Destinations == 0 {
+		c.Destinations = 2000
+	}
+	if c.FlashTargets == 0 {
+		c.FlashTargets = 3
+	}
+	if c.FlashShare == 0 && c.FlashSources > 0 {
+		c.FlashShare = 0.4
+	}
+	return c
+}
+
+var services = []string{"WWW", "FTP", "P2P", "DNS", "SMTP"}
+var daytimes = []string{"Morning", "Noon", "Afternoon", "Night"}
+
+// NetTraffic generates the simulated router stream.
+type NetTraffic struct {
+	cfg  NetTrafficConfig
+	rng  *rand.Rand
+	zipD *rand.Zipf // destination popularity skew
+	n    int64
+	tup  stream.Tuple
+}
+
+// NewNetTraffic returns a generator for the given config.
+func NewNetTraffic(cfg NetTrafficConfig) *NetTraffic {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &NetTraffic{
+		cfg:  cfg,
+		rng:  rng,
+		zipD: rand.NewZipf(rng, 1.2, 1.0, uint64(cfg.Destinations-1)),
+		tup:  make(stream.Tuple, 4),
+	}
+}
+
+// Tuples returns the number of tuples generated so far.
+func (g *NetTraffic) Tuples() int64 { return g.n }
+
+// Next emits the next traffic tuple. The returned tuple aliases an internal
+// buffer and is only valid until the following call.
+func (g *NetTraffic) Next() (stream.Tuple, error) {
+	g.n++
+	cfg := g.cfg
+	if cfg.FlashSources > 0 && g.n > cfg.FlashAfter && g.rng.Float64() < cfg.FlashShare {
+		// Flash crowd: many sources, a handful of destinations (§1: "a
+		// large volume of traffic from a huge number of sources to a very
+		// small number of destinations").
+		g.tup[0] = fmt.Sprintf("atk-%d", g.rng.Intn(cfg.FlashSources))
+		g.tup[1] = fmt.Sprintf("victim-%d", g.rng.Intn(cfg.FlashTargets))
+		g.tup[2] = "WWW"
+	} else {
+		g.tup[0] = fmt.Sprintf("src-%d", g.rng.Intn(cfg.Sources))
+		g.tup[1] = fmt.Sprintf("dst-%d", g.zipD.Uint64())
+		g.tup[2] = services[g.rng.Intn(len(services))]
+	}
+	g.tup[3] = daytimes[int(g.n/997)%len(daytimes)]
+	return g.tup, nil
+}

@@ -1,0 +1,135 @@
+package imps
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestConditionsValidate(t *testing.T) {
+	valid := Conditions{MaxMultiplicity: 5, MinSupport: 50, TopC: 2, MinTopConfidence: 0.8}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid conditions rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		c    Conditions
+	}{
+		{"zero multiplicity", Conditions{MaxMultiplicity: 0, MinSupport: 1, TopC: 1, MinTopConfidence: 0.5}},
+		{"negative multiplicity", Conditions{MaxMultiplicity: -1, MinSupport: 1, TopC: 1, MinTopConfidence: 0.5}},
+		{"zero topc", Conditions{MaxMultiplicity: 1, MinSupport: 1, TopC: 0, MinTopConfidence: 0.5}},
+		{"topc exceeds k", Conditions{MaxMultiplicity: 2, MinSupport: 1, TopC: 3, MinTopConfidence: 0.5}},
+		{"zero support", Conditions{MaxMultiplicity: 1, MinSupport: 0, TopC: 1, MinTopConfidence: 0.5}},
+		{"zero confidence", Conditions{MaxMultiplicity: 1, MinSupport: 1, TopC: 1, MinTopConfidence: 0}},
+		{"confidence above one", Conditions{MaxMultiplicity: 1, MinSupport: 1, TopC: 1, MinTopConfidence: 1.01}},
+	}
+	for _, tc := range cases {
+		if err := tc.c.Validate(); err == nil {
+			t.Errorf("%s: expected error, got nil", tc.name)
+		}
+	}
+}
+
+func TestConditionsString(t *testing.T) {
+	c := Conditions{MaxMultiplicity: 5, MinSupport: 50, TopC: 2, MinTopConfidence: 0.8}
+	want := "K=5 τ=50 ψ2=0.80"
+	if got := c.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestTopSumBasics(t *testing.T) {
+	cases := []struct {
+		counts []int64
+		c      int
+		want   int64
+	}{
+		{nil, 1, 0},
+		{[]int64{5}, 0, 0},
+		{[]int64{5}, 1, 5},
+		{[]int64{5}, 3, 5},
+		{[]int64{1, 2, 3, 4}, 1, 4},
+		{[]int64{1, 2, 3, 4}, 2, 7},
+		{[]int64{1, 2, 3, 4}, 4, 10},
+		{[]int64{4, 4, 1}, 2, 8},
+		{[]int64{2, 1, 4}, 10, 7},
+	}
+	for _, tc := range cases {
+		if got := TopSum(tc.counts, tc.c); got != tc.want {
+			t.Errorf("TopSum(%v, %d) = %d, want %d", tc.counts, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestTopSumDoesNotMutate(t *testing.T) {
+	in := []int64{3, 1, 2}
+	TopSum(in, 2)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("TopSum mutated its input: %v", in)
+	}
+}
+
+// TestTopSumMatchesSort property-checks the partial selection against a full
+// sort.
+func TestTopSumMatchesSort(t *testing.T) {
+	f := func(raw []uint16, cRaw uint8) bool {
+		counts := make([]int64, len(raw))
+		for i, v := range raw {
+			counts[i] = int64(v)
+		}
+		c := int(cRaw%10) + 1
+		sorted := append([]int64(nil), counts...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+		var want int64
+		for i := 0; i < c && i < len(sorted); i++ {
+			want += sorted[i]
+		}
+		return TopSum(counts, c) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopConfidence(t *testing.T) {
+	if got := TopConfidence([]int64{2, 1, 1}, 1, 4); got != 0.5 {
+		t.Fatalf("TopConfidence top-1 = %v, want 0.5", got)
+	}
+	// Paper's running example (§3.1): P2P appears with sources {2/4, 1/4,
+	// 1/4}; the top-2 confidence is 75%.
+	if got := TopConfidence([]int64{2, 1, 1}, 2, 4); got != 0.75 {
+		t.Fatalf("TopConfidence top-2 = %v, want 0.75", got)
+	}
+	if got := TopConfidence([]int64{2, 1, 1}, 3, 4); got != 1.0 {
+		t.Fatalf("TopConfidence top-3 = %v, want 1.0", got)
+	}
+	if got := TopConfidence(nil, 1, 0); got != 0 {
+		t.Fatalf("TopConfidence with zero support = %v, want 0", got)
+	}
+}
+
+// TestTopConfidenceMonotoneInC checks Ψ_c is non-decreasing in c.
+func TestTopConfidenceMonotoneInC(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(8) + 1
+		counts := make([]int64, n)
+		var supp int64
+		for i := range counts {
+			counts[i] = int64(rng.Intn(20) + 1)
+			supp += counts[i]
+		}
+		prev := 0.0
+		for c := 1; c <= n+2; c++ {
+			cur := TopConfidence(counts, c, supp)
+			if cur < prev {
+				t.Fatalf("Ψ_%d=%v < Ψ_%d=%v for counts %v", c, cur, c-1, prev, counts)
+			}
+			prev = cur
+		}
+		if prev != 1.0 {
+			t.Fatalf("Ψ_n should reach 1.0 when supp equals the counter total, got %v", prev)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Package metrics provides the error statistics the experiment harness
+// reports: relative errors against ground truth and streaming mean/standard
+// deviation accumulation (Welford's algorithm), matching the measures of
+// §6 ("mean relative error ... the error bars correspond to the statistical
+// deviation of the mean error").
+package metrics
+
+import "math"
+
+// RelErr returns |actual−measured| / actual, the §6.1 relative-error
+// formula. When actual is zero it returns 0 for measured 0 and +Inf
+// otherwise.
+func RelErr(actual, measured float64) float64 {
+	if actual == 0 {
+		if measured == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(actual-measured) / math.Abs(actual)
+}
+
+// Welford accumulates a running mean and variance without storing samples.
+// The zero value is an empty accumulator.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation in.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (0 with fewer than two
+// observations).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Var()) }
+
+// StdErrOfMean returns the standard error of the mean, the error-bar
+// half-width used in Figures 4–6.
+func (w *Welford) StdErrOfMean() float64 {
+	if w.n < 1 {
+		return 0
+	}
+	return w.Stddev() / math.Sqrt(float64(w.n))
+}

@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelErr(t *testing.T) {
+	cases := []struct{ actual, measured, want float64 }{
+		{100, 100, 0},
+		{100, 90, 0.1},
+		{100, 110, 0.1},
+		{0, 0, 0},
+		{-50, -60, 0.2},
+	}
+	for _, c := range cases {
+		if got := RelErr(c.actual, c.measured); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("RelErr(%v,%v) = %v, want %v", c.actual, c.measured, got, c.want)
+		}
+	}
+	if !math.IsInf(RelErr(0, 1), 1) {
+		t.Error("RelErr(0,1) should be +Inf")
+	}
+}
+
+func TestWelfordSmall(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.N() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Mean() != 5 {
+		t.Fatalf("mean = %v", w.Mean())
+	}
+	// Population variance of this classic sequence is 4; Welford returns
+	// the unbiased sample variance 32/7.
+	if math.Abs(w.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("var = %v", w.Var())
+	}
+	if math.Abs(w.Stddev()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("stddev = %v", w.Stddev())
+	}
+	if math.Abs(w.StdErrOfMean()-w.Stddev()/math.Sqrt(8)) > 1e-12 {
+		t.Fatalf("sem = %v", w.StdErrOfMean())
+	}
+}
+
+// TestWelfordMatchesNaive property-checks Welford against the two-pass
+// formulas.
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		xs := make([]float64, n)
+		var w Welford
+		var sum float64
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 5
+			w.Add(xs[i])
+			sum += xs[i]
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		v := ss / float64(n-1)
+		return math.Abs(w.Mean()-mean) < 1e-9 && math.Abs(w.Var()-v) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,240 @@
+package query
+
+import (
+	"fmt"
+	"reflect"
+
+	"implicate/internal/imps"
+	"implicate/internal/stream"
+	"implicate/internal/window"
+)
+
+// Backend constructs a fresh estimator for the given implication
+// conditions — the pluggable choice between the NIPS/CI sketch, the exact
+// counter, and the baselines.
+type Backend func(cond imps.Conditions) (imps.Estimator, error)
+
+// Statement is a query compiled against a schema and bound to an
+// estimator; feed it tuples and read counts at any time.
+type Statement struct {
+	query   Query
+	projA   stream.Proj
+	projB   stream.Proj
+	hasB    bool
+	filters []compiledFilter
+	est     imps.Estimator
+	// shared marks a statement aliasing another statement's estimator; the
+	// engine feeds each estimator exactly once per tuple.
+	shared bool
+
+	bufA, bufB []byte
+}
+
+type compiledFilter struct {
+	idx    int
+	value  string
+	negate bool
+}
+
+// Compile validates and normalizes q against the schema and binds it to an
+// estimator from the backend. Compound queries (GROUP BY) extend the
+// counted itemset with the grouping attributes; windowed queries wrap the
+// backend in a sliding-origin vector (§3.2).
+func Compile(q Query, schema *stream.Schema, backend Backend) (*Statement, error) {
+	if backend == nil {
+		return nil, fmt.Errorf("query: nil backend")
+	}
+	if err := q.Normalize(schema); err != nil {
+		return nil, err
+	}
+	st := &Statement{query: q}
+
+	aAttrs := append(append([]string(nil), q.A...), q.GroupBy...)
+	var err error
+	if st.projA, err = schema.Proj(aAttrs...); err != nil {
+		return nil, err
+	}
+	if len(q.B) > 0 {
+		if st.projB, err = schema.Proj(q.B...); err != nil {
+			return nil, err
+		}
+		st.hasB = true
+	}
+	for _, f := range q.Filters {
+		idx, _ := schema.Index(f.Attr)
+		st.filters = append(st.filters, compiledFilter{idx: idx, value: f.Value, negate: f.Negate})
+	}
+
+	if q.Window > 0 {
+		// Validate the backend once up front, then hand the sliding vector
+		// an infallible factory.
+		if _, err := backend(q.Cond); err != nil {
+			return nil, err
+		}
+		sliding, err := window.NewSliding(q.Window, q.Every, func() imps.Estimator {
+			e, err := backend(q.Cond)
+			if err != nil {
+				panic(fmt.Sprintf("query: estimator backend failed after validation: %v", err))
+			}
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+		st.est = sliding
+	} else {
+		if st.est, err = backend(q.Cond); err != nil {
+			return nil, err
+		}
+	}
+	if q.Mode == AvgMultiplicity {
+		if _, ok := st.est.(imps.MultiplicityAverager); !ok {
+			return nil, fmt.Errorf("query: the chosen backend cannot answer AVG(MULTIPLICITY(...))")
+		}
+	}
+	return st, nil
+}
+
+// Query returns the normalized query.
+func (st *Statement) Query() Query { return st.query }
+
+// Estimator exposes the bound estimator.
+func (st *Statement) Estimator() imps.Estimator { return st.est }
+
+// Process feeds one tuple through the statement's filters and projections.
+func (st *Statement) Process(t stream.Tuple) {
+	for _, f := range st.filters {
+		if (t[f.idx] == f.value) == f.negate {
+			return
+		}
+	}
+	st.bufA = st.projA.AppendKey(st.bufA[:0], t)
+	if st.hasB {
+		st.bufB = st.projB.AppendKey(st.bufB[:0], t)
+	} else {
+		st.bufB = st.bufB[:0]
+	}
+	st.est.Add(string(st.bufA), string(st.bufB))
+}
+
+// Count returns the query's answer under its mode.
+func (st *Statement) Count() float64 {
+	switch st.query.Mode {
+	case CountNonImplications:
+		return st.est.NonImplicationCount()
+	case CountSupported:
+		return st.est.SupportedDistinct()
+	case CountDistinct:
+		// With the defaulted exact one-to-one conditions and a constant B
+		// key, every itemset trivially implies; the supported count at
+		// τ=1 is the distinct count.
+		return st.est.SupportedDistinct()
+	case AvgMultiplicity:
+		// Compile guarantees the estimator supports the aggregate.
+		return st.est.(imps.MultiplicityAverager).AvgMultiplicity()
+	default:
+		return st.est.ImplicationCount()
+	}
+}
+
+// Engine runs any number of compiled statements over one tuple stream.
+// Statements registered through the same engine share estimators when they
+// differ only in what they read off it: the implication count, the
+// complement, the supported count and the average multiplicity of one
+// (A, B, conditions, filters, window) combination all come from a single
+// sketch, so asking all four costs one.
+type Engine struct {
+	schema *stream.Schema
+	stmts  []*Statement
+	shared map[string]*Statement
+	tuples int64
+}
+
+// NewEngine returns an engine bound to the schema.
+func NewEngine(schema *stream.Schema) *Engine {
+	return &Engine{schema: schema, shared: make(map[string]*Statement)}
+}
+
+// shareKey canonicalizes everything about a query except its mode (and the
+// backend identity, supplied by the caller).
+func shareKey(q Query, backendID uintptr) string {
+	mode := q.Mode
+	if mode == AvgMultiplicity || mode == CountNonImplications || mode == CountSupported {
+		mode = CountImplications
+	}
+	k := q
+	k.Mode = mode
+	return fmt.Sprintf("%d|%s", backendID, k.String())
+}
+
+// Register compiles and adds a query; the returned statement can be read at
+// any time. Queries over the same predicate registered with the same
+// backend function share one estimator.
+func (e *Engine) Register(q Query, backend Backend) (*Statement, error) {
+	if err := q.Normalize(e.schema); err != nil {
+		return nil, err
+	}
+	key := shareKey(q, reflect.ValueOf(backend).Pointer())
+	if prev, ok := e.shared[key]; ok && q.Mode != CountDistinct {
+		if q.Mode == AvgMultiplicity {
+			if _, supports := prev.est.(imps.MultiplicityAverager); !supports {
+				return nil, fmt.Errorf("query: the chosen backend cannot answer AVG(MULTIPLICITY(...))")
+			}
+		}
+		st := &Statement{
+			query:   q,
+			projA:   prev.projA,
+			projB:   prev.projB,
+			hasB:    prev.hasB,
+			filters: prev.filters,
+			est:     prev.est,
+			shared:  true,
+		}
+		e.stmts = append(e.stmts, st)
+		return st, nil
+	}
+	st, err := Compile(q, e.schema, backend)
+	if err != nil {
+		return nil, err
+	}
+	e.stmts = append(e.stmts, st)
+	if q.Mode != CountDistinct {
+		e.shared[key] = st
+	}
+	return st, nil
+}
+
+// RegisterSQL parses, compiles and adds a query in the SQL-like dialect.
+func (e *Engine) RegisterSQL(sql string, backend Backend) (*Statement, error) {
+	q, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.Register(*q, backend)
+}
+
+// Process feeds one tuple to every registered statement, feeding each
+// shared estimator exactly once.
+func (e *Engine) Process(t stream.Tuple) {
+	e.tuples++
+	for _, st := range e.stmts {
+		if st.shared {
+			continue
+		}
+		st.Process(t)
+	}
+}
+
+// Consume drains a source through the engine and returns the tuple count.
+func (e *Engine) Consume(src stream.Source) (int64, error) {
+	return stream.Each(src, func(t stream.Tuple) error {
+		e.Process(t)
+		return nil
+	})
+}
+
+// Tuples returns the number of tuples processed.
+func (e *Engine) Tuples() int64 { return e.tuples }
+
+// Statements returns the registered statements in registration order.
+func (e *Engine) Statements() []*Statement { return append([]*Statement(nil), e.stmts...) }

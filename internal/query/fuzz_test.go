@@ -1,0 +1,58 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the parser never panics and that anything it accepts
+// renders and re-parses (a weak round-trip: the re-parse must succeed and
+// re-render identically).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT COUNT(DISTINCT a) FROM s",
+		"SELECT COUNT(DISTINCT a, b) FROM s WHERE a, b IMPLIES c",
+		"SELECT COUNT(DISTINCT a) FROM s WHERE a NOT IMPLIES b AND c = 'x' GROUP BY d",
+		"SELECT COUNT(DISTINCT a) FROM s WHERE a IMPLIES b WITH SUPPORT >= 5, MULTIPLICITY <= 3, CONFIDENCE >= 0.8 TOP 2 WINDOW 100 EVERY 10",
+		"SELECT AVG(MULTIPLICITY(a)) FROM s WHERE a IMPLIES b",
+		"select count(distinct x) from y where x implies z",
+		"SELECT COUNT(DISTINCT ☃) FROM s",
+		"SELECT COUNT(DISTINCT a) FROM s WHERE a IMPLIES b WITH SUPPORT >= 99999999999999999999",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted input %q rendered to unparseable %q: %v", input, rendered, err)
+		}
+		if r2 := q2.String(); r2 != rendered {
+			t.Fatalf("render not idempotent: %q -> %q", rendered, r2)
+		}
+	})
+}
+
+// FuzzLex checks the tokenizer never panics and consumes every rune.
+func FuzzLex(f *testing.F) {
+	f.Add("SELECT COUNT(DISTINCT a) FROM s")
+	f.Add("'unterminated")
+	f.Add("a != b >= 0.5 <= (,)")
+	f.Add(strings.Repeat("(", 1000))
+	f.Fuzz(func(t *testing.T, input string) {
+		toks, err := lex(input)
+		if err != nil {
+			return
+		}
+		for _, tok := range toks {
+			if tok.kind == "" {
+				t.Fatalf("empty token kind for input %q", input)
+			}
+		}
+	})
+}

@@ -1,0 +1,373 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses the SQL-like implication-query dialect of §3:
+//
+//	SELECT COUNT(DISTINCT attr[, attr...]) FROM name
+//	[WHERE attr[, attr...] [NOT] IMPLIES attr[, attr...]
+//	  [AND attr = 'value' | AND attr != 'value' ...]
+//	  [GROUP BY attr[, attr...]]
+//	  [WITH SUPPORT >= n [, MULTIPLICITY <= k] [, CONFIDENCE >= x TOP c]]
+//	  [WINDOW n [EVERY m]]]
+//
+// Omitting the WHERE clause yields a plain distinct count. The WHERE
+// left-hand side must repeat the SELECT attribute list, exactly as the
+// paper writes the general query.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, fmt.Errorf("query: %w", err)
+	}
+	return q, nil
+}
+
+// MustParse is Parse panicking on error, for statically known queries.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type token struct {
+	kind string // "ident", "string", "number", or the symbol itself
+	text string
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	rs := []rune(input)
+	i := 0
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '\'':
+			j := i + 1
+			for j < len(rs) && rs[j] != '\'' {
+				j++
+			}
+			if j >= len(rs) {
+				return nil, fmt.Errorf("query: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{"string", string(rs[i+1 : j])})
+			i = j + 1
+		case unicode.IsLetter(r) || r == '_':
+			j := i
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{"ident", string(rs[i:j])})
+			i = j
+		case unicode.IsDigit(r) || r == '.':
+			j := i
+			for j < len(rs) && (unicode.IsDigit(rs[j]) || rs[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{"number", string(rs[i:j])})
+			i = j
+		case r == '!' && i+1 < len(rs) && rs[i+1] == '=':
+			toks = append(toks, token{"!=", "!="})
+			i += 2
+		case r == '>' && i+1 < len(rs) && rs[i+1] == '=':
+			toks = append(toks, token{">=", ">="})
+			i += 2
+		case r == '<' && i+1 < len(rs) && rs[i+1] == '=':
+			toks = append(toks, token{"<=", "<="})
+			i += 2
+		case strings.ContainsRune("(),=", r):
+			toks = append(toks, token{string(r), string(r)})
+			i++
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at offset %d", r, i)
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return token{"eof", ""}
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+// keyword consumes the next token if it is the given keyword
+// (case-insensitive) and reports whether it did.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == "ident" && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return fmt.Errorf("expected %s, got %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if t := p.next(); t.kind != sym {
+		return fmt.Errorf("expected %q, got %q", sym, t.text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.next()
+	if t.kind != "ident" {
+		return "", fmt.Errorf("expected identifier, got %q", t.text)
+	}
+	return t.text, nil
+}
+
+func (p *parser) attrList() ([]string, error) {
+	var attrs []string
+	for {
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, a)
+		if p.peek().kind != "," {
+			return attrs, nil
+		}
+		p.next()
+	}
+}
+
+func (p *parser) intLit() (int64, error) {
+	t := p.next()
+	if t.kind != "number" {
+		return 0, fmt.Errorf("expected number, got %q", t.text)
+	}
+	n, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", t.text)
+	}
+	return n, nil
+}
+
+func (p *parser) floatLit() (float64, error) {
+	t := p.next()
+	if t.kind != "number" {
+		return 0, fmt.Errorf("expected number, got %q", t.text)
+	}
+	f, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", t.text)
+	}
+	return f, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	avg := false
+	switch {
+	case p.keyword("COUNT"):
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("DISTINCT"); err != nil {
+			return nil, err
+		}
+	case p.keyword("AVG"):
+		avg = true
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("MULTIPLICITY"); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("expected COUNT or AVG, got %q", p.peek().text)
+	}
+	var err error
+	if q.A, err = p.attrList(); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if avg {
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if q.From, err = p.ident(); err != nil {
+		return nil, err
+	}
+
+	if !p.keyword("WHERE") {
+		if avg {
+			return nil, fmt.Errorf("AVG(MULTIPLICITY(...)) requires a WHERE ... IMPLIES clause")
+		}
+		q.Mode = CountDistinct
+		return q, p.expectEOF()
+	}
+
+	lhs, err := p.attrList()
+	if err != nil {
+		return nil, err
+	}
+	if strings.Join(lhs, ",") != strings.Join(q.A, ",") {
+		return nil, fmt.Errorf("the IMPLIES left-hand side %v must repeat the SELECT list %v", lhs, q.A)
+	}
+	switch {
+	case p.keyword("NOT"):
+		if avg {
+			return nil, fmt.Errorf("AVG(MULTIPLICITY(...)) cannot be combined with NOT IMPLIES")
+		}
+		q.Mode = CountNonImplications
+	case avg:
+		q.Mode = AvgMultiplicity
+	default:
+		q.Mode = CountImplications
+	}
+	if err := p.expectKeyword("IMPLIES"); err != nil {
+		return nil, err
+	}
+	if q.B, err = p.attrList(); err != nil {
+		return nil, err
+	}
+
+	for {
+		switch {
+		case p.keyword("AND"):
+			var f Filter
+			if f.Attr, err = p.ident(); err != nil {
+				return nil, err
+			}
+			switch t := p.next(); t.kind {
+			case "=":
+			case "!=":
+				f.Negate = true
+			default:
+				return nil, fmt.Errorf("expected = or != after filter attribute, got %q", t.text)
+			}
+			t := p.next()
+			if t.kind != "string" && t.kind != "ident" && t.kind != "number" {
+				return nil, fmt.Errorf("expected filter value, got %q", t.text)
+			}
+			f.Value = t.text
+			q.Filters = append(q.Filters, f)
+
+		case p.keyword("GROUP"):
+			if err := p.expectKeyword("BY"); err != nil {
+				return nil, err
+			}
+			if q.GroupBy, err = p.attrList(); err != nil {
+				return nil, err
+			}
+
+		case p.keyword("WITH"):
+			if err := p.parseWith(q); err != nil {
+				return nil, err
+			}
+
+		case p.keyword("WINDOW"):
+			if q.Window, err = p.intLit(); err != nil {
+				return nil, err
+			}
+			if p.keyword("EVERY") {
+				if q.Every, err = p.intLit(); err != nil {
+					return nil, err
+				}
+			}
+
+		default:
+			return q, p.expectEOF()
+		}
+	}
+}
+
+func (p *parser) parseWith(q *Query) error {
+	for {
+		switch {
+		case p.keyword("SUPPORT"):
+			if err := p.expectSymbol(">="); err != nil {
+				return err
+			}
+			n, err := p.intLit()
+			if err != nil {
+				return err
+			}
+			q.Cond.MinSupport = n
+		case p.keyword("MULTIPLICITY"):
+			if err := p.expectSymbol("<="); err != nil {
+				return err
+			}
+			n, err := p.intLit()
+			if err != nil {
+				return err
+			}
+			q.Cond.MaxMultiplicity = int(n)
+		case p.keyword("CONFIDENCE"):
+			if err := p.expectSymbol(">="); err != nil {
+				return err
+			}
+			f, err := p.floatLit()
+			if err != nil {
+				return err
+			}
+			q.Cond.MinTopConfidence = f
+			if p.keyword("TOP") {
+				c, err := p.intLit()
+				if err != nil {
+					return err
+				}
+				q.Cond.TopC = int(c)
+			}
+		default:
+			return fmt.Errorf("expected SUPPORT, MULTIPLICITY or CONFIDENCE, got %q", p.peek().text)
+		}
+		if p.peek().kind != "," {
+			return nil
+		}
+		p.next()
+	}
+}
+
+func (p *parser) expectEOF() error {
+	if t := p.peek(); t.kind != "eof" {
+		return fmt.Errorf("unexpected trailing input at %q", t.text)
+	}
+	return nil
+}

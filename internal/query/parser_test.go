@@ -1,0 +1,165 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+
+	"implicate/internal/imps"
+)
+
+func TestParsePlainDistinct(t *testing.T) {
+	q, err := Parse("SELECT COUNT(DISTINCT Source) FROM traffic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Mode != CountDistinct || len(q.A) != 1 || q.A[0] != "Source" || q.From != "traffic" {
+		t.Fatalf("parsed %+v", q)
+	}
+}
+
+func TestParseGeneralQuery(t *testing.T) {
+	q, err := Parse(`
+		SELECT COUNT(DISTINCT Destination) FROM traffic
+		WHERE Destination IMPLIES Source
+		WITH SUPPORT >= 50, MULTIPLICITY <= 5, CONFIDENCE >= 0.8 TOP 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Mode != CountImplications {
+		t.Fatalf("mode = %v", q.Mode)
+	}
+	want := imps.Conditions{MaxMultiplicity: 5, MinSupport: 50, TopC: 2, MinTopConfidence: 0.8}
+	if q.Cond != want {
+		t.Fatalf("cond = %+v, want %+v", q.Cond, want)
+	}
+	if !reflect.DeepEqual(q.B, []string{"Source"}) {
+		t.Fatalf("B = %v", q.B)
+	}
+}
+
+func TestParseMultiAttribute(t *testing.T) {
+	q, err := Parse(`SELECT COUNT(DISTINCT A, B) FROM s WHERE A, B IMPLIES E, G`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(q.A, []string{"A", "B"}) || !reflect.DeepEqual(q.B, []string{"E", "G"}) {
+		t.Fatalf("parsed %+v", q)
+	}
+}
+
+func TestParseComplement(t *testing.T) {
+	q, err := Parse(`SELECT COUNT(DISTINCT Source) FROM s WHERE Source NOT IMPLIES Service`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Mode != CountNonImplications {
+		t.Fatalf("mode = %v", q.Mode)
+	}
+}
+
+func TestParseConditional(t *testing.T) {
+	// Table 2: "how many sources contact only one destination during the
+	// morning".
+	q, err := Parse(`
+		SELECT COUNT(DISTINCT Source) FROM traffic
+		WHERE Source IMPLIES Destination
+		AND Time = 'Morning'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Filters) != 1 || q.Filters[0] != (Filter{Attr: "Time", Value: "Morning"}) {
+		t.Fatalf("filters = %+v", q.Filters)
+	}
+	q2 := MustParse(`SELECT COUNT(DISTINCT Source) FROM t WHERE Source IMPLIES Destination AND Service != 'WWW'`)
+	if len(q2.Filters) != 1 || !q2.Filters[0].Negate {
+		t.Fatalf("negated filter = %+v", q2.Filters)
+	}
+}
+
+func TestParseCompound(t *testing.T) {
+	// Table 2: "how many sources contact only one target per service".
+	q, err := Parse(`
+		SELECT COUNT(DISTINCT Source) FROM traffic
+		WHERE Source IMPLIES Destination
+		GROUP BY Service`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(q.GroupBy, []string{"Service"}) {
+		t.Fatalf("GroupBy = %v", q.GroupBy)
+	}
+}
+
+func TestParseWindow(t *testing.T) {
+	q, err := Parse(`
+		SELECT COUNT(DISTINCT Destination) FROM traffic
+		WHERE Destination IMPLIES Source
+		WITH CONFIDENCE >= 0.9 TOP 1, SUPPORT >= 10
+		WINDOW 100000 EVERY 10000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Window != 100000 || q.Every != 10000 {
+		t.Fatalf("window = %d every %d", q.Window, q.Every)
+	}
+	if q.Cond.MinTopConfidence != 0.9 || q.Cond.MinSupport != 10 {
+		t.Fatalf("cond = %+v", q.Cond)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse(`select count(distinct x) from s where x implies y with support >= 2`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT COUNT(DISTINCT) FROM s",
+		"SELECT COUNT(DISTINCT a FROM s",
+		"SELECT COUNT(DISTINCT a) FROM s WHERE b IMPLIES c",      // lhs mismatch
+		"SELECT COUNT(DISTINCT a) FROM s WHERE a IMPLIES",        // missing rhs
+		"SELECT COUNT(DISTINCT a) FROM s WHERE a IMPLIES b WITH", // dangling WITH
+		"SELECT COUNT(DISTINCT a) FROM s WHERE a IMPLIES b WITH BOGUS >= 1",
+		"SELECT COUNT(DISTINCT a) FROM s WHERE a IMPLIES b AND c",  // dangling filter
+		"SELECT COUNT(DISTINCT a) FROM s WHERE a IMPLIES b WINDOW", // missing size
+		"SELECT COUNT(DISTINCT a) FROM s WHERE a IMPLIES b trailing junk",
+		"SELECT COUNT(DISTINCT a) FROM s WHERE a IMPLIES b WITH SUPPORT >= 'x'",
+		"SELECT COUNT(DISTINCT a) FROM s WHERE a IMPLIES b AND t = 'unterminated",
+		"SELECT COUNT(DISTINCT a) FROM s ;;;",
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestParseRoundTripThroughNormalize(t *testing.T) {
+	// The paper's Table 2 examples, rendered in the dialect, must all parse
+	// and normalize against the Table 1 schema.
+	examples := []string{
+		`SELECT COUNT(DISTINCT Source) FROM traffic`,
+		`SELECT COUNT(DISTINCT Destination) FROM traffic WHERE Destination IMPLIES Source`,
+		`SELECT COUNT(DISTINCT Source) FROM traffic WHERE Source IMPLIES Destination WITH MULTIPLICITY <= 10`,
+		`SELECT COUNT(DISTINCT Destination) FROM traffic WHERE Destination IMPLIES Source WITH CONFIDENCE >= 0.8 TOP 1`,
+		`SELECT COUNT(DISTINCT Source) FROM traffic WHERE Source NOT IMPLIES Service`,
+		`SELECT COUNT(DISTINCT Source) FROM traffic WHERE Source IMPLIES Destination AND Time = 'Morning'`,
+		`SELECT COUNT(DISTINCT Source) FROM traffic WHERE Source IMPLIES Destination GROUP BY Service`,
+		`SELECT COUNT(DISTINCT Destination) FROM traffic WHERE Destination IMPLIES Source
+		   WITH CONFIDENCE >= 0.9 TOP 1, SUPPORT >= 10, MULTIPLICITY <= 10 AND Service = 'P2P' WINDOW 3600 EVERY 360`,
+	}
+	schema := mustSchema(t)
+	for _, sql := range examples {
+		q, err := Parse(sql)
+		if err != nil {
+			t.Errorf("parse %q: %v", sql, err)
+			continue
+		}
+		if err := q.Normalize(schema); err != nil {
+			t.Errorf("normalize %q: %v", sql, err)
+		}
+	}
+}

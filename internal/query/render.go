@@ -1,0 +1,77 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// String renders the query back into the SQL-like dialect. A normalized
+// query parses back to itself (modulo whitespace), which the tests pin
+// down; it is also how statements describe themselves in logs and tools.
+func (q Query) String() string {
+	var b strings.Builder
+	attrs := strings.Join(q.A, ", ")
+	if q.Mode == AvgMultiplicity {
+		fmt.Fprintf(&b, "SELECT AVG(MULTIPLICITY(%s)) FROM %s", attrs, q.fromName())
+	} else {
+		fmt.Fprintf(&b, "SELECT COUNT(DISTINCT %s) FROM %s", attrs, q.fromName())
+	}
+	if q.Mode == CountDistinct {
+		return b.String()
+	}
+
+	b.WriteString(" WHERE ")
+	b.WriteString(attrs)
+	if q.Mode == CountNonImplications {
+		b.WriteString(" NOT")
+	}
+	b.WriteString(" IMPLIES ")
+	b.WriteString(strings.Join(q.B, ", "))
+
+	for _, f := range q.Filters {
+		op := "="
+		if f.Negate {
+			op = "!="
+		}
+		fmt.Fprintf(&b, " AND %s %s '%s'", f.Attr, op, f.Value)
+	}
+	if len(q.GroupBy) > 0 {
+		fmt.Fprintf(&b, " GROUP BY %s", strings.Join(q.GroupBy, ", "))
+	}
+
+	var with []string
+	if q.Cond.MinSupport > 1 {
+		with = append(with, fmt.Sprintf("SUPPORT >= %d", q.Cond.MinSupport))
+	}
+	if q.Cond.MaxMultiplicity > 1 {
+		with = append(with, fmt.Sprintf("MULTIPLICITY <= %d", q.Cond.MaxMultiplicity))
+	}
+	if q.Cond.MinTopConfidence > 0 && q.Cond.MinTopConfidence < 1 || q.Cond.TopC > 1 {
+		conf := strconv.FormatFloat(q.Cond.MinTopConfidence, 'g', -1, 64)
+		clause := fmt.Sprintf("CONFIDENCE >= %s", conf)
+		if q.Cond.TopC > 1 {
+			clause += fmt.Sprintf(" TOP %d", q.Cond.TopC)
+		}
+		with = append(with, clause)
+	}
+	if len(with) > 0 {
+		b.WriteString(" WITH ")
+		b.WriteString(strings.Join(with, ", "))
+	}
+
+	if q.Window > 0 {
+		fmt.Fprintf(&b, " WINDOW %d", q.Window)
+		if q.Every > 0 {
+			fmt.Fprintf(&b, " EVERY %d", q.Every)
+		}
+	}
+	return b.String()
+}
+
+func (q Query) fromName() string {
+	if q.From == "" {
+		return "stream"
+	}
+	return q.From
+}

@@ -1,0 +1,138 @@
+package query
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"implicate/internal/imps"
+	"implicate/internal/stream"
+)
+
+// TestRenderRoundTrip: a normalized query rendered by String must parse and
+// normalize back to an identical query.
+func TestRenderRoundTrip(t *testing.T) {
+	schema := stream.MustSchema("a", "b", "c", "d", "e")
+	examples := []Query{
+		{A: []string{"a"}, Mode: CountDistinct, From: "s"},
+		{A: []string{"a"}, B: []string{"b"}, From: "s"},
+		{A: []string{"a", "b"}, B: []string{"c", "d"}, From: "s"},
+		{A: []string{"a"}, B: []string{"b"}, Mode: CountNonImplications, From: "s"},
+		{A: []string{"a"}, B: []string{"b"}, Mode: AvgMultiplicity, From: "s",
+			Cond: imps.Conditions{MaxMultiplicity: 7}},
+		{A: []string{"a"}, B: []string{"b"}, From: "s",
+			Cond: imps.Conditions{MaxMultiplicity: 5, MinSupport: 50, TopC: 2, MinTopConfidence: 0.8}},
+		{A: []string{"a"}, B: []string{"b"}, From: "s",
+			Filters: []Filter{{Attr: "c", Value: "x"}, {Attr: "d", Value: "y", Negate: true}}},
+		{A: []string{"a"}, B: []string{"b"}, From: "s", GroupBy: []string{"c"}},
+		{A: []string{"a"}, B: []string{"b"}, From: "s", Window: 1000, Every: 100},
+	}
+	for _, q := range examples {
+		if err := q.Normalize(schema); err != nil {
+			t.Fatalf("normalize %+v: %v", q, err)
+		}
+		sql := q.String()
+		back, err := Parse(sql)
+		if err != nil {
+			t.Errorf("rendered query does not parse: %q: %v", sql, err)
+			continue
+		}
+		if err := back.Normalize(schema); err != nil {
+			t.Errorf("rendered query does not normalize: %q: %v", sql, err)
+			continue
+		}
+		if !reflect.DeepEqual(q, *back) {
+			t.Errorf("round trip changed the query:\n  in:  %+v\n  sql: %s\n  out: %+v", q, sql, *back)
+		}
+	}
+}
+
+// TestRenderRoundTripRandom fuzzes the renderer with random valid queries.
+func TestRenderRoundTripRandom(t *testing.T) {
+	schema := stream.MustSchema("a", "b", "c", "d", "e", "f")
+	rng := rand.New(rand.NewSource(42))
+	attrs := []string{"a", "b", "c", "d", "e", "f"}
+	for trial := 0; trial < 300; trial++ {
+		perm := rng.Perm(len(attrs))
+		q := Query{From: "s"}
+		q.A = []string{attrs[perm[0]]}
+		if rng.Intn(2) == 0 {
+			q.A = append(q.A, attrs[perm[1]])
+		}
+		q.B = []string{attrs[perm[2]]}
+		switch rng.Intn(4) {
+		case 0:
+			q.Mode = CountNonImplications
+		case 1:
+			q.Mode = AvgMultiplicity
+		}
+		if rng.Intn(2) == 0 {
+			q.Cond = imps.Conditions{
+				MaxMultiplicity:  1 + rng.Intn(9),
+				MinSupport:       int64(1 + rng.Intn(100)),
+				TopC:             1,
+				MinTopConfidence: []float64{0.5, 0.75, 0.9, 1.0}[rng.Intn(4)],
+			}
+			if q.Cond.MaxMultiplicity > 2 && rng.Intn(2) == 0 {
+				q.Cond.TopC = 2
+			}
+		}
+		if rng.Intn(3) == 0 {
+			q.Filters = []Filter{{Attr: attrs[perm[3]], Value: "v1", Negate: rng.Intn(2) == 0}}
+		}
+		if rng.Intn(3) == 0 {
+			q.GroupBy = []string{attrs[perm[4]]}
+		}
+		if rng.Intn(3) == 0 {
+			q.Window = int64(100 + rng.Intn(1000))
+			q.Every = int64(1 + rng.Intn(100))
+		}
+		if err := q.Normalize(schema); err != nil {
+			t.Fatalf("trial %d: normalize: %v (%+v)", trial, err, q)
+		}
+		sql := q.String()
+		back, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("trial %d: parse %q: %v", trial, sql, err)
+		}
+		if err := back.Normalize(schema); err != nil {
+			t.Fatalf("trial %d: re-normalize %q: %v", trial, sql, err)
+		}
+		if !reflect.DeepEqual(q, *back) {
+			t.Fatalf("trial %d: round trip changed the query:\n  in:  %+v\n  sql: %s\n  out: %+v",
+				trial, q, sql, *back)
+		}
+	}
+}
+
+// TestAvgMultiplicityQuery evaluates Table 2's complex aggregate on the
+// Table 1 stream: the average number of destinations per implicating
+// source.
+func TestAvgMultiplicityQuery(t *testing.T) {
+	st := run(t, `
+		SELECT AVG(MULTIPLICITY(Source)) FROM traffic
+		WHERE Source IMPLIES Destination
+		WITH MULTIPLICITY <= 10, CONFIDENCE >= 0.5 TOP 1`)
+	// S1 → {D2,D3}, S2 → {D1}, S3 → {D3}: all three pass at ψ=0.5 top-1
+	// (S1's top destination D3 covers 4/5), so the average multiplicity is
+	// (2+1+1)/3.
+	want := 4.0 / 3
+	if got := st.Count(); got != want {
+		t.Fatalf("avg multiplicity = %v, want %v", got, want)
+	}
+}
+
+func TestAvgParserErrors(t *testing.T) {
+	bad := []string{
+		`SELECT AVG(MULTIPLICITY(a)) FROM s`,                       // missing WHERE
+		`SELECT AVG(MULTIPLICITY(a)) FROM s WHERE a NOT IMPLIES b`, // NOT with AVG
+		`SELECT AVG(COUNT(a)) FROM s WHERE a IMPLIES b`,            // wrong aggregate
+		`SELECT AVG(MULTIPLICITY(a) FROM s WHERE a IMPLIES b`,      // paren
+		`SELECT MAX(MULTIPLICITY(a)) FROM s WHERE a IMPLIES b`,     // unknown fn
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("accepted %q", sql)
+		}
+	}
+}

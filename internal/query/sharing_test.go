@@ -1,0 +1,114 @@
+package query
+
+import (
+	"testing"
+
+	"implicate/internal/exact"
+	"implicate/internal/imps"
+	"implicate/internal/stream"
+)
+
+// TestEstimatorSharing: the four read-modes of one predicate must share a
+// single estimator, fed exactly once per tuple, and still answer
+// consistently.
+func TestEstimatorSharing(t *testing.T) {
+	e := NewEngine(mustSchema(t))
+	base := `FROM traffic WHERE Source %s IMPLIES Destination WITH MULTIPLICITY <= 10, CONFIDENCE >= 0.5 TOP 1`
+	imp, err := e.RegisterSQL(`SELECT COUNT(DISTINCT Source) `+sprintfBase(base, ""), exactBackend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	non, err := e.RegisterSQL(`SELECT COUNT(DISTINCT Source) `+sprintfBase(base, "NOT"), exactBackend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := e.RegisterSQL(`SELECT AVG(MULTIPLICITY(Source)) `+sprintfBase(base, ""), exactBackend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.Estimator() != non.Estimator() || imp.Estimator() != avg.Estimator() {
+		t.Fatal("statements did not share the estimator")
+	}
+	if _, err := e.Consume(stream.NewMemSource(table1())); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly 8 tuples must have been observed — sharing must not
+	// double-feed.
+	if got := imp.Estimator().Tuples(); got != 8 {
+		t.Fatalf("shared estimator saw %d tuples, want 8", got)
+	}
+	// All three sources pass at ψ=0.5/K=10; none violate.
+	if imp.Count() != 3 || non.Count() != 0 {
+		t.Fatalf("imp=%v non=%v", imp.Count(), non.Count())
+	}
+	if want := 4.0 / 3; avg.Count() != want {
+		t.Fatalf("avg=%v want %v", avg.Count(), want)
+	}
+}
+
+// sprintfBase avoids importing fmt for one call site.
+func sprintfBase(base, not string) string {
+	out := ""
+	for i := 0; i < len(base); i++ {
+		if base[i] == '%' && i+1 < len(base) && base[i+1] == 's' {
+			out += not
+			i++
+			continue
+		}
+		out += string(base[i])
+	}
+	return out
+}
+
+// TestNoSharingAcrossPredicates: different conditions or attributes must
+// NOT share.
+func TestNoSharingAcrossPredicates(t *testing.T) {
+	e := NewEngine(mustSchema(t))
+	a, err := e.RegisterSQL(`SELECT COUNT(DISTINCT Source) FROM t WHERE Source IMPLIES Destination`, exactBackend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.RegisterSQL(`SELECT COUNT(DISTINCT Source) FROM t WHERE Source IMPLIES Service`, exactBackend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := e.RegisterSQL(`SELECT COUNT(DISTINCT Source) FROM t WHERE Source IMPLIES Destination WITH SUPPORT >= 2`, exactBackend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := e.RegisterSQL(`SELECT COUNT(DISTINCT Source) FROM t WHERE Source IMPLIES Destination AND Time = 'Morning'`, exactBackend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests := map[interface{}]bool{}
+	for _, st := range []*Statement{a, b, c, d} {
+		ests[st.Estimator()] = true
+	}
+	if len(ests) != 4 {
+		t.Fatalf("distinct predicates shared estimators: %d unique of 4", len(ests))
+	}
+}
+
+// TestNoSharingAcrossBackends: the same query with different backend
+// functions keeps separate estimators.
+func TestNoSharingAcrossBackends(t *testing.T) {
+	e := NewEngine(mustSchema(t))
+	sql := `SELECT COUNT(DISTINCT Source) FROM t WHERE Source IMPLIES Destination`
+	a, err := e.RegisterSQL(sql, exactBackend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.RegisterSQL(sql, exactBackendTwin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimator() == b.Estimator() {
+		t.Fatal("different backends shared an estimator")
+	}
+}
+
+// exactBackendTwin behaves exactly like exactBackend but is a distinct
+// function value.
+func exactBackendTwin(cond imps.Conditions) (imps.Estimator, error) {
+	return exact.NewCounter(cond)
+}

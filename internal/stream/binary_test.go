@@ -1,0 +1,177 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	schema := MustSchema("Source", "Destination", "Service")
+	tuples := []Tuple{
+		{"S1", "D2", "WWW"},
+		{"", "D1", "FTP"}, // empty values are legal
+		{"S3 with spaces", "D3\twith\ttabs", "P2P\nnewline"}, // bytes the text codec forbids
+	}
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf, schema)
+	for _, tup := range tuples {
+		if err := w.Write(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewBinaryReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Schema().Names(), schema.Names()) {
+		t.Fatalf("schema = %v", r.Schema().Names())
+	}
+	var got []Tuple
+	for {
+		tup, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, append(Tuple(nil), tup...))
+	}
+	if !reflect.DeepEqual(got, tuples) {
+		t.Fatalf("round trip: %v", got)
+	}
+}
+
+func TestBinaryRoundTripQuick(t *testing.T) {
+	schema := MustSchema("a", "b")
+	f := func(raw [][2]string) bool {
+		var tuples []Tuple
+		for _, p := range raw {
+			if strings.ContainsRune(p[0], rune(KeySep)) || strings.ContainsRune(p[1], rune(KeySep)) {
+				return true // reserved byte, writer rejects by design
+			}
+			tuples = append(tuples, Tuple{p[0], p[1]})
+		}
+		var buf bytes.Buffer
+		w := NewBinaryWriter(&buf, schema)
+		for _, tup := range tuples {
+			if err := w.Write(tup); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r, err := NewBinaryReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		for _, want := range tuples {
+			got, err := r.Next()
+			if err != nil || !reflect.DeepEqual(append(Tuple(nil), got...), want) {
+				return false
+			}
+		}
+		_, err = r.Next()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryWriterRejects(t *testing.T) {
+	schema := MustSchema("a")
+	w := NewBinaryWriter(io.Discard, schema)
+	if err := w.Write(Tuple{"with\x1fsep"}); err == nil {
+		t.Error("key separator accepted")
+	}
+	if err := w.Write(Tuple{"x", "y"}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestBinaryReaderErrors(t *testing.T) {
+	if _, err := NewBinaryReader(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := NewBinaryReader(strings.NewReader("NOTMAGIC")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// A valid header followed by a truncated record.
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf, MustSchema("a", "b"))
+	if err := w.Write(Tuple{"x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	r, err := NewBinaryReader(bytes.NewReader(data[:len(data)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("truncated record accepted")
+	}
+}
+
+func TestBinaryEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf, MustSchema("x"))
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewBinaryReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("empty stream Next = %v", err)
+	}
+}
+
+func TestOpenReaderSniffs(t *testing.T) {
+	schema := MustSchema("a", "b")
+	tuple := Tuple{"1", "2"}
+
+	var text bytes.Buffer
+	tw := NewWriter(&text, schema)
+	if err := tw.Write(tuple); err != nil {
+		t.Fatal(err)
+	}
+	tw.Flush()
+
+	var bin bytes.Buffer
+	bw := NewBinaryWriter(&bin, schema)
+	if err := bw.Write(tuple); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+
+	for name, data := range map[string][]byte{"text": text.Bytes(), "binary": bin.Bytes()} {
+		src, sch, err := OpenReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(sch.Names(), schema.Names()) {
+			t.Fatalf("%s: schema %v", name, sch.Names())
+		}
+		got, err := src.Next()
+		if err != nil || got[0] != "1" || got[1] != "2" {
+			t.Fatalf("%s: tuple %v, %v", name, got, err)
+		}
+		if _, err := src.Next(); err != io.EOF {
+			t.Fatalf("%s: expected EOF, got %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The on-disk format is deliberately simple: a header line with the
+// tab-separated attribute names, then one tab-separated record per line.
+// Values may not contain tabs, newlines, or the key separator.
+
+// Writer encodes tuples to an io.Writer in the text format.
+type Writer struct {
+	w      *bufio.Writer
+	schema *Schema
+	wrote  bool
+}
+
+// NewWriter returns a Writer that emits a header for schema on the first
+// Write.
+func NewWriter(w io.Writer, schema *Schema) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), schema: schema}
+}
+
+// Write implements Sink.
+func (w *Writer) Write(t Tuple) error {
+	if !w.wrote {
+		w.wrote = true
+		if _, err := w.w.WriteString(strings.Join(w.schema.names, "\t")); err != nil {
+			return err
+		}
+		if err := w.w.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	if len(t) != w.schema.Len() {
+		return fmt.Errorf("stream: tuple arity %d does not match schema arity %d", len(t), w.schema.Len())
+	}
+	for i, v := range t {
+		if strings.ContainsAny(v, "\t\n\x1f") {
+			return fmt.Errorf("stream: value %q contains a reserved character", v)
+		}
+		if i > 0 {
+			if err := w.w.WriteByte('\t'); err != nil {
+				return err
+			}
+		}
+		if _, err := w.w.WriteString(v); err != nil {
+			return err
+		}
+	}
+	return w.w.WriteByte('\n')
+}
+
+// Flush flushes buffered output; call it before closing the underlying
+// writer.
+func (w *Writer) Flush() error {
+	if !w.wrote {
+		// Emit the header even for empty streams so readers learn the schema.
+		w.wrote = true
+		if _, err := w.w.WriteString(strings.Join(w.schema.names, "\t")); err != nil {
+			return err
+		}
+		if err := w.w.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return w.w.Flush()
+}
+
+// Reader decodes tuples from an io.Reader in the text format.
+type Reader struct {
+	s      *bufio.Scanner
+	schema *Schema
+	fields []string
+	line   int
+}
+
+// NewReader reads the header line and returns a Reader positioned at the
+// first tuple.
+func NewReader(r io.Reader) (*Reader, error) {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 1<<16), 1<<22)
+	if !s.Scan() {
+		if err := s.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("stream: missing header line")
+	}
+	schema, err := NewSchema(strings.Split(s.Text(), "\t")...)
+	if err != nil {
+		return nil, fmt.Errorf("stream: bad header: %w", err)
+	}
+	return &Reader{s: s, schema: schema, fields: make([]string, schema.Len()), line: 1}, nil
+}
+
+// Schema returns the schema read from the header.
+func (r *Reader) Schema() *Schema { return r.schema }
+
+// Next implements Source. The returned tuple aliases an internal buffer and
+// is only valid until the next call.
+func (r *Reader) Next() (Tuple, error) {
+	if !r.s.Scan() {
+		if err := r.s.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+	r.line++
+	line := r.s.Text()
+	n := 0
+	for {
+		i := strings.IndexByte(line, '\t')
+		if i < 0 {
+			break
+		}
+		if n >= len(r.fields)-1 {
+			return nil, fmt.Errorf("stream: line %d has more than %d fields", r.line, len(r.fields))
+		}
+		r.fields[n] = line[:i]
+		line = line[i+1:]
+		n++
+	}
+	r.fields[n] = line
+	n++
+	if n != len(r.fields) {
+		return nil, fmt.Errorf("stream: line %d has %d fields, want %d", r.line, n, len(r.fields))
+	}
+	return Tuple(r.fields), nil
+}

@@ -1,0 +1,268 @@
+package stream
+
+import (
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSchema(t *testing.T) {
+	s, err := NewSchema("Source", "Destination", "Service", "Time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if i, ok := s.Index("Service"); !ok || i != 2 {
+		t.Fatalf("Index(Service) = %d,%v", i, ok)
+	}
+	if _, ok := s.Index("Nope"); ok {
+		t.Fatal("unknown attribute found")
+	}
+	if !reflect.DeepEqual(s.Names(), []string{"Source", "Destination", "Service", "Time"}) {
+		t.Fatalf("Names = %v", s.Names())
+	}
+}
+
+func TestNewSchemaErrors(t *testing.T) {
+	if _, err := NewSchema(); err == nil {
+		t.Error("empty schema accepted")
+	}
+	if _, err := NewSchema("a", ""); err == nil {
+		t.Error("empty attribute name accepted")
+	}
+	if _, err := NewSchema("a", "b", "a"); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSchema did not panic")
+		}
+	}()
+	MustSchema()
+}
+
+func TestProjKeyAndValues(t *testing.T) {
+	s := MustSchema("Source", "Destination", "Service")
+	tup := Tuple{"S1", "D2", "WWW"}
+
+	p := s.MustProj("Source", "Destination")
+	if got := p.Key(tup); got != "S1\x1fD2" {
+		t.Fatalf("Key = %q", got)
+	}
+	if got := p.Values(tup); !reflect.DeepEqual(got, []string{"S1", "D2"}) {
+		t.Fatalf("Values = %v", got)
+	}
+	if p.Arity() != 2 {
+		t.Fatalf("Arity = %d", p.Arity())
+	}
+
+	single := s.MustProj("Service")
+	if got := single.Key(tup); got != "WWW" {
+		t.Fatalf("single Key = %q", got)
+	}
+
+	reordered := s.MustProj("Service", "Source")
+	if got := reordered.Key(tup); got != "WWW\x1fS1" {
+		t.Fatalf("reordered Key = %q", got)
+	}
+}
+
+func TestProjErrors(t *testing.T) {
+	s := MustSchema("a", "b")
+	if _, err := s.Proj(); err == nil {
+		t.Error("empty projection accepted")
+	}
+	if _, err := s.Proj("zzz"); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestAppendKeyMatchesKey(t *testing.T) {
+	s := MustSchema("a", "b", "c")
+	p := s.MustProj("c", "a")
+	tup := Tuple{"x", "y", "z"}
+	if got := string(p.AppendKey(nil, tup)); got != p.Key(tup) {
+		t.Fatalf("AppendKey %q != Key %q", got, p.Key(tup))
+	}
+	buf := p.AppendKey(make([]byte, 0, 64), tup)
+	buf = p.AppendKey(buf[:0], tup)
+	if string(buf) != p.Key(tup) {
+		t.Fatal("AppendKey with reused buffer diverged")
+	}
+}
+
+func TestSplitJoinKeyRoundTrip(t *testing.T) {
+	f := func(parts []string) bool {
+		if len(parts) == 0 {
+			return true
+		}
+		for _, p := range parts {
+			if strings.ContainsRune(p, rune(KeySep)) {
+				return true // codec forbids the separator; skip
+			}
+		}
+		return reflect.DeepEqual(SplitKey(JoinKey(parts...)), parts)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyInjective(t *testing.T) {
+	// Distinct value tuples must encode to distinct keys.
+	s := MustSchema("a", "b")
+	p := s.MustProj("a", "b")
+	k1 := p.Key(Tuple{"xy", "z"})
+	k2 := p.Key(Tuple{"x", "yz"})
+	if k1 == k2 {
+		t.Fatal("keys collide across value boundaries")
+	}
+}
+
+func TestMemSourceSink(t *testing.T) {
+	tuples := []Tuple{{"1", "a"}, {"2", "b"}, {"3", "c"}}
+	src := NewMemSource(tuples)
+	var sink MemSink
+	n, err := Each(src, sink.Write)
+	if err != nil || n != 3 {
+		t.Fatalf("Each = %d, %v", n, err)
+	}
+	if !reflect.DeepEqual(sink.Tuples, tuples) {
+		t.Fatalf("sink = %v", sink.Tuples)
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("drained source Next = %v, want EOF", err)
+	}
+	src.Reset()
+	if tup, err := src.Next(); err != nil || tup[0] != "1" {
+		t.Fatalf("after Reset: %v, %v", tup, err)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	schema := MustSchema("Source", "Destination", "Service", "Time")
+	tuples := []Tuple{
+		{"S1", "D2", "WWW", "Morning"},
+		{"S2", "D1", "FTP", "Morning"},
+		{"S3", "D3", "P2P", "Night"},
+	}
+	var buf strings.Builder
+	w := NewWriter(&buf, schema)
+	for _, tup := range tuples {
+		if err := w.Write(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Schema().Names(), schema.Names()) {
+		t.Fatalf("schema round trip: %v", r.Schema().Names())
+	}
+	var got []Tuple
+	if _, err := Each(r, func(tup Tuple) error {
+		got = append(got, append(Tuple(nil), tup...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tuples) {
+		t.Fatalf("tuples round trip: %v", got)
+	}
+}
+
+func TestWriterRejectsBadValues(t *testing.T) {
+	schema := MustSchema("a")
+	w := NewWriter(io.Discard, schema)
+	if err := w.Write(Tuple{"with\ttab"}); err == nil {
+		t.Error("tab accepted")
+	}
+	if err := w.Write(Tuple{"with\nnewline"}); err == nil {
+		t.Error("newline accepted")
+	}
+	if err := w.Write(Tuple{"with\x1fsep"}); err == nil {
+		t.Error("separator accepted")
+	}
+	if err := w.Write(Tuple{"a", "b"}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestWriterEmptyStreamHeader(t *testing.T) {
+	schema := MustSchema("x", "y")
+	var buf strings.Builder
+	w := NewWriter(&buf, schema)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Schema().Names(), []string{"x", "y"}) {
+		t.Fatalf("schema = %v", r.Schema().Names())
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("empty stream Next = %v", err)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("")); err == nil {
+		t.Error("missing header accepted")
+	}
+	r, err := NewReader(strings.NewReader("a\tb\n1\t2\t3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("over-long record accepted")
+	}
+	r2, err := NewReader(strings.NewReader("a\tb\nonly-one\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Next(); err == nil {
+		t.Error("short record accepted")
+	}
+}
+
+func TestEachStopsOnError(t *testing.T) {
+	src := NewMemSource([]Tuple{{"1"}, {"2"}, {"3"}})
+	n, err := Each(src, func(tup Tuple) error {
+		if tup[0] == "2" {
+			return io.ErrUnexpectedEOF
+		}
+		return nil
+	})
+	if err != io.ErrUnexpectedEOF || n != 2 {
+		t.Fatalf("Each = %d, %v", n, err)
+	}
+}
+
+func TestProjAttrs(t *testing.T) {
+	s := MustSchema("a", "b", "c")
+	p := s.MustProj("c", "a")
+	got := p.Attrs()
+	if len(got) != 2 || got[0] != "c" || got[1] != "a" {
+		t.Fatalf("Attrs = %v", got)
+	}
+	// The returned slice is a copy; mutating it must not affect the
+	// projection.
+	got[0] = "zzz"
+	if p.Attrs()[0] != "c" {
+		t.Fatal("Attrs exposed internal state")
+	}
+}

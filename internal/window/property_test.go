@@ -1,0 +1,77 @@
+package window
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"implicate/internal/exact"
+	"implicate/internal/imps"
+)
+
+// TestSlidingMatchesBruteForce: with the exact backend, the sliding
+// window's counts must equal an exact counter replayed over precisely the
+// suffix the window reader selects — the oldest origin at or after n−width,
+// origins being multiples of the granularity (plus origin 0).
+func TestSlidingMatchesBruteForce(t *testing.T) {
+	type tuple struct{ a, b string }
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		width := int64(50 + rng.Intn(300))
+		gran := int64(1 + rng.Intn(int(width)))
+		cnd := imps.Conditions{
+			MaxMultiplicity:  1 + rng.Intn(3),
+			MinSupport:       int64(1 + rng.Intn(4)),
+			TopC:             1,
+			MinTopConfidence: []float64{0.5, 0.8, 1.0}[rng.Intn(3)],
+		}
+		n := 100 + rng.Intn(900)
+		stream := make([]tuple, n)
+		for i := range stream {
+			stream[i] = tuple{
+				a: fmt.Sprintf("a%d", rng.Intn(40)),
+				b: fmt.Sprintf("b%d", rng.Intn(6)),
+			}
+		}
+
+		s := MustSliding(width, gran, func() imps.Estimator { return exact.MustCounter(cnd) })
+		for _, tp := range stream {
+			s.Add(tp.a, tp.b)
+		}
+
+		// The origin the reader must have chosen.
+		cut := int64(n) - width
+		var origin int64
+		if cut > 0 {
+			origin = (cut + gran - 1) / gran * gran
+		}
+		ref := exact.MustCounter(cnd)
+		for _, tp := range stream[origin:] {
+			ref.Add(tp.a, tp.b)
+		}
+
+		return s.ImplicationCount() == ref.ImplicationCount() &&
+			s.NonImplicationCount() == ref.NonImplicationCount() &&
+			s.SupportedDistinct() == ref.SupportedDistinct() &&
+			s.AvgMultiplicity() == ref.AvgMultiplicity()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSlidingMemoryStaysBounded: the number of live estimators never
+// exceeds width/gran + 2 no matter how long the stream runs.
+func TestSlidingMemoryStaysBounded(t *testing.T) {
+	cnd := imps.Conditions{MaxMultiplicity: 1, MinSupport: 1, TopC: 1, MinTopConfidence: 1}
+	width, gran := int64(400), int64(50)
+	s := MustSliding(width, gran, func() imps.Estimator { return exact.MustCounter(cnd) })
+	bound := int(width/gran) + 2
+	for i := 0; i < 20000; i++ {
+		s.Add(fmt.Sprintf("a%d", i%33), "b")
+		if got := s.Estimators(); got > bound {
+			t.Fatalf("tuple %d: %d live estimators exceed bound %d", i, got, bound)
+		}
+	}
+}

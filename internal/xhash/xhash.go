@@ -1,0 +1,105 @@
+// Package xhash provides the seeded 64-bit hash family the probabilistic
+// counting algorithms are built on (§4.1 of the paper). The paper only
+// requires a hash function that maps itemsets to uniformly distributed
+// binary strings; we use an FNV-1a core with a splitmix64 finalizer, which
+// passes the avalanche requirements of Flajolet–Martin style sketches and
+// needs nothing outside the standard library.
+package xhash
+
+import "math/bits"
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hash is one member of the seeded hash family. The zero value is a valid
+// member (seed 0); distinct seeds yield hash functions that behave
+// independently for the purposes of stochastic averaging.
+type Hash struct {
+	seed uint64
+}
+
+// New returns the family member with the given seed.
+func New(seed uint64) Hash { return Hash{seed: seed} }
+
+// Sum hashes a string key to a uniformly distributed 64-bit value.
+func (h Hash) Sum(key string) uint64 {
+	x := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		x ^= uint64(key[i])
+		x *= fnvPrime
+	}
+	return Mix(x ^ h.seed)
+}
+
+// SumBytes hashes a byte-slice key; it is equivalent to Sum(string(key))
+// without the conversion allocation.
+func (h Hash) SumBytes(key []byte) uint64 {
+	x := uint64(fnvOffset)
+	for _, c := range key {
+		x ^= uint64(c)
+		x *= fnvPrime
+	}
+	return Mix(x ^ h.seed)
+}
+
+// SumUint64 hashes an integer key directly; handy for synthetic workloads
+// whose itemsets are machine integers.
+func (h Hash) SumUint64(key uint64) uint64 {
+	return Mix(Mix(key) ^ h.seed)
+}
+
+// Mix is the splitmix64 finalizer: a bijective avalanche function on 64-bit
+// words. Exposed so generators can derive independent sub-seeds.
+func Mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Rank is the function p(y) of §4.1.1: the position of the least significant
+// 1-bit of y, with position 0 the least significant bit. Rank(0) returns 63
+// (the all-zero hash lands in the very last cell rather than being dropped,
+// which happens with probability 2^-64).
+func Rank(y uint64) int {
+	if y == 0 {
+		return 63
+	}
+	return bits.TrailingZeros64(y)
+}
+
+// Router splits a hash value into a bitmap index and a rank, implementing
+// the stochastic-averaging scheme of §4.7 / Flajolet–Martin PCSA: the low
+// log2(m) bits select one of m bitmaps and the remaining bits provide the
+// geometric rank, so each distinct itemset updates exactly one bitmap.
+type Router struct {
+	mask  uint64
+	shift uint
+	m     int
+}
+
+// NewRouter returns a Router over m bitmaps. m must be a power of two
+// between 1 and 2^16.
+func NewRouter(m int) (Router, error) {
+	if m < 1 || m > 1<<16 || m&(m-1) != 0 {
+		return Router{}, errNotPow2(m)
+	}
+	shift := uint(bits.TrailingZeros(uint(m)))
+	return Router{mask: uint64(m - 1), shift: shift, m: m}, nil
+}
+
+// Bitmaps returns the number of bitmaps the router splits across.
+func (r Router) Bitmaps() int { return r.m }
+
+// Route maps a hash value to (bitmap index, rank within that bitmap).
+func (r Router) Route(h uint64) (bm, rank int) {
+	return int(h & r.mask), Rank(h >> r.shift)
+}
+
+type errNotPow2 int
+
+func (e errNotPow2) Error() string {
+	return "xhash: bitmap count must be a power of two in [1, 65536]"
+}

@@ -1,0 +1,154 @@
+package xhash
+
+import (
+	"math"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumDeterministic(t *testing.T) {
+	h := New(42)
+	if h.Sum("alpha") != h.Sum("alpha") {
+		t.Fatal("hash is not deterministic")
+	}
+	if h.Sum("alpha") == h.Sum("beta") {
+		t.Fatal("distinct keys unexpectedly collide")
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		k := strconv.Itoa(i)
+		if a.Sum(k) == b.Sum(k) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/64 keys hash identically under different seeds", same)
+	}
+}
+
+func TestSumBytesMatchesSum(t *testing.T) {
+	f := func(key []byte, seed uint64) bool {
+		h := New(seed)
+		return h.SumBytes(key) == h.Sum(string(key))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRank(t *testing.T) {
+	cases := []struct {
+		y    uint64
+		want int
+	}{
+		{0, 63},
+		{1, 0},
+		{2, 1},
+		{3, 0},
+		{4, 2},
+		{1 << 40, 40},
+		{math.MaxUint64, 0},
+		{1 << 63, 63},
+	}
+	for _, tc := range cases {
+		if got := Rank(tc.y); got != tc.want {
+			t.Errorf("Rank(%d) = %d, want %d", tc.y, got, tc.want)
+		}
+	}
+}
+
+// TestRankDistribution verifies the geometric law of Lemma 1: about half the
+// hash values rank 0, a quarter rank 1, and so on.
+func TestRankDistribution(t *testing.T) {
+	h := New(7)
+	const n = 1 << 16
+	var counts [64]int
+	for i := 0; i < n; i++ {
+		counts[Rank(h.SumUint64(uint64(i)))]++
+	}
+	for r := 0; r < 8; r++ {
+		expected := float64(n) / math.Exp2(float64(r+1))
+		got := float64(counts[r])
+		if got < 0.85*expected || got > 1.15*expected {
+			t.Errorf("rank %d: got %v values, expected ≈%v", r, got, expected)
+		}
+	}
+}
+
+func TestMixBijectivitySample(t *testing.T) {
+	seen := make(map[uint64]uint64, 1<<12)
+	for i := uint64(0); i < 1<<12; i++ {
+		m := Mix(i)
+		if prev, dup := seen[m]; dup {
+			t.Fatalf("Mix collision: Mix(%d) == Mix(%d)", i, prev)
+		}
+		seen[m] = i
+	}
+}
+
+func TestNewRouterValidation(t *testing.T) {
+	for _, m := range []int{1, 2, 64, 1 << 16} {
+		if _, err := NewRouter(m); err != nil {
+			t.Errorf("NewRouter(%d): unexpected error %v", m, err)
+		}
+	}
+	for _, m := range []int{0, -4, 3, 63, 1<<16 + 1, 1 << 17} {
+		if _, err := NewRouter(m); err == nil {
+			t.Errorf("NewRouter(%d): expected error", m)
+		}
+	}
+}
+
+func TestRouterCoversAllBitmaps(t *testing.T) {
+	r, err := NewRouter(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(3)
+	hits := make([]int, 16)
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		bm, rank := r.Route(h.SumUint64(uint64(i)))
+		if bm < 0 || bm >= 16 {
+			t.Fatalf("bitmap index %d out of range", bm)
+		}
+		if rank < 0 || rank > 63 {
+			t.Fatalf("rank %d out of range", rank)
+		}
+		hits[bm]++
+	}
+	for bm, c := range hits {
+		expected := n / 16
+		if c < expected*80/100 || c > expected*120/100 {
+			t.Errorf("bitmap %d received %d hashes, expected ≈%d", bm, c, expected)
+		}
+	}
+}
+
+// TestRouterRankIndependent checks the rank distribution holds within each
+// routed bitmap (the bits spent on routing must not bias the rank).
+func TestRouterRankIndependent(t *testing.T) {
+	r, _ := NewRouter(8)
+	h := New(11)
+	const n = 1 << 16
+	rank0 := make([]int, 8)
+	total := make([]int, 8)
+	for i := 0; i < n; i++ {
+		bm, rank := r.Route(h.SumUint64(uint64(i)))
+		total[bm]++
+		if rank == 0 {
+			rank0[bm]++
+		}
+	}
+	for bm := range total {
+		frac := float64(rank0[bm]) / float64(total[bm])
+		if frac < 0.45 || frac > 0.55 {
+			t.Errorf("bitmap %d: rank-0 fraction %v, expected ≈0.5", bm, frac)
+		}
+	}
+}

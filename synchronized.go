@@ -1,0 +1,82 @@
+package implicate
+
+import "sync"
+
+// Synchronized wraps an estimator with a mutex so multiple goroutines can
+// feed and query it concurrently. The underlying estimators are
+// deliberately lock-free single-writer structures (a router's fast path
+// must not pay for synchronization it does not need, §4.6); wrap them only
+// when tuples genuinely arrive from multiple goroutines.
+//
+// If the wrapped estimator supports AvgMultiplicity the wrapper forwards
+// it; otherwise AvgMultiplicity returns 0.
+func Synchronized(est Estimator) *SyncEstimator {
+	return &SyncEstimator{est: est}
+}
+
+// SyncEstimator is a mutex-guarded estimator; see Synchronized.
+type SyncEstimator struct {
+	mu  sync.Mutex
+	est Estimator
+}
+
+// Add observes one tuple.
+func (s *SyncEstimator) Add(a, b string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.est.Add(a, b)
+}
+
+// ImplicationCount estimates S.
+func (s *SyncEstimator) ImplicationCount() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.est.ImplicationCount()
+}
+
+// NonImplicationCount estimates ~S.
+func (s *SyncEstimator) NonImplicationCount() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.est.NonImplicationCount()
+}
+
+// SupportedDistinct estimates F0^sup(A).
+func (s *SyncEstimator) SupportedDistinct() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.est.SupportedDistinct()
+}
+
+// Tuples returns the number of tuples observed.
+func (s *SyncEstimator) Tuples() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.est.Tuples()
+}
+
+// MemEntries reports the wrapped estimator's footprint.
+func (s *SyncEstimator) MemEntries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.est.MemEntries()
+}
+
+// AvgMultiplicity forwards to the wrapped estimator when supported.
+func (s *SyncEstimator) AvgMultiplicity() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ma, ok := s.est.(MultiplicityAverager); ok {
+		return ma.AvgMultiplicity()
+	}
+	return 0
+}
+
+// Unwrap returns the underlying estimator. Callers must not use it while
+// other goroutines still use the wrapper.
+func (s *SyncEstimator) Unwrap() Estimator { return s.est }
+
+var (
+	_ Estimator            = (*SyncEstimator)(nil)
+	_ MultiplicityAverager = (*SyncEstimator)(nil)
+)
