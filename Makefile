@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench examples experiments paper clean
+.PHONY: all build vet test test-race race bench examples experiments paper clean
 
 all: build vet test
 
@@ -15,6 +15,10 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# Alias for test-race; the concurrency tests in internal/core double as the
+# race-detector stress suite.
+race: test-race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -228,6 +228,133 @@ func BenchmarkAddNIPSHashedFastPath(b *testing.B) {
 	}
 }
 
+// Parallel ingestion: the single global lock versus the sharded sketch at
+// several shard counts (and the serial sketch as the no-synchronization
+// floor). Speedups need real cores; on a single-core runner the sharded
+// variants measure pure synchronization overhead instead.
+
+func benchPairs() []implicate.Pair {
+	d := gen.MustDatasetOne(gen.DatasetOneConfig{CardA: 20000, Count: 10000, C: 2, Seed: 9})
+	pairs := make([]implicate.Pair, len(d.Pairs))
+	for i, p := range d.Pairs {
+		pairs[i] = implicate.Pair{A: gen.Key(p.A), B: gen.Key(p.B)}
+	}
+	return pairs
+}
+
+func reportTuplesPerSec(b *testing.B, tuples int64) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(tuples)/s, "tuples/s")
+	}
+}
+
+func BenchmarkParallelIngest(b *testing.B) {
+	pairs := benchPairs()
+	cond := benchConditions()
+
+	b.Run("serial", func(b *testing.B) {
+		sk, _ := implicate.NewSketch(cond, implicate.Options{Seed: 1})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			sk.Add(p.A, p.B)
+		}
+		reportTuplesPerSec(b, int64(b.N))
+	})
+	b.Run("mutex", func(b *testing.B) {
+		sk, _ := implicate.NewSketch(cond, implicate.Options{Seed: 1})
+		sync := implicate.Synchronized(sk)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				p := pairs[i%len(pairs)]
+				sync.Add(p.A, p.B)
+				i++
+			}
+		})
+		reportTuplesPerSec(b, int64(b.N))
+	})
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("sharded-%d", n), func(b *testing.B) {
+			ss, err := implicate.NewShardedSketch(cond, implicate.Options{Seed: 1}, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					p := pairs[i%len(pairs)]
+					ss.Add(p.A, p.B)
+					i++
+				}
+			})
+			reportTuplesPerSec(b, int64(b.N))
+		})
+	}
+}
+
+// BenchmarkAddBatch measures the batched ingest paths; one iteration is one
+// 256-tuple batch.
+func BenchmarkAddBatch(b *testing.B) {
+	pairs := benchPairs()
+	cond := benchConditions()
+	const batch = 256
+
+	nextBatch := func(i int) []implicate.Pair {
+		off := (i * batch) % (len(pairs) - batch)
+		return pairs[off : off+batch]
+	}
+	b.Run("sketch", func(b *testing.B) {
+		sk, _ := implicate.NewSketch(cond, implicate.Options{Seed: 1})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sk.AddBatch(nextBatch(i))
+		}
+		reportTuplesPerSec(b, int64(b.N)*batch)
+	})
+	b.Run("sketch-prehashed", func(b *testing.B) {
+		sk, _ := implicate.NewSketch(cond, implicate.Options{Seed: 1})
+		hashed := make([]implicate.HashedPair, len(pairs))
+		for i, p := range pairs {
+			hashed[i] = sk.HashPair(p.A, p.B)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			off := (i * batch) % (len(hashed) - batch)
+			sk.AddHashedBatch(hashed[off : off+batch])
+		}
+		reportTuplesPerSec(b, int64(b.N)*batch)
+	})
+	b.Run("mutex", func(b *testing.B) {
+		sk, _ := implicate.NewSketch(cond, implicate.Options{Seed: 1})
+		sync := implicate.Synchronized(sk)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sync.AddBatch(nextBatch(i))
+		}
+		reportTuplesPerSec(b, int64(b.N)*batch)
+	})
+	for _, n := range []int{1, 4} {
+		b.Run(fmt.Sprintf("sharded-%d", n), func(b *testing.B) {
+			ss, err := implicate.NewShardedSketch(cond, implicate.Options{Seed: 1}, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ss.AddBatch(nextBatch(i))
+			}
+			reportTuplesPerSec(b, int64(b.N)*batch)
+		})
+	}
+}
+
 // BenchmarkEstimateRead measures the cost of reading the implication count
 // off a loaded sketch (Algorithm CI runs per query, not per tuple).
 func BenchmarkEstimateRead(b *testing.B) {

@@ -39,6 +39,8 @@
 package implicate
 
 import (
+	"sync/atomic"
+
 	"implicate/internal/core"
 	"implicate/internal/dsample"
 	"implicate/internal/exact"
@@ -155,13 +157,13 @@ func NewEngine(schema *Schema) *Engine { return query.NewEngine(schema) }
 func ParseQuery(sql string) (*Query, error) { return query.Parse(sql) }
 
 // SketchBackend returns a Backend producing NIPS/CI sketches with the given
-// options (seeds are derived per statement).
+// options (seeds are derived per statement, atomically, so one backend can
+// serve statement registration from concurrent goroutines).
 func SketchBackend(opts Options) Backend {
-	var n uint64
+	var n atomic.Uint64
 	return func(cond Conditions) (Estimator, error) {
-		n++
 		o := opts
-		o.Seed = opts.Seed + n*0x9e3779b97f4a7c15
+		o.Seed = opts.Seed + n.Add(1)*0x9e3779b97f4a7c15
 		return core.NewSketch(cond, o)
 	}
 }

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"implicate/internal/imps"
+)
+
+// shardWorkload builds a deterministic stream mixing implicating itemsets,
+// multiplicity violators, and under-supported background noise, with enough
+// volume to exercise fringe floats, tombstones and overflows.
+func shardWorkload(seed int64, n int) []imps.Pair {
+	rng := rand.New(rand.NewSource(seed))
+	var tuples []imps.Pair
+	for i := 0; i < n/10; i++ {
+		a := fmt.Sprintf("imp-%d", i)
+		for s := 0; s < 5; s++ {
+			tuples = append(tuples, imps.Pair{A: a, B: fmt.Sprintf("p-%d", i%7)})
+		}
+	}
+	for i := 0; i < n/20; i++ {
+		a := fmt.Sprintf("non-%d", i)
+		for s := 0; s < 8; s++ {
+			tuples = append(tuples, imps.Pair{A: a, B: fmt.Sprintf("nb-%d-%d", i, s)})
+		}
+	}
+	for len(tuples) < n {
+		tuples = append(tuples, imps.Pair{A: fmt.Sprintf("bg-%d", rng.Intn(n)), B: fmt.Sprintf("bp-%d", rng.Intn(64))})
+	}
+	rng.Shuffle(len(tuples), func(i, j int) { tuples[i], tuples[j] = tuples[j], tuples[i] })
+	return tuples[:n]
+}
+
+type estimates struct {
+	impl, nonImpl, supported, distinct, avgMult float64
+	ci                                          float64
+	tuples                                      int64
+	mem                                         int
+	fringe                                      FringeStats
+}
+
+func estimatesOfSketch(s *Sketch) estimates {
+	return estimates{
+		impl:      s.ImplicationCount(),
+		nonImpl:   s.NonImplicationCount(),
+		supported: s.SupportedDistinct(),
+		distinct:  s.DistinctCount(),
+		avgMult:   s.AvgMultiplicity(),
+		ci:        s.CIImplicationCount(),
+		tuples:    s.Tuples(),
+		mem:       s.MemEntries(),
+		fringe:    s.Fringe(),
+	}
+}
+
+func estimatesOfSharded(s *ShardedSketch) estimates {
+	return estimates{
+		impl:      s.ImplicationCount(),
+		nonImpl:   s.NonImplicationCount(),
+		supported: s.SupportedDistinct(),
+		distinct:  s.DistinctCount(),
+		avgMult:   s.AvgMultiplicity(),
+		ci:        s.CIImplicationCount(),
+		tuples:    s.Tuples(),
+		mem:       s.MemEntries(),
+		fringe:    s.Fringe(),
+	}
+}
+
+func TestNewShardedSketchValidation(t *testing.T) {
+	cond := testConditions()
+	if _, err := NewShardedSketch(cond, Options{}, 3); err == nil {
+		t.Fatal("non-power-of-two shard count accepted")
+	}
+	if _, err := NewShardedSketch(cond, Options{Bitmaps: 4}, 8); err == nil {
+		t.Fatal("shard count exceeding bitmap count accepted")
+	}
+	if _, err := NewShardedSketch(imps.Conditions{}, Options{}, 2); err == nil {
+		t.Fatal("zero conditions accepted")
+	}
+	ss, err := NewShardedSketch(cond, Options{}, 0)
+	if err != nil {
+		t.Fatalf("default shard count rejected: %v", err)
+	}
+	if n := ss.Shards(); n < 1 || n&(n-1) != 0 {
+		t.Fatalf("default shard count %d not a power of two", n)
+	}
+	if ss.Options().Bitmaps != DefaultBitmaps {
+		t.Fatalf("effective options lost the global bitmap count: %+v", ss.Options())
+	}
+}
+
+// TestShardedDeterminism is the core contract: a ShardedSketch with any
+// shard count, fed any permutation of the stream, reports bit-identical
+// estimates to a single same-seed Sketch fed the same order.
+func TestShardedDeterminism(t *testing.T) {
+	cond := testConditions()
+	opts := Options{Seed: 42}
+	base := shardWorkload(1, 30_000)
+
+	for perm := 0; perm < 3; perm++ {
+		tuples := append([]imps.Pair(nil), base...)
+		rand.New(rand.NewSource(int64(perm))).Shuffle(len(tuples), func(i, j int) {
+			tuples[i], tuples[j] = tuples[j], tuples[i]
+		})
+		single := MustSketch(cond, opts)
+		for _, p := range tuples {
+			single.Add(p.A, p.B)
+		}
+		want := estimatesOfSketch(single)
+		if want.impl == 0 || want.nonImpl == 0 {
+			t.Fatalf("degenerate workload: %+v", want)
+		}
+
+		for _, n := range []int{1, 2, 4, 8} {
+			ss, err := NewShardedSketch(cond, opts, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range tuples {
+				ss.Add(p.A, p.B)
+			}
+			ss.Flush()
+			if got := estimatesOfSharded(ss); got != want {
+				t.Errorf("perm %d, %d shards: estimates diverge\n got %+v\nwant %+v", perm, n, got, want)
+			}
+		}
+	}
+}
+
+// TestShardedBatchPathsMatch verifies every ingest path (Add, AddBytes,
+// AddIDs equivalents aside, AddBatch, AddHashedBatch with pre-hashed pairs)
+// lands on the same estimates.
+func TestShardedBatchPathsMatch(t *testing.T) {
+	cond := testConditions()
+	opts := Options{Seed: 7}
+	tuples := shardWorkload(2, 8_000)
+
+	ref, err := NewShardedSketch(cond, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range tuples {
+		ref.Add(p.A, p.B)
+	}
+	want := estimatesOfSharded(ref)
+
+	byBytes, _ := NewShardedSketch(cond, opts, 4)
+	for _, p := range tuples {
+		byBytes.AddBytes([]byte(p.A), []byte(p.B))
+	}
+	if got := estimatesOfSharded(byBytes); got != want {
+		t.Errorf("AddBytes diverges:\n got %+v\nwant %+v", got, want)
+	}
+
+	byBatch, _ := NewShardedSketch(cond, opts, 4)
+	for off := 0; off < len(tuples); off += 300 {
+		end := off + 300
+		if end > len(tuples) {
+			end = len(tuples)
+		}
+		byBatch.AddBatch(tuples[off:end])
+	}
+	if got := estimatesOfSharded(byBatch); got != want {
+		t.Errorf("AddBatch diverges:\n got %+v\nwant %+v", got, want)
+	}
+
+	byHashed, _ := NewShardedSketch(cond, opts, 4)
+	hashed := make([]HashedPair, len(tuples))
+	for i, p := range tuples {
+		hashed[i] = byHashed.HashPair(p.A, p.B)
+	}
+	for off := 0; off < len(hashed); off += 64 {
+		end := off + 64
+		if end > len(hashed) {
+			end = len(hashed)
+		}
+		byHashed.AddHashedBatch(hashed[off:end])
+	}
+	if got := estimatesOfSharded(byHashed); got != want {
+		t.Errorf("AddHashedBatch diverges:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Batch paths on the plain Sketch agree with its per-tuple path too.
+	single := MustSketch(cond, opts)
+	for _, p := range tuples {
+		single.Add(p.A, p.B)
+	}
+	batched := MustSketch(cond, opts)
+	batched.AddBatch(tuples)
+	if a, b := estimatesOfSketch(single), estimatesOfSketch(batched); a != b {
+		t.Errorf("Sketch.AddBatch diverges:\n got %+v\nwant %+v", b, a)
+	}
+	prehashed := MustSketch(cond, opts)
+	hp := make([]HashedPair, len(tuples))
+	for i, p := range tuples {
+		hp[i] = prehashed.HashPair(p.A, p.B)
+	}
+	prehashed.AddHashedBatch(hp)
+	if a, b := estimatesOfSketch(single), estimatesOfSketch(prehashed); a != b {
+		t.Errorf("Sketch.AddHashedBatch diverges:\n got %+v\nwant %+v", b, a)
+	}
+}
+
+// TestShardedIntervalAndReset checks the remaining aggregate readers.
+func TestShardedIntervalAndReset(t *testing.T) {
+	cond := testConditions()
+	opts := Options{Seed: 11}
+	tuples := shardWorkload(3, 10_000)
+
+	single := MustSketch(cond, opts)
+	ss, _ := NewShardedSketch(cond, opts, 4)
+	for _, p := range tuples {
+		single.Add(p.A, p.B)
+		ss.Add(p.A, p.B)
+	}
+	slo, shi := single.ImplicationCountInterval(2)
+	plo, phi := ss.ImplicationCountInterval(2)
+	if slo != plo || shi != phi {
+		t.Errorf("interval diverges: single [%g,%g] sharded [%g,%g]", slo, shi, plo, phi)
+	}
+	if single.MinEstimable() != ss.MinEstimable() {
+		t.Errorf("MinEstimable diverges: %g vs %g", single.MinEstimable(), ss.MinEstimable())
+	}
+	if ss.PeakMemEntries() < single.MemEntries() {
+		t.Errorf("sharded peak %d below live entries %d", ss.PeakMemEntries(), single.MemEntries())
+	}
+
+	ss.Reset()
+	if ss.Tuples() != 0 || ss.MemEntries() != 0 || ss.ImplicationCount() != 0 {
+		t.Fatal("Reset left residual state")
+	}
+	// Refeeding after Reset reproduces the estimates.
+	for _, p := range tuples {
+		ss.Add(p.A, p.B)
+	}
+	if got, want := estimatesOfSharded(ss), estimatesOfSketch(single); got != want {
+		t.Errorf("post-Reset estimates diverge:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestShardedConcurrentStress hammers one ShardedSketch with 8 producers
+// using mixed ingest paths while readers query concurrently; run under
+// -race this is the data-race proof. Estimates that are pure functions of
+// the observed SET of tuples (tuple count, distinct count) must come out
+// exactly; the order-sensitive ones are sanity-bounded against a serial
+// reference.
+func TestShardedConcurrentStress(t *testing.T) {
+	cond := testConditions()
+	opts := Options{Seed: 99}
+	const producers = 8
+	tuples := shardWorkload(4, 40_000)
+
+	serial := MustSketch(cond, opts)
+	for _, p := range tuples {
+		serial.Add(p.A, p.B)
+	}
+
+	ss, err := NewShardedSketch(cond, opts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	per := len(tuples) / producers
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(part []imps.Pair, mode int) {
+			defer wg.Done()
+			switch mode % 3 {
+			case 0:
+				for _, p := range part {
+					ss.Add(p.A, p.B)
+				}
+			case 1:
+				for off := 0; off < len(part); off += 97 {
+					end := off + 97
+					if end > len(part) {
+						end = len(part)
+					}
+					ss.AddBatch(part[off:end])
+				}
+			default:
+				hashed := make([]HashedPair, len(part))
+				for i, p := range part {
+					hashed[i] = ss.HashPair(p.A, p.B)
+				}
+				ss.AddHashedBatch(hashed)
+			}
+		}(tuples[g*per:(g+1)*per], g)
+	}
+	// Concurrent readers exercise the aggregate paths mid-ingest.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if ss.ImplicationCount() < 0 || ss.MemEntries() < 0 {
+					t.Error("negative estimate under concurrency")
+					return
+				}
+				ss.Fringe()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	ss.Flush()
+
+	total := int64(per * producers)
+	if got := ss.Tuples(); got != total {
+		t.Fatalf("tuple count %d, want %d", got, total)
+	}
+	// The touched-bit reader depends only on the set of hashes, never on
+	// arrival order, so it must be bit-identical to the serial reference
+	// over the same tuples.
+	serialSubset := MustSketch(cond, opts)
+	for _, p := range tuples[:per*producers] {
+		serialSubset.Add(p.A, p.B)
+	}
+	if got, want := ss.DistinctCount(), serialSubset.DistinctCount(); got != want {
+		t.Errorf("DistinctCount %g diverges from order-independent reference %g", got, want)
+	}
+	// Order-sensitive estimates can differ across interleavings only through
+	// fringe-float edge cases; they must stay in the same ballpark.
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"ImplicationCount", ss.ImplicationCount(), serialSubset.ImplicationCount()},
+		{"SupportedDistinct", ss.SupportedDistinct(), serialSubset.SupportedDistinct()},
+		{"NonImplicationCount", ss.NonImplicationCount(), serialSubset.NonImplicationCount()},
+	} {
+		if c.got < 0.5*c.want || c.got > 2*c.want {
+			t.Errorf("%s under concurrency: %g vs serial %g", c.name, c.got, c.want)
+		}
+	}
+}

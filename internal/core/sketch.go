@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"iter"
 	"math"
 
 	"implicate/internal/fm"
@@ -140,6 +141,13 @@ func (s *Sketch) AddIDs(a, b uint64) {
 	s.AddHashed(s.ahash.SumUint64(a), s.bhash.SumUint64(b))
 }
 
+// AddBytes observes a tuple whose itemsets are encoded as byte slices; it is
+// equivalent to Add(string(a), string(b)) without the conversion
+// allocations, the right entry point for decode loops that reuse buffers.
+func (s *Sketch) AddBytes(a, b []byte) {
+	s.AddHashed(s.ahash.SumBytes(a), s.bhash.SumBytes(b))
+}
+
 // AddHashed observes a tuple by the 64-bit hashes of its itemsets. Itemsets
 // are identified by their full hash value from here on; a collision merges
 // two itemsets, which perturbs counts with probability ~n²/2^64 — far below
@@ -151,6 +159,53 @@ func (s *Sketch) AddHashed(ah, bh uint64) {
 		rank = Levels - 1
 	}
 	s.add(&s.bms[bm], rank, ah, bh)
+}
+
+// HashedPair is one pre-hashed tuple: the 64-bit itemset hashes an Add path
+// would have computed. Batches of them amortize per-call overhead on the
+// ingest hot path and are the unit the sharded router distributes.
+type HashedPair struct {
+	AH, BH uint64
+}
+
+// AddHashedBatch observes a batch of pre-hashed tuples. It is equivalent to
+// calling AddHashed for each element, amortizing the per-call overhead.
+func (s *Sketch) AddHashedBatch(batch []HashedPair) {
+	s.tuples += int64(len(batch))
+	for i := range batch {
+		bm, rank := s.router.Route(batch[i].AH)
+		if rank >= Levels {
+			rank = Levels - 1
+		}
+		s.add(&s.bms[bm], rank, batch[i].AH, batch[i].BH)
+	}
+}
+
+// AddBatch observes a batch of encoded itemset pairs in order; it is the
+// imps.BatchAdder path, equivalent to calling Add for each pair.
+func (s *Sketch) AddBatch(pairs []imps.Pair) {
+	for i := range pairs {
+		s.AddHashed(s.ahash.Sum(pairs[i].A), s.bhash.Sum(pairs[i].B))
+	}
+}
+
+// HashPair pre-hashes one encoded itemset pair for AddHashedBatch.
+func (s *Sketch) HashPair(a, b string) HashedPair {
+	return HashedPair{AH: s.ahash.Sum(a), BH: s.bhash.Sum(b)}
+}
+
+// HashIDs pre-hashes one integer-identified tuple for AddHashedBatch.
+func (s *Sketch) HashIDs(a, b uint64) HashedPair {
+	return HashedPair{AH: s.ahash.SumUint64(a), BH: s.bhash.SumUint64(b)}
+}
+
+// addRouted ingests one tuple the caller has already routed: localBM indexes
+// this sketch's own bms slice and rank is already clamped to Levels-1. It is
+// the shard ingest entry — a ShardedSketch routes against the global bitmap
+// count and owns the mapping from global to shard-local bitmap indices.
+func (s *Sketch) addRouted(localBM, rank int, ah, bh uint64) {
+	s.tuples++
+	s.add(&s.bms[localBM], rank, ah, bh)
 }
 
 // Tuples returns the number of tuples observed.
@@ -181,11 +236,7 @@ func (s *Sketch) PeakMemEntries() int { return s.peak }
 // F0^sup(A) instead and therefore explodes for small S/F0 ratios (§4.7.2
 // concedes this). The experiment harness compares both.
 func (s *Sketch) ImplicationCount() float64 {
-	obs, mass := s.implicationSample()
-	if mass <= 0 {
-		return 0
-	}
-	return obs * float64(len(s.bms)) / mass
+	return implicationCountOver(s.bitmaps(), len(s.bms))
 }
 
 // ImplicationCountInterval returns an approximate confidence interval
@@ -199,28 +250,26 @@ func (s *Sketch) ImplicationCount() float64 {
 // non-degenerate interval — having seen nothing, it cannot rule out small
 // counts.
 func (s *Sketch) ImplicationCountInterval(z float64) (lo, hi float64) {
-	obs, mass := s.implicationSample()
-	if mass <= 0 {
-		return 0, 0
-	}
-	m := float64(len(s.bms))
-	factor := m / mass
-	est := obs * factor
-	census := math.Sqrt(obs+1) * factor // +1 keeps zero-census intervals honest
-	placement := est / math.Sqrt(m)
-	stderr := math.Sqrt(census*census + placement*placement)
-	lo = est - z*stderr
-	if lo < 0 {
-		lo = 0
-	}
-	return lo, est + z*stderr
+	return implicationIntervalOver(s.bitmaps(), len(s.bms), z)
 }
 
-// implicationSample returns the fringe sample's implication census and the
-// total inclusion mass of the observable cells.
-func (s *Sketch) implicationSample() (obs, mass float64) {
-	for bi := range s.bms {
-		b := &s.bms[bi]
+// bitmaps yields the sketch's bitmaps. The estimator readers are written
+// against this iterator so a ShardedSketch can run the identical arithmetic
+// over bitmaps owned by several shard sub-sketches.
+func (s *Sketch) bitmaps() iter.Seq[*bitmap] {
+	return func(yield func(*bitmap) bool) {
+		for i := range s.bms {
+			if !yield(&s.bms[i]) {
+				return
+			}
+		}
+	}
+}
+
+// implicationSampleOver returns the fringe sample's implication census and
+// the total inclusion mass of the observable cells across bms.
+func implicationSampleOver(bms iter.Seq[*bitmap]) (obs, mass float64) {
+	for b := range bms {
 		if b.hi < 0 {
 			mass++
 			continue
@@ -237,6 +286,36 @@ func (s *Sketch) implicationSample() (obs, mass float64) {
 		mass += math.Exp2(-float64(b.hi + 1))
 	}
 	return obs, mass
+}
+
+// implicationCountOver is the Horvitz–Thompson estimate of S over the m
+// bitmaps yielded by bms (see Sketch.ImplicationCount).
+func implicationCountOver(bms iter.Seq[*bitmap], m int) float64 {
+	obs, mass := implicationSampleOver(bms)
+	if mass <= 0 {
+		return 0
+	}
+	return obs * float64(m) / mass
+}
+
+// implicationIntervalOver is the confidence interval around the direct
+// estimate (see Sketch.ImplicationCountInterval).
+func implicationIntervalOver(bms iter.Seq[*bitmap], mInt int, z float64) (lo, hi float64) {
+	obs, mass := implicationSampleOver(bms)
+	if mass <= 0 {
+		return 0, 0
+	}
+	m := float64(mInt)
+	factor := m / mass
+	est := obs * factor
+	census := math.Sqrt(obs+1) * factor // +1 keeps zero-census intervals honest
+	placement := est / math.Sqrt(m)
+	stderr := math.Sqrt(census*census + placement*placement)
+	lo = est - z*stderr
+	if lo < 0 {
+		lo = 0
+	}
+	return lo, est + z*stderr
 }
 
 // CIImplicationCount is Algorithm 2 (CI): S = F0^sup(A) − ~S, the
@@ -288,9 +367,14 @@ func (s *Sketch) DistinctCount() float64 {
 // fringe sample is a hash-uniform subset of the implicating population, so
 // the plain mean is unbiased. Returns 0 when nothing qualifies.
 func (s *Sketch) AvgMultiplicity() float64 {
+	return avgMultiplicityOver(s.bitmaps(), s.cond.MinSupport)
+}
+
+// avgMultiplicityOver is the fringe-sample mean multiplicity over bms (see
+// Sketch.AvgMultiplicity).
+func avgMultiplicityOver(bms iter.Seq[*bitmap], minSupport int64) float64 {
 	var n, sum float64
-	for bi := range s.bms {
-		b := &s.bms[bi]
+	for b := range bms {
 		if b.hi < 0 {
 			continue
 		}
@@ -301,7 +385,7 @@ func (s *Sketch) AvgMultiplicity() float64 {
 			}
 			for k := range c.items {
 				st := &c.items[k].st
-				if !st.excluded && st.supp >= s.cond.MinSupport {
+				if !st.excluded && st.supp >= minSupport {
 					n++
 					sum += float64(len(st.perB))
 				}
@@ -325,11 +409,17 @@ func (s *Sketch) MinEstimable() float64 {
 }
 
 func (s *Sketch) meanR(r func(*bitmap) int) float64 {
+	return meanROver(s.bitmaps(), len(s.bms), r)
+}
+
+// meanROver averages a per-bitmap position reader over the m bitmaps
+// yielded by bms — the stochastic-averaging step of Algorithm 2.
+func meanROver(bms iter.Seq[*bitmap], m int, r func(*bitmap) int) float64 {
 	var sum int
-	for i := range s.bms {
-		sum += r(&s.bms[i])
+	for b := range bms {
+		sum += r(b)
 	}
-	return float64(sum) / float64(len(s.bms))
+	return float64(sum) / float64(m)
 }
 
 // FringeStats describes the occupancy of the floating fringes, used by the
@@ -366,9 +456,13 @@ func (s *Sketch) Reset() {
 
 // Fringe returns current fringe occupancy statistics.
 func (s *Sketch) Fringe() FringeStats {
+	return fringeStatsOver(s.bitmaps())
+}
+
+// fringeStatsOver collects fringe occupancy statistics over bms.
+func fringeStatsOver(bms iter.Seq[*bitmap]) FringeStats {
 	var st FringeStats
-	for i := range s.bms {
-		b := &s.bms[i]
+	for b := range bms {
 		if b.hi >= 0 {
 			if w := b.hi - b.lo + 1; w > st.MaxFringeWidth {
 				st.MaxFringeWidth = w

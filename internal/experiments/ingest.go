@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"implicate/internal/core"
+	"implicate/internal/gen"
+	"implicate/internal/imps"
+)
+
+// IngestConfig parametrizes the ingestion-throughput harness contrasting
+// the serial sketch, a single mutex in front of it, and the sharded sketch
+// at several shard counts (§4.6's per-item cost budget, measured end to
+// end).
+type IngestConfig struct {
+	// Tuples is the stream length per variant.
+	Tuples int
+	// Producers is the number of concurrent feeder goroutines for the
+	// mutex and sharded variants; defaults to GOMAXPROCS.
+	Producers int
+	// Shards lists the sharded variants to run; defaults to 1, 2, 4, 8.
+	Shards []int
+	// Batch is the AddBatch chunk size for the batched variants.
+	Batch int
+	// Seed drives the workload generator.
+	Seed int64
+	// Options configure every sketch identically.
+	Options core.Options
+}
+
+func (c IngestConfig) withDefaults() IngestConfig {
+	if c.Tuples == 0 {
+		c.Tuples = 2_000_000
+	}
+	if c.Producers < 1 {
+		c.Producers = runtime.GOMAXPROCS(0)
+	}
+	if len(c.Shards) == 0 {
+		c.Shards = []int{1, 2, 4, 8}
+	}
+	if c.Batch == 0 {
+		c.Batch = 256
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// IngestRow is one variant's measured throughput.
+type IngestRow struct {
+	// Variant names the ingest path: serial, serial-batch, mutex,
+	// mutex-batch, sharded-N, sharded-N-batch.
+	Variant string `json:"variant"`
+	// Producers is the number of concurrent feeders (1 for serial).
+	Producers int `json:"producers"`
+	// Tuples is the stream length.
+	Tuples int `json:"tuples"`
+	// Seconds is the wall-clock ingest time.
+	Seconds float64 `json:"seconds"`
+	// TuplesPerSec is Tuples/Seconds.
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+	// Implications is the final implication count, recorded so a variant
+	// that silently drops tuples cannot report a flattering throughput.
+	Implications float64 `json:"implications"`
+}
+
+// ingestCond mirrors the benchmark conditions: a support floor high enough
+// that fringe entries confirm and move into bitmap bits.
+func ingestCond() imps.Conditions {
+	return imps.Conditions{MaxMultiplicity: 2, MinSupport: 5, TopC: 1, MinTopConfidence: 0.6}
+}
+
+// mutexSketch is the single-lock baseline: every producer serializes on
+// one mutex in front of one sketch (what Synchronized does for arbitrary
+// estimators).
+type mutexSketch struct {
+	mu sync.Mutex
+	sk *core.Sketch
+}
+
+func (m *mutexSketch) add(a, b string) {
+	m.mu.Lock()
+	m.sk.Add(a, b)
+	m.mu.Unlock()
+}
+
+func (m *mutexSketch) addBatch(pairs []imps.Pair) {
+	m.mu.Lock()
+	m.sk.AddBatch(pairs)
+	m.mu.Unlock()
+}
+
+// feedConcurrent splits pairs across p producers and calls feed on each
+// part, returning the wall-clock duration.
+func feedConcurrent(pairs []imps.Pair, p int, feed func(part []imps.Pair)) time.Duration {
+	var wg sync.WaitGroup
+	per := (len(pairs) + p - 1) / p
+	start := time.Now()
+	for off := 0; off < len(pairs); off += per {
+		end := off + per
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		wg.Add(1)
+		go func(part []imps.Pair) {
+			defer wg.Done()
+			feed(part)
+		}(pairs[off:end])
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+func chunks(pairs []imps.Pair, n int, each func([]imps.Pair)) {
+	for off := 0; off < len(pairs); off += n {
+		end := off + n
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		each(pairs[off:end])
+	}
+}
+
+// RunIngest measures every ingest variant over one synthetic stream. All
+// variants see the same tuples with string keys (the engine-path shape);
+// key hashing is inside the timed region for every variant.
+func RunIngest(cfg IngestConfig) ([]IngestRow, error) {
+	cfg = cfg.withDefaults()
+	cond := ingestCond()
+
+	d, err := gen.NewDatasetOne(gen.DatasetOneConfig{
+		CardA: cfg.Tuples / 10,
+		Count: cfg.Tuples / 20,
+		C:     2,
+		Seed:  cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([]imps.Pair, len(d.Pairs))
+	for i, p := range d.Pairs {
+		pairs[i] = imps.Pair{A: gen.Key(p.A), B: gen.Key(p.B)}
+	}
+	for len(pairs) < cfg.Tuples {
+		pairs = append(pairs, pairs[:min(len(pairs), cfg.Tuples-len(pairs))]...)
+	}
+	pairs = pairs[:cfg.Tuples]
+
+	var rows []IngestRow
+	record := func(variant string, producers int, dur time.Duration, impl float64) {
+		rows = append(rows, IngestRow{
+			Variant:      variant,
+			Producers:    producers,
+			Tuples:       len(pairs),
+			Seconds:      dur.Seconds(),
+			TuplesPerSec: float64(len(pairs)) / dur.Seconds(),
+			Implications: impl,
+		})
+	}
+
+	{
+		sk, err := core.NewSketch(cond, cfg.Options)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for _, p := range pairs {
+			sk.Add(p.A, p.B)
+		}
+		record("serial", 1, time.Since(start), sk.ImplicationCount())
+	}
+	{
+		sk, _ := core.NewSketch(cond, cfg.Options)
+		start := time.Now()
+		chunks(pairs, cfg.Batch, sk.AddBatch)
+		record("serial-batch", 1, time.Since(start), sk.ImplicationCount())
+	}
+	{
+		m := &mutexSketch{}
+		m.sk, _ = core.NewSketch(cond, cfg.Options)
+		dur := feedConcurrent(pairs, cfg.Producers, func(part []imps.Pair) {
+			for _, p := range part {
+				m.add(p.A, p.B)
+			}
+		})
+		record("mutex", cfg.Producers, dur, m.sk.ImplicationCount())
+	}
+	{
+		m := &mutexSketch{}
+		m.sk, _ = core.NewSketch(cond, cfg.Options)
+		dur := feedConcurrent(pairs, cfg.Producers, func(part []imps.Pair) {
+			chunks(part, cfg.Batch, m.addBatch)
+		})
+		record("mutex-batch", cfg.Producers, dur, m.sk.ImplicationCount())
+	}
+	for _, n := range cfg.Shards {
+		ss, err := core.NewShardedSketch(cond, cfg.Options, n)
+		if err != nil {
+			return nil, err
+		}
+		dur := feedConcurrent(pairs, cfg.Producers, func(part []imps.Pair) {
+			for _, p := range part {
+				ss.Add(p.A, p.B)
+			}
+		})
+		record(fmt.Sprintf("sharded-%d", n), cfg.Producers, dur, ss.ImplicationCount())
+
+		ssb, _ := core.NewShardedSketch(cond, cfg.Options, n)
+		dur = feedConcurrent(pairs, cfg.Producers, func(part []imps.Pair) {
+			chunks(part, cfg.Batch, ssb.AddBatch)
+		})
+		record(fmt.Sprintf("sharded-%d-batch", n), cfg.Producers, dur, ssb.ImplicationCount())
+	}
+	return rows, nil
+}
+
+// PrintIngest writes the throughput table.
+func PrintIngest(w io.Writer, cfg IngestConfig, rows []IngestRow) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "Ingestion throughput (%d tuples, %d producers, batch %d, GOMAXPROCS %d)\n",
+		cfg.Tuples, cfg.Producers, cfg.Batch, runtime.GOMAXPROCS(0))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "variant\tproducers\ttuples/s\tseconds\timplications")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.3f\t%.1f\n", r.Variant, r.Producers, r.TuplesPerSec, r.Seconds, r.Implications)
+	}
+	tw.Flush()
+}
+
+// ingestReport is the JSON schema of -json output.
+type ingestReport struct {
+	Tuples    int         `json:"tuples"`
+	Producers int         `json:"producers"`
+	Batch     int         `json:"batch"`
+	MaxProcs  int         `json:"gomaxprocs"`
+	Rows      []IngestRow `json:"rows"`
+}
+
+// WriteIngestJSON writes the rows as an indented JSON report.
+func WriteIngestJSON(w io.Writer, cfg IngestConfig, rows []IngestRow) error {
+	cfg = cfg.withDefaults()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ingestReport{
+		Tuples:    cfg.Tuples,
+		Producers: cfg.Producers,
+		Batch:     cfg.Batch,
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Rows:      rows,
+	})
+}

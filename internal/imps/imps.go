@@ -84,6 +84,28 @@ type Estimator interface {
 	MemEntries() int
 }
 
+// Pair is one pre-projected tuple: the encoded A- and B-itemsets an Add
+// call would receive. Batches of pairs amortize per-tuple call and lock
+// overhead on the ingest path.
+type Pair struct {
+	A, B string
+}
+
+// BatchAdder is implemented by estimators that provide an amortized batch
+// ingest path. AddBatch must be equivalent to calling Add for each pair in
+// order; implementations amortize per-call overhead (and, for concurrent
+// estimators, lock traffic) across the batch.
+type BatchAdder interface {
+	AddBatch(pairs []Pair)
+}
+
+// BytesAdder is implemented by estimators that can observe a tuple from
+// byte-slice keys without the string conversion allocations of Add. The
+// caller may reuse the slices after the call returns.
+type BytesAdder interface {
+	AddBytes(a, b []byte)
+}
+
 // MultiplicityAverager is implemented by estimators that can additionally
 // report the average multiplicity |φ(a→B)| over the itemsets currently in
 // the implication count — the aggregate of Table 2's "Complex Implication"

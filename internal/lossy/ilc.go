@@ -27,7 +27,6 @@ type ILC struct {
 
 	as      map[string]*ilcEntry
 	pairs   map[string]map[string]*entry
-	scratch []int64
 }
 
 type ilcEntry struct {
@@ -57,7 +56,6 @@ func NewILC(cond imps.Conditions, relSupport, eps float64) (*ILC, error) {
 		width:      int64(1/eps + 0.5),
 		as:         make(map[string]*ilcEntry),
 		pairs:      make(map[string]map[string]*entry),
-		scratch:    make([]int64, 0, 8),
 	}, nil
 }
 
@@ -118,15 +116,21 @@ func (c *ILC) meetsSupport(ae *ilcEntry) bool {
 // satisfies checks multiplicity and top-confidence against the tracked pair
 // entries; pair counts are taken at their upper bound (count + Δ) so pruned
 // prefixes do not trigger spurious violations.
+//
+// The query methods call satisfies too, and concurrent wrappers run them
+// under a shared read lock, so it must not touch shared state: the counts
+// are staged in a stack buffer (pm holds at most K+1 entries, so the buffer
+// spills to the heap only for outsized K).
 func (c *ILC) satisfies(ae *ilcEntry, pm map[string]*entry) bool {
 	if len(pm) > c.cond.MaxMultiplicity {
 		return false
 	}
-	c.scratch = c.scratch[:0]
+	var buf [8]int64
+	scratch := buf[:0]
 	for _, pe := range pm {
-		c.scratch = append(c.scratch, pe.count+pe.delta)
+		scratch = append(scratch, pe.count+pe.delta)
 	}
-	return imps.TopConfidence(c.scratch, c.cond.TopC, ae.count) >= c.cond.MinTopConfidence
+	return imps.TopConfidence(scratch, c.cond.TopC, ae.count) >= c.cond.MinTopConfidence
 }
 
 func (c *ILC) prune(bcur int64) {

@@ -110,7 +110,6 @@ type ImplicationSticky struct {
 	inner      *Sticky
 	dirty      map[string]bool
 	pairs      map[string]map[string]int64
-	scratch    []int64
 }
 
 // NewImplicationSticky returns the implication extension of Sticky Sampling.
@@ -154,15 +153,19 @@ func (s *ImplicationSticky) Add(a, b string) {
 	}
 }
 
+// satisfies is called from ImplicationCount as well as the add path; like
+// ILC.satisfies it stages the counts on the stack so queries stay read-only
+// under a shared read lock.
 func (s *ImplicationSticky) satisfies(cnt int64, pm map[string]int64) bool {
 	if len(pm) > s.cond.MaxMultiplicity {
 		return false
 	}
-	s.scratch = s.scratch[:0]
+	var buf [8]int64
+	scratch := buf[:0]
 	for _, v := range pm {
-		s.scratch = append(s.scratch, v)
+		scratch = append(scratch, v)
 	}
-	return imps.TopConfidence(s.scratch, s.cond.TopC, cnt) >= s.cond.MinTopConfidence
+	return imps.TopConfidence(scratch, s.cond.TopC, cnt) >= s.cond.MinTopConfidence
 }
 
 // ImplicationCount counts sampled itemsets that meet the relative support

@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"io"
 	"reflect"
 
 	"implicate/internal/imps"
@@ -23,6 +24,10 @@ type Statement struct {
 	hasB    bool
 	filters []compiledFilter
 	est     imps.Estimator
+	// bytes is est's allocation-free byte-key ingest path, nil when the
+	// estimator does not provide one; cached here so the per-tuple path pays
+	// no interface assertion.
+	bytes imps.BytesAdder
 	// shared marks a statement aliasing another statement's estimator; the
 	// engine feeds each estimator exactly once per tuple.
 	shared bool
@@ -92,6 +97,7 @@ func Compile(q Query, schema *stream.Schema, backend Backend) (*Statement, error
 			return nil, fmt.Errorf("query: the chosen backend cannot answer AVG(MULTIPLICITY(...))")
 		}
 	}
+	st.bytes, _ = st.est.(imps.BytesAdder)
 	return st, nil
 }
 
@@ -102,6 +108,8 @@ func (st *Statement) Query() Query { return st.query }
 func (st *Statement) Estimator() imps.Estimator { return st.est }
 
 // Process feeds one tuple through the statement's filters and projections.
+// Estimators exposing the byte-key path ingest straight from the projection
+// buffers; the others cost two key-string allocations per tuple.
 func (st *Statement) Process(t stream.Tuple) {
 	for _, f := range st.filters {
 		if (t[f.idx] == f.value) == f.negate {
@@ -114,7 +122,20 @@ func (st *Statement) Process(t stream.Tuple) {
 	} else {
 		st.bufB = st.bufB[:0]
 	}
+	if st.bytes != nil {
+		st.bytes.AddBytes(st.bufA, st.bufB)
+		return
+	}
 	st.est.Add(string(st.bufA), string(st.bufB))
+}
+
+// ProcessBatch feeds a batch of tuples through the statement. Equivalent to
+// calling Process per tuple, with the statement's filters, projections and
+// estimator kept hot across the whole batch.
+func (st *Statement) ProcessBatch(ts []stream.Tuple) {
+	for i := range ts {
+		st.Process(ts[i])
+	}
 }
 
 // Count returns the query's answer under its mode.
@@ -188,6 +209,7 @@ func (e *Engine) Register(q Query, backend Backend) (*Statement, error) {
 			hasB:    prev.hasB,
 			filters: prev.filters,
 			est:     prev.est,
+			bytes:   prev.bytes,
 			shared:  true,
 		}
 		e.stmts = append(e.stmts, st)
@@ -225,12 +247,46 @@ func (e *Engine) Process(t stream.Tuple) {
 	}
 }
 
+// ProcessBatch feeds a batch of tuples to every registered statement,
+// feeding each shared estimator exactly once per tuple. Equivalent to
+// calling Process per tuple; each statement runs the whole batch before the
+// next one starts, so its projections and estimator stay cache-hot.
+func (e *Engine) ProcessBatch(ts []stream.Tuple) {
+	e.tuples += int64(len(ts))
+	for _, st := range e.stmts {
+		if st.shared {
+			continue
+		}
+		st.ProcessBatch(ts)
+	}
+}
+
 // Consume drains a source through the engine and returns the tuple count.
+// Sources that support batched decoding (stream.BatchSource) are drained in
+// batches of 256 tuples, amortizing decode and dispatch overhead.
 func (e *Engine) Consume(src stream.Source) (int64, error) {
-	return stream.Each(src, func(t stream.Tuple) error {
-		e.Process(t)
-		return nil
-	})
+	bs, ok := src.(stream.BatchSource)
+	if !ok {
+		return stream.Each(src, func(t stream.Tuple) error {
+			e.Process(t)
+			return nil
+		})
+	}
+	var total int64
+	batch := make([]stream.Tuple, 256)
+	for {
+		n, err := bs.NextBatch(batch)
+		if n > 0 {
+			e.ProcessBatch(batch[:n])
+			total += int64(n)
+		}
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
 }
 
 // Tuples returns the number of tuples processed.

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -212,6 +213,137 @@ func TestSketchBackend(t *testing.T) {
 	}
 	if len(e.Statements()) != 1 {
 		t.Fatalf("Statements = %d", len(e.Statements()))
+	}
+}
+
+// stringOnlyEstimator hides an estimator's byte-key fast path so tests can
+// compare the engine's two ingest routes.
+type stringOnlyEstimator struct{ est imps.Estimator }
+
+func (w stringOnlyEstimator) Add(a, b string)             { w.est.Add(a, b) }
+func (w stringOnlyEstimator) ImplicationCount() float64   { return w.est.ImplicationCount() }
+func (w stringOnlyEstimator) NonImplicationCount() float64 {
+	return w.est.NonImplicationCount()
+}
+func (w stringOnlyEstimator) SupportedDistinct() float64 { return w.est.SupportedDistinct() }
+func (w stringOnlyEstimator) Tuples() int64              { return w.est.Tuples() }
+func (w stringOnlyEstimator) MemEntries() int            { return w.est.MemEntries() }
+
+// TestProcessBatchMatchesProcess checks that the batched dispatch path and
+// the byte-key ingest path both land on exactly the per-tuple results, over
+// a stream with filters and a GROUP BY in play.
+func TestProcessBatchMatchesProcess(t *testing.T) {
+	queries := []string{
+		`SELECT COUNT(DISTINCT Destination) FROM traffic WHERE Destination IMPLIES Source`,
+		`SELECT COUNT(DISTINCT Source) FROM traffic WHERE Source IMPLIES Destination AND Time = 'Morning'`,
+		`SELECT COUNT(DISTINCT Source) FROM traffic WHERE Source IMPLIES Destination GROUP BY Service`,
+	}
+	var tuples []stream.Tuple
+	for i := 0; i < 100; i++ {
+		tuples = append(tuples, table1()...)
+	}
+
+	sketch := func(cond imps.Conditions) (imps.Estimator, error) {
+		return core.NewSketch(cond, core.Options{Seed: 42})
+	}
+	stringOnly := func(cond imps.Conditions) (imps.Estimator, error) {
+		est, err := core.NewSketch(cond, core.Options{Seed: 42})
+		return stringOnlyEstimator{est}, err
+	}
+
+	type variant struct {
+		name  string
+		stmts []*Statement
+	}
+	var variants []variant
+	build := func(name string, backend Backend, feed func(*Engine)) {
+		e := NewEngine(mustSchema(t))
+		var stmts []*Statement
+		for _, q := range queries {
+			st, err := e.RegisterSQL(q, backend)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stmts = append(stmts, st)
+		}
+		feed(e)
+		if e.Tuples() != int64(len(tuples)) {
+			t.Fatalf("%s: engine counted %d tuples, want %d", name, e.Tuples(), len(tuples))
+		}
+		variants = append(variants, variant{name, stmts})
+	}
+
+	build("per-tuple", sketch, func(e *Engine) {
+		for _, tup := range tuples {
+			e.Process(tup)
+		}
+	})
+	build("batched", sketch, func(e *Engine) {
+		for off := 0; off < len(tuples); off += 97 {
+			end := off + 97
+			if end > len(tuples) {
+				end = len(tuples)
+			}
+			e.ProcessBatch(tuples[off:end])
+		}
+	})
+	build("string-keys", stringOnly, func(e *Engine) {
+		e.ProcessBatch(tuples)
+	})
+
+	ref := variants[0]
+	for _, v := range variants[1:] {
+		for i, st := range v.stmts {
+			if got, want := st.Count(), ref.stmts[i].Count(); got != want {
+				t.Errorf("%s: query %d count %v, want %v (per-tuple reference)", v.name, i, got, want)
+			}
+		}
+	}
+}
+
+// TestConsumeBatchSource checks Engine.Consume drains binary sources through
+// the batch path with identical results to the per-tuple text path.
+func TestConsumeBatchSource(t *testing.T) {
+	schema := mustSchema(t)
+	var bin bytes.Buffer
+	bw := stream.NewBinaryWriter(&bin, schema)
+	var tuples []stream.Tuple
+	for i := 0; i < 700; i++ {
+		tuples = append(tuples, table1()...)
+	}
+	for _, tup := range tuples {
+		if err := bw.Write(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bw.Flush()
+
+	sql := `SELECT COUNT(DISTINCT Destination) FROM traffic WHERE Destination IMPLIES Source`
+
+	mem := NewEngine(schema)
+	stMem, err := mem.RegisterSQL(sql, exactBackend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := mem.Consume(stream.NewMemSource(tuples)); err != nil || n != int64(len(tuples)) {
+		t.Fatalf("mem consume = (%d, %v)", n, err)
+	}
+
+	eng := NewEngine(schema)
+	st, err := eng.RegisterSQL(sql, exactBackend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := stream.NewBinaryReader(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := eng.Consume(br)
+	if err != nil || n != int64(len(tuples)) {
+		t.Fatalf("binary consume = (%d, %v), want %d tuples", n, err, len(tuples))
+	}
+	if got, want := st.Count(), stMem.Count(); got != want {
+		t.Fatalf("batched consume count %v, want %v", got, want)
 	}
 }
 

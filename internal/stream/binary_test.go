@@ -140,6 +140,80 @@ func TestBinaryEmptyStream(t *testing.T) {
 	}
 }
 
+func TestBinaryNextBatch(t *testing.T) {
+	schema := MustSchema("Source", "Destination", "Service")
+	var tuples []Tuple
+	for i := 0; i < 1000; i++ {
+		tuples = append(tuples, Tuple{
+			"S" + strings.Repeat("x", i%17),
+			"D" + strings.Repeat("y", i%5),
+			[]string{"WWW", "FTP", "P2P", ""}[i%4],
+		})
+	}
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf, schema)
+	for _, tup := range tuples {
+		if err := w.Write(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+
+	// Batch sizes that divide the stream evenly, leave a remainder, and
+	// exceed it entirely.
+	for _, size := range []int{1, 7, 250, 256, 5000} {
+		r, err := NewBinaryReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Tuple
+		batch := make([]Tuple, size)
+		for {
+			n, err := r.NextBatch(batch)
+			for _, tup := range batch[:n] {
+				got = append(got, append(Tuple(nil), tup...))
+			}
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("size %d: %v", size, err)
+			}
+		}
+		if !reflect.DeepEqual(got, tuples) {
+			t.Fatalf("size %d: batch decode diverges from written stream (%d vs %d tuples)", size, len(got), len(tuples))
+		}
+		// Exhausted stream keeps returning (0, io.EOF).
+		if n, err := r.NextBatch(batch); n != 0 || err != io.EOF {
+			t.Fatalf("size %d: post-EOF NextBatch = (%d, %v)", size, n, err)
+		}
+	}
+}
+
+func TestBinaryNextBatchTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf, MustSchema("a", "b"))
+	for i := 0; i < 3; i++ {
+		if err := w.Write(Tuple{"x", "y"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	data := buf.Bytes()
+	r, err := NewBinaryReader(bytes.NewReader(data[:len(data)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]Tuple, 8)
+	n, err := r.NextBatch(batch)
+	if n != 2 {
+		t.Fatalf("decoded %d complete tuples before truncation, want 2", n)
+	}
+	if err == nil || err == io.EOF {
+		t.Fatalf("truncated record reported %v, want a decode error", err)
+	}
+}
+
 func TestOpenReaderSniffs(t *testing.T) {
 	schema := MustSchema("a", "b")
 	tuple := Tuple{"1", "2"}

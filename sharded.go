@@ -1,0 +1,51 @@
+package implicate
+
+import (
+	"sync/atomic"
+
+	"implicate/internal/core"
+	"implicate/internal/imps"
+)
+
+// ShardedSketch is the parallel-ingestion NIPS/CI sketch: the m bitmaps are
+// partitioned across independent mutex-guarded shards keyed by the tuple
+// hash, so concurrent producers contend only when their tuples route to the
+// same shard, and the batched Add paths take each shard lock once per batch.
+// Estimates are bit-identical to a single same-seed Sketch fed the same
+// per-bitmap tuple order; see the "Concurrency & sharding" section of
+// DESIGN.md for when to choose it over Synchronized.
+type ShardedSketch = core.ShardedSketch
+
+// HashedPair is one pre-hashed tuple for the batched ingest paths.
+type HashedPair = core.HashedPair
+
+// Pair is one encoded itemset pair for the batched ingest paths.
+type Pair = imps.Pair
+
+// BatchAdder is the optional batched-ingest contract; Sketch, ShardedSketch
+// and SyncEstimator implement it.
+type BatchAdder = imps.BatchAdder
+
+// BytesAdder is the optional allocation-free byte-key ingest contract.
+type BytesAdder = imps.BytesAdder
+
+// NewShardedSketch returns a sharded NIPS/CI sketch for the given
+// implication conditions. shards must be a power of two no larger than the
+// bitmap count; 0 selects a shard count matched to GOMAXPROCS. All methods
+// are safe for concurrent use.
+func NewShardedSketch(cond Conditions, opts Options, shards int) (*ShardedSketch, error) {
+	return core.NewShardedSketch(cond, opts, shards)
+}
+
+// ShardedSketchBackend returns a Backend producing sharded NIPS/CI sketches
+// with the given options and shard count (0 matches GOMAXPROCS); seeds are
+// derived per statement. Use it when the engine's statements are fed from
+// concurrent producers.
+func ShardedSketchBackend(opts Options, shards int) Backend {
+	var n atomic.Uint64
+	return func(cond Conditions) (Estimator, error) {
+		o := opts
+		o.Seed = opts.Seed + n.Add(1)*0x9e3779b97f4a7c15
+		return core.NewShardedSketch(cond, o, shards)
+	}
+}

@@ -2,21 +2,39 @@ package implicate
 
 import "sync"
 
-// Synchronized wraps an estimator with a mutex so multiple goroutines can
-// feed and query it concurrently. The underlying estimators are
-// deliberately lock-free single-writer structures (a router's fast path
-// must not pay for synchronization it does not need, §4.6); wrap them only
-// when tuples genuinely arrive from multiple goroutines.
+// Synchronized wraps an estimator with a read-write mutex so multiple
+// goroutines can feed and query it concurrently. The underlying estimators
+// are deliberately lock-free single-writer structures — the paper's per-item
+// cost analysis (§4.6) budgets a handful of hash and counter operations per
+// tuple, and an uncontended fast path must not pay for synchronization it
+// does not need — so wrap them only when tuples genuinely arrive from
+// multiple goroutines.
+//
+// Two concurrency wrappers exist and they trade differently:
+//
+//   - Synchronized serializes every Add through one lock. It works for any
+//     estimator (exact, ILC, Distinct Sampling, windows, ...) but caps
+//     ingest throughput at one core, whatever the producer count.
+//   - ShardedSketch partitions a NIPS/CI sketch's bitmaps across
+//     independently locked shards, so producers ingest in parallel. Prefer
+//     it whenever the estimator is the sketch and ingest rate matters.
+//
+// Query methods (ImplicationCount, Tuples, MemEntries, ...) take only the
+// read lock, so monitoring reads never stall ingestion behind one another;
+// they still exclude writers. This requires the wrapped estimator's query
+// methods to be read-only, which holds for every estimator in this module.
 //
 // If the wrapped estimator supports AvgMultiplicity the wrapper forwards
-// it; otherwise AvgMultiplicity returns 0.
+// it; otherwise AvgMultiplicity returns 0. AddBatch and AddBytes forward to
+// the wrapped estimator's amortized paths when available and fall back to
+// per-tuple Adds under a single lock acquisition otherwise.
 func Synchronized(est Estimator) *SyncEstimator {
 	return &SyncEstimator{est: est}
 }
 
 // SyncEstimator is a mutex-guarded estimator; see Synchronized.
 type SyncEstimator struct {
-	mu  sync.Mutex
+	mu  sync.RWMutex
 	est Estimator
 }
 
@@ -27,45 +45,71 @@ func (s *SyncEstimator) Add(a, b string) {
 	s.est.Add(a, b)
 }
 
-// ImplicationCount estimates S.
-func (s *SyncEstimator) ImplicationCount() float64 {
+// AddBytes observes one tuple from byte-slice keys, avoiding string
+// conversion allocations when the wrapped estimator supports it.
+func (s *SyncEstimator) AddBytes(a, b []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if ba, ok := s.est.(BytesAdder); ok {
+		ba.AddBytes(a, b)
+		return
+	}
+	s.est.Add(string(a), string(b))
+}
+
+// AddBatch observes a batch of tuples under a single lock acquisition,
+// amortizing the wrapper's synchronization cost across the batch.
+func (s *SyncEstimator) AddBatch(pairs []Pair) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ba, ok := s.est.(BatchAdder); ok {
+		ba.AddBatch(pairs)
+		return
+	}
+	for i := range pairs {
+		s.est.Add(pairs[i].A, pairs[i].B)
+	}
+}
+
+// ImplicationCount estimates S.
+func (s *SyncEstimator) ImplicationCount() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.est.ImplicationCount()
 }
 
 // NonImplicationCount estimates ~S.
 func (s *SyncEstimator) NonImplicationCount() float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.est.NonImplicationCount()
 }
 
 // SupportedDistinct estimates F0^sup(A).
 func (s *SyncEstimator) SupportedDistinct() float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.est.SupportedDistinct()
 }
 
 // Tuples returns the number of tuples observed.
 func (s *SyncEstimator) Tuples() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.est.Tuples()
 }
 
 // MemEntries reports the wrapped estimator's footprint.
 func (s *SyncEstimator) MemEntries() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.est.MemEntries()
 }
 
 // AvgMultiplicity forwards to the wrapped estimator when supported.
 func (s *SyncEstimator) AvgMultiplicity() float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if ma, ok := s.est.(MultiplicityAverager); ok {
 		return ma.AvgMultiplicity()
 	}
@@ -79,4 +123,6 @@ func (s *SyncEstimator) Unwrap() Estimator { return s.est }
 var (
 	_ Estimator            = (*SyncEstimator)(nil)
 	_ MultiplicityAverager = (*SyncEstimator)(nil)
+	_ BatchAdder           = (*SyncEstimator)(nil)
+	_ BytesAdder           = (*SyncEstimator)(nil)
 )
