@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race race bench examples experiments paper clean
+.PHONY: all build vet test test-race race bench examples experiments paper clean checkpoint-fault
 
 all: build vet test
 
@@ -19,6 +19,15 @@ test-race:
 # Alias for test-race; the concurrency tests in internal/core double as the
 # race-detector stress suite.
 race: test-race
+
+# The crash-recovery fault-injection suite: kill-and-resume equivalence,
+# truncation/bit-flip rejection, resumable-source replay, plus a short
+# fuzz run over the checkpoint decoder.
+checkpoint-fault:
+	$(GO) test -run 'KillAndResume|Truncat|BitFlip|Corrupt|Atomic|Snapshot|Resume|Marshal|Unmarshal' \
+		./internal/checkpoint/ ./internal/query/ ./internal/stream/ \
+		./internal/core/ ./internal/exact/ ./internal/lossy/ ./internal/dsample/ ./cmd/impstat/
+	$(GO) test -run FuzzCheckpointDecode -fuzz FuzzCheckpointDecode -fuzztime 10s ./internal/checkpoint/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,15 +1,25 @@
 // Distributed simulates the sensor-network aggregation setting of §2:
 // eight leaf nodes each observe a slice of the global traffic under tight
-// memory budgets, sketch it locally, serialize their state, and ship it up
-// a two-level aggregation tree where the sketches are merged. The root
-// answers global implication queries without any node ever holding the
-// stream — the bandwidth spent is the serialized sketch size instead of
-// the raw tuples.
+// memory budgets, run the implication query locally, serialize their
+// state, and ship it up a two-level aggregation tree where the sketches
+// are merged. The root answers global implication queries without any
+// node ever holding the stream — the bandwidth spent is the serialized
+// sketch size instead of the raw tuples.
+//
+// Constrained nodes also die. One leaf checkpoints its engine to local
+// storage as it streams and is killed partway through; it recovers by
+// restoring the checkpoint and replaying its slice of the stream from the
+// recorded offset. The recovered node's sketch is bit-identical to an
+// uncrashed shadow node's, so the aggregation tree cannot tell there was
+// ever a failure.
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"implicate"
 	"implicate/internal/gen"
@@ -18,7 +28,40 @@ import (
 const (
 	leaves        = 8
 	tuplesPerLeaf = 150_000
+	total         = leaves * tuplesPerLeaf
+
+	crashLeaf = 5           // the leaf that dies
+	crashAt   = total * 3 / 5 // global tuple index of the crash
+	ckptEvery = 20_000      // leaf tuples between checkpoints
 )
+
+var genConfig = gen.NetTrafficConfig{
+	Seed: 17, Sources: 30_000, Destinations: 8_000,
+	FlashSources: 2_000, FlashTargets: 1, FlashAfter: 400_000,
+}
+
+const sql = `SELECT COUNT(DISTINCT Source) FROM traffic
+	WHERE Source IMPLIES Destination
+	WITH SUPPORT >= 12, MULTIPLICITY <= 2, CONFIDENCE >= 0.9 TOP 1`
+
+// leafBackend builds merge-compatible sketches: identical options
+// everywhere, explicit seed so a recovered node grows exactly like an
+// uncrashed one.
+func leafBackend(cond implicate.Conditions) (implicate.Estimator, error) {
+	return implicate.NewSketch(cond, implicate.Options{Seed: 99})
+}
+
+func newLeaf(schema *implicate.Schema) *implicate.Engine {
+	eng := implicate.NewEngine(schema)
+	if _, err := eng.RegisterSQL(sql, leafBackend); err != nil {
+		log.Fatal(err)
+	}
+	return eng
+}
+
+func leafSketch(eng *implicate.Engine) *implicate.Sketch {
+	return eng.Statements()[0].Estimator().(*implicate.Sketch)
+}
 
 func main() {
 	// Global question: how many sources talk to a single destination at
@@ -30,7 +73,6 @@ func main() {
 		TopC:             1,
 		MinTopConfidence: 0.9,
 	}
-	opts := implicate.Options{Seed: 99} // identical options everywhere: merge-compatible
 
 	// Ground truth across the union of all leaf streams.
 	truth, err := implicate.NewExact(cond)
@@ -40,32 +82,105 @@ func main() {
 
 	// Each leaf sees the same global population of flows but only a shard
 	// of the packets (packets of one flow hash to any leaf — think ECMP).
-	g := gen.NewNetTraffic(gen.NetTrafficConfig{
-		Seed: 17, Sources: 30_000, Destinations: 8_000,
-		FlashSources: 2_000, FlashTargets: 1, FlashAfter: 400_000,
-	})
+	g := gen.NewNetTraffic(genConfig)
 	schema := gen.NetTrafficSchema()
 	src := schema.MustProj("Source")
 	dst := schema.MustProj("Destination")
 
-	leafSketches := make([]*implicate.Sketch, leaves)
-	for i := range leafSketches {
-		sk, err := implicate.NewSketch(cond, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		leafSketches[i] = sk
+	ckptDir, err := os.MkdirTemp("", "implicate-distributed")
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer os.RemoveAll(ckptDir)
+	ckptPath := filepath.Join(ckptDir, "leaf5.ckpt")
+
+	engines := make([]*implicate.Engine, leaves)
+	for i := range engines {
+		engines[i] = newLeaf(schema)
+	}
+	// The shadow is what the crashing leaf would have been had it lived —
+	// the yardstick for "recovery loses nothing".
+	shadow := newLeaf(schema)
+
+	victim := engines[crashLeaf]
+	var victimTuples, checkpoints int64
 	var rawBytes int64
-	for i := int64(0); i < leaves*tuplesPerLeaf; i++ {
+	for i := int64(0); i < total; i++ {
 		t, err := g.Next()
 		if err != nil {
 			log.Fatal(err)
 		}
 		a, b := src.Key(t), dst.Key(t)
-		leafSketches[i%leaves].Add(a, b)
 		truth.Add(a, b)
 		rawBytes += int64(len(a) + len(b))
+
+		leaf := i % leaves
+		if leaf != crashLeaf {
+			engines[leaf].Process(t)
+			continue
+		}
+		shadow.Process(t)
+		if victim == nil {
+			continue // the leaf is down; its packets are replayed on recovery
+		}
+		victim.Process(t)
+		victimTuples++
+		if victimTuples%ckptEvery == 0 {
+			// The offset is the GLOBAL stream position: recovery replays the
+			// deterministic global stream from there and re-filters its slice.
+			snap, err := implicate.CaptureCheckpoint(victim, i+1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := implicate.WriteCheckpoint(ckptPath, snap); err != nil {
+				log.Fatal(err)
+			}
+			checkpoints++
+		}
+		if i >= crashAt {
+			victim = nil // the node dies; only the checkpoint file survives
+		}
+	}
+
+	// Recovery: restore the engine from the last checkpoint (queries and
+	// sketch state included; no WINDOW clause, so no resolver needed), then
+	// replay the node's slice of the stream from the recorded offset.
+	snap, err := implicate.ReadCheckpoint(ckptPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recovered, err := implicate.RestoreCheckpoint(snap, schema, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	replay := gen.NewNetTraffic(genConfig)
+	var replayed int64
+	for i := int64(0); i < total; i++ {
+		t, err := replay.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i < snap.Offset || i%leaves != crashLeaf {
+			continue
+		}
+		recovered.Process(t)
+		replayed++
+	}
+	engines[crashLeaf] = recovered
+
+	// The recovered node must be indistinguishable from the shadow — not
+	// merely close: bit-identical serialized state.
+	recBlob, err := leafSketch(recovered).MarshalBinary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	shadowBlob, err := leafSketch(shadow).MarshalBinary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(recBlob, shadowBlob) {
+		log.Fatalf("recovered leaf diverged from the uncrashed shadow (%d vs %d bytes)",
+			len(recBlob), len(shadowBlob))
 	}
 
 	// Level 1: leaves serialize and ship to two relays; relays merge four
@@ -93,14 +208,21 @@ func main() {
 		}
 		return agg
 	}
-	relayA := relay(leafSketches[:leaves/2])
-	relayB := relay(leafSketches[leaves/2:])
+	sketches := make([]*implicate.Sketch, leaves)
+	for i, e := range engines {
+		sketches[i] = leafSketch(e)
+	}
+	relayA := relay(sketches[:leaves/2])
+	relayB := relay(sketches[leaves/2:])
 	root := relay([]*implicate.Sketch{relayA, relayB})
 
 	est := root.ImplicationCount()
 	lo, hi := root.ImplicationCountInterval(2)
 	exact := truth.ImplicationCount()
 	fmt.Printf("distributed: %d leaves × %d tuples, two-level aggregation\n", leaves, tuplesPerLeaf)
+	fmt.Printf("  leaf %d killed at global tuple %d; %d checkpoints written\n", crashLeaf, crashAt, checkpoints)
+	fmt.Printf("  recovered from offset %d, replayed %d leaf tuples\n", snap.Offset, replayed)
+	fmt.Printf("  recovered state vs uncrashed shadow: bit-identical (%d bytes)\n", len(recBlob))
 	fmt.Printf("  exact single-destination sources: %.0f\n", exact)
 	fmt.Printf("  merged-sketch estimate:           %.0f  (95%% interval [%.0f, %.0f])\n", est, lo, hi)
 	fmt.Printf("  relative error:                   %.1f%%\n", 100*abs(est-exact)/exact)

@@ -1,0 +1,45 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"implicate/internal/query"
+)
+
+// FuzzCheckpointDecode feeds arbitrary bytes through the full recovery
+// path: Decode, and when the container verifies, Restore. Neither may
+// panic — a corrupt or adversarial checkpoint must always come back as an
+// error ("no answer"), never a crash or a silently wrong engine.
+func FuzzCheckpointDecode(f *testing.F) {
+	// Seed with a real checkpoint and a few near-misses so the fuzzer
+	// starts past the magic/version/CRC gates.
+	e := query.NewEngine(testSchema())
+	for _, reg := range testQueries {
+		if _, err := e.RegisterSQL(reg.sql, reg.backend); err != nil {
+			f.Fatal(err)
+		}
+	}
+	e.ProcessBatch(genTuples(0, 200))
+	snap, err := Capture(e, 200)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := Encode(snap)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	truncatedEngine := Encode(Snapshot{Offset: 7, Engine: snap.Engine[:len(snap.Engine)/3]})
+	f.Add(truncatedEngine)
+	f.Add(Encode(Snapshot{Offset: 0, Engine: nil}))
+	f.Add([]byte(fileMagic))
+
+	schema := testSchema()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if _, err := Restore(snap, schema, resolver); err != nil {
+			return
+		}
+	})
+}

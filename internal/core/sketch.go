@@ -129,6 +129,14 @@ func (s *Sketch) Conditions() imps.Conditions { return s.cond }
 // Options returns the effective (defaulted) options.
 func (s *Sketch) Options() Options { return s.opts }
 
+// ConfigFingerprint identifies the sketch algorithm and its
+// accuracy-relevant configuration; the seed is excluded (see
+// imps.ConfigFingerprinter).
+func (s *Sketch) ConfigFingerprint() string {
+	return fmt.Sprintf("nips(%s|m=%d,F=%d,unbounded=%t,slack=%d)",
+		s.cond, s.opts.Bitmaps, s.opts.FringeSize, s.opts.Unbounded, s.opts.Slack)
+}
+
 // Add observes one tuple: a is the encoded A-itemset, b the encoded
 // B-itemset.
 func (s *Sketch) Add(a, b string) {

@@ -1,0 +1,124 @@
+package dsample
+
+import (
+	"strconv"
+	"testing"
+
+	"implicate/internal/imps"
+)
+
+func feed(s *Sketch, start, n int) {
+	for i := start; i < start+n; i++ {
+		a := strconv.Itoa(i % 499)
+		b := strconv.Itoa((i * 7) % 13)
+		if i%499 < 60 {
+			b = "solo"
+		}
+		s.Add(a, b)
+	}
+}
+
+func TestSamplerMarshalRoundTrip(t *testing.T) {
+	cond := imps.Conditions{MaxMultiplicity: 2, MinSupport: 3, TopC: 1, MinTopConfidence: 0.5}
+	s, err := New(cond, 64, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(s, 0, 6000)
+	if s.Level() == 0 {
+		t.Fatal("test stream never raised the sampling level; widen it")
+	}
+
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSketch(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamplersEqual(t, s, got)
+
+	blob2, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(blob2) {
+		t.Fatalf("re-marshalling a restored sampler changed the bytes")
+	}
+
+	// Continued streaming must agree: the restored hash admits the same
+	// values at the same level, so both evolve identically.
+	feed(s, 6000, 3000)
+	feed(got, 6000, 3000)
+	assertSamplersEqual(t, s, got)
+}
+
+func assertSamplersEqual(t *testing.T, want, got *Sketch) {
+	t.Helper()
+	if got.Tuples() != want.Tuples() {
+		t.Fatalf("Tuples: got %d, want %d", got.Tuples(), want.Tuples())
+	}
+	if got.Level() != want.Level() {
+		t.Fatalf("Level: got %d, want %d", got.Level(), want.Level())
+	}
+	if got.MemEntries() != want.MemEntries() {
+		t.Fatalf("MemEntries: got %d, want %d", got.MemEntries(), want.MemEntries())
+	}
+	pairs := []struct {
+		name      string
+		got, want float64
+	}{
+		{"ImplicationCount", got.ImplicationCount(), want.ImplicationCount()},
+		{"NonImplicationCount", got.NonImplicationCount(), want.NonImplicationCount()},
+		{"SupportedDistinct", got.SupportedDistinct(), want.SupportedDistinct()},
+		{"DistinctCount", got.DistinctCount(), want.DistinctCount()},
+		{"AvgMultiplicity", got.AvgMultiplicity(), want.AvgMultiplicity()},
+	}
+	for _, p := range pairs {
+		if p.got != p.want {
+			t.Fatalf("%s: got %g, want %g", p.name, p.got, p.want)
+		}
+	}
+}
+
+func TestUnmarshalSamplerRejectsTruncation(t *testing.T) {
+	cond := imps.Conditions{MaxMultiplicity: 2, MinSupport: 2, TopC: 1, MinTopConfidence: 0.5}
+	s, err := New(cond, 32, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(s, 0, 1000)
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(blob); n++ {
+		if _, err := UnmarshalSketch(blob[:n]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded without error", n, len(blob))
+		}
+	}
+}
+
+func TestUnmarshalSamplerRejectsForgedRank(t *testing.T) {
+	cond := imps.Conditions{MaxMultiplicity: 2, MinSupport: 2, TopC: 1, MinTopConfidence: 0.5}
+	s, err := New(cond, 64, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(s, 0, 200)
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bump the seed field, which sits after the magic (6), conditions (24),
+	// size (4) and t (4): every stored rank then disagrees with the hash.
+	seedOff := 6 + 24 + 4 + 4
+	mut := append([]byte(nil), blob...)
+	mut[seedOff]++
+	if _, err := UnmarshalSketch(mut); err == nil {
+		t.Fatal("sampler with mismatched seed/rank pairs decoded without error")
+	}
+}
+
+var _ imps.ConfigFingerprinter = (*Sketch)(nil)

@@ -117,6 +117,25 @@ type MultiplicityAverager interface {
 	AvgMultiplicity() float64
 }
 
+// ConfigFingerprinter is implemented by estimators whose configuration can
+// be summarized as a string: two estimators with equal fingerprints run the
+// same algorithm with the same accuracy-relevant parameters and are
+// interchangeable for answering one query. The query engine combines the
+// fingerprint with the backend's identity to decide when two registrations
+// may share a single estimator — comparing configurations is what keeps two
+// backends built from the same factory with different parameters (which
+// share a closure code pointer) from silently aliasing one estimator.
+//
+// Auto-derived hash seeds are deliberately excluded from fingerprints:
+// backends mint a fresh seed per construction, and the seed affects only
+// the randomness of an estimate, never which statistic it answers or how
+// accurately.
+type ConfigFingerprinter interface {
+	// ConfigFingerprint returns a string identifying the estimator's type
+	// and configuration (not its state).
+	ConfigFingerprint() string
+}
+
 // TopSum returns the sum of the c largest values in counts. It mutates a
 // scratch copy, not counts itself. The per-itemset counter sets the paper's
 // algorithms maintain are tiny (at most K+1 entries), so a partial selection

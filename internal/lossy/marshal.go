@@ -1,0 +1,137 @@
+package lossy
+
+import (
+	"fmt"
+	"sort"
+
+	"implicate/internal/imps"
+	"implicate/internal/wire"
+)
+
+// Binary serialization for Implication Lossy Counting, so baseline
+// statements survive engine checkpoints alongside the sketches. Itemset and
+// pair samples are written in sorted key order for deterministic bytes.
+
+const ilcMagic = "ILCS\x01"
+
+// Conditions returns the implication conditions.
+func (c *ILC) Conditions() imps.Conditions { return c.cond }
+
+// MarshalBinary encodes the complete ILC state.
+func (c *ILC) MarshalBinary() ([]byte, error) {
+	e := wire.NewEncoder(1024)
+	e.Raw([]byte(ilcMagic))
+
+	e.U32(uint32(c.cond.MaxMultiplicity))
+	e.I64(c.cond.MinSupport)
+	e.U32(uint32(c.cond.TopC))
+	e.F64(c.cond.MinTopConfidence)
+	e.F64(c.relSupport)
+	e.F64(c.eps)
+	e.I64(c.n)
+
+	keys := make([]string, 0, len(c.as))
+	for a := range c.as {
+		keys = append(keys, a)
+	}
+	sort.Strings(keys)
+	e.U32(uint32(len(keys)))
+	for _, a := range keys {
+		ae := c.as[a]
+		e.Str(a)
+		e.I64(ae.count)
+		e.I64(ae.delta)
+		e.Bool(ae.dirty)
+		pm := c.pairs[a]
+		if ae.dirty {
+			// Dirty itemsets have had their pair entries deleted (§5.1).
+			continue
+		}
+		bs := make([]string, 0, len(pm))
+		for b := range pm {
+			bs = append(bs, b)
+		}
+		sort.Strings(bs)
+		e.U32(uint32(len(bs)))
+		for _, b := range bs {
+			e.Str(b)
+			e.I64(pm[b].count)
+			e.I64(pm[b].delta)
+		}
+	}
+	return e.Bytes(), nil
+}
+
+// UnmarshalILC decodes an ILC previously encoded with MarshalBinary.
+func UnmarshalILC(data []byte) (*ILC, error) {
+	d := wire.NewDecoder(data)
+	d.Magic(ilcMagic)
+
+	var cond imps.Conditions
+	cond.MaxMultiplicity = int(d.U32())
+	cond.MinSupport = d.I64()
+	cond.TopC = int(d.U32())
+	cond.MinTopConfidence = d.F64()
+	relSupport := d.F64()
+	eps := d.F64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	c, err := NewILC(cond, relSupport, eps)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", wire.ErrCorrupt, err)
+	}
+	c.n = d.I64()
+	if c.n < 0 {
+		return nil, wire.ErrCorrupt
+	}
+
+	// Each itemset entry costs at least 4 + 8 + 8 + 1 bytes.
+	nitems := d.Count(21)
+	for i := 0; i < nitems; i++ {
+		a := d.Str(1 << 24)
+		ae := &ilcEntry{count: d.I64(), delta: d.I64(), dirty: d.Bool()}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if ae.count < 1 || ae.delta < 0 {
+			return nil, wire.ErrCorrupt
+		}
+		if _, dup := c.as[a]; dup {
+			return nil, wire.ErrCorrupt
+		}
+		c.as[a] = ae
+		if ae.dirty {
+			continue
+		}
+		npairs := d.Count(20)
+		if npairs == 0 {
+			continue
+		}
+		pm := make(map[string]*entry, npairs)
+		for p := 0; p < npairs; p++ {
+			b := d.Str(1 << 24)
+			pe := &entry{count: d.I64(), delta: d.I64()}
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+			if pe.count < 1 || pe.delta < 0 {
+				return nil, wire.ErrCorrupt
+			}
+			if _, dup := pm[b]; dup {
+				return nil, wire.ErrCorrupt
+			}
+			pm[b] = pe
+		}
+		c.pairs[a] = pm
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ConfigFingerprint identifies the ILC algorithm and its parameters.
+func (c *ILC) ConfigFingerprint() string {
+	return fmt.Sprintf("ilc(%s|s=%g,eps=%g)", c.cond, c.relSupport, c.eps)
+}

@@ -1,0 +1,107 @@
+package lossy
+
+import (
+	"strconv"
+	"testing"
+
+	"implicate/internal/imps"
+)
+
+func feed(c *ILC, start, n int) {
+	for i := start; i < start+n; i++ {
+		a := strconv.Itoa(i % 61)
+		b := strconv.Itoa((i * 7) % 13)
+		if i%61 < 10 {
+			b = "solo"
+		}
+		c.Add(a, b)
+	}
+}
+
+func TestILCMarshalRoundTrip(t *testing.T) {
+	cond := imps.Conditions{MaxMultiplicity: 2, MinSupport: 1, TopC: 1, MinTopConfidence: 0.5}
+	c, err := NewILC(cond, 0.01, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(c, 0, 4000)
+	if c.NonImplicationCount() == 0 {
+		t.Fatal("test stream produced no dirty itemsets; widen it")
+	}
+
+	blob, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalILC(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertILCsEqual(t, c, got)
+
+	blob2, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(blob2) {
+		t.Fatalf("re-marshalling a restored ILC changed the bytes")
+	}
+
+	// Continue past the next pruning boundary in both; they must agree.
+	feed(c, 4000, 2000)
+	feed(got, 4000, 2000)
+	assertILCsEqual(t, c, got)
+}
+
+func assertILCsEqual(t *testing.T, want, got *ILC) {
+	t.Helper()
+	if got.Tuples() != want.Tuples() {
+		t.Fatalf("Tuples: got %d, want %d", got.Tuples(), want.Tuples())
+	}
+	if got.MemEntries() != want.MemEntries() {
+		t.Fatalf("MemEntries: got %d, want %d", got.MemEntries(), want.MemEntries())
+	}
+	pairs := []struct {
+		name      string
+		got, want float64
+	}{
+		{"ImplicationCount", got.ImplicationCount(), want.ImplicationCount()},
+		{"NonImplicationCount", got.NonImplicationCount(), want.NonImplicationCount()},
+		{"SupportedDistinct", got.SupportedDistinct(), want.SupportedDistinct()},
+		{"AvgMultiplicity", got.AvgMultiplicity(), want.AvgMultiplicity()},
+	}
+	for _, p := range pairs {
+		if p.got != p.want {
+			t.Fatalf("%s: got %g, want %g", p.name, p.got, p.want)
+		}
+	}
+	wantImp, gotImp := want.Implicating(), got.Implicating()
+	if len(wantImp) != len(gotImp) {
+		t.Fatalf("Implicating: got %d itemsets, want %d", len(gotImp), len(wantImp))
+	}
+	for i := range wantImp {
+		if wantImp[i] != gotImp[i] {
+			t.Fatalf("Implicating[%d]: got %q, want %q", i, gotImp[i], wantImp[i])
+		}
+	}
+}
+
+func TestUnmarshalILCRejectsTruncation(t *testing.T) {
+	cond := imps.Conditions{MaxMultiplicity: 2, MinSupport: 1, TopC: 1, MinTopConfidence: 0.5}
+	c, err := NewILC(cond, 0.02, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(c, 0, 1000)
+	blob, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(blob); n++ {
+		if _, err := UnmarshalILC(blob[:n]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded without error", n, len(blob))
+		}
+	}
+}
+
+var _ imps.ConfigFingerprinter = (*ILC)(nil)

@@ -52,8 +52,34 @@ func Compile(q Query, schema *stream.Schema, backend Backend) (*Statement, error
 	if err := q.Normalize(schema); err != nil {
 		return nil, err
 	}
-	st := &Statement{query: q}
+	probe, err := backend(q.Cond)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateMode(q, probe); err != nil {
+		return nil, err
+	}
+	return compileWith(q, schema, backend, probe)
+}
 
+// validateMode checks the query's read mode against a leaf estimator the
+// backend produced. The check runs against the leaf — never against a
+// sliding-window wrapper, whose own AvgMultiplicity method would satisfy
+// the interface regardless of what its slot estimators can answer.
+func validateMode(q Query, leaf imps.Estimator) error {
+	if q.Mode != AvgMultiplicity {
+		return nil
+	}
+	if _, ok := leaf.(imps.MultiplicityAverager); !ok {
+		return fmt.Errorf("query: the chosen backend cannot answer AVG(MULTIPLICITY(...))")
+	}
+	return nil
+}
+
+// newShell builds the estimator-independent part of a statement: the
+// projections and compiled filters for an already normalized query.
+func newShell(q Query, schema *stream.Schema) (*Statement, error) {
+	st := &Statement{query: q}
 	aAttrs := append(append([]string(nil), q.A...), q.GroupBy...)
 	var err error
 	if st.projA, err = schema.Proj(aAttrs...); err != nil {
@@ -69,13 +95,19 @@ func Compile(q Query, schema *stream.Schema, backend Backend) (*Statement, error
 		idx, _ := schema.Index(f.Attr)
 		st.filters = append(st.filters, compiledFilter{idx: idx, value: f.Value, negate: f.Negate})
 	}
+	return st, nil
+}
 
+// compileWith finishes compiling an already normalized and mode-validated
+// query. probe is a fresh estimator from backend: unwindowed statements
+// bind it directly; windowed statements discard it and let the sliding
+// vector construct its slot estimators from the factory.
+func compileWith(q Query, schema *stream.Schema, backend Backend, probe imps.Estimator) (*Statement, error) {
+	st, err := newShell(q, schema)
+	if err != nil {
+		return nil, err
+	}
 	if q.Window > 0 {
-		// Validate the backend once up front, then hand the sliding vector
-		// an infallible factory.
-		if _, err := backend(q.Cond); err != nil {
-			return nil, err
-		}
 		sliding, err := window.NewSliding(q.Window, q.Every, func() imps.Estimator {
 			e, err := backend(q.Cond)
 			if err != nil {
@@ -88,14 +120,7 @@ func Compile(q Query, schema *stream.Schema, backend Backend) (*Statement, error
 		}
 		st.est = sliding
 	} else {
-		if st.est, err = backend(q.Cond); err != nil {
-			return nil, err
-		}
-	}
-	if q.Mode == AvgMultiplicity {
-		if _, ok := st.est.(imps.MultiplicityAverager); !ok {
-			return nil, fmt.Errorf("query: the chosen backend cannot answer AVG(MULTIPLICITY(...))")
-		}
+		st.est = probe
 	}
 	st.bytes, _ = st.est.(imps.BytesAdder)
 	return st, nil
@@ -176,51 +201,81 @@ func NewEngine(schema *stream.Schema) *Engine {
 	return &Engine{schema: schema, shared: make(map[string]*Statement)}
 }
 
-// shareKey canonicalizes everything about a query except its mode (and the
-// backend identity, supplied by the caller).
-func shareKey(q Query, backendID uintptr) string {
+// shareKey canonicalizes everything about a query except its mode, tied to
+// the backend's identity. The identity has two parts: the backend function's
+// code pointer AND the configuration fingerprint of an estimator it built
+// for these conditions. The code pointer alone is NOT an identity — every
+// closure returned by one factory function shares it, so two backends built
+// from the same factory with different options would collide and silently
+// alias one estimator. The fingerprint is what tells them apart; the code
+// pointer is kept so distinct backend functions never share even when their
+// configurations coincide.
+//
+// Statements share only when the probe estimator declares a fingerprint at
+// all; an estimator the engine cannot identify is never aliased. The second
+// return reports whether the statement may share.
+func shareKey(q Query, backend Backend, probe imps.Estimator) (string, bool) {
+	if q.Mode == CountDistinct {
+		// Distinct counts rewrite the predicate; they never alias an
+		// implication estimator.
+		return "", false
+	}
+	fp, ok := probe.(imps.ConfigFingerprinter)
+	if !ok {
+		return "", false
+	}
 	mode := q.Mode
 	if mode == AvgMultiplicity || mode == CountNonImplications || mode == CountSupported {
 		mode = CountImplications
 	}
 	k := q
 	k.Mode = mode
-	return fmt.Sprintf("%d|%s", backendID, k.String())
+	return fmt.Sprintf("%d|%s|%s", reflect.ValueOf(backend).Pointer(), fp.ConfigFingerprint(), k.String()), true
 }
 
 // Register compiles and adds a query; the returned statement can be read at
 // any time. Queries over the same predicate registered with the same
-// backend function share one estimator.
+// backend share one estimator.
+//
+// Every registration runs the full validation pipeline — normalization, a
+// probe construction from the backend, and the mode check against that
+// probe — whether or not it ends up sharing. A registration that would be
+// rejected fresh is also rejected when an estimator it could alias happens
+// to exist.
 func (e *Engine) Register(q Query, backend Backend) (*Statement, error) {
+	if backend == nil {
+		return nil, fmt.Errorf("query: nil backend")
+	}
 	if err := q.Normalize(e.schema); err != nil {
 		return nil, err
 	}
-	key := shareKey(q, reflect.ValueOf(backend).Pointer())
-	if prev, ok := e.shared[key]; ok && q.Mode != CountDistinct {
-		if q.Mode == AvgMultiplicity {
-			if _, supports := prev.est.(imps.MultiplicityAverager); !supports {
-				return nil, fmt.Errorf("query: the chosen backend cannot answer AVG(MULTIPLICITY(...))")
-			}
-		}
-		st := &Statement{
-			query:   q,
-			projA:   prev.projA,
-			projB:   prev.projB,
-			hasB:    prev.hasB,
-			filters: prev.filters,
-			est:     prev.est,
-			bytes:   prev.bytes,
-			shared:  true,
-		}
-		e.stmts = append(e.stmts, st)
-		return st, nil
+	probe, err := backend(q.Cond)
+	if err != nil {
+		return nil, err
 	}
-	st, err := Compile(q, e.schema, backend)
+	if err := validateMode(q, probe); err != nil {
+		return nil, err
+	}
+	key, shareable := shareKey(q, backend, probe)
+	if shareable {
+		if prev, ok := e.shared[key]; ok {
+			st, err := newShell(q, e.schema)
+			if err != nil {
+				return nil, err
+			}
+			st.est = prev.est
+			st.bytes = prev.bytes
+			st.shared = true
+			e.stmts = append(e.stmts, st)
+			return st, nil
+		}
+	}
+	st, err := compileWith(q, e.schema, backend, probe)
 	if err != nil {
 		return nil, err
 	}
 	e.stmts = append(e.stmts, st)
-	if q.Mode != CountDistinct {
+	if shareable {
 		e.shared[key] = st
 	}
 	return st, nil

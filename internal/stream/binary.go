@@ -125,6 +125,7 @@ type BinaryReader struct {
 	// whole record costs a single string allocation.
 	arena []byte
 	lens  []int
+	pos   int64
 }
 
 // NewBinaryReader reads the header and returns a reader positioned at the
@@ -199,6 +200,7 @@ func (r *BinaryReader) Next() (Tuple, error) {
 		}
 		r.fields[i] = v
 	}
+	r.pos++
 	return Tuple(r.fields), nil
 }
 
@@ -247,6 +249,7 @@ func (r *BinaryReader) NextBatch(dst []Tuple) (int, error) {
 			dst[k][i] = rec[off : off+n]
 			off += n
 		}
+		r.pos++
 	}
 	return len(dst), nil
 }

@@ -76,6 +76,7 @@ type Reader struct {
 	schema *Schema
 	fields []string
 	line   int
+	pos    int64
 }
 
 // NewReader reads the header line and returns a Reader positioned at the
@@ -128,5 +129,6 @@ func (r *Reader) Next() (Tuple, error) {
 	if n != len(r.fields) {
 		return nil, fmt.Errorf("stream: line %d has %d fields, want %d", r.line, n, len(r.fields))
 	}
+	r.pos++
 	return Tuple(r.fields), nil
 }

@@ -1,0 +1,146 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"strconv"
+	"testing"
+)
+
+func resumeTuples(n int) []Tuple {
+	out := make([]Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Tuple{"S" + strconv.Itoa(i%17), "D" + strconv.Itoa(i%5)})
+	}
+	return out
+}
+
+// sourcesUnderTest builds each Resumable implementation over the same
+// logical stream.
+func sourcesUnderTest(t *testing.T, tuples []Tuple) map[string]func() Resumable {
+	t.Helper()
+	schema := MustSchema("Source", "Destination")
+
+	var text bytes.Buffer
+	tw := NewWriter(&text, schema)
+	var bin bytes.Buffer
+	bw := NewBinaryWriter(&bin, schema)
+	for _, tu := range tuples {
+		if err := tw.Write(tu); err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.Write(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	return map[string]func() Resumable{
+		"mem": func() Resumable { return NewMemSource(tuples) },
+		"text": func() Resumable {
+			r, err := NewReader(bytes.NewReader(text.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		},
+		"binary": func() Resumable {
+			r, err := NewBinaryReader(bytes.NewReader(bin.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		},
+	}
+}
+
+func TestResumableSkipMatchesRead(t *testing.T) {
+	tuples := resumeTuples(100)
+	for name, open := range sourcesUnderTest(t, tuples) {
+		t.Run(name, func(t *testing.T) {
+			// Read 30, note the position, then open fresh and skip there:
+			// the remainder must be identical.
+			ref := open()
+			for i := 0; i < 30; i++ {
+				if _, err := ref.Next(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if ref.Pos() != 30 {
+				t.Fatalf("Pos after 30 reads: %d", ref.Pos())
+			}
+			resumed := open()
+			if err := resumed.SkipTuples(30); err != nil {
+				t.Fatal(err)
+			}
+			if resumed.Pos() != 30 {
+				t.Fatalf("Pos after skip: %d", resumed.Pos())
+			}
+			for i := 30; ; i++ {
+				a, errA := ref.Next()
+				b, errB := resumed.Next()
+				if (errA == io.EOF) != (errB == io.EOF) {
+					t.Fatalf("EOF mismatch at %d: %v vs %v", i, errA, errB)
+				}
+				if errA == io.EOF {
+					if i != len(tuples) {
+						t.Fatalf("streams ended after %d tuples, want %d", i, len(tuples))
+					}
+					break
+				}
+				if errA != nil || errB != nil {
+					t.Fatal(errA, errB)
+				}
+				for f := range a {
+					if a[f] != b[f] {
+						t.Fatalf("tuple %d field %d: %q vs %q", i, f, a[f], b[f])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestResumableSkipPastEndErrors(t *testing.T) {
+	tuples := resumeTuples(10)
+	for name, open := range sourcesUnderTest(t, tuples) {
+		t.Run(name, func(t *testing.T) {
+			src := open()
+			if err := src.SkipTuples(11); err == nil {
+				t.Fatal("skipping past the end of the stream did not error")
+			}
+			if err := open().SkipTuples(-1); err == nil {
+				t.Fatal("negative skip did not error")
+			}
+		})
+	}
+}
+
+func TestBinaryBatchPos(t *testing.T) {
+	tuples := resumeTuples(40)
+	open := sourcesUnderTest(t, tuples)["binary"]
+	src := open().(*BinaryReader)
+	batch := make([]Tuple, 16)
+	var total int64
+	for {
+		n, err := src.NextBatch(batch)
+		total += int64(n)
+		if src.Pos() != total {
+			t.Fatalf("Pos %d after %d batched tuples", src.Pos(), total)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != 40 {
+		t.Fatalf("decoded %d tuples, want 40", total)
+	}
+}

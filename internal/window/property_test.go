@@ -61,6 +61,76 @@ func TestSlidingMatchesBruteForce(t *testing.T) {
 	}
 }
 
+// TestSlidingRetirementBoundary: the retirement rule's exact boundary.
+// For random geometries, at every stream position the live slot set must
+// (1) still contain the oldest origin at or after cut = n−width — in
+// particular a slot with origin == cut exactly is never retired early —
+// and (2) contain at most one origin before cut, and only when no origin
+// at or after cut exists. The reader must select precisely the boundary
+// slot, so no tuple inside the window is dropped and none before it is
+// double-counted.
+func TestSlidingRetirementBoundary(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		width := int64(10 + rng.Intn(200))
+		gran := int64(1 + rng.Intn(int(width)))
+		cnd := imps.Conditions{MaxMultiplicity: 1, MinSupport: 1, TopC: 1, MinTopConfidence: 1}
+		s := MustSliding(width, gran, func() imps.Estimator { return exact.MustCounter(cnd) })
+
+		n := int64(width + gran + int64(rng.Intn(600)))
+		for i := int64(0); i < n; i++ {
+			s.Add(fmt.Sprintf("a%d", rng.Intn(30)), fmt.Sprintf("b%d", rng.Intn(5)))
+
+			cut := s.Tuples() - width
+			slots := s.Slots()
+			// The boundary origin the reader needs: the smallest multiple of
+			// gran (or 0) that is >= cut and has been opened by now.
+			var boundary int64
+			if cut > 0 {
+				boundary = (cut + gran - 1) / gran * gran
+			}
+			if maxOpened := (s.Tuples() - 1) / gran * gran; boundary > maxOpened {
+				boundary = maxOpened // not opened yet: the newest slot stands in
+			}
+			// A pre-cut origin may survive only as the sole stand-in slot:
+			// keeping one alongside newer slots means the reader could
+			// double-count pre-window arrivals.
+			if len(slots) > 1 && slots[0].Origin < cut {
+				t.Logf("seed %d: stale origin %d kept at n=%d (cut %d)", seed, slots[0].Origin, s.Tuples(), cut)
+				return false
+			}
+			found := false
+			for _, sl := range slots {
+				if sl.Origin == boundary {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Logf("seed %d: boundary origin %d missing at n=%d (cut %d, slots %v)",
+					seed, boundary, s.Tuples(), cut, slots)
+				return false
+			}
+			// The reader picks exactly the boundary slot.
+			var want imps.Estimator
+			for _, sl := range slots {
+				if sl.Origin == boundary {
+					want = sl.Est
+					break
+				}
+			}
+			if s.window() != want {
+				t.Logf("seed %d: reader chose the wrong slot at n=%d", seed, s.Tuples())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestSlidingMemoryStaysBounded: the number of live estimators never
 // exceeds width/gran + 2 no matter how long the stream runs.
 func TestSlidingMemoryStaysBounded(t *testing.T) {

@@ -184,13 +184,77 @@ func (s *Sliding) NonImplicationCount() float64 { return s.window().NonImplicati
 // SupportedDistinct estimates the windowed supported-distinct count.
 func (s *Sliding) SupportedDistinct() float64 { return s.window().SupportedDistinct() }
 
-// AvgMultiplicity delegates to the windowed estimator when it supports the
-// aggregate, returning 0 otherwise.
+// AvgMultiplicity delegates to the windowed estimator. Whether the
+// estimators can average is a property of the factory, and callers (the
+// query engine in particular) are expected to validate it against a probe
+// estimator up front — so an estimator without the capability here is a
+// construction bug, and panicking is what keeps that bug from silently
+// reading as "the average is 0".
 func (s *Sliding) AvgMultiplicity() float64 {
-	if ma, ok := s.window().(imps.MultiplicityAverager); ok {
-		return ma.AvgMultiplicity()
+	ma, ok := s.window().(imps.MultiplicityAverager)
+	if !ok {
+		panic(fmt.Sprintf("window: estimator %T cannot answer AvgMultiplicity; validate the factory before querying", s.window()))
 	}
-	return 0
+	return ma.AvgMultiplicity()
+}
+
+// SlotState is one live estimator and the stream position its window count
+// starts from, exposed so checkpointing can serialize a Sliding and rebuild
+// it with Restore.
+type SlotState struct {
+	Origin int64
+	Est    imps.Estimator
+}
+
+// Width returns the window width in tuples.
+func (s *Sliding) Width() int64 { return s.width }
+
+// Granularity returns the origin spacing in tuples.
+func (s *Sliding) Granularity() int64 { return s.gran }
+
+// Slots returns the live estimators oldest-origin first. The estimators are
+// the live ones, not copies; callers must not Add through them.
+func (s *Sliding) Slots() []SlotState {
+	out := make([]SlotState, len(s.slots))
+	for i, sl := range s.slots {
+		out[i] = SlotState{Origin: sl.origin, Est: sl.est}
+	}
+	return out
+}
+
+// Restore replaces the counter's state with a checkpointed one: n tuples
+// observed and the given live slots. The slots must be plausible for this
+// counter's geometry — at least one, oldest first with strictly ascending
+// origins aligned to the granularity, none opened at or after position n
+// (origin 0 exists from the start) — so a corrupted checkpoint fails here
+// rather than producing silently wrong window counts.
+func (s *Sliding) Restore(n int64, slots []SlotState) error {
+	if n < 0 {
+		return fmt.Errorf("window: restore with negative tuple count %d", n)
+	}
+	if len(slots) == 0 {
+		return fmt.Errorf("window: restore with no slots")
+	}
+	for i, sl := range slots {
+		if sl.Est == nil {
+			return fmt.Errorf("window: restore slot %d has no estimator", i)
+		}
+		if sl.Origin < 0 || sl.Origin%s.gran != 0 {
+			return fmt.Errorf("window: restore slot %d origin %d not aligned to granularity %d", i, sl.Origin, s.gran)
+		}
+		if sl.Origin > 0 && sl.Origin >= n {
+			return fmt.Errorf("window: restore slot %d origin %d not before position %d", i, sl.Origin, n)
+		}
+		if i > 0 && sl.Origin <= slots[i-1].Origin {
+			return fmt.Errorf("window: restore origins not strictly ascending at slot %d", i)
+		}
+	}
+	s.n = n
+	s.slots = s.slots[:0]
+	for _, sl := range slots {
+		s.slots = append(s.slots, slot{origin: sl.Origin, est: sl.Est})
+	}
+	return nil
 }
 
 var _ imps.Estimator = (*Sliding)(nil)

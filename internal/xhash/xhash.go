@@ -23,6 +23,10 @@ type Hash struct {
 // New returns the family member with the given seed.
 func New(seed uint64) Hash { return Hash{seed: seed} }
 
+// Seed returns the seed selecting this family member, letting estimators
+// that persist their state reconstruct the identical hash function.
+func (h Hash) Seed() uint64 { return h.seed }
+
 // Sum hashes a string key to a uniformly distributed 64-bit value.
 func (h Hash) Sum(key string) uint64 {
 	x := uint64(fnvOffset)
