@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race race bench examples experiments paper clean checkpoint-fault
+.PHONY: all build vet test test-race race bench examples experiments paper clean checkpoint-fault serve-smoke serve-soak
 
 all: build vet test
 
@@ -28,6 +28,19 @@ checkpoint-fault:
 		./internal/checkpoint/ ./internal/query/ ./internal/stream/ \
 		./internal/core/ ./internal/exact/ ./internal/lossy/ ./internal/dsample/ ./cmd/impstat/
 	$(GO) test -run FuzzCheckpointDecode -fuzz FuzzCheckpointDecode -fuzztime 10s ./internal/checkpoint/
+
+# Serving-layer smoke: start impserved on loopback, ingest 100k tuples
+# through the wire protocol, query, shut down gracefully, and assert the
+# shutdown checkpoint recorded every acknowledged tuple.
+serve-smoke:
+	$(GO) test -run TestServeSmoke -v ./cmd/impserved/
+
+# Serving-layer soak under the race detector: 1M tuples through IngestBatch
+# against a deliberately slow worker and a depth-2 queue, asserting zero
+# unreported drops (every refused batch got an explicit busy reply that the
+# client retried).
+serve-soak:
+	$(GO) test -race -run TestSoakLoopbackIngest -v ./internal/server/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,33 @@
+// Command impbench regenerates the paper's tables and figures
+// (DESIGN.md's per-experiment index). Each -exp value corresponds to one
+// table or figure of the evaluation section, plus the design-choice
+// ablations.
+//
+// Usage:
+//
+//	impbench -exp fig4                  # Dataset One sweep, c=1
+//	impbench -exp fig7a -paper          # full-scale Figure 7 workload A
+//	impbench -exp all                   # everything at the default scale
+//
+// The default scale finishes in seconds to minutes; -paper selects the
+// paper's full configuration (hundreds of runs, multi-million-tuple
+// streams), which takes considerably longer.
+package main
+
+import (
+	"log"
+	"os"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("impbench: ")
+
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	if err := run(cfg, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

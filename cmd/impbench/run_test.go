@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{"-exp", "fig4,table5", "-runs", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.exp != "fig4,table5" || cfg.runs != 2 || cfg.paper {
+		t.Fatalf("parsed %+v", cfg)
+	}
+	if _, err := parseFlags([]string{"-nope"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunStaticTables(t *testing.T) {
+	var out strings.Builder
+	if err := run(&config{exp: "table3,table5", seed: 1}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 3", "Table 5", "3363", "1920"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run(&config{exp: "figZZ", seed: 1}, &strings.Builder{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunSmallFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run too slow for -short")
+	}
+	var out strings.Builder
+	// A single tiny Dataset One run through the command path.
+	if err := run(&config{exp: "table4", seed: 1}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table 4") || !strings.Contains(out.String(), "(paper)") {
+		t.Fatalf("output malformed:\n%s", out.String())
+	}
+}
+
+func TestRunIngest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run too slow for -short")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "ingest.json")
+	var out strings.Builder
+	if err := run(&config{exp: "ingest", seed: 1, parallel: 2, jsonOut: jsonPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Ingestion throughput", "serial", "mutex", "sharded-4"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Producers int `json:"producers"`
+		Rows      []struct {
+			Variant      string  `json:"variant"`
+			TuplesPerSec float64 `json:"tuples_per_sec"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Producers != 2 || len(report.Rows) < 6 {
+		t.Fatalf("json report = %+v", report)
+	}
+	for _, r := range report.Rows {
+		if r.TuplesPerSec <= 0 {
+			t.Errorf("variant %s reported %g tuples/s", r.Variant, r.TuplesPerSec)
+		}
+	}
+}
+
+func TestParseCardsOverride(t *testing.T) {
+	cfg, err := parseFlags([]string{"-exp", "fig4", "-cards", "100, 200"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.cards != "100, 200" {
+		t.Fatalf("cards = %q", cfg.cards)
+	}
+	if err := run(&config{exp: "fig4", cards: "xyz", runs: 1, seed: 1}, &strings.Builder{}); err == nil {
+		t.Fatal("bad -cards value accepted")
+	}
+}

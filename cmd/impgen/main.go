@@ -1,0 +1,44 @@
+// Command impgen generates the synthetic datasets of the paper's
+// evaluation as tab-separated stream files.
+//
+// Usage:
+//
+//	impgen -kind nettraffic -n 100000 -out traffic.tsv
+//	impgen -kind olap -n 1000000 -out olap.tsv
+//	impgen -kind datasetone -card 1000 -count 500 -c 2 -out d1.tsv
+package main
+
+import (
+	"io"
+	"log"
+	"os"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("impgen: ")
+
+	cfg, rest, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	if len(rest) != 0 {
+		log.Fatalf("unexpected arguments: %v", rest)
+	}
+	var w io.Writer = os.Stdout
+	if cfg.out != "" {
+		f, err := os.Create(cfg.out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := run(cfg, w, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}

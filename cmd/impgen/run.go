@@ -1,0 +1,117 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+
+	"implicate/internal/gen"
+	"implicate/internal/stream"
+)
+
+type config struct {
+	kind   string
+	out    string
+	format string
+	n      int64
+	seed   int64
+	card   int
+	count  int
+	c      int
+	flash  int
+	after  int64
+}
+
+func parseFlags(args []string) (*config, []string, error) {
+	fs := flag.NewFlagSet("impgen", flag.ContinueOnError)
+	cfg := &config{}
+	fs.StringVar(&cfg.kind, "kind", "nettraffic", "dataset kind: nettraffic, olap, datasetone")
+	fs.StringVar(&cfg.out, "out", "", "output file (default stdout)")
+	fs.StringVar(&cfg.format, "format", "text", "output format: text or binary")
+	fs.Int64Var(&cfg.n, "n", 100000, "number of tuples (nettraffic, olap)")
+	fs.Int64Var(&cfg.seed, "seed", 1, "generator seed")
+	fs.IntVar(&cfg.card, "card", 1000, "datasetone: |A|")
+	fs.IntVar(&cfg.count, "count", 500, "datasetone: imposed implication count")
+	fs.IntVar(&cfg.c, "c", 1, "datasetone: one-to-c width")
+	fs.IntVar(&cfg.flash, "flash", 0, "nettraffic: flash-crowd sources (0 disables)")
+	fs.Int64Var(&cfg.after, "flash-after", 0, "nettraffic: onset tuple of the flash crowd")
+	if err := fs.Parse(args); err != nil {
+		return nil, nil, err
+	}
+	return cfg, fs.Args(), nil
+}
+
+// run generates the requested dataset into w, reporting progress to diag.
+// flushingSink is satisfied by both stream writers.
+type flushingSink interface {
+	stream.Sink
+	Flush() error
+}
+
+func (c *config) newWriter(w io.Writer, schema *stream.Schema) (flushingSink, error) {
+	switch c.format {
+	case "", "text":
+		return stream.NewWriter(w, schema), nil
+	case "binary":
+		return stream.NewBinaryWriter(w, schema), nil
+	default:
+		return nil, fmt.Errorf("unknown format %q", c.format)
+	}
+}
+
+func run(cfg *config, w, diag io.Writer) error {
+	switch cfg.kind {
+	case "nettraffic":
+		g := gen.NewNetTraffic(gen.NetTrafficConfig{
+			Seed: cfg.seed, FlashSources: cfg.flash, FlashAfter: cfg.after,
+		})
+		return cfg.emit(w, gen.NetTrafficSchema(), cfg.n, g.Next)
+	case "olap":
+		g := gen.NewOLAP(gen.OLAPConfig{Seed: cfg.seed})
+		return cfg.emit(w, gen.OLAPSchema(), cfg.n, g.Next)
+	case "datasetone":
+		d, err := gen.NewDatasetOne(gen.DatasetOneConfig{
+			CardA: cfg.card, Count: cfg.count, C: cfg.c, Seed: cfg.seed,
+		})
+		if err != nil {
+			return err
+		}
+		schema := stream.MustSchema("A", "B")
+		sw, err := cfg.newWriter(w, schema)
+		if err != nil {
+			return err
+		}
+		for _, p := range d.Pairs {
+			t := stream.Tuple{strconv.FormatUint(p.A, 10), strconv.FormatUint(p.B, 10)}
+			if err := sw.Write(t); err != nil {
+				return err
+			}
+		}
+		if err := sw.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintf(diag, "impgen: dataset one with |A|=%d S=%d (%s), %d tuples\n",
+			cfg.card, d.Count, d.Conditions, len(d.Pairs))
+		return nil
+	default:
+		return fmt.Errorf("unknown kind %q", cfg.kind)
+	}
+}
+
+func (c *config) emit(w io.Writer, schema *stream.Schema, n int64, next func() (stream.Tuple, error)) error {
+	sw, err := c.newWriter(w, schema)
+	if err != nil {
+		return err
+	}
+	for i := int64(0); i < n; i++ {
+		t, err := next()
+		if err != nil {
+			return err
+		}
+		if err := sw.Write(t); err != nil {
+			return err
+		}
+	}
+	return sw.Flush()
+}

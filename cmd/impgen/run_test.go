@@ -1,0 +1,123 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"implicate/internal/stream"
+)
+
+func countRecords(t *testing.T, data string) (int, *stream.Schema) {
+	t.Helper()
+	r, err := stream.NewReader(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, err := r.Next(); err == io.EOF {
+			return n, r.Schema()
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, rest, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.kind != "nettraffic" || cfg.n != 100000 || len(rest) != 0 {
+		t.Fatalf("defaults: %+v %v", cfg, rest)
+	}
+	if _, _, err := parseFlags([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunNetTraffic(t *testing.T) {
+	var out, diag strings.Builder
+	cfg := &config{kind: "nettraffic", n: 500, seed: 3}
+	if err := run(cfg, &out, &diag); err != nil {
+		t.Fatal(err)
+	}
+	n, schema := countRecords(t, out.String())
+	if n != 500 {
+		t.Fatalf("records = %d", n)
+	}
+	if got := schema.Names()[0]; got != "Source" {
+		t.Fatalf("schema = %v", schema.Names())
+	}
+}
+
+func TestRunOLAP(t *testing.T) {
+	var out strings.Builder
+	cfg := &config{kind: "olap", n: 200, seed: 1}
+	if err := run(cfg, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	n, schema := countRecords(t, out.String())
+	if n != 200 || schema.Len() != 8 {
+		t.Fatalf("records=%d schema=%v", n, schema.Names())
+	}
+}
+
+func TestRunDatasetOne(t *testing.T) {
+	var out, diag strings.Builder
+	cfg := &config{kind: "datasetone", card: 120, count: 60, c: 2, seed: 9}
+	if err := run(cfg, &out, &diag); err != nil {
+		t.Fatal(err)
+	}
+	n, schema := countRecords(t, out.String())
+	if n < 1000 || schema.Len() != 2 {
+		t.Fatalf("records=%d schema=%v", n, schema.Names())
+	}
+	if !strings.Contains(diag.String(), "S=60") {
+		t.Fatalf("diagnostic missing: %s", diag.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(&config{kind: "zzz"}, io.Discard, io.Discard); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run(&config{kind: "datasetone", card: 1, count: 1}, io.Discard, io.Discard); err == nil {
+		t.Error("invalid dataset-one config accepted")
+	}
+}
+
+func TestRunBinaryFormat(t *testing.T) {
+	var out strings.Builder
+	cfg := &config{kind: "nettraffic", n: 300, seed: 3, format: "binary"}
+	if err := run(cfg, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	src, schema, err := stream.OpenReader(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Len() != 4 {
+		t.Fatalf("schema = %v", schema.Names())
+	}
+	n := 0
+	for {
+		if _, err := src.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 300 {
+		t.Fatalf("records = %d", n)
+	}
+}
+
+func TestRunUnknownFormat(t *testing.T) {
+	if err := run(&config{kind: "olap", n: 1, format: "yaml"}, io.Discard, io.Discard); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"implicate"
+	"implicate/internal/telemetry"
+)
+
+// queryList collects repeated -q flags so one server can register several
+// statements (their registration order is their Query RPC statement id).
+type queryList []string
+
+func (q *queryList) String() string { return strings.Join(*q, "; ") }
+
+func (q *queryList) Set(v string) error {
+	*q = append(*q, v)
+	return nil
+}
+
+// config carries the parsed command line.
+type config struct {
+	addr    string
+	schema  string
+	queries queryList
+	backend string
+	seed    uint64
+	ilcEps  float64
+	dsSize  int
+	dsBound int
+	queue   int
+
+	checkpoint string
+	every      int64
+	resume     string
+}
+
+func parseFlags(args []string) (*config, []string, error) {
+	fs := flag.NewFlagSet("impserved", flag.ContinueOnError)
+	cfg := &config{}
+	fs.StringVar(&cfg.addr, "addr", ":7171", "TCP listen address")
+	fs.StringVar(&cfg.schema, "schema", "", "comma-separated stream attribute names (required)")
+	fs.Var(&cfg.queries, "q", "implication query to serve (repeatable; required unless -resume)")
+	fs.StringVar(&cfg.backend, "backend", "nips", "estimator backend: nips, sharded, exact, ilc, ds")
+	fs.Uint64Var(&cfg.seed, "seed", 1, "sketch seed")
+	fs.Float64Var(&cfg.ilcEps, "ilc-eps", 0.01, "ILC approximation parameter (and relative support)")
+	fs.IntVar(&cfg.dsSize, "ds-size", 1920, "Distinct Sampling entry budget")
+	fs.IntVar(&cfg.dsBound, "ds-bound", 39, "Distinct Sampling per-value bound")
+	fs.IntVar(&cfg.queue, "queue", 64, "ingest queue depth in batches (full queue => backpressure)")
+	fs.StringVar(&cfg.checkpoint, "checkpoint", "", "write crash-recovery checkpoints to this file")
+	fs.Int64Var(&cfg.every, "every", 0, "checkpoint every N applied tuples (with -checkpoint; 0: only on shutdown)")
+	fs.StringVar(&cfg.resume, "resume", "", "restore engine state from this checkpoint file")
+	if err := fs.Parse(args); err != nil {
+		return nil, nil, err
+	}
+	return cfg, fs.Args(), nil
+}
+
+// validate rejects flag combinations that would otherwise fail late or be
+// silently ignored.
+func (cfg *config) validate() error {
+	if cfg.schema == "" {
+		return fmt.Errorf("missing -schema (comma-separated attribute names)")
+	}
+	if cfg.every < 0 {
+		return fmt.Errorf("-every must be >= 0, got %d", cfg.every)
+	}
+	if cfg.every > 0 && cfg.checkpoint == "" {
+		return fmt.Errorf("-every %d has no effect without -checkpoint; add -checkpoint FILE or drop -every", cfg.every)
+	}
+	if cfg.queue < 1 {
+		return fmt.Errorf("-queue must be >= 1, got %d", cfg.queue)
+	}
+	if cfg.resume != "" {
+		if len(cfg.queries) > 0 {
+			return fmt.Errorf("-resume restores the queries from the checkpoint; drop -q")
+		}
+		if _, err := os.Stat(cfg.resume); err != nil {
+			return fmt.Errorf("cannot resume: %w", err)
+		}
+	} else if len(cfg.queries) == 0 {
+		return fmt.Errorf("missing -q query (or -resume CHECKPOINT)")
+	}
+	return nil
+}
+
+// backendsFor builds the named backend factories the command line selects.
+func backendsFor(cfg *config) map[string]implicate.Backend {
+	return map[string]implicate.Backend{
+		"nips":    implicate.SketchBackend(implicate.Options{Seed: cfg.seed}),
+		"sharded": implicate.ShardedSketchBackend(implicate.Options{Seed: cfg.seed}, 0),
+		"exact":   implicate.ExactBackend(),
+		"ilc": func(cond implicate.Conditions) (implicate.Estimator, error) {
+			return implicate.NewILC(cond, cfg.ilcEps, cfg.ilcEps)
+		},
+		"ds": func(cond implicate.Conditions) (implicate.Estimator, error) {
+			return implicate.NewDistinctSampling(cond, cfg.dsSize, cfg.dsBound, cfg.seed+7)
+		},
+	}
+}
+
+// buildEngine constructs the engine to serve — fresh from -q, or restored
+// from -resume.
+func buildEngine(cfg *config, schema *implicate.Schema) (*implicate.Engine, error) {
+	factories := backendsFor(cfg)
+	if cfg.resume != "" {
+		snap, err := implicate.ReadCheckpoint(cfg.resume)
+		if err != nil {
+			return nil, err
+		}
+		resolve := func(q implicate.Query, kind string) (implicate.Backend, error) {
+			b, ok := factories[kind]
+			if !ok {
+				return nil, fmt.Errorf("checkpoint needs a %q backend, which impserved cannot build", kind)
+			}
+			return b, nil
+		}
+		return implicate.RestoreCheckpoint(snap, schema, resolve)
+	}
+	backend, ok := factories[cfg.backend]
+	if !ok {
+		return nil, fmt.Errorf("unknown backend %q", cfg.backend)
+	}
+	eng := implicate.NewEngine(schema)
+	for _, sql := range cfg.queries {
+		if _, err := eng.RegisterSQL(sql, backend); err != nil {
+			return nil, err
+		}
+	}
+	return eng, nil
+}
+
+// serve runs the server until stop closes, then drains it and prints the
+// telemetry summary to out. The bound address is sent on ready.
+func serve(cfg *config, ready chan<- string, stop <-chan struct{}, out io.Writer) error {
+	names := strings.Split(cfg.schema, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	schema, err := implicate.NewSchema(names...)
+	if err != nil {
+		return err
+	}
+	eng, err := buildEngine(cfg, schema)
+	if err != nil {
+		return err
+	}
+	srv, err := implicate.Serve(implicate.ServerConfig{
+		Addr:            cfg.addr,
+		Schema:          schema,
+		Engine:          eng,
+		QueueDepth:      cfg.queue,
+		CheckpointPath:  cfg.checkpoint,
+		CheckpointEvery: cfg.every,
+	})
+	if err != nil {
+		return err
+	}
+	ready <- srv.Addr()
+	<-stop
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	printSummary(out, eng, srv.Telemetry().Snapshot())
+	return nil
+}
+
+// printSummary renders the shutdown report: per-statement answers, then
+// the telemetry counters.
+func printSummary(out io.Writer, eng *implicate.Engine, sn implicate.ServerStats) {
+	for i, st := range eng.Statements() {
+		fmt.Fprintf(out, "stmt %d: %s = %.1f\n", i, st.Query().String(), st.Count())
+	}
+	fmt.Fprintf(out, "tuples=%d batches=%d rejected=%d merges=%d queue-high-water=%d\n",
+		sn.TuplesIngested, sn.Batches, sn.BatchesRejected, sn.Merges, sn.QueueHighWater)
+	ing := sn.Latency[telemetry.RPCIngest]
+	if ing.Count() > 0 {
+		fmt.Fprintf(out, "ingest latency p50=%v p99=%v (%d observations)\n",
+			ing.Quantile(0.50).Round(time.Microsecond), ing.Quantile(0.99).Round(time.Microsecond), ing.Count())
+	}
+}

@@ -1,16 +1,20 @@
-// Distributed simulates the sensor-network aggregation setting of §2:
-// eight leaf nodes each observe a slice of the global traffic under tight
-// memory budgets, run the implication query locally, serialize their
-// state, and ship it up a two-level aggregation tree where the sketches
-// are merged. The root answers global implication queries without any
-// node ever holding the stream — the bandwidth spent is the serialized
-// sketch size instead of the raw tuples.
+// Distributed runs the sensor-network aggregation setting of §2 over a real
+// network: eight leaf nodes are impserved instances on loopback TCP, each
+// observing a shard of the global traffic fed to it through the IngestBatch
+// RPC. When a leaf's stream ends, the leaf serializes its sketch and ships
+// it up a two-level aggregation tree — two relay servers, then a root, all
+// separate TCP servers receiving the state through SnapshotMerge. The root
+// answers the global implication query through the Query RPC without any
+// node ever holding the stream; the bandwidth spent upstream is the
+// serialized sketch size instead of the raw tuples.
 //
 // Constrained nodes also die. One leaf checkpoints its engine to local
-// storage as it streams and is killed partway through; it recovers by
-// restoring the checkpoint and replaying its slice of the stream from the
-// recorded offset. The recovered node's sketch is bit-identical to an
-// uncrashed shadow node's, so the aggregation tree cannot tell there was
+// storage as it ingests and is kill()ed mid-stream — connections cut,
+// queued batches lost, no final checkpoint. Its producer recovers it the
+// way DESIGN.md §8 prescribes: restore the last checkpoint into a fresh
+// server and replay the shard from the recorded offset. The recovered
+// leaf's sketch is bit-identical to an uncrashed shadow's, and therefore so
+// is the root's merged count: the aggregation tree cannot tell there was
 // ever a failure.
 package main
 
@@ -18,11 +22,13 @@ import (
 	"bytes"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"path/filepath"
 
 	"implicate"
 	"implicate/internal/gen"
+	"implicate/internal/stream"
 )
 
 const (
@@ -30,9 +36,10 @@ const (
 	tuplesPerLeaf = 150_000
 	total         = leaves * tuplesPerLeaf
 
-	crashLeaf = 5           // the leaf that dies
+	crashLeaf = 5             // the leaf that dies
 	crashAt   = total * 3 / 5 // global tuple index of the crash
-	ckptEvery = 20_000      // leaf tuples between checkpoints
+	ckptEvery = 20_000        // leaf-applied tuples between checkpoints
+	batchSize = 1_000         // tuples per IngestBatch RPC
 )
 
 var genConfig = gen.NetTrafficConfig{
@@ -44,14 +51,14 @@ const sql = `SELECT COUNT(DISTINCT Source) FROM traffic
 	WHERE Source IMPLIES Destination
 	WITH SUPPORT >= 12, MULTIPLICITY <= 2, CONFIDENCE >= 0.9 TOP 1`
 
-// leafBackend builds merge-compatible sketches: identical options
-// everywhere, explicit seed so a recovered node grows exactly like an
-// uncrashed one.
+// leafBackend builds merge-compatible sketches: identical options on every
+// node, explicit seed so a recovered node grows exactly like an uncrashed
+// one and every sketch in the tree can merge with every other.
 func leafBackend(cond implicate.Conditions) (implicate.Estimator, error) {
 	return implicate.NewSketch(cond, implicate.Options{Seed: 99})
 }
 
-func newLeaf(schema *implicate.Schema) *implicate.Engine {
+func newNode(schema *implicate.Schema) *implicate.Engine {
 	eng := implicate.NewEngine(schema)
 	if _, err := eng.RegisterSQL(sql, leafBackend); err != nil {
 		log.Fatal(err)
@@ -59,8 +66,51 @@ func newLeaf(schema *implicate.Schema) *implicate.Engine {
 	return eng
 }
 
-func leafSketch(eng *implicate.Engine) *implicate.Sketch {
+func nodeSketch(eng *implicate.Engine) *implicate.Sketch {
 	return eng.Statements()[0].Estimator().(*implicate.Sketch)
+}
+
+// node is one impserved instance plus the feeder's client to it.
+type node struct {
+	srv *implicate.Server
+	cl  *implicate.Client
+}
+
+// startNode serves eng on a fresh loopback port and dials it.
+func startNode(schema *implicate.Schema, eng *implicate.Engine, ckptPath string) *node {
+	srv, err := implicate.Serve(implicate.ServerConfig{
+		Addr:            "127.0.0.1:0",
+		Schema:          schema,
+		Engine:          eng,
+		CheckpointPath:  ckptPath,
+		CheckpointEvery: ckptEvery,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := implicate.Dial(srv.Addr(), schema, implicate.ClientOptions{BusyRetries: -1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return &node{srv: srv, cl: cl}
+}
+
+// shipSketch plays the upstream hop of the §2 tree: dial the parent and
+// merge the marshalled sketch into its statement 0. Returns the bytes sent.
+func shipSketch(addr string, eng *implicate.Engine) int64 {
+	blob, err := nodeSketch(eng).MarshalBinary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := implicate.Dial(addr, nil, implicate.ClientOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.SnapshotMerge(0, blob); err != nil {
+		log.Fatal(err)
+	}
+	return int64(len(blob))
 }
 
 func main() {
@@ -80,8 +130,6 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Each leaf sees the same global population of flows but only a shard
-	// of the packets (packets of one flow hash to any leaf — think ECMP).
 	g := gen.NewNetTraffic(genConfig)
 	schema := gen.NetTrafficSchema()
 	src := schema.MustProj("Source")
@@ -94,17 +142,35 @@ func main() {
 	defer os.RemoveAll(ckptDir)
 	ckptPath := filepath.Join(ckptDir, "leaf5.ckpt")
 
-	engines := make([]*implicate.Engine, leaves)
-	for i := range engines {
-		engines[i] = newLeaf(schema)
+	// Eight leaf servers on loopback; only the crash victim checkpoints.
+	nodes := make([]*node, leaves)
+	for i := range nodes {
+		path := ""
+		if i == crashLeaf {
+			path = ckptPath
+		}
+		nodes[i] = startNode(schema, newNode(schema), path)
 	}
 	// The shadow is what the crashing leaf would have been had it lived —
-	// the yardstick for "recovery loses nothing".
-	shadow := newLeaf(schema)
+	// the yardstick for "recovery loses nothing". It runs in-process.
+	shadow := newNode(schema)
 
-	victim := engines[crashLeaf]
-	var victimTuples, checkpoints int64
+	// Feed the shards. Packets of one flow hash to any leaf (think ECMP), so
+	// no leaf can answer the global question alone. The victim's producer
+	// keeps its shard around — it is the replay source recovery depends on.
+	batches := make([][]stream.Tuple, leaves)
+	var shard []stream.Tuple
 	var rawBytes int64
+	victimDown := false
+	flush := func(leaf int) {
+		if len(batches[leaf]) == 0 {
+			return
+		}
+		if err := nodes[leaf].cl.IngestBatch(batches[leaf]); err != nil {
+			log.Fatal(err)
+		}
+		batches[leaf] = batches[leaf][:0]
+	}
 	for i := int64(0); i < total; i++ {
 		t, err := g.Next()
 		if err != nil {
@@ -114,37 +180,40 @@ func main() {
 		truth.Add(a, b)
 		rawBytes += int64(len(a) + len(b))
 
-		leaf := i % leaves
+		leaf := int(i % leaves)
+		tup := append(stream.Tuple(nil), t...) // batches outlive the generator's buffer
+		if leaf == crashLeaf {
+			shadow.Process(tup)
+			shard = append(shard, tup)
+			if victimDown {
+				continue // node is down; these tuples reach it on replay
+			}
+		}
+		batches[leaf] = append(batches[leaf], tup)
+		if len(batches[leaf]) >= batchSize {
+			flush(leaf)
+		}
+
+		if i == crashAt {
+			// The node dies abruptly: connections cut, the ingest queue's
+			// acknowledged batches lost, no final checkpoint. Only the
+			// periodic checkpoint file survives.
+			nodes[crashLeaf].cl.Close()
+			nodes[crashLeaf].srv.Kill()
+			batches[crashLeaf] = batches[crashLeaf][:0]
+			victimDown = true
+		}
+	}
+	for leaf := range nodes {
 		if leaf != crashLeaf {
-			engines[leaf].Process(t)
-			continue
-		}
-		shadow.Process(t)
-		if victim == nil {
-			continue // the leaf is down; its packets are replayed on recovery
-		}
-		victim.Process(t)
-		victimTuples++
-		if victimTuples%ckptEvery == 0 {
-			// The offset is the GLOBAL stream position: recovery replays the
-			// deterministic global stream from there and re-filters its slice.
-			snap, err := implicate.CaptureCheckpoint(victim, i+1)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := implicate.WriteCheckpoint(ckptPath, snap); err != nil {
-				log.Fatal(err)
-			}
-			checkpoints++
-		}
-		if i >= crashAt {
-			victim = nil // the node dies; only the checkpoint file survives
+			flush(leaf)
 		}
 	}
 
 	// Recovery: restore the engine from the last checkpoint (queries and
-	// sketch state included; no WINDOW clause, so no resolver needed), then
-	// replay the node's slice of the stream from the recorded offset.
+	// sketch state included; no WINDOW clause, so no resolver needed), serve
+	// it on a fresh port, and replay the shard from the recorded offset —
+	// through the same IngestBatch RPC the live feed used.
 	snap, err := implicate.ReadCheckpoint(ckptPath)
 	if err != nil {
 		log.Fatal(err)
@@ -153,28 +222,37 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	replay := gen.NewNetTraffic(genConfig)
+	nodes[crashLeaf] = startNode(schema, recovered, ckptPath)
 	var replayed int64
-	for i := int64(0); i < total; i++ {
-		t, err := replay.Next()
-		if err != nil {
+	for off := snap.Offset; off < int64(len(shard)); off += batchSize {
+		end := off + batchSize
+		if end > int64(len(shard)) {
+			end = int64(len(shard))
+		}
+		if err := nodes[crashLeaf].cl.IngestBatch(shard[off:end]); err != nil {
 			log.Fatal(err)
 		}
-		if i < snap.Offset || i%leaves != crashLeaf {
-			continue
-		}
-		recovered.Process(t)
-		replayed++
+		replayed += end - off
 	}
-	engines[crashLeaf] = recovered
+
+	// The leaves' streams are done: drain every server gracefully. After
+	// Close, each engine is the local node's to serialize and ship.
+	var ingestStats []implicate.ServerStats
+	for _, n := range nodes {
+		n.cl.Close()
+		if err := n.srv.Close(); err != nil {
+			log.Fatal(err)
+		}
+		ingestStats = append(ingestStats, n.srv.Telemetry().Snapshot())
+	}
 
 	// The recovered node must be indistinguishable from the shadow — not
 	// merely close: bit-identical serialized state.
-	recBlob, err := leafSketch(recovered).MarshalBinary()
+	recBlob, err := nodeSketch(nodes[crashLeaf].srv.Engine()).MarshalBinary()
 	if err != nil {
 		log.Fatal(err)
 	}
-	shadowBlob, err := leafSketch(shadow).MarshalBinary()
+	shadowBlob, err := nodeSketch(shadow).MarshalBinary()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -183,52 +261,95 @@ func main() {
 			len(recBlob), len(shadowBlob))
 	}
 
-	// Level 1: leaves serialize and ship to two relays; relays merge four
-	// sketches each. Level 2: relays ship to the root.
+	// The two-level aggregation tree, every hop a real TCP SnapshotMerge:
+	// leaves 0-3 ship to relay A, 4-7 to relay B, the relays to the root.
+	relayA := startNode(schema, newNode(schema), "")
+	relayB := startNode(schema, newNode(schema), "")
+	root := startNode(schema, newNode(schema), "")
 	var shipped int64
-	relay := func(members []*implicate.Sketch) *implicate.Sketch {
-		var agg *implicate.Sketch
+	for i, n := range nodes {
+		relay := relayA
+		if i >= leaves/2 {
+			relay = relayB
+		}
+		shipped += shipSketch(relay.srv.Addr(), n.srv.Engine())
+	}
+	for _, relay := range []*node{relayA, relayB} {
+		relay.cl.Close()
+		if err := relay.srv.Close(); err != nil {
+			log.Fatal(err)
+		}
+		shipped += shipSketch(root.srv.Addr(), relay.srv.Engine())
+	}
+
+	// The global answer comes off the root through the Query RPC.
+	res, err := root.cl.Query(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rootStats, err := root.cl.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	root.cl.Close()
+	if err := root.srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// An uncrashed baseline tree, merged in-process in the same order from
+	// the same serialized states (shadow standing in for the victim), must
+	// give the bit-identical count — the crash is invisible at the root.
+	baseline := func(members []*implicate.Engine) *implicate.Engine {
+		agg := newNode(schema)
 		for _, m := range members {
-			blob, err := m.MarshalBinary()
+			blob, err := nodeSketch(m).MarshalBinary()
 			if err != nil {
 				log.Fatal(err)
 			}
-			shipped += int64(len(blob))
 			restored, err := implicate.UnmarshalSketch(blob)
 			if err != nil {
 				log.Fatal(err)
 			}
-			if agg == nil {
-				agg = restored
-				continue
-			}
-			if err := agg.Merge(restored); err != nil {
+			if err := nodeSketch(agg).Merge(restored); err != nil {
 				log.Fatal(err)
 			}
 		}
 		return agg
 	}
-	sketches := make([]*implicate.Sketch, leaves)
-	for i, e := range engines {
-		sketches[i] = leafSketch(e)
+	members := make([]*implicate.Engine, leaves)
+	for i, n := range nodes {
+		members[i] = n.srv.Engine()
 	}
-	relayA := relay(sketches[:leaves/2])
-	relayB := relay(sketches[leaves/2:])
-	root := relay([]*implicate.Sketch{relayA, relayB})
+	members[crashLeaf] = shadow
+	baseRoot := baseline([]*implicate.Engine{
+		baseline(members[:leaves/2]), baseline(members[leaves/2:]),
+	})
+	if want := nodeSketch(baseRoot).ImplicationCount(); math.Float64bits(res.Count) != math.Float64bits(want) {
+		log.Fatalf("root count %v differs from the uncrashed baseline %v", res.Count, want)
+	}
 
-	est := root.ImplicationCount()
-	lo, hi := root.ImplicationCountInterval(2)
+	var leafBatches, leafRejected int64
+	for _, sn := range ingestStats {
+		leafBatches += sn.Batches
+		leafRejected += sn.BatchesRejected
+	}
+	rootSketch := nodeSketch(root.srv.Engine())
+	est := rootSketch.ImplicationCount()
+	lo, hi := rootSketch.ImplicationCountInterval(2)
 	exact := truth.ImplicationCount()
-	fmt.Printf("distributed: %d leaves × %d tuples, two-level aggregation\n", leaves, tuplesPerLeaf)
-	fmt.Printf("  leaf %d killed at global tuple %d; %d checkpoints written\n", crashLeaf, crashAt, checkpoints)
-	fmt.Printf("  recovered from offset %d, replayed %d leaf tuples\n", snap.Offset, replayed)
+	fmt.Printf("distributed: %d leaf servers × %d tuples over loopback TCP, two-level merge tree\n", leaves, tuplesPerLeaf)
+	fmt.Printf("  ingest: %d batches acknowledged, %d backpressure retries\n", leafBatches, leafRejected)
+	fmt.Printf("  leaf %d killed at global tuple %d; recovered from checkpoint offset %d, replayed %d tuples\n",
+		crashLeaf, crashAt, snap.Offset, replayed)
 	fmt.Printf("  recovered state vs uncrashed shadow: bit-identical (%d bytes)\n", len(recBlob))
+	fmt.Printf("  root merges received:             %d\n", rootStats.Merges)
+	fmt.Printf("  root count vs uncrashed baseline: bit-identical (%.0f)\n", res.Count)
 	fmt.Printf("  exact single-destination sources: %.0f\n", exact)
 	fmt.Printf("  merged-sketch estimate:           %.0f  (95%% interval [%.0f, %.0f])\n", est, lo, hi)
 	fmt.Printf("  relative error:                   %.1f%%\n", 100*abs(est-exact)/exact)
 	fmt.Printf("  bytes shipped upstream:           %d (raw stream would be %d — %.0fx saving)\n",
 		shipped, rawBytes, float64(rawBytes)/float64(shipped))
-	fmt.Printf("  root memory:                      %d counter entries\n", root.MemEntries())
+	fmt.Printf("  root memory:                      %d counter entries\n", rootSketch.MemEntries())
 }
 
 func abs(x float64) float64 {

@@ -1,0 +1,440 @@
+// Package client dials an impserved server and speaks internal/proto: a
+// small connection pool with request pipelining (responses matched to
+// requests by id, so many calls can be in flight per connection),
+// per-request deadlines, and retry with exponential backoff where a retry
+// is safe.
+//
+// Retry policy, by RPC:
+//
+//   - IngestBatch: a backpressure reply (the server refused the batch
+//     before enqueueing it) is always safe to retry and is retried with
+//     backoff up to Options.BusyRetries times. A connection failure after
+//     the request was written is NOT retried — the batch may or may not
+//     have been enqueued, and re-sending could double-count; the error is
+//     returned to the caller, whose recovery story is the server-side
+//     checkpoint/replay contract.
+//   - Query and Stats are idempotent and are retried across redials on
+//     connection failures.
+//   - SnapshotMerge is not idempotent (merging twice double-counts) and is
+//     never retried on ambiguous failures.
+package client
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"implicate/internal/proto"
+	"implicate/internal/stream"
+	"implicate/internal/telemetry"
+)
+
+// ErrBackpressure is returned when an ingest batch was refused with busy
+// replies more times than Options.BusyRetries allows. The batch was never
+// enqueued; the caller may retry later.
+var ErrBackpressure = errors.New("client: server backpressure persisted")
+
+// RemoteError is a failure the server reported for one request; the
+// connection remains usable.
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "client: server: " + e.Msg }
+
+// Options tune a client. The zero value is usable.
+type Options struct {
+	// Conns is the connection pool size. Default 2.
+	Conns int
+	// DialTimeout bounds connection establishment. Default 5s.
+	DialTimeout time.Duration
+	// RequestTimeout bounds one request/response round trip. Default 30s.
+	RequestTimeout time.Duration
+	// BusyRetries bounds how many backpressure replies one IngestBatch
+	// call absorbs before giving up with ErrBackpressure; negative means
+	// retry indefinitely. Default 256.
+	BusyRetries int
+	// NetRetries bounds redial attempts for idempotent requests. Default 2.
+	NetRetries int
+	// RetryBase is the first backoff delay; it doubles per attempt up to
+	// RetryCap. Defaults 2ms and 500ms.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Conns == 0 {
+		o.Conns = 2
+	}
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.BusyRetries == 0 {
+		o.BusyRetries = 256
+	}
+	if o.NetRetries == 0 {
+		o.NetRetries = 2
+	}
+	if o.RetryBase == 0 {
+		o.RetryBase = 2 * time.Millisecond
+	}
+	if o.RetryCap == 0 {
+		o.RetryCap = 500 * time.Millisecond
+	}
+	return o
+}
+
+// Client is a pooled connection to one server. Safe for concurrent use.
+type Client struct {
+	addr   string
+	schema *stream.Schema
+	opt    Options
+
+	mu     sync.Mutex
+	conns  []*conn
+	closed bool
+	rr     atomic.Uint64
+}
+
+// Dial connects to addr. schema is required for IngestBatch and may be nil
+// for query/merge/stats-only clients. The first connection is established
+// eagerly so configuration errors surface here.
+func Dial(addr string, schema *stream.Schema, opt Options) (*Client, error) {
+	opt = opt.withDefaults()
+	if opt.Conns < 1 {
+		return nil, fmt.Errorf("client: pool size %d must be >= 1", opt.Conns)
+	}
+	cl := &Client{addr: addr, schema: schema, opt: opt, conns: make([]*conn, opt.Conns)}
+	c, err := cl.dial()
+	if err != nil {
+		return nil, err
+	}
+	cl.conns[0] = c
+	return cl, nil
+}
+
+// Close closes every pooled connection; in-flight requests fail.
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.closed = true
+	for i, c := range cl.conns {
+		if c != nil {
+			c.close(errors.New("client: closed"))
+			cl.conns[i] = nil
+		}
+	}
+	return nil
+}
+
+func (cl *Client) dial() (*conn, error) {
+	nc, err := net.DialTimeout("tcp", cl.addr, cl.opt.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	c := &conn{nc: nc, pending: make(map[uint64]chan proto.Frame)}
+	go c.readLoop()
+	return c, nil
+}
+
+// getConn returns a live pooled connection, dialing a replacement for a
+// dead slot.
+func (cl *Client) getConn() (*conn, error) {
+	slot := int(cl.rr.Add(1)) % cl.opt.Conns
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil, errors.New("client: closed")
+	}
+	c := cl.conns[slot]
+	if c != nil && !c.isDead() {
+		cl.mu.Unlock()
+		return c, nil
+	}
+	cl.mu.Unlock()
+	// Dial outside the lock; racing replacements just cost a connection.
+	nc, err := cl.dial()
+	if err != nil {
+		return nil, err
+	}
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		nc.close(errors.New("client: closed"))
+		return nil, errors.New("client: closed")
+	}
+	if cur := cl.conns[slot]; cur != nil && !cur.isDead() {
+		// Another caller already replaced the slot; use theirs.
+		cl.mu.Unlock()
+		nc.close(errors.New("client: redundant dial"))
+		return cur, nil
+	}
+	if old := cl.conns[slot]; old != nil {
+		old.close(errors.New("client: replaced"))
+	}
+	cl.conns[slot] = nc
+	cl.mu.Unlock()
+	return nc, nil
+}
+
+// call performs one round trip on one connection.
+func (cl *Client) call(t proto.Type, payload []byte) (proto.Frame, error) {
+	c, err := cl.getConn()
+	if err != nil {
+		return proto.Frame{}, err
+	}
+	return c.roundTrip(t, payload, cl.opt.RequestTimeout)
+}
+
+// backoff sleeps for the attempt-th delay of the exponential schedule,
+// honoring an optional server hint as the floor.
+func (cl *Client) backoff(attempt int, hint time.Duration) {
+	d := cl.opt.RetryBase << uint(min(attempt, 16))
+	if d > cl.opt.RetryCap {
+		d = cl.opt.RetryCap
+	}
+	if hint > d {
+		d = hint
+	}
+	time.Sleep(d)
+}
+
+// callIdempotent retries call across redials on connection failures.
+func (cl *Client) callIdempotent(t proto.Type, payload []byte) (proto.Frame, error) {
+	var lastErr error
+	for attempt := 0; attempt <= cl.opt.NetRetries; attempt++ {
+		if attempt > 0 {
+			cl.backoff(attempt-1, 0)
+		}
+		f, err := cl.call(t, payload)
+		if err == nil {
+			return f, nil
+		}
+		lastErr = err
+	}
+	return proto.Frame{}, lastErr
+}
+
+// EncodeBatch serializes tuples in the ingest wire encoding (the stream
+// package's binary format, schema header included). Useful for encoding
+// once and sending to several servers.
+func EncodeBatch(schema *stream.Schema, tuples []stream.Tuple) ([]byte, error) {
+	if schema == nil {
+		return nil, errors.New("client: ingest requires a schema")
+	}
+	var buf bytes.Buffer
+	w := stream.NewBinaryWriter(&buf, schema)
+	for _, t := range tuples {
+		if err := w.Write(t); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// IngestBatch sends tuples to the server, absorbing backpressure replies
+// with retry-and-backoff. On success every tuple was acknowledged as
+// enqueued. A connection failure mid-request is returned as-is (see the
+// package comment for why it is not retried).
+func (cl *Client) IngestBatch(tuples []stream.Tuple) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	payload, err := EncodeBatch(cl.schema, tuples)
+	if err != nil {
+		return err
+	}
+	return cl.IngestEncoded(payload, int64(len(tuples)))
+}
+
+// IngestEncoded sends an already EncodeBatch-serialized batch of n tuples.
+func (cl *Client) IngestEncoded(payload []byte, n int64) error {
+	for attempt := 0; ; attempt++ {
+		f, err := cl.call(proto.TIngest, payload)
+		if err != nil {
+			return err
+		}
+		switch f.Type {
+		case proto.TOK:
+			ack, err := proto.DecodeIngestAck(f.Payload)
+			if err != nil {
+				return err
+			}
+			if ack.Tuples != n {
+				return fmt.Errorf("client: server acknowledged %d of %d tuples", ack.Tuples, n)
+			}
+			return nil
+		case proto.TBusy:
+			if cl.opt.BusyRetries >= 0 && attempt >= cl.opt.BusyRetries {
+				return fmt.Errorf("%w after %d attempts", ErrBackpressure, attempt+1)
+			}
+			busy, err := proto.DecodeBusy(f.Payload)
+			if err != nil {
+				return err
+			}
+			cl.backoff(attempt, busy.RetryAfter)
+		case proto.TError:
+			return remoteError(f)
+		default:
+			return fmt.Errorf("client: unexpected %s reply to ingest", f.Type)
+		}
+	}
+}
+
+// Query returns the current answer of the statement registered at index
+// stmt on the server, together with the server's processed-tuple count.
+func (cl *Client) Query(stmt int) (proto.QueryResult, error) {
+	f, err := cl.callIdempotent(proto.TQuery, proto.QueryReq{Stmt: uint32(stmt)}.Encode())
+	if err != nil {
+		return proto.QueryResult{}, err
+	}
+	switch f.Type {
+	case proto.TResult:
+		return proto.DecodeQueryResult(f.Payload)
+	case proto.TError:
+		return proto.QueryResult{}, remoteError(f)
+	}
+	return proto.QueryResult{}, fmt.Errorf("client: unexpected %s reply to query", f.Type)
+}
+
+// SnapshotMerge ships a marshalled sketch for merging into the estimator of
+// the statement registered at index stmt — the upstream hop of the §2
+// aggregation tree.
+func (cl *Client) SnapshotMerge(stmt int, sketch []byte) error {
+	f, err := cl.call(proto.TMerge, proto.MergeReq{Stmt: uint32(stmt), Sketch: sketch}.Encode())
+	if err != nil {
+		return err
+	}
+	switch f.Type {
+	case proto.TOK:
+		return nil
+	case proto.TError:
+		return remoteError(f)
+	}
+	return fmt.Errorf("client: unexpected %s reply to merge", f.Type)
+}
+
+// Stats fetches the server's telemetry snapshot.
+func (cl *Client) Stats() (telemetry.Snapshot, error) {
+	f, err := cl.callIdempotent(proto.TStats, nil)
+	if err != nil {
+		return telemetry.Snapshot{}, err
+	}
+	switch f.Type {
+	case proto.TResult:
+		return telemetry.DecodeSnapshot(f.Payload)
+	case proto.TError:
+		return telemetry.Snapshot{}, remoteError(f)
+	}
+	return telemetry.Snapshot{}, fmt.Errorf("client: unexpected %s reply to stats", f.Type)
+}
+
+func remoteError(f proto.Frame) error {
+	msg, err := proto.DecodeError(f.Payload)
+	if err != nil {
+		return err
+	}
+	return &RemoteError{Msg: msg}
+}
+
+// conn is one pooled connection: a writer serialized by wmu and a reader
+// goroutine dispatching response frames to the pending map by request id.
+type conn struct {
+	nc     net.Conn
+	wmu    sync.Mutex
+	nextID atomic.Uint64
+
+	pmu     sync.Mutex
+	pending map[uint64]chan proto.Frame
+	err     error // sticky; set once when the connection dies
+	once    sync.Once
+}
+
+func (c *conn) isDead() bool {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	return c.err != nil
+}
+
+// close marks the connection dead and fails every pending request.
+func (c *conn) close(cause error) {
+	c.once.Do(func() {
+		c.pmu.Lock()
+		c.err = cause
+		for id, ch := range c.pending {
+			delete(c.pending, id)
+			close(ch)
+		}
+		c.pmu.Unlock()
+		c.nc.Close()
+	})
+}
+
+func (c *conn) readLoop() {
+	for {
+		f, err := proto.ReadFrame(c.nc)
+		if err != nil {
+			c.close(fmt.Errorf("client: connection lost: %w", err))
+			return
+		}
+		c.pmu.Lock()
+		ch, ok := c.pending[f.ID]
+		if ok {
+			delete(c.pending, f.ID)
+		}
+		c.pmu.Unlock()
+		if ok {
+			ch <- f
+		}
+		// Unmatched ids are responses whose caller timed out; drop them.
+	}
+}
+
+func (c *conn) roundTrip(t proto.Type, payload []byte, timeout time.Duration) (proto.Frame, error) {
+	id := c.nextID.Add(1)
+	ch := make(chan proto.Frame, 1)
+	c.pmu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.pmu.Unlock()
+		return proto.Frame{}, err
+	}
+	c.pending[id] = ch
+	c.pmu.Unlock()
+
+	c.wmu.Lock()
+	err := proto.WriteFrame(c.nc, proto.Frame{Type: t, ID: id, Payload: payload})
+	c.wmu.Unlock()
+	if err != nil {
+		c.close(fmt.Errorf("client: write: %w", err))
+		return proto.Frame{}, err
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			c.pmu.Lock()
+			err := c.err
+			c.pmu.Unlock()
+			return proto.Frame{}, err
+		}
+		return f, nil
+	case <-timer.C:
+		c.pmu.Lock()
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		return proto.Frame{}, fmt.Errorf("client: %s request timed out after %v", t, timeout)
+	}
+}

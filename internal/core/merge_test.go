@@ -29,6 +29,62 @@ func TestMergeCompatibilityChecks(t *testing.T) {
 	}
 }
 
+// TestMergeConfigMismatchRejected walks every single-option deviation —
+// bitmap count, fringe size, seed, slack, unbounded mode — and requires
+// Merge to reject it AND to leave the target bit-identical to its
+// pre-merge state: a refused merge must never half-apply. This guards the
+// SnapshotMerge RPC, where a misconfigured leaf shipping its sketch to an
+// aggregator must be a reported error, not a silently mis-merged count.
+func TestMergeConfigMismatchRejected(t *testing.T) {
+	cond := testConditions()
+	base := Options{Bitmaps: 32, FringeSize: 4, Slack: 2, Seed: 9}
+	mismatches := []struct {
+		name string
+		opts Options
+	}{
+		{"bitmap count", Options{Bitmaps: 64, FringeSize: 4, Slack: 2, Seed: 9}},
+		{"fringe size", Options{Bitmaps: 32, FringeSize: 8, Slack: 2, Seed: 9}},
+		{"seed", Options{Bitmaps: 32, FringeSize: 4, Slack: 2, Seed: 10}},
+		{"slack", Options{Bitmaps: 32, FringeSize: 4, Slack: 4, Seed: 9}},
+		{"unbounded", Options{Bitmaps: 32, FringeSize: 4, Slack: 2, Seed: 9, Unbounded: true}},
+	}
+	for _, mm := range mismatches {
+		t.Run(mm.name, func(t *testing.T) {
+			dst := MustSketch(cond, base)
+			src := MustSketch(cond, mm.opts)
+			// Both sketches carry state so a mis-merge would be visible.
+			for i := 0; i < 500; i++ {
+				a := fmt.Sprintf("a%d", i%60)
+				dst.Add(a, fmt.Sprintf("b%d", i%7))
+				src.Add(a, fmt.Sprintf("c%d", i%5))
+			}
+			before, err := dst.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dst.Merge(src); err == nil {
+				t.Fatalf("mismatched %s accepted", mm.name)
+			}
+			after, err := dst.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(before) != string(after) {
+				t.Fatalf("rejected merge mutated the target sketch (%d vs %d bytes)", len(before), len(after))
+			}
+		})
+	}
+
+	// The control: identical options on both sides must merge.
+	dst := MustSketch(cond, base)
+	src := MustSketch(cond, base)
+	dst.Add("a", "b")
+	src.Add("c", "d")
+	if err := dst.Merge(src); err != nil {
+		t.Fatalf("identically configured sketches refused: %v", err)
+	}
+}
+
 // TestMergeDisjointEqualsUnion: when the two halves touch disjoint itemset
 // populations, merging unbounded sketches must reproduce the single-sketch
 // run over the concatenated stream exactly (counter sums are then trivially

@@ -1,0 +1,330 @@
+// Package proto is the wire protocol of the serving layer: length-prefixed
+// binary frames over TCP carrying the four RPCs of the ingest/query server
+// (IngestBatch, Query, SnapshotMerge, Stats) and their responses.
+//
+// Frame layout (all integers little-endian):
+//
+//	u32  frame length       (bytes after this field; headerLen..MaxFrame)
+//	u8   protocol version   (Version)
+//	u8   message type       (Type)
+//	u64  request id         (echoed verbatim in the response frame)
+//	u32  CRC-32C            (over the payload bytes)
+//	...  payload
+//
+// The request id lets clients pipeline: many requests may be in flight on
+// one connection and responses are matched by id, not order. The CRC tags
+// every payload so a flipped bit on the wire is a detected protocol error,
+// never a silently wrong count — the same "no answer over a wrong answer"
+// stance the checkpoint files take. Payload encodings reuse internal/wire,
+// so every length field is validated before it sizes an allocation.
+//
+// A decoder that sees a malformed frame cannot resynchronize (the stream
+// position is ambiguous); callers must drop the connection. ReadFrame
+// returns ErrMalformed wrapped with the reason for exactly that purpose.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"implicate/internal/wire"
+)
+
+// Version is the protocol version carried in every frame. Both ends reject
+// frames with any other version: guessing at an unknown layout risks
+// misparsing lengths and reading garbage as counts.
+const Version = 1
+
+// MaxFrame bounds the length field: frames claiming more are rejected
+// before any allocation. 64 MiB comfortably fits the largest ingest batch
+// or marshalled sketch while keeping a corrupt length harmless.
+const MaxFrame = 1 << 26
+
+// headerLen is the framed byte count excluding the length prefix and the
+// payload: version, type, request id, CRC.
+const headerLen = 1 + 1 + 8 + 4
+
+// Type identifies a message. Requests use the low range, responses 0x10+.
+type Type uint8
+
+const (
+	// TIngest carries a binary-encoded tuple batch (the stream package's
+	// IMPB format, header included) to be fed through the server's engine.
+	TIngest Type = 0x01
+	// TQuery asks for the current answer of one registered statement.
+	TQuery Type = 0x02
+	// TMerge ships a marshalled sketch to be merged into a statement's
+	// estimator — the upstream hop of the paper's §2 aggregation tree.
+	TMerge Type = 0x03
+	// TStats asks for the server's telemetry snapshot.
+	TStats Type = 0x04
+
+	// TOK acknowledges an ingest or merge; ingest acks carry the accepted
+	// tuple count.
+	TOK Type = 0x10
+	// TResult carries a query or stats response payload.
+	TResult Type = 0x11
+	// TError carries a request-level failure message. The connection
+	// remains usable.
+	TError Type = 0x12
+	// TBusy is the explicit backpressure reply: the ingest queue is full
+	// and the batch was NOT enqueued. The payload suggests a retry delay.
+	// Every rejected batch is reported this way — the server never drops
+	// an acknowledged batch and never silently drops an unacknowledged one.
+	TBusy Type = 0x13
+)
+
+// String names the message type for error reports.
+func (t Type) String() string {
+	switch t {
+	case TIngest:
+		return "IngestBatch"
+	case TQuery:
+		return "Query"
+	case TMerge:
+		return "SnapshotMerge"
+	case TStats:
+		return "Stats"
+	case TOK:
+		return "OK"
+	case TResult:
+		return "Result"
+	case TError:
+		return "Error"
+	case TBusy:
+		return "Busy"
+	}
+	return fmt.Sprintf("Type(0x%02x)", uint8(t))
+}
+
+// ErrMalformed is returned for any frame that cannot be proven intact:
+// truncated, oversized, version-skewed, or failing its checksum. The
+// connection it arrived on must be dropped.
+var ErrMalformed = errors.New("proto: malformed frame")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame is one decoded message.
+type Frame struct {
+	Type    Type
+	ID      uint64
+	Payload []byte
+}
+
+// AppendFrame appends the encoded frame to dst and returns the extended
+// slice.
+func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	if len(f.Payload) > MaxFrame-headerLen {
+		return dst, fmt.Errorf("proto: payload of %d bytes exceeds the %d-byte frame limit", len(f.Payload), MaxFrame)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(headerLen+len(f.Payload)))
+	dst = append(dst, Version, uint8(f.Type))
+	dst = binary.LittleEndian.AppendUint64(dst, f.ID)
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(f.Payload, castagnoli))
+	return append(dst, f.Payload...), nil
+}
+
+// WriteFrame encodes f and writes it with a single Write call, so frames
+// from one goroutine never interleave on the connection.
+func WriteFrame(w io.Writer, f Frame) error {
+	buf, err := AppendFrame(make([]byte, 0, 4+headerLen+len(f.Payload)), f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads and validates one frame. Any failure other than a clean
+// io.EOF at a frame boundary means the stream is unusable; io.EOF mid-frame
+// is reported as an unexpected EOF wrapping ErrMalformed.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("%w: truncated length prefix: %v", ErrMalformed, err)
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n < headerLen || n > MaxFrame {
+		return Frame{}, fmt.Errorf("%w: implausible frame length %d", ErrMalformed, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Frame{}, fmt.Errorf("%w: truncated frame body: %v", ErrMalformed, err)
+	}
+	if buf[0] != Version {
+		return Frame{}, fmt.Errorf("%w: protocol version %d (want %d)", ErrMalformed, buf[0], Version)
+	}
+	f := Frame{
+		Type:    Type(buf[1]),
+		ID:      binary.LittleEndian.Uint64(buf[2:]),
+		Payload: buf[headerLen:],
+	}
+	sum := binary.LittleEndian.Uint32(buf[10:])
+	if got := crc32.Checksum(f.Payload, castagnoli); got != sum {
+		return Frame{}, fmt.Errorf("%w: payload checksum mismatch (stored %08x, computed %08x)", ErrMalformed, sum, got)
+	}
+	return f, nil
+}
+
+// --- payload codecs ---
+//
+// Ingest request payloads are the stream package's binary batch encoding
+// verbatim (magic, schema header, records) and are decoded by the server
+// with stream.NewBinaryReader; they have no codec here.
+
+// QueryReq asks for the answer of the statement at the given registration
+// index.
+type QueryReq struct {
+	Stmt uint32
+}
+
+// Encode serializes the request payload.
+func (q QueryReq) Encode() []byte {
+	e := wire.NewEncoder(4)
+	e.U32(q.Stmt)
+	return e.Bytes()
+}
+
+// DecodeQueryReq parses a TQuery payload.
+func DecodeQueryReq(data []byte) (QueryReq, error) {
+	d := wire.NewDecoder(data)
+	q := QueryReq{Stmt: d.U32()}
+	if err := d.Done(); err != nil {
+		return QueryReq{}, fmt.Errorf("proto: query request: %w", err)
+	}
+	return q, nil
+}
+
+// QueryResult is the answer to a QueryReq: the statement's current count
+// under its mode and the number of tuples the engine has processed.
+type QueryResult struct {
+	Count  float64
+	Tuples int64
+}
+
+// Encode serializes the result payload.
+func (q QueryResult) Encode() []byte {
+	e := wire.NewEncoder(16)
+	e.F64(q.Count)
+	e.I64(q.Tuples)
+	return e.Bytes()
+}
+
+// DecodeQueryResult parses a TResult payload of a query.
+func DecodeQueryResult(data []byte) (QueryResult, error) {
+	d := wire.NewDecoder(data)
+	q := QueryResult{Count: d.F64(), Tuples: d.I64()}
+	if err := d.Done(); err != nil {
+		return QueryResult{}, fmt.Errorf("proto: query result: %w", err)
+	}
+	return q, nil
+}
+
+// MergeReq ships a marshalled sketch to be merged into the statement at the
+// given registration index.
+type MergeReq struct {
+	Stmt   uint32
+	Sketch []byte
+}
+
+// Encode serializes the request payload.
+func (m MergeReq) Encode() []byte {
+	e := wire.NewEncoder(8 + len(m.Sketch))
+	e.U32(m.Stmt)
+	e.Blob(m.Sketch)
+	return e.Bytes()
+}
+
+// DecodeMergeReq parses a TMerge payload. The sketch bytes alias data.
+func DecodeMergeReq(data []byte) (MergeReq, error) {
+	d := wire.NewDecoder(data)
+	m := MergeReq{Stmt: d.U32(), Sketch: d.Blob(MaxFrame)}
+	if err := d.Done(); err != nil {
+		return MergeReq{}, fmt.Errorf("proto: merge request: %w", err)
+	}
+	return m, nil
+}
+
+// IngestAck acknowledges an enqueued batch with the tuple count accepted.
+// An acknowledged batch is the server's to lose: it is either processed or
+// covered by the drain-on-shutdown guarantee.
+type IngestAck struct {
+	Tuples int64
+}
+
+// Encode serializes the ack payload.
+func (a IngestAck) Encode() []byte {
+	e := wire.NewEncoder(8)
+	e.I64(a.Tuples)
+	return e.Bytes()
+}
+
+// DecodeIngestAck parses a TOK payload of an ingest.
+func DecodeIngestAck(data []byte) (IngestAck, error) {
+	d := wire.NewDecoder(data)
+	a := IngestAck{Tuples: d.I64()}
+	if err := d.Done(); err != nil {
+		return IngestAck{}, fmt.Errorf("proto: ingest ack: %w", err)
+	}
+	return a, nil
+}
+
+// Busy is the backpressure reply payload: the suggested delay before the
+// client retries the batch.
+type Busy struct {
+	RetryAfter time.Duration
+}
+
+// Encode serializes the backpressure payload (millisecond resolution).
+func (b Busy) Encode() []byte {
+	ms := b.RetryAfter.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	if ms > 1<<31 {
+		ms = 1 << 31
+	}
+	e := wire.NewEncoder(4)
+	e.U32(uint32(ms))
+	return e.Bytes()
+}
+
+// DecodeBusy parses a TBusy payload.
+func DecodeBusy(data []byte) (Busy, error) {
+	d := wire.NewDecoder(data)
+	b := Busy{RetryAfter: time.Duration(d.U32()) * time.Millisecond}
+	if err := d.Done(); err != nil {
+		return Busy{}, fmt.Errorf("proto: busy reply: %w", err)
+	}
+	return b, nil
+}
+
+// maxErrorLen bounds a remote error message.
+const maxErrorLen = 1 << 16
+
+// EncodeError serializes a TError payload.
+func EncodeError(msg string) []byte {
+	if len(msg) > maxErrorLen {
+		msg = msg[:maxErrorLen]
+	}
+	e := wire.NewEncoder(4 + len(msg))
+	e.Str(msg)
+	return e.Bytes()
+}
+
+// DecodeError parses a TError payload.
+func DecodeError(data []byte) (string, error) {
+	d := wire.NewDecoder(data)
+	msg := d.Str(maxErrorLen)
+	if err := d.Done(); err != nil {
+		return "", fmt.Errorf("proto: error reply: %w", err)
+	}
+	return msg, nil
+}

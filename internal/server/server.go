@@ -1,0 +1,427 @@
+// Package server is the network face of the query engine: a TCP server
+// speaking internal/proto that feeds an Engine from remote producers and
+// answers implication queries, sketch merges and telemetry reads.
+//
+// Architecture: one accept loop, one reader goroutine per connection, and a
+// single ingest worker. Connection readers decode ingest batches (the
+// stream package's binary batch codec, so decode cost is paid concurrently
+// per connection) and hand them to a bounded queue; the worker applies them
+// to the engine in arrival order. When the queue is full the batch is
+// refused with an explicit backpressure reply (proto.TBusy) and NOT
+// enqueued — the client retries. An acknowledged batch is never dropped:
+// graceful shutdown drains the queue before the final checkpoint is
+// written.
+//
+// Durability composes with the network path exactly as with file streams
+// (DESIGN.md §8): the server checkpoints its engine every CheckpointEvery
+// applied tuples and once more on graceful shutdown. The checkpoint offset
+// is the engine's applied-tuple count; a producer recovering a crashed
+// server replays its tuple sequence from that offset. Acknowledgements
+// confirm enqueueing, not durability — durability is checkpoint + replay.
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"implicate/internal/checkpoint"
+	"implicate/internal/core"
+	"implicate/internal/imps"
+	"implicate/internal/proto"
+	"implicate/internal/query"
+	"implicate/internal/stream"
+	"implicate/internal/telemetry"
+)
+
+// drainGrace is how long connection readers may keep serving requests after
+// Close is called before their reads are unblocked.
+const drainGrace = 200 * time.Millisecond
+
+// Config configures a server. Schema and Engine are required; the engine's
+// statements must be registered before Listen, and the engine must not be
+// touched by the caller while the server runs (the server owns it until
+// Close or Kill returns).
+type Config struct {
+	// Addr is the TCP listen address, e.g. "127.0.0.1:7171" or ":0".
+	Addr string
+	// Schema is the stream schema ingest batches must match.
+	Schema *stream.Schema
+	// Engine answers the queries and receives the tuples.
+	Engine *query.Engine
+	// QueueDepth bounds the ingest queue in batches; a full queue refuses
+	// further batches with backpressure replies. Default 64.
+	QueueDepth int
+	// MaxBatchTuples bounds one ingest batch; larger batches are rejected
+	// as errors. Default 65536.
+	MaxBatchTuples int
+	// CheckpointPath, when non-empty, makes the worker write engine
+	// checkpoints there — every CheckpointEvery applied tuples and once on
+	// graceful Close.
+	CheckpointPath string
+	// CheckpointEvery is the applied-tuple interval between periodic
+	// checkpoints; zero checkpoints only on Close.
+	CheckpointEvery int64
+	// RetryAfter is the delay hint carried in backpressure replies.
+	// Default 20ms.
+	RetryAfter time.Duration
+	// Logf, when non-nil, receives diagnostic messages (failed periodic
+	// checkpoints, dropped connections).
+	Logf func(format string, args ...any)
+
+	// gate, when non-nil, is called by the ingest worker before each batch
+	// is applied — a test hook for making queue states deterministic.
+	gate func()
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBatchTuples == 0 {
+		c.MaxBatchTuples = 1 << 16
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = 20 * time.Millisecond
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is a running ingest/query server. Create with Listen.
+type Server struct {
+	cfg   Config
+	ln    net.Listener
+	stmts []*query.Statement
+	tel   *telemetry.Set
+
+	// mu serializes every engine access: batch application by the worker,
+	// query reads, merges, and checkpoint captures.
+	mu sync.Mutex
+
+	queue      chan []stream.Tuple
+	periodic   checkpoint.Periodic
+	workerDone chan struct{}
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	connWG sync.WaitGroup
+
+	draining  atomic.Bool
+	killed    atomic.Bool
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Listen starts a server on cfg.Addr and begins serving.
+func Listen(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("server: nil schema")
+	}
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("server: nil engine")
+	}
+	if cfg.QueueDepth < 1 {
+		return nil, fmt.Errorf("server: queue depth %d must be >= 1", cfg.QueueDepth)
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s := &Server{
+		cfg:        cfg,
+		ln:         ln,
+		stmts:      cfg.Engine.Statements(),
+		tel:        &telemetry.Set{},
+		queue:      make(chan []stream.Tuple, cfg.QueueDepth),
+		workerDone: make(chan struct{}),
+		conns:      make(map[net.Conn]struct{}),
+	}
+	s.periodic = checkpoint.Periodic{Path: cfg.CheckpointPath, Every: cfg.CheckpointEvery}
+	if cfg.CheckpointPath == "" {
+		s.periodic.Every = 0
+	}
+	s.periodic.SkipTo(cfg.Engine.Tuples())
+	go s.acceptLoop()
+	go s.worker()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Telemetry exposes the live counter set.
+func (s *Server) Telemetry() *telemetry.Set { return s.tel }
+
+// Engine returns the served engine. It must only be used after Close or
+// Kill has returned — while the server runs, the engine is its alone.
+func (s *Server) Engine() *query.Engine { return s.cfg.Engine }
+
+func (s *Server) acceptLoop() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.connMu.Lock()
+		if s.draining.Load() {
+			s.connMu.Unlock()
+			c.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.connWG.Add(1)
+		s.connMu.Unlock()
+		go s.serveConn(c)
+	}
+}
+
+func (s *Server) dropConn(c net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, c)
+	s.connMu.Unlock()
+	c.Close()
+}
+
+func (s *Server) serveConn(c net.Conn) {
+	defer s.connWG.Done()
+	defer s.dropConn(c)
+	for {
+		f, err := proto.ReadFrame(c)
+		if err != nil {
+			if err != io.EOF && !s.draining.Load() {
+				s.cfg.Logf("server: dropping %s: %v", c.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.handle(f)
+		if err := proto.WriteFrame(c, resp); err != nil {
+			if !s.draining.Load() {
+				s.cfg.Logf("server: write to %s: %v", c.RemoteAddr(), err)
+			}
+			return
+		}
+	}
+}
+
+// handle dispatches one request frame and builds the response frame.
+func (s *Server) handle(f proto.Frame) proto.Frame {
+	start := time.Now()
+	var resp proto.Frame
+	var rpc telemetry.RPC
+	switch f.Type {
+	case proto.TIngest:
+		rpc, resp = telemetry.RPCIngest, s.handleIngest(f)
+	case proto.TQuery:
+		rpc, resp = telemetry.RPCQuery, s.handleQuery(f)
+	case proto.TMerge:
+		rpc, resp = telemetry.RPCMerge, s.handleMerge(f)
+	case proto.TStats:
+		rpc, resp = telemetry.RPCStats, s.handleStats(f)
+	default:
+		return errorFrame(f.ID, fmt.Sprintf("unsupported request type %s", f.Type))
+	}
+	s.tel.Observe(rpc, time.Since(start))
+	return resp
+}
+
+func errorFrame(id uint64, msg string) proto.Frame {
+	return proto.Frame{Type: proto.TError, ID: id, Payload: proto.EncodeError(msg)}
+}
+
+// decodeBatch parses an ingest payload — a complete binary stream (header
+// included) — validating the schema and the batch size.
+func (s *Server) decodeBatch(payload []byte) ([]stream.Tuple, error) {
+	br, err := stream.NewBinaryReader(bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	got := br.Schema().Names()
+	want := s.cfg.Schema.Names()
+	if len(got) != len(want) {
+		return nil, fmt.Errorf("batch schema has %d attributes, server schema has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return nil, fmt.Errorf("batch schema attribute %d is %q, server schema has %q", i, got[i], want[i])
+		}
+	}
+	var tuples []stream.Tuple
+	buf := make([]stream.Tuple, 256)
+	for {
+		n, err := br.NextBatch(buf)
+		for i := 0; i < n; i++ {
+			// NextBatch reuses the slot backing arrays; the queue outlives
+			// this call, so each tuple gets its own slice (the field strings
+			// are already freshly allocated per batch).
+			tuples = append(tuples, append(stream.Tuple(nil), buf[i]...))
+		}
+		if len(tuples) > s.cfg.MaxBatchTuples {
+			return nil, fmt.Errorf("batch exceeds %d tuples", s.cfg.MaxBatchTuples)
+		}
+		if err == io.EOF {
+			return tuples, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (s *Server) handleIngest(f proto.Frame) proto.Frame {
+	tuples, err := s.decodeBatch(f.Payload)
+	if err != nil {
+		return errorFrame(f.ID, fmt.Sprintf("ingest: %v", err))
+	}
+	if s.draining.Load() {
+		return errorFrame(f.ID, "ingest: server is shutting down")
+	}
+	select {
+	case s.queue <- tuples:
+		s.tel.AddBatch()
+		s.tel.ObserveQueueDepth(len(s.queue))
+		return proto.Frame{Type: proto.TOK, ID: f.ID, Payload: proto.IngestAck{Tuples: int64(len(tuples))}.Encode()}
+	default:
+		s.tel.AddRejectedBatch()
+		return proto.Frame{Type: proto.TBusy, ID: f.ID, Payload: proto.Busy{RetryAfter: s.cfg.RetryAfter}.Encode()}
+	}
+}
+
+func (s *Server) handleQuery(f proto.Frame) proto.Frame {
+	req, err := proto.DecodeQueryReq(f.Payload)
+	if err != nil {
+		return errorFrame(f.ID, err.Error())
+	}
+	if int(req.Stmt) >= len(s.stmts) {
+		return errorFrame(f.ID, fmt.Sprintf("query: no statement %d (server has %d)", req.Stmt, len(s.stmts)))
+	}
+	s.mu.Lock()
+	res := proto.QueryResult{Count: s.stmts[req.Stmt].Count(), Tuples: s.cfg.Engine.Tuples()}
+	s.mu.Unlock()
+	return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: res.Encode()}
+}
+
+func (s *Server) handleMerge(f proto.Frame) proto.Frame {
+	req, err := proto.DecodeMergeReq(f.Payload)
+	if err != nil {
+		return errorFrame(f.ID, err.Error())
+	}
+	if int(req.Stmt) >= len(s.stmts) {
+		return errorFrame(f.ID, fmt.Sprintf("merge: no statement %d (server has %d)", req.Stmt, len(s.stmts)))
+	}
+	st := s.stmts[req.Stmt]
+	if st.Shared() {
+		return errorFrame(f.ID, fmt.Sprintf("merge: statement %d reads a shared estimator; merge into its owner", req.Stmt))
+	}
+	dst, ok := st.Estimator().(*core.Sketch)
+	if !ok {
+		return errorFrame(f.ID, fmt.Sprintf("merge: statement %d estimator (%s) does not support merging", req.Stmt, kindOf(st)))
+	}
+	src, err := core.UnmarshalSketch(req.Sketch)
+	if err != nil {
+		return errorFrame(f.ID, fmt.Sprintf("merge: %v", err))
+	}
+	s.mu.Lock()
+	err = dst.Merge(src)
+	s.mu.Unlock()
+	if err != nil {
+		return errorFrame(f.ID, fmt.Sprintf("merge: %v", err))
+	}
+	s.tel.AddMerge()
+	return proto.Frame{Type: proto.TOK, ID: f.ID}
+}
+
+func kindOf(st *query.Statement) string {
+	if k := st.EstimatorKind(); k != "" {
+		return k
+	}
+	return fmt.Sprintf("%T", st.Estimator())
+}
+
+func (s *Server) handleStats(f proto.Frame) proto.Frame {
+	return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: s.tel.Snapshot().Encode()}
+}
+
+// worker applies queued batches to the engine in arrival order and drives
+// periodic checkpoints. It exits when the queue is closed and drained.
+func (s *Server) worker() {
+	defer close(s.workerDone)
+	for tuples := range s.queue {
+		if s.cfg.gate != nil {
+			s.cfg.gate()
+		}
+		s.mu.Lock()
+		s.cfg.Engine.ProcessBatch(tuples)
+		// Captured under mu: a concurrent merge mutating an estimator while
+		// it marshals would tear the snapshot.
+		_, err := s.periodic.Maybe(s.cfg.Engine, s.cfg.Engine.Tuples())
+		s.mu.Unlock()
+		s.tel.AddTuples(int64(len(tuples)))
+		if err != nil {
+			s.cfg.Logf("server: periodic checkpoint: %v", err)
+		}
+	}
+}
+
+// shutdown runs the shared teardown: stop accepting, unblock connection
+// readers, drain or abandon the queue.
+func (s *Server) shutdown(grace time.Duration) {
+	s.draining.Store(true)
+	s.ln.Close()
+	s.connMu.Lock()
+	deadline := time.Now().Add(grace)
+	for c := range s.conns {
+		c.SetReadDeadline(deadline)
+	}
+	s.connMu.Unlock()
+	s.connWG.Wait()
+	close(s.queue)
+	<-s.workerDone
+}
+
+// Close shuts the server down gracefully: the listener closes, connection
+// readers finish their in-flight requests (within a short grace window),
+// the ingest queue is drained through the engine, and — when checkpointing
+// is configured — a final checkpoint is written. Every batch acknowledged
+// before Close is applied before the final checkpoint.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.shutdown(drainGrace)
+		if s.cfg.CheckpointPath != "" {
+			snap, err := checkpoint.Capture(s.cfg.Engine, s.cfg.Engine.Tuples())
+			if err == nil {
+				err = checkpoint.Write(s.cfg.CheckpointPath, snap)
+			}
+			s.closeErr = err
+		}
+	})
+	return s.closeErr
+}
+
+// Kill tears the server down abruptly — connections are cut mid-request and
+// no final checkpoint is written, simulating a crash. Only previously
+// written periodic checkpoints survive; the engine must be considered lost.
+func (s *Server) Kill() {
+	s.closeOnce.Do(func() {
+		s.killed.Store(true)
+		s.draining.Store(true)
+		s.ln.Close()
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connMu.Unlock()
+		s.connWG.Wait()
+		close(s.queue)
+		<-s.workerDone
+	})
+}
+
+var _ imps.Estimator = (*core.Sketch)(nil) // the merge path's contract

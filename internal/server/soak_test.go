@@ -1,0 +1,128 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"implicate/internal/client"
+	"implicate/internal/stream"
+)
+
+// TestSoakLoopbackIngest drives >= 1M tuples through IngestBatch over
+// loopback TCP from concurrent producers against a deliberately shallow
+// ingest queue, so real backpressure happens. The accounting contract under
+// test: every batch is either acknowledged (and then applied before a
+// graceful Close returns) or refused with an explicit TBusy the client
+// retries — so with unlimited busy retries, zero tuples go missing and the
+// rejection count is visible in telemetry, not silent.
+//
+// Run with -race to exercise the server's engine serialization; the test is
+// part of the default suite (ISSUE: soak under -race).
+func TestSoakLoopbackIngest(t *testing.T) {
+	const (
+		producers  = 4
+		batches    = 250 // per producer
+		batchSize  = 1000
+		total      = producers * batches * batchSize // 1_000_000
+		distinctAs = 5000
+	)
+
+	schema := testSchema(t)
+	// Exact counting is order-independent, so the shadow answer below is
+	// exact no matter how producer batches interleave.
+	srv := startServer(t, Config{
+		Schema:     schema,
+		Engine:     testEngine(t, schema, exactBackend()),
+		QueueDepth: 2,
+		// Slow the worker slightly so producers outrun the queue and the
+		// backpressure path actually fires.
+		gate:       func() { time.Sleep(50 * time.Microsecond) },
+		RetryAfter: time.Millisecond,
+	})
+
+	// Pre-encode each producer's batches once; producers then hammer
+	// IngestEncoded so the loop measures the server, not the encoder.
+	shadow := testEngine(t, schema, exactBackend())
+	payloads := make([][][]byte, producers)
+	for p := 0; p < producers; p++ {
+		payloads[p] = make([][]byte, batches)
+		for b := 0; b < batches; b++ {
+			tuples := make([]stream.Tuple, batchSize)
+			for i := range tuples {
+				n := (p*batches+b)*batchSize + i
+				tuples[i] = stream.Tuple{fmt.Sprintf("s%d", n%distinctAs), fmt.Sprintf("d%d", (n%distinctAs)%13)}
+			}
+			shadow.ProcessBatch(tuples)
+			enc, err := client.EncodeBatch(schema, tuples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			payloads[p][b] = enc
+		}
+	}
+
+	var sent atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, producers)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			cl, err := client.Dial(srv.Addr(), schema, client.Options{
+				Conns:       1,
+				BusyRetries: -1, // absorb every backpressure reply
+				RetryBase:   200 * time.Microsecond,
+				RetryCap:    5 * time.Millisecond,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for b := 0; b < batches; b++ {
+				if err := cl.IngestEncoded(payloads[p][b], batchSize); err != nil {
+					errs <- fmt.Errorf("producer %d batch %d: %w", p, b, err)
+					return
+				}
+				sent.Add(batchSize)
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if sent.Load() != total {
+		t.Fatalf("producers acked %d of %d tuples", sent.Load(), total)
+	}
+
+	// Graceful close drains every acknowledged batch into the engine.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sn := srv.Telemetry().Snapshot()
+	if sn.TuplesIngested != total {
+		t.Fatalf("engine applied %d of %d acked tuples — a drop went unreported", sn.TuplesIngested, total)
+	}
+	if got := srv.Engine().Tuples(); got != total {
+		t.Fatalf("engine tuple count %d, want %d", got, total)
+	}
+	if sn.Batches != producers*batches {
+		t.Fatalf("accepted-batch count %d, want %d", sn.Batches, producers*batches)
+	}
+	if sn.BatchesRejected == 0 {
+		t.Fatal("soak produced no backpressure; the test did not exercise the rejection path")
+	}
+	if sn.QueueHighWater < 1 {
+		t.Fatalf("queue high water %d", sn.QueueHighWater)
+	}
+	if got, want := srv.Engine().Statements()[0].Count(), shadow.Statements()[0].Count(); got != want {
+		t.Fatalf("served count %v, shadow count %v", got, want)
+	}
+	t.Logf("soak: %d tuples, %d batches accepted, %d busy replies retried, queue high-water %d",
+		sn.TuplesIngested, sn.Batches, sn.BatchesRejected, sn.QueueHighWater)
+}

@@ -115,9 +115,37 @@ type BatchSource interface {
 	NextBatch(dst []Tuple) (int, error)
 }
 
+// countingReader wraps the buffered input and counts every byte consumed,
+// so decode errors can name the exact offset of the corrupt frame — what
+// makes a server's "bad batch from peer X" report actionable.
+type countingReader struct {
+	br *bufio.Reader
+	n  int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.br.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}
+
+func (c *countingReader) Discard(n int) (int, error) {
+	m, err := c.br.Discard(n)
+	c.n += int64(m)
+	return m, err
+}
+
 // BinaryReader decodes tuples written by BinaryWriter.
 type BinaryReader struct {
-	r      *bufio.Reader
+	r      *countingReader
 	schema *Schema
 	fields []string
 
@@ -131,7 +159,7 @@ type BinaryReader struct {
 // NewBinaryReader reads the header and returns a reader positioned at the
 // first tuple.
 func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
-	br := &BinaryReader{r: bufio.NewReaderSize(r, 1<<16)}
+	br := &BinaryReader{r: &countingReader{br: bufio.NewReaderSize(r, 1<<16)}}
 	magic := make([]byte, len(binaryMagic))
 	if _, err := io.ReadFull(br.r, magic); err != nil {
 		return nil, fmt.Errorf("stream: binary header: %w", err)
@@ -169,7 +197,7 @@ func (r *BinaryReader) value(maxLen uint64) (string, error) {
 		return "", err
 	}
 	if n > maxLen {
-		return "", fmt.Errorf("stream: value length %d exceeds limit", n)
+		return "", fmt.Errorf("value length %d exceeds limit", n)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r.r, buf); err != nil {
@@ -184,6 +212,17 @@ func (r *BinaryReader) value(maxLen uint64) (string, error) {
 // Schema returns the schema read from the header.
 func (r *BinaryReader) Schema() *Schema { return r.schema }
 
+// ByteOffset returns the number of input bytes consumed so far — the
+// position decode errors report, so a corrupt frame can be located in the
+// stream (or in a server's ingest payload) without bisecting.
+func (r *BinaryReader) ByteOffset() int64 { return r.r.n }
+
+// recordErr annotates a record-level decode failure with the byte offset
+// and tuple index the reader had reached.
+func (r *BinaryReader) recordErr(err error) error {
+	return fmt.Errorf("stream: binary record at byte offset %d (after tuple %d): %w", r.r.n, r.pos, err)
+}
+
 // Next implements Source. The returned tuple aliases an internal buffer and
 // is only valid until the next call.
 func (r *BinaryReader) Next() (Tuple, error) {
@@ -196,7 +235,7 @@ func (r *BinaryReader) Next() (Tuple, error) {
 			if err == io.EOF {
 				err = io.ErrUnexpectedEOF
 			}
-			return nil, fmt.Errorf("stream: binary record: %w", err)
+			return nil, r.recordErr(err)
 		}
 		r.fields[i] = v
 	}
@@ -224,10 +263,10 @@ func (r *BinaryReader) NextBatch(dst []Tuple) (int, error) {
 				if err == io.EOF {
 					err = io.ErrUnexpectedEOF
 				}
-				return k, fmt.Errorf("stream: binary record: %w", err)
+				return k, r.recordErr(err)
 			}
 			if n > 1<<24 {
-				return k, fmt.Errorf("stream: value length %d exceeds limit", n)
+				return k, r.recordErr(fmt.Errorf("value length %d exceeds limit", n))
 			}
 			off := len(r.arena)
 			r.arena = slices.Grow(r.arena, int(n))[:off+int(n)]
@@ -235,7 +274,7 @@ func (r *BinaryReader) NextBatch(dst []Tuple) (int, error) {
 				if err == io.EOF {
 					err = io.ErrUnexpectedEOF
 				}
-				return k, fmt.Errorf("stream: binary record: %w", err)
+				return k, r.recordErr(err)
 			}
 			r.lens = append(r.lens, int(n))
 		}

@@ -76,16 +76,16 @@ func (r *BinaryReader) SkipTuples(n int64) error {
 				if err == io.EOF {
 					err = io.ErrUnexpectedEOF
 				}
-				return fmt.Errorf("stream: binary record: %w", err)
+				return r.recordErr(err)
 			}
 			if v > 1<<24 {
-				return fmt.Errorf("stream: value length %d exceeds limit", v)
+				return r.recordErr(fmt.Errorf("value length %d exceeds limit", v))
 			}
 			if _, err := r.r.Discard(int(v)); err != nil {
 				if err == io.EOF {
 					err = io.ErrUnexpectedEOF
 				}
-				return fmt.Errorf("stream: binary record: %w", err)
+				return r.recordErr(err)
 			}
 		}
 		r.pos++

@@ -1,0 +1,235 @@
+// Package telemetry is the runtime observability layer of the serving
+// subsystem: a fixed set of atomically maintained counters (tuples
+// ingested, batches accepted and rejected, merges, ingest-queue high-water
+// mark) plus per-RPC latency histograms with power-of-two nanosecond
+// buckets. A Set is updated lock-free on the hot path; Snapshot captures a
+// consistent-enough copy for the Stats RPC, which ships it in the
+// internal/wire encoding.
+package telemetry
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"implicate/internal/wire"
+)
+
+// RPC indexes the latency histograms, one per request type.
+type RPC uint8
+
+// The instrumented RPCs, in wire-format order.
+const (
+	RPCIngest RPC = iota
+	RPCQuery
+	RPCMerge
+	RPCStats
+	NumRPCs
+)
+
+// String names the RPC for reports.
+func (r RPC) String() string {
+	switch r {
+	case RPCIngest:
+		return "IngestBatch"
+	case RPCQuery:
+		return "Query"
+	case RPCMerge:
+		return "SnapshotMerge"
+	case RPCStats:
+		return "Stats"
+	}
+	return fmt.Sprintf("RPC(%d)", uint8(r))
+}
+
+// HistBuckets is the bucket count of each latency histogram: bucket i
+// collects observations with ceil(log2(ns)) == i, so bucket 10 is ~1µs,
+// 20 is ~1ms, 30 is ~1s; 49 tops out above any plausible RPC latency.
+const HistBuckets = 50
+
+// Set is the live counter set a server updates. All methods are safe for
+// concurrent use; the zero value is ready.
+type Set struct {
+	tuplesIngested  atomic.Int64
+	batches         atomic.Int64
+	batchesRejected atomic.Int64
+	merges          atomic.Int64
+	queueHighWater  atomic.Int64
+	hist            [NumRPCs][HistBuckets]atomic.Uint64
+}
+
+// AddTuples records n tuples applied to the engine.
+func (s *Set) AddTuples(n int64) { s.tuplesIngested.Add(n) }
+
+// AddBatch records one batch accepted into the ingest queue.
+func (s *Set) AddBatch() { s.batches.Add(1) }
+
+// AddRejectedBatch records one batch refused with a backpressure reply.
+func (s *Set) AddRejectedBatch() { s.batchesRejected.Add(1) }
+
+// AddMerge records one sketch merged in.
+func (s *Set) AddMerge() { s.merges.Add(1) }
+
+// ObserveQueueDepth folds one ingest-queue depth sample into the high-water
+// mark.
+func (s *Set) ObserveQueueDepth(depth int) {
+	d := int64(depth)
+	for {
+		cur := s.queueHighWater.Load()
+		if d <= cur || s.queueHighWater.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// bucketFor maps a duration to its histogram bucket.
+func bucketFor(d time.Duration) int {
+	ns := d.Nanoseconds()
+	if ns < 1 {
+		ns = 1
+	}
+	b := bits.Len64(uint64(ns) - 1) // ceil(log2)
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// Observe records one RPC's handling latency.
+func (s *Set) Observe(rpc RPC, d time.Duration) {
+	if rpc >= NumRPCs {
+		return
+	}
+	s.hist[rpc][bucketFor(d)].Add(1)
+}
+
+// Snapshot copies the counters out. Individual counters are each read
+// atomically; the set as a whole is a point-in-time approximation, which is
+// all a metrics endpoint needs.
+func (s *Set) Snapshot() Snapshot {
+	var sn Snapshot
+	sn.TuplesIngested = s.tuplesIngested.Load()
+	sn.Batches = s.batches.Load()
+	sn.BatchesRejected = s.batchesRejected.Load()
+	sn.Merges = s.merges.Load()
+	sn.QueueHighWater = s.queueHighWater.Load()
+	for r := RPC(0); r < NumRPCs; r++ {
+		for b := 0; b < HistBuckets; b++ {
+			sn.Latency[r].Counts[b] = s.hist[r][b].Load()
+		}
+	}
+	return sn
+}
+
+// Histogram is the frozen form of one RPC's latency distribution.
+type Histogram struct {
+	Counts [HistBuckets]uint64
+}
+
+// Count returns the total number of observations.
+func (h Histogram) Count() uint64 {
+	var n uint64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Quantile returns an upper bound of the q-quantile latency (the top of the
+// bucket containing it), or 0 when the histogram is empty. q is clamped to
+// [0, 1].
+func (h Histogram) Quantile(q float64) time.Duration {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for b, c := range h.Counts {
+		seen += c
+		if seen > rank {
+			return time.Duration(uint64(1) << uint(b))
+		}
+	}
+	return time.Duration(uint64(1) << (HistBuckets - 1))
+}
+
+// Snapshot is a frozen counter set — what the Stats RPC ships.
+type Snapshot struct {
+	// TuplesIngested counts tuples applied to the engine (not merely
+	// acknowledged; acked batches still queued are not yet included).
+	TuplesIngested int64
+	// Batches counts batches accepted into the ingest queue.
+	Batches int64
+	// BatchesRejected counts batches refused with a backpressure reply.
+	// Every rejection was reported to its client explicitly.
+	BatchesRejected int64
+	// Merges counts sketches merged in via SnapshotMerge.
+	Merges int64
+	// QueueHighWater is the deepest the ingest queue has been.
+	QueueHighWater int64
+	// Latency holds one histogram per RPC, indexed by the RPC constants.
+	Latency [NumRPCs]Histogram
+}
+
+const snapshotMagic = "IMPT\x01"
+
+// Encode serializes the snapshot for the Stats RPC.
+func (sn Snapshot) Encode() []byte {
+	e := wire.NewEncoder(64 + int(NumRPCs)*HistBuckets*8)
+	e.Raw([]byte(snapshotMagic))
+	e.I64(sn.TuplesIngested)
+	e.I64(sn.Batches)
+	e.I64(sn.BatchesRejected)
+	e.I64(sn.Merges)
+	e.I64(sn.QueueHighWater)
+	e.U32(uint32(NumRPCs))
+	e.U32(HistBuckets)
+	for r := RPC(0); r < NumRPCs; r++ {
+		for b := 0; b < HistBuckets; b++ {
+			e.U64(sn.Latency[r].Counts[b])
+		}
+	}
+	return e.Bytes()
+}
+
+// DecodeSnapshot parses an encoded snapshot, rejecting any it cannot prove
+// intact (including ones from a build with different histogram geometry).
+func DecodeSnapshot(data []byte) (Snapshot, error) {
+	d := wire.NewDecoder(data)
+	d.Magic(snapshotMagic)
+	var sn Snapshot
+	sn.TuplesIngested = d.I64()
+	sn.Batches = d.I64()
+	sn.BatchesRejected = d.I64()
+	sn.Merges = d.I64()
+	sn.QueueHighWater = d.I64()
+	nrpc := d.U32()
+	nbuckets := d.U32()
+	if d.Err() == nil && (nrpc != uint32(NumRPCs) || nbuckets != HistBuckets) {
+		return Snapshot{}, fmt.Errorf("%w: histogram geometry %d×%d (want %d×%d)",
+			wire.ErrCorrupt, nrpc, nbuckets, NumRPCs, HistBuckets)
+	}
+	for r := RPC(0); r < NumRPCs; r++ {
+		for b := 0; b < HistBuckets; b++ {
+			sn.Latency[r].Counts[b] = d.U64()
+		}
+	}
+	if err := d.Done(); err != nil {
+		return Snapshot{}, fmt.Errorf("telemetry: %w", err)
+	}
+	if sn.TuplesIngested < 0 || sn.Batches < 0 || sn.BatchesRejected < 0 || sn.Merges < 0 || sn.QueueHighWater < 0 {
+		return Snapshot{}, fmt.Errorf("%w: negative counter", wire.ErrCorrupt)
+	}
+	return sn, nil
+}

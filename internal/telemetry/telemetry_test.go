@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounters(t *testing.T) {
+	var s Set
+	s.AddTuples(100)
+	s.AddTuples(28)
+	s.AddBatch()
+	s.AddBatch()
+	s.AddRejectedBatch()
+	s.AddMerge()
+	sn := s.Snapshot()
+	if sn.TuplesIngested != 128 || sn.Batches != 2 || sn.BatchesRejected != 1 || sn.Merges != 1 {
+		t.Fatalf("snapshot %+v", sn)
+	}
+}
+
+func TestQueueHighWaterIsMonotonic(t *testing.T) {
+	var s Set
+	for _, d := range []int{3, 7, 2, 7, 5} {
+		s.ObserveQueueDepth(d)
+	}
+	if hw := s.Snapshot().QueueHighWater; hw != 7 {
+		t.Fatalf("high water %d, want 7", hw)
+	}
+	// Concurrent observers must converge on the true maximum.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for d := 0; d <= 100+g; d++ {
+				s.ObserveQueueDepth(d)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if hw := s.Snapshot().QueueHighWater; hw != 107 {
+		t.Fatalf("concurrent high water %d, want 107", hw)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var s Set
+	s.Observe(RPCIngest, 0)                // clamps to bucket 0
+	s.Observe(RPCIngest, 1)                // 1ns -> bucket 0
+	s.Observe(RPCIngest, 1024)             // exactly 2^10 -> bucket 10
+	s.Observe(RPCIngest, 1025)             // -> bucket 11
+	s.Observe(RPCIngest, time.Hour*100000) // clamps to the last bucket
+	s.Observe(NumRPCs, time.Second)        // out of range: dropped, not a panic
+	h := s.Snapshot().Latency[RPCIngest]
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+	for b, want := range map[int]uint64{0: 2, 10: 1, 11: 1, HistBuckets - 1: 1} {
+		if h.Counts[b] != want {
+			t.Errorf("bucket %d = %d, want %d", b, h.Counts[b], want)
+		}
+	}
+	if other := s.Snapshot().Latency[RPCQuery]; other.Count() != 0 {
+		t.Error("observation leaked into another RPC's histogram")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile not 0")
+	}
+	h.Counts[10] = 90 // ~1µs
+	h.Counts[20] = 10 // ~1ms
+	if q := h.Quantile(0.5); q != 1<<10 {
+		t.Errorf("p50 = %v, want %v", q, time.Duration(1<<10))
+	}
+	if q := h.Quantile(0.99); q != 1<<20 {
+		t.Errorf("p99 = %v, want %v", q, time.Duration(1<<20))
+	}
+	if q := h.Quantile(-1); q != 1<<10 {
+		t.Errorf("clamped q<0 = %v", q)
+	}
+	if q := h.Quantile(2); q != 1<<20 {
+		t.Errorf("clamped q>1 = %v", q)
+	}
+}
+
+func TestSnapshotEncodeDecodeRoundTrip(t *testing.T) {
+	var s Set
+	s.AddTuples(1 << 40)
+	s.AddBatch()
+	s.AddRejectedBatch()
+	s.AddMerge()
+	s.ObserveQueueDepth(17)
+	s.Observe(RPCQuery, 3*time.Microsecond)
+	s.Observe(RPCMerge, 2*time.Millisecond)
+	want := s.Snapshot()
+
+	got, err := DecodeSnapshot(want.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestDecodeSnapshotRejectsCorruption(t *testing.T) {
+	good := (&Set{}).Snapshot().Encode()
+
+	if _, err := DecodeSnapshot(good[:len(good)-1]); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+	if _, err := DecodeSnapshot(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xFF
+	if _, err := DecodeSnapshot(bad); err == nil {
+		t.Error("wrong magic accepted")
+	}
+	// Negative counter: flip the sign byte of TuplesIngested.
+	neg := append([]byte(nil), good...)
+	neg[len(snapshotMagic)+7] = 0x80
+	if _, err := DecodeSnapshot(neg); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Errorf("negative counter accepted: %v", err)
+	}
+}
+
+func TestRPCStrings(t *testing.T) {
+	for r, want := range map[RPC]string{
+		RPCIngest: "IngestBatch", RPCQuery: "Query", RPCMerge: "SnapshotMerge",
+		RPCStats: "Stats", RPC(200): "RPC(200)",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("RPC %d: %q, want %q", r, got, want)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package implicate
+
+import (
+	"implicate/internal/client"
+	"implicate/internal/proto"
+	"implicate/internal/server"
+	"implicate/internal/telemetry"
+)
+
+// Serving layer (DESIGN.md §9): the paper's §2 deployment is distributed —
+// leaf nodes sketch their local streams and ship state upstream — and this
+// is its wire. Serve starts a TCP server speaking a length-prefixed,
+// CRC-tagged binary protocol with four RPCs: IngestBatch (remote tuple
+// feed through a bounded queue with explicit backpressure), Query (read a
+// registered statement's count), SnapshotMerge (merge a leaf's marshalled
+// sketch into an aggregator — the §2 tree over a real network) and Stats
+// (runtime telemetry). Dial returns a pooled, pipelining client. The
+// cmd/impserved command wraps Serve for standalone deployment.
+
+// Server is a running ingest/query server; see Serve.
+type Server = server.Server
+
+// ServerConfig configures Serve: the listen address, the schema ingest
+// batches must match, the engine with its registered statements, the
+// ingest-queue bound, and optional checkpointing (path + interval) for
+// crash recovery via the replay contract of DESIGN.md §8.
+type ServerConfig = server.Config
+
+// Client is a connection pool to one server; see Dial.
+type Client = client.Client
+
+// ClientOptions tune a client: pool size, deadlines, and the retry/backoff
+// budgets for backpressure and idempotent requests.
+type ClientOptions = client.Options
+
+// ServerStats is a frozen telemetry snapshot: tuples ingested, batches
+// accepted and refused, merges, ingest-queue high-water mark, and per-RPC
+// latency histograms.
+type ServerStats = telemetry.Snapshot
+
+// QueryResult is a Client.Query answer: the statement's current count and
+// the server engine's applied-tuple total at the time of the read.
+type QueryResult = proto.QueryResult
+
+// ErrBackpressure is returned by Client.IngestBatch when the server kept
+// refusing the batch for longer than the client's retry budget. The batch
+// was never enqueued; retrying later is safe.
+var ErrBackpressure = client.ErrBackpressure
+
+// Serve starts an ingest/query server for cfg.Engine on cfg.Addr. The
+// engine must have its statements registered already and belongs to the
+// server until Close returns. Close drains the ingest queue and, when
+// checkpointing is configured, writes a final checkpoint — a batch the
+// server acknowledged is never lost to a graceful shutdown.
+func Serve(cfg ServerConfig) (*Server, error) { return server.Listen(cfg) }
+
+// Dial connects to an impserved server. schema is required for
+// IngestBatch and may be nil for query/merge/stats-only clients. The
+// returned client pipelines requests over a small connection pool, retries
+// backpressure replies with exponential backoff, and retries idempotent
+// requests (Query, Stats) across redials.
+func Dial(addr string, schema *Schema, opt ClientOptions) (*Client, error) {
+	return client.Dial(addr, schema, opt)
+}
