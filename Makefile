@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race race bench examples experiments paper clean checkpoint-fault serve-smoke serve-soak
+.PHONY: all build vet test test-race race bench bench-serve examples experiments paper clean checkpoint-fault serve-smoke serve-soak
 
 all: build vet test
 
@@ -44,6 +44,12 @@ serve-soak:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Serving-layer end-to-end throughput: impbench drives loopback impserved
+# ingest at pipeline pool sizes 1 and 4 and records the rows (plus the
+# cross-size count-equality check) in BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/impbench -exp serve -workers 1,4 -json BENCH_serve.json
 
 examples:
 	$(GO) run ./examples/quickstart

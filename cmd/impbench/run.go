@@ -20,19 +20,21 @@ type config struct {
 	cards    string
 	parallel int
 	jsonOut  string
+	workers  string
 }
 
 func parseFlags(args []string) (*config, error) {
 	fs := flag.NewFlagSet("impbench", flag.ContinueOnError)
 	cfg := &config{}
 	fs.StringVar(&cfg.exp, "exp", "all",
-		"experiment: fig4, fig5, fig6, fig7a, fig7b, table3, table4, table5, ablations, ingest, all")
+		"experiment: fig4, fig5, fig6, fig7a, fig7b, table3, table4, table5, ablations, ingest, serve, all")
 	fs.BoolVar(&cfg.paper, "paper", false, "use the paper's full-scale configuration")
 	fs.IntVar(&cfg.runs, "runs", 0, "override repetitions per point")
 	fs.Int64Var(&cfg.seed, "seed", 1, "experiment seed")
 	fs.StringVar(&cfg.cards, "cards", "", "override the Dataset One |A| sweep (comma-separated)")
 	fs.IntVar(&cfg.parallel, "parallel", 0, "ingest producers (default GOMAXPROCS)")
-	fs.StringVar(&cfg.jsonOut, "json", "", "also write the ingest rows as JSON to this file")
+	fs.StringVar(&cfg.jsonOut, "json", "", "also write the ingest/serve rows as JSON to this file (last selected experiment wins)")
+	fs.StringVar(&cfg.workers, "workers", "", "override the serve experiment's pool-size sweep (comma-separated)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -219,6 +221,43 @@ func run(cfg *config, w io.Writer) error {
 				return err
 			}
 			if err := experiments.WriteIngestJSON(f, icfg, rows); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+
+	if want("serve") {
+		ran = true
+		scfg := experiments.ServeConfig{Seed: cfg.seed, Producers: cfg.parallel}
+		if cfg.paper {
+			scfg.Tuples = 2_000_000
+		}
+		if cfg.workers != "" {
+			for _, v := range strings.Split(cfg.workers, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(v))
+				if err != nil {
+					return fmt.Errorf("bad -workers value %q", v)
+				}
+				scfg.Workers = append(scfg.Workers, n)
+			}
+		}
+		start := time.Now()
+		rows, err := experiments.RunServe(scfg)
+		if err != nil {
+			return err
+		}
+		experiments.PrintServe(w, scfg, rows)
+		fmt.Fprintf(w, "(%v)\n\n", time.Since(start).Round(time.Millisecond))
+		if cfg.jsonOut != "" {
+			f, err := os.Create(cfg.jsonOut)
+			if err != nil {
+				return err
+			}
+			if err := experiments.WriteServeJSON(f, scfg, rows); err != nil {
 				f.Close()
 				return err
 			}

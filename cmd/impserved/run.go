@@ -34,6 +34,7 @@ type config struct {
 	dsSize  int
 	dsBound int
 	queue   int
+	workers int
 
 	checkpoint string
 	every      int64
@@ -46,12 +47,13 @@ func parseFlags(args []string) (*config, []string, error) {
 	fs.StringVar(&cfg.addr, "addr", ":7171", "TCP listen address")
 	fs.StringVar(&cfg.schema, "schema", "", "comma-separated stream attribute names (required)")
 	fs.Var(&cfg.queries, "q", "implication query to serve (repeatable; required unless -resume)")
-	fs.StringVar(&cfg.backend, "backend", "nips", "estimator backend: nips, sharded, exact, ilc, ds")
+	fs.StringVar(&cfg.backend, "backend", "nips", "estimator backend: nips, sharded, exact, exact-striped, ilc, ds")
 	fs.Uint64Var(&cfg.seed, "seed", 1, "sketch seed")
 	fs.Float64Var(&cfg.ilcEps, "ilc-eps", 0.01, "ILC approximation parameter (and relative support)")
 	fs.IntVar(&cfg.dsSize, "ds-size", 1920, "Distinct Sampling entry budget")
 	fs.IntVar(&cfg.dsBound, "ds-bound", 39, "Distinct Sampling per-value bound")
 	fs.IntVar(&cfg.queue, "queue", 64, "ingest queue depth in batches (full queue => backpressure)")
+	fs.IntVar(&cfg.workers, "workers", 0, "pipeline worker pool size (0: GOMAXPROCS); results are identical at any size")
 	fs.StringVar(&cfg.checkpoint, "checkpoint", "", "write crash-recovery checkpoints to this file")
 	fs.Int64Var(&cfg.every, "every", 0, "checkpoint every N applied tuples (with -checkpoint; 0: only on shutdown)")
 	fs.StringVar(&cfg.resume, "resume", "", "restore engine state from this checkpoint file")
@@ -76,6 +78,9 @@ func (cfg *config) validate() error {
 	if cfg.queue < 1 {
 		return fmt.Errorf("-queue must be >= 1, got %d", cfg.queue)
 	}
+	if cfg.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", cfg.workers)
+	}
 	if cfg.resume != "" {
 		if len(cfg.queries) > 0 {
 			return fmt.Errorf("-resume restores the queries from the checkpoint; drop -q")
@@ -92,9 +97,10 @@ func (cfg *config) validate() error {
 // backendsFor builds the named backend factories the command line selects.
 func backendsFor(cfg *config) map[string]implicate.Backend {
 	return map[string]implicate.Backend{
-		"nips":    implicate.SketchBackend(implicate.Options{Seed: cfg.seed}),
-		"sharded": implicate.ShardedSketchBackend(implicate.Options{Seed: cfg.seed}, 0),
-		"exact":   implicate.ExactBackend(),
+		"nips":          implicate.SketchBackend(implicate.Options{Seed: cfg.seed}),
+		"sharded":       implicate.ShardedSketchBackend(implicate.Options{Seed: cfg.seed}, 0),
+		"exact":         implicate.ExactBackend(),
+		"exact-striped": implicate.StripedExactBackend(0),
 		"ilc": func(cond implicate.Conditions) (implicate.Estimator, error) {
 			return implicate.NewILC(cond, cfg.ilcEps, cfg.ilcEps)
 		},
@@ -155,6 +161,7 @@ func serve(cfg *config, ready chan<- string, stop <-chan struct{}, out io.Writer
 		Schema:          schema,
 		Engine:          eng,
 		QueueDepth:      cfg.queue,
+		Workers:         cfg.workers,
 		CheckpointPath:  cfg.checkpoint,
 		CheckpointEvery: cfg.every,
 	})
@@ -178,6 +185,12 @@ func printSummary(out io.Writer, eng *implicate.Engine, sn implicate.ServerStats
 	}
 	fmt.Fprintf(out, "tuples=%d batches=%d rejected=%d merges=%d queue-high-water=%d\n",
 		sn.TuplesIngested, sn.Batches, sn.BatchesRejected, sn.Merges, sn.QueueHighWater)
+	if len(sn.Workers) > 0 {
+		fmt.Fprintf(out, "pool: %d workers, %d saturated dispatches\n", len(sn.Workers), sn.PoolSaturation)
+		for w, ws := range sn.Workers {
+			fmt.Fprintf(out, "  worker %d: tasks=%d units=%d\n", w, ws.Tasks, ws.Units)
+		}
+	}
 	ing := sn.Latency[telemetry.RPCIngest]
 	if ing.Count() > 0 {
 		fmt.Fprintf(out, "ingest latency p50=%v p99=%v (%d observations)\n",

@@ -12,11 +12,11 @@ import (
 )
 
 func TestParseFlags(t *testing.T) {
-	cfg, rest, err := parseFlags([]string{"-schema", "A,B", "-q", "q1", "-q", "q2", "-queue", "8"})
+	cfg, rest, err := parseFlags([]string{"-schema", "A,B", "-q", "q1", "-q", "q2", "-queue", "8", "-workers", "4"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.schema != "A,B" || len(cfg.queries) != 2 || cfg.queries[1] != "q2" || cfg.queue != 8 || len(rest) != 0 {
+	if cfg.schema != "A,B" || len(cfg.queries) != 2 || cfg.queries[1] != "q2" || cfg.queue != 8 || cfg.workers != 4 || len(rest) != 0 {
 		t.Fatalf("parsed %+v %v", cfg, rest)
 	}
 	if _, _, err := parseFlags([]string{"-bogus"}); err == nil {
@@ -50,6 +50,7 @@ func TestValidateFlagCombinations(t *testing.T) {
 		{"every without checkpoint", config{schema: "A,B", queries: queryList{"x"}, queue: 1, every: 100}, "-checkpoint"},
 		{"negative every", config{schema: "A,B", queries: queryList{"x"}, queue: 1, every: -1, checkpoint: "f"}, "-every"},
 		{"zero queue", config{schema: "A,B", queries: queryList{"x"}, queue: 0}, "-queue"},
+		{"negative workers", config{schema: "A,B", queries: queryList{"x"}, queue: 1, workers: -2}, "-workers"},
 		{"resume with q", config{schema: "A,B", resume: ckpt, queries: queryList{"x"}, queue: 1}, "drop -q"},
 		{"resume missing file", config{schema: "A,B", resume: filepath.Join(dir, "nope.ckpt"), queue: 1}, "cannot resume"},
 		{"plain ok", config{schema: "A,B", queries: queryList{"x"}, queue: 64}, ""},
@@ -95,9 +96,10 @@ func TestBuildEngineErrors(t *testing.T) {
 }
 
 // TestServeSmoke is the end-to-end smoke path `make serve-smoke` exercises
-// through the test binary: start a server on loopback, ingest 100k tuples
-// through the wire protocol, query it, shut down gracefully, and require
-// the shutdown checkpoint to record every acknowledged tuple.
+// through the test binary: start a server on loopback with a 4-worker
+// pipeline over the striped exact backend, ingest 100k tuples through the
+// wire protocol, query it, shut down gracefully, and require the shutdown
+// checkpoint to record every acknowledged tuple.
 func TestServeSmoke(t *testing.T) {
 	const total = 100_000
 	ckpt := filepath.Join(t.TempDir(), "smoke.ckpt")
@@ -105,8 +107,9 @@ func TestServeSmoke(t *testing.T) {
 		addr:       "127.0.0.1:0",
 		schema:     "Source, Destination",
 		queries:    queryList{`SELECT COUNT(DISTINCT Source) FROM traffic WHERE Source IMPLIES Destination WITH SUPPORT >= 3, MULTIPLICITY <= 2`},
-		backend:    "exact",
+		backend:    "exact-striped",
 		queue:      16,
+		workers:    4,
 		checkpoint: ckpt,
 	}
 	if err := cfg.validate(); err != nil {
@@ -201,6 +204,9 @@ func TestServeSmoke(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "stmt 0:") {
 		t.Fatalf("summary missing statement report:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "pool: 4 workers") {
+		t.Fatalf("summary missing pool report:\n%s", out.String())
 	}
 
 	// The checkpoint restores into a working engine with the same answer.

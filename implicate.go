@@ -173,6 +173,26 @@ func ExactBackend() Backend {
 	return func(cond Conditions) (Estimator, error) { return exact.NewCounter(cond) }
 }
 
+// StripedExact is the lock-striped exact counter: items are routed to
+// independently locked stripes by itemset hash, so concurrent producers (and
+// the pipeline's partitioned ingest) scale across cores while counts stay
+// exact and the marshalled state stays stripe-count independent.
+type StripedExact = exact.Striped
+
+// NewStripedExact returns a lock-striped exact counter. stripes must be a
+// power of two; 0 selects a stripe count matched to GOMAXPROCS.
+func NewStripedExact(cond Conditions, stripes int) (*StripedExact, error) {
+	return exact.NewStriped(cond, stripes)
+}
+
+// StripedExactBackend returns a Backend producing lock-striped exact
+// counters (stripes as in NewStripedExact). Use it instead of ExactBackend
+// when statements are fed from concurrent producers or through a
+// multi-worker server pipeline.
+func StripedExactBackend(stripes int) Backend {
+	return func(cond Conditions) (Estimator, error) { return exact.NewStriped(cond, stripes) }
+}
+
 // Incremental answers "how many new implicating itemsets since t" queries
 // by snapshot differencing (§3.2).
 type Incremental = window.Incremental

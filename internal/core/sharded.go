@@ -213,6 +213,32 @@ func (ss *ShardedSketch) AddBatch(pairs []imps.Pair) {
 	}
 }
 
+// IngestPartition implements imps.PartitionedAdder: it maps an encoded
+// A-itemset key to the ingest partition that must observe it when the
+// caller splits a batch across n concurrent workers.
+//
+// The partition is the low bits of the A-hash — the same bits the
+// stochastic-averaging router uses to pick the tuple's bitmap and this
+// type uses to pick the shard — clamped so that n never exceeds the shard
+// count. The clamp makes a partition exactly one shard (or a power-of-two
+// group of shards), so per-partition FIFO delivery reproduces the serial
+// run's per-shard add sequence verbatim: not just every bitmap's
+// order-sensitive cell evolution (overflow kills, fringe push-outs) but
+// also the shard's entry high-water mark, which tracks the interleaving
+// across its bitmaps and is part of the marshalled state. Finer partitions
+// would still give bit-identical estimates, but could interleave two
+// partitions of one shard and perturb that high-water mark.
+//
+// The partition of a key does not depend on the worker count beyond the
+// clamp: partition p under 2n splits into {p, p+n} under n's refinement,
+// so any power-of-two pool size yields the same per-shard order.
+func (ss *ShardedSketch) IngestPartition(a []byte, n int) int {
+	if n > len(ss.shards) {
+		n = len(ss.shards)
+	}
+	return int(ss.ahash.SumBytes(a) & uint64(n-1))
+}
+
 // HashPair pre-hashes one encoded itemset pair for AddHashedBatch. Producer
 // goroutines can hash their tuples without any lock and hand the sketch
 // ready-routed batches.
@@ -401,3 +427,4 @@ func (ss *ShardedSketch) Reset() {
 
 var _ imps.Estimator = (*ShardedSketch)(nil)
 var _ imps.MultiplicityAverager = (*ShardedSketch)(nil)
+var _ imps.PartitionedAdder = (*ShardedSketch)(nil)

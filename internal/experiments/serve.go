@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"implicate/internal/client"
+	"implicate/internal/exact"
+	"implicate/internal/gen"
+	"implicate/internal/imps"
+	"implicate/internal/query"
+	"implicate/internal/server"
+	"implicate/internal/stream"
+)
+
+// ServeConfig parametrizes the serving-layer throughput harness: a loopback
+// impserved instance ingesting one synthetic stream over the wire protocol
+// at several pipeline pool sizes, so the worker fan-out (DESIGN.md §10) is
+// measured end to end — decode, plan, dispatch, apply, drain.
+type ServeConfig struct {
+	// Tuples is the stream length per variant.
+	Tuples int
+	// Batch is the tuples-per-IngestBatch size.
+	Batch int
+	// Producers is the number of concurrent client goroutines (one
+	// connection each); defaults to 4.
+	Producers int
+	// Workers lists the pool sizes to run; defaults to 1, 4.
+	Workers []int
+	// Queue is the server's ingest queue depth in batches.
+	Queue int
+	// Seed drives the workload generator.
+	Seed int64
+}
+
+func (c ServeConfig) withDefaults() ServeConfig {
+	if c.Tuples == 0 {
+		c.Tuples = 500_000
+	}
+	if c.Batch == 0 {
+		c.Batch = 1000
+	}
+	if c.Producers < 1 {
+		c.Producers = 4
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 4}
+	}
+	if c.Queue == 0 {
+		c.Queue = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// serveSQL matches ingestCond, so the serve and ingest harnesses measure
+// the same statistic.
+const serveSQL = `SELECT COUNT(DISTINCT A) FROM s WHERE A IMPLIES B WITH SUPPORT >= 5, MULTIPLICITY <= 2, CONFIDENCE >= 0.6 TOP 1`
+
+// ServeRow is one pool size's measured end-to-end throughput.
+type ServeRow struct {
+	// Workers is the pipeline pool size.
+	Workers int `json:"workers"`
+	// Producers is the number of concurrent client connections.
+	Producers int `json:"producers"`
+	// Tuples is the stream length.
+	Tuples int `json:"tuples"`
+	// Seconds is the wall clock from first send to drained shutdown.
+	Seconds float64 `json:"seconds"`
+	// TuplesPerSec is Tuples/Seconds.
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+	// Implications is the final statement count — identical across pool
+	// sizes by the determinism invariant, and recorded so a variant that
+	// dropped tuples cannot report a flattering throughput.
+	Implications float64 `json:"implications"`
+	// Rejected counts backpressure replies the producers retried.
+	Rejected int64 `json:"rejected"`
+	// PoolSaturation counts dispatches that found a worker queue full.
+	PoolSaturation int64 `json:"pool_saturation"`
+}
+
+// RunServe measures loopback ingest throughput at each configured pool
+// size. Every variant sees the same pre-encoded batches; the striped exact
+// counter backend is used so the ingest path is partition-safe (fans out
+// across workers) and every variant's final count is exact and must agree.
+func RunServe(cfg ServeConfig) ([]ServeRow, error) {
+	cfg = cfg.withDefaults()
+
+	d, err := gen.NewDatasetOne(gen.DatasetOneConfig{
+		CardA: cfg.Tuples / 10,
+		Count: cfg.Tuples / 20,
+		C:     2,
+		Seed:  cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	schema, err := stream.NewSchema("A", "B")
+	if err != nil {
+		return nil, err
+	}
+	// Printable keys: the wire schema rejects gen.Key's binary form (it may
+	// contain the reserved separator byte).
+	tuples := make([]stream.Tuple, 0, cfg.Tuples)
+	for _, p := range d.Pairs {
+		tuples = append(tuples, stream.Tuple{fmt.Sprintf("a%d", p.A), fmt.Sprintf("b%d", p.B)})
+	}
+	for len(tuples) < cfg.Tuples {
+		tuples = append(tuples, tuples[:min(len(tuples), cfg.Tuples-len(tuples))]...)
+	}
+	tuples = tuples[:cfg.Tuples]
+
+	// Route tuples to producers by key hash, not by contiguous slice: the
+	// exact exclusion rule is order-dependent per key ("failed the condition
+	// at any point"), and producer batches interleave differently from run
+	// to run. With each key owned by one producer, every key's tuple order
+	// is fixed end to end (producer FIFO → dispatcher → partition FIFO), so
+	// the final count is interleaving-invariant and must agree across pool
+	// sizes — the bench doubles as a determinism check.
+	byProducer := make([][]stream.Tuple, cfg.Producers)
+	for _, t := range tuples {
+		h := uint64(14695981039346656037)
+		for i := 0; i < len(t[0]); i++ {
+			h = (h ^ uint64(t[0][i])) * 1099511628211
+		}
+		p := int(h % uint64(cfg.Producers))
+		byProducer[p] = append(byProducer[p], t)
+	}
+
+	// Pre-encode each producer's batches once, outside every timed region.
+	type encBatch struct {
+		payload []byte
+		n       int64
+	}
+	payloads := make([][]encBatch, cfg.Producers)
+	for p := range byProducer {
+		own := byProducer[p]
+		for off := 0; off < len(own); off += cfg.Batch {
+			end := min(off+cfg.Batch, len(own))
+			enc, err := client.EncodeBatch(schema, own[off:end])
+			if err != nil {
+				return nil, err
+			}
+			payloads[p] = append(payloads[p], encBatch{enc, int64(end - off)})
+		}
+	}
+
+	var rows []ServeRow
+	for _, workers := range cfg.Workers {
+		eng := query.NewEngine(schema)
+		st, err := eng.RegisterSQL(serveSQL, func(cond imps.Conditions) (imps.Estimator, error) {
+			return exact.NewStriped(cond, 0)
+		})
+		if err != nil {
+			return nil, err
+		}
+		srv, err := server.Listen(server.Config{
+			Addr:       "127.0.0.1:0",
+			Schema:     schema,
+			Engine:     eng,
+			QueueDepth: cfg.Queue,
+			Workers:    workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		var wg sync.WaitGroup
+		errs := make(chan error, cfg.Producers)
+		start := time.Now()
+		for p := 0; p < cfg.Producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				cl, err := client.Dial(srv.Addr(), schema, client.Options{
+					Conns:       1,
+					BusyRetries: -1,
+					RetryBase:   200 * time.Microsecond,
+					RetryCap:    5 * time.Millisecond,
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer cl.Close()
+				for _, b := range payloads[p] {
+					if err := cl.IngestEncoded(b.payload, b.n); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		// Graceful close drains every acknowledged batch; the drain is part
+		// of the measured time, so a deep queue cannot fake throughput.
+		if err := srv.Close(); err != nil {
+			return nil, err
+		}
+		dur := time.Since(start)
+		close(errs)
+		for err := range errs {
+			return nil, err
+		}
+
+		sn := srv.Telemetry().Snapshot()
+		if sn.TuplesIngested != int64(cfg.Tuples) {
+			return nil, fmt.Errorf("serve bench: %d workers applied %d of %d tuples", workers, sn.TuplesIngested, cfg.Tuples)
+		}
+		rows = append(rows, ServeRow{
+			Workers:        workers,
+			Producers:      cfg.Producers,
+			Tuples:         cfg.Tuples,
+			Seconds:        dur.Seconds(),
+			TuplesPerSec:   float64(cfg.Tuples) / dur.Seconds(),
+			Implications:   st.Count(),
+			Rejected:       sn.BatchesRejected,
+			PoolSaturation: sn.PoolSaturation,
+		})
+	}
+	for _, r := range rows[1:] {
+		if r.Implications != rows[0].Implications {
+			return nil, fmt.Errorf("serve bench: %d-worker count %v != %d-worker count %v — determinism invariant broken",
+				r.Workers, r.Implications, rows[0].Workers, rows[0].Implications)
+		}
+	}
+	return rows, nil
+}
+
+// PrintServe writes the serving-layer throughput table.
+func PrintServe(w io.Writer, cfg ServeConfig, rows []ServeRow) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "Serving-layer ingest throughput (%d tuples, batch %d, %d producers, GOMAXPROCS %d)\n",
+		cfg.Tuples, cfg.Batch, cfg.Producers, runtime.GOMAXPROCS(0))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workers\ttuples/s\tseconds\trejected\tpool-saturation\timplications")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.0f\t%.3f\t%d\t%d\t%.1f\n",
+			r.Workers, r.TuplesPerSec, r.Seconds, r.Rejected, r.PoolSaturation, r.Implications)
+	}
+	tw.Flush()
+}
+
+// serveReport is the JSON schema of -json output.
+type serveReport struct {
+	Tuples    int        `json:"tuples"`
+	Batch     int        `json:"batch"`
+	Producers int        `json:"producers"`
+	MaxProcs  int        `json:"gomaxprocs"`
+	Rows      []ServeRow `json:"rows"`
+}
+
+// WriteServeJSON writes the rows as an indented JSON report.
+func WriteServeJSON(w io.Writer, cfg ServeConfig, rows []ServeRow) error {
+	cfg = cfg.withDefaults()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(serveReport{
+		Tuples:    cfg.Tuples,
+		Batch:     cfg.Batch,
+		Producers: cfg.Producers,
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Rows:      rows,
+	})
+}

@@ -106,6 +106,33 @@ type BytesAdder interface {
 	AddBytes(a, b []byte)
 }
 
+// PartitionedAdder is implemented by estimators whose ingest path may be
+// split across concurrent workers without changing the resulting state —
+// the partition-safe class of DESIGN.md §10. IngestPartition maps an
+// encoded A-itemset key to one of n partitions (n a power of two >= 1).
+// The contract:
+//
+//   - every key maps to exactly one partition for a given n, so all tuples
+//     of one key land in one partition;
+//   - any two ingestion schedules that preserve the relative Add order
+//     within each partition leave the estimator in identical (bit-for-bit
+//     marshalled) state;
+//   - concurrent AddBatch calls are safe whenever no two in-flight calls
+//     carry pairs of the same partition.
+//
+// The implementation must choose partitions compatible with its own
+// internal routing: the sharded sketch, for example, partitions on the low
+// bits of the A-hash so that all tuples addressed to one bitmap — where
+// arrival order determines overflow kills and fringe push-outs — stay in
+// one partition.
+type PartitionedAdder interface {
+	BatchAdder
+	// IngestPartition returns the partition in [0, n) that must ingest the
+	// tuple whose A-projection encodes to a. n must be a power of two >= 1.
+	// The caller may reuse a after the call returns.
+	IngestPartition(a []byte, n int) int
+}
+
 // MultiplicityAverager is implemented by estimators that can additionally
 // report the average multiplicity |φ(a→B)| over the itemsets currently in
 // the implication count — the aggregate of Table 2's "Complex Implication"

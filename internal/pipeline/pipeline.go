@@ -1,0 +1,266 @@
+// Package pipeline is the concurrency layer of the ingest path: it takes
+// the batches a producer (the server's connection readers, a bench driver)
+// hands it, splits each across the engine's statements by concurrency
+// class, and fans the work out to a fixed pool of workers — while
+// preserving, by construction, the exact state a serial run would build.
+//
+// The ordering argument (DESIGN.md §10): partition-safe statements route
+// every A-itemset to one ingest partition of their estimator, each
+// partition is pinned to one worker, and worker queues are FIFO — so the
+// per-partition tuple order equals the batch arrival order, which the
+// imps.PartitionedAdder contract says is the only order that matters.
+// Serialized statements are pinned whole to one home worker, so their
+// estimator sees the full batch sequence in arrival order, exactly like
+// the old single-worker loop. Reordering only ever happens across
+// partitions or across statements, where no shared state exists.
+//
+// The split between Plan and Dispatch is the pipeline's second axis of
+// parallelism: Plan touches no estimator or pool state and may run
+// concurrently on any number of producer goroutines (filters, projections
+// and partition hashing happen there), while Dispatch — the only ordered
+// step — must be called from a single goroutine, which defines the batch
+// arrival order.
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"implicate/internal/imps"
+	"implicate/internal/query"
+	"implicate/internal/stream"
+)
+
+// Config tunes a Pool.
+type Config struct {
+	// Workers is the worker-goroutine count; 0 selects 1.
+	Workers int
+	// QueueLen is the per-worker task queue capacity in tasks; 0 selects 128.
+	// A full queue never drops work — Dispatch blocks (and reports
+	// saturation) until the worker drains.
+	QueueLen int
+
+	// OnApplied, when set, is called once per dispatched batch after every
+	// statement has fully applied it, with the batch's tuple count. The
+	// engine's Tuples total is advanced before the call.
+	OnApplied func(tuples int)
+	// OnTask, when set, is called after each task a worker applies, with the
+	// worker index and the number of tuples (serialized class) or planned
+	// pairs (partition-safe class) the task carried.
+	OnTask func(worker, units int)
+	// OnSaturated, when set, is called each time Dispatch finds a worker
+	// queue full and has to block — the pool-saturation signal.
+	OnSaturated func()
+}
+
+// Pool fans planned batches out to its workers. Plan is safe for
+// concurrent use; Dispatch and Fence must be called from one goroutine
+// (the dispatcher), which defines the global batch order; Close must not
+// race either. The engine's statement set must not change while the pool
+// is live.
+type Pool struct {
+	cfg     Config
+	eng     *query.Engine
+	workers int
+	// parts is the partition count statements plan against: the smallest
+	// power of two >= workers, so every worker owns at least one partition
+	// and the partition of a key never depends on the worker count (see
+	// imps.PartitionedAdder).
+	parts  int
+	owners []*query.Statement
+	// home pins each serialized-class owner (by index in owners) to one
+	// worker; partition-safe owners have -1 and fan out by partition.
+	home   []int
+	queues []chan *task
+	wg     sync.WaitGroup
+}
+
+// Batch is one planned ingest batch: the per-statement work items Plan
+// derived from the tuples, ready for Dispatch. A Batch is single-use.
+type Batch struct {
+	n         int
+	tasks     []task
+	remaining atomic.Int32
+	pool      *Pool
+}
+
+// Tuples returns the batch's tuple count.
+func (b *Batch) Tuples() int { return b.n }
+
+// task is one unit of worker work: a planned partition bucket for a
+// partition-safe statement, a whole tuple batch for a serialized one, or a
+// fence sentinel.
+type task struct {
+	st     *query.Statement
+	pairs  []imps.Pair
+	tuples []stream.Tuple
+	batch  *Batch
+	worker int
+	fence  *sync.WaitGroup
+}
+
+// New starts a pool of cfg.Workers workers over the engine's registered
+// statements. The pool owns the engine's ingest path until Close; queries
+// (Statement.Count) remain safe at any time.
+func New(eng *query.Engine, cfg Config) (*Pool, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("pipeline: worker count %d must be >= 1", cfg.Workers)
+	}
+	if cfg.QueueLen == 0 {
+		cfg.QueueLen = 128
+	}
+	if cfg.QueueLen < 1 {
+		return nil, fmt.Errorf("pipeline: queue length %d must be >= 1", cfg.QueueLen)
+	}
+	parts := 1
+	for parts < cfg.Workers {
+		parts *= 2
+	}
+	p := &Pool{
+		cfg:     cfg,
+		eng:     eng,
+		workers: cfg.Workers,
+		parts:   parts,
+		queues:  make([]chan *task, cfg.Workers),
+	}
+	serialized := 0
+	for _, st := range eng.Statements() {
+		if st.Shared() {
+			// Shared statements alias an owner's estimator; the owner's
+			// tasks feed it exactly once per tuple.
+			continue
+		}
+		p.owners = append(p.owners, st)
+		// A single worker applies whole batches in arrival order for every
+		// class — the serial fast path, with no planning or fan-out cost.
+		if st.PartitionSafe() && p.workers > 1 {
+			p.home = append(p.home, -1)
+		} else {
+			p.home = append(p.home, serialized%p.workers)
+			serialized++
+		}
+	}
+	for w := range p.queues {
+		p.queues[w] = make(chan *task, cfg.QueueLen)
+		p.wg.Add(1)
+		go p.run(w)
+	}
+	return p, nil
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Partitions returns the partition count partition-safe statements plan
+// against.
+func (p *Pool) Partitions() int { return p.parts }
+
+// Plan runs every owner statement's filters, projections and partition
+// hashing over the batch and returns the work items Dispatch will fan out.
+// Plan reads no mutable state: any number of goroutines may plan
+// concurrently while workers apply earlier batches. The caller hands ts to
+// the batch and must not reuse it until the batch is applied.
+func (p *Pool) Plan(ts []stream.Tuple) *Batch {
+	b := &Batch{n: len(ts), pool: p}
+	for i, st := range p.owners {
+		if p.home[i] >= 0 {
+			b.tasks = append(b.tasks, task{st: st, tuples: ts, worker: p.home[i]})
+			continue
+		}
+		for part, bucket := range st.PlanPartitions(ts, p.parts, nil) {
+			if len(bucket) == 0 {
+				continue
+			}
+			b.tasks = append(b.tasks, task{st: st, pairs: bucket, worker: part % p.workers})
+		}
+	}
+	return b
+}
+
+// Dispatch enqueues a planned batch. Calls must come from one goroutine;
+// the call order is the arrival order every estimator observes. Dispatch
+// blocks when a worker queue is full (reporting saturation) and returns as
+// soon as every task is enqueued — application completes asynchronously,
+// signalled through OnApplied.
+func (p *Pool) Dispatch(b *Batch) {
+	if len(b.tasks) == 0 {
+		p.applied(b)
+		return
+	}
+	b.remaining.Store(int32(len(b.tasks)))
+	for i := range b.tasks {
+		t := &b.tasks[i]
+		t.batch = b
+		select {
+		case p.queues[t.worker] <- t:
+		default:
+			if p.cfg.OnSaturated != nil {
+				p.cfg.OnSaturated()
+			}
+			p.queues[t.worker] <- t
+		}
+	}
+}
+
+// applied publishes a fully applied batch: the engine's tuple total first,
+// so a reader that learns of the batch through OnApplied (or through
+// telemetry fed from it) never observes an engine that has not counted it.
+func (p *Pool) applied(b *Batch) {
+	p.eng.AddTuples(int64(b.n))
+	if p.cfg.OnApplied != nil {
+		p.cfg.OnApplied(b.n)
+	}
+}
+
+// run is one worker: it applies its queue in FIFO order until Close.
+func (p *Pool) run(w int) {
+	defer p.wg.Done()
+	for t := range p.queues[w] {
+		if t.fence != nil {
+			t.fence.Done()
+			continue
+		}
+		units := 0
+		if t.pairs != nil {
+			t.st.ProcessPairs(t.pairs)
+			units = len(t.pairs)
+		} else {
+			t.st.ProcessBatchExclusive(t.tuples)
+			units = len(t.tuples)
+		}
+		if p.cfg.OnTask != nil {
+			p.cfg.OnTask(w, units)
+		}
+		if t.batch.remaining.Add(-1) == 0 {
+			p.applied(t.batch)
+		}
+	}
+}
+
+// Fence is the pool's barrier: it returns only after every task dispatched
+// before the call has been applied and accounted (OnApplied included).
+// Like Dispatch, it must be called from the dispatcher goroutine — the
+// FIFO queues make a sentinel per worker a full barrier. The caller may
+// then read or marshal estimator state with no task in flight.
+func (p *Pool) Fence() {
+	var wg sync.WaitGroup
+	wg.Add(len(p.queues))
+	f := task{fence: &wg}
+	for w := range p.queues {
+		p.queues[w] <- &f
+	}
+	wg.Wait()
+}
+
+// Close drains every queue and stops the workers. Dispatch must not be
+// called after (or concurrently with) Close.
+func (p *Pool) Close() {
+	for w := range p.queues {
+		close(p.queues[w])
+	}
+	p.wg.Wait()
+}

@@ -33,7 +33,7 @@ const (
 // sliding vector must construct fresh estimators for future origins, and
 // state alone cannot say how — with the statement's normalized query and the
 // snapshot kind of its checkpointed slots ("nips", "sharded", "exact",
-// "ilc", "ds"). The resolver's backend must produce estimators whose
+// "exact-striped", "ilc", "ds"). The resolver's backend must produce estimators whose
 // configuration matches the checkpointed ones; UnmarshalEngine verifies
 // this by fingerprint and rejects mismatches.
 type BackendResolver func(q Query, kind string) (Backend, error)
@@ -51,8 +51,8 @@ func leafEstimator(est imps.Estimator) imps.Estimator {
 }
 
 // EstimatorKind returns the snapshot registry name of the statement's leaf
-// estimator ("nips", "sharded", "exact", "ilc", "ds"), or "" when the
-// estimator is not a registered kind.
+// estimator ("nips", "sharded", "exact", "exact-striped", "ilc", "ds"), or
+// "" when the estimator is not a registered kind.
 func (st *Statement) EstimatorKind() string {
 	kind, err := snapshot.Kind(leafEstimator(st.est))
 	if err != nil {
@@ -76,7 +76,7 @@ func (e *Engine) MarshalBinary() ([]byte, error) {
 	for _, n := range names {
 		enc.Str(n)
 	}
-	enc.I64(e.tuples)
+	enc.I64(e.tuples.Load())
 
 	enc.U32(uint32(len(e.stmts)))
 	for i, st := range e.stmts {
@@ -166,7 +166,7 @@ func UnmarshalEngine(data []byte, schema *stream.Schema, resolve BackendResolver
 	}
 
 	e := NewEngine(schema)
-	e.tuples = tuples
+	e.tuples.Store(tuples)
 	nstmts := d.Count(14)
 	for i := 0; i < nstmts; i++ {
 		qs := d.Str(1 << 20)
@@ -202,8 +202,8 @@ func UnmarshalEngine(data []byte, schema *stream.Schema, resolve BackendResolver
 			if err := validateMode(*q, leafEstimator(own.est)); err != nil {
 				return nil, fmt.Errorf("%w: statement %d: %v", wire.ErrCorrupt, i, err)
 			}
-			st.est = own.est
-			st.bytes = own.bytes
+			st.bindEstimator(own.est)
+			st.estMu = own.estMu
 			st.shared = true
 			e.stmts = append(e.stmts, st)
 			continue
@@ -218,7 +218,7 @@ func UnmarshalEngine(data []byte, schema *stream.Schema, resolve BackendResolver
 			if err != nil {
 				return nil, err
 			}
-			st.est = est
+			st.bindEstimator(est)
 		case estSliding:
 			if q.Window <= 0 {
 				return nil, fmt.Errorf("%w: statement %d is unwindowed but checkpointed as sliding", wire.ErrCorrupt, i)
@@ -227,14 +227,13 @@ func UnmarshalEngine(data []byte, schema *stream.Schema, resolve BackendResolver
 			if err != nil {
 				return nil, err
 			}
-			st.est = est
+			st.bindEstimator(est)
 		default:
 			if err := d.Err(); err != nil {
 				return nil, err
 			}
 			return nil, fmt.Errorf("%w: statement %d has unknown estimator form %d", wire.ErrCorrupt, i, form)
 		}
-		st.bytes, _ = st.est.(imps.BytesAdder)
 		e.stmts = append(e.stmts, st)
 	}
 	if err := d.Done(); err != nil {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"reflect"
+	"sync"
+	"sync/atomic"
 
 	"implicate/internal/imps"
 	"implicate/internal/stream"
@@ -17,6 +19,15 @@ type Backend func(cond imps.Conditions) (imps.Estimator, error)
 
 // Statement is a query compiled against a schema and bound to an
 // estimator; feed it tuples and read counts at any time.
+//
+// Every statement belongs to one of two concurrency classes (DESIGN.md
+// §10). Partition-safe statements (PartitionSafe reports true) are bound to
+// an estimator implementing imps.PartitionedAdder: their ingest may be
+// split across concurrent workers along the estimator's own partitions via
+// PlanPartitions/ProcessPairs, and reads are safe at any time. Serialized
+// statements — plain sketches, the baselines, sliding windows — must be fed
+// through ProcessBatchExclusive (or the single-writer Process/ProcessBatch
+// paths), which serializes writers and readers on the statement's own lock.
 type Statement struct {
 	query   Query
 	projA   stream.Proj
@@ -28,6 +39,16 @@ type Statement struct {
 	// estimator does not provide one; cached here so the per-tuple path pays
 	// no interface assertion.
 	bytes imps.BytesAdder
+	// part is est's partitioned concurrent ingest path, nil for the
+	// serialized class.
+	part imps.PartitionedAdder
+	// estMu guards the estimator for the serialized class: exclusive for
+	// writers (ProcessBatchExclusive, Exclusive), shared for readers
+	// (Count). Statements aliasing one estimator alias its lock too.
+	// Partition-safe estimators synchronize internally, so their ingest
+	// never takes it; their readers still acquire it shared, which is then
+	// uncontended.
+	estMu *sync.RWMutex
 	// shared marks a statement aliasing another statement's estimator; the
 	// engine feeds each estimator exactly once per tuple.
 	shared bool
@@ -79,7 +100,7 @@ func validateMode(q Query, leaf imps.Estimator) error {
 // newShell builds the estimator-independent part of a statement: the
 // projections and compiled filters for an already normalized query.
 func newShell(q Query, schema *stream.Schema) (*Statement, error) {
-	st := &Statement{query: q}
+	st := &Statement{query: q, estMu: &sync.RWMutex{}}
 	aAttrs := append(append([]string(nil), q.A...), q.GroupBy...)
 	var err error
 	if st.projA, err = schema.Proj(aAttrs...); err != nil {
@@ -118,12 +139,21 @@ func compileWith(q Query, schema *stream.Schema, backend Backend, probe imps.Est
 		if err != nil {
 			return nil, err
 		}
-		st.est = sliding
+		st.bindEstimator(sliding)
 	} else {
-		st.est = probe
+		st.bindEstimator(probe)
 	}
-	st.bytes, _ = st.est.(imps.BytesAdder)
 	return st, nil
+}
+
+// bindEstimator wires est into the statement, caching its optional fast
+// paths (byte-key ingest, partitioned ingest) so the per-tuple paths pay no
+// interface assertions. Every place a statement receives an estimator —
+// compilation, alias registration, checkpoint restore — goes through here.
+func (st *Statement) bindEstimator(est imps.Estimator) {
+	st.est = est
+	st.bytes, _ = est.(imps.BytesAdder)
+	st.part, _ = est.(imps.PartitionedAdder)
 }
 
 // Query returns the normalized query.
@@ -163,8 +193,95 @@ func (st *Statement) ProcessBatch(ts []stream.Tuple) {
 	}
 }
 
-// Count returns the query's answer under its mode.
+// PartitionSafe reports the statement's concurrency class: true when its
+// estimator accepts partitioned concurrent ingest (PlanPartitions /
+// ProcessPairs), false when ingest must be serialized through
+// ProcessBatchExclusive.
+func (st *Statement) PartitionSafe() bool { return st.part != nil }
+
+// PlanPartitions runs the statement's filters and projections over a batch
+// and splits the surviving pairs into parts buckets along the estimator's
+// own ingest partitions (parts must be a power of two >= 1). buckets is
+// recycled when it has the capacity; the returned slice has length parts.
+//
+// Planning touches no statement or estimator state — it is safe to call
+// concurrently from any number of goroutines, unlike Process/ProcessBatch —
+// so batch planning can run on connection readers while workers apply
+// earlier batches. Feeding every bucket p through ProcessPairs such that
+// each bucket's pair order is preserved reproduces the serial
+// ProcessBatch state bit for bit; buckets of different batches may be
+// applied concurrently as long as same-partition buckets stay ordered.
+// Only valid for partition-safe statements.
+func (st *Statement) PlanPartitions(ts []stream.Tuple, parts int, buckets [][]imps.Pair) [][]imps.Pair {
+	if cap(buckets) >= parts {
+		buckets = buckets[:parts]
+	} else {
+		buckets = make([][]imps.Pair, parts)
+	}
+	// Local key buffers: st.bufA/bufB belong to the single-writer paths and
+	// must not be shared by concurrent planners.
+	var bufA, bufB []byte
+	for i := range ts {
+		t := ts[i]
+		ok := true
+		for _, f := range st.filters {
+			if (t[f.idx] == f.value) == f.negate {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		bufA = st.projA.AppendKey(bufA[:0], t)
+		if st.hasB {
+			bufB = st.projB.AppendKey(bufB[:0], t)
+		} else {
+			bufB = bufB[:0]
+		}
+		p := st.part.IngestPartition(bufA, parts)
+		buckets[p] = append(buckets[p], imps.Pair{A: string(bufA), B: string(bufB)})
+	}
+	return buckets
+}
+
+// ProcessPairs feeds one planned partition bucket to the estimator. Safe
+// for concurrent use across distinct partitions (the partition contract);
+// only valid for partition-safe statements.
+func (st *Statement) ProcessPairs(pairs []imps.Pair) {
+	st.part.AddBatch(pairs)
+}
+
+// ProcessBatchExclusive feeds a batch through the statement under its
+// exclusive lock — the serialized-class ingest path, which excludes
+// concurrent Count readers and Exclusive sections for the duration.
+func (st *Statement) ProcessBatchExclusive(ts []stream.Tuple) {
+	st.estMu.Lock()
+	st.ProcessBatch(ts)
+	st.estMu.Unlock()
+}
+
+// Exclusive runs f while holding the statement's exclusive lock, blocking
+// serialized-class ingest and Count readers. Callers mutating the bound
+// estimator from outside the ingest path (snapshot merges) use this to
+// coordinate with a concurrent pipeline.
+func (st *Statement) Exclusive(f func()) {
+	st.estMu.Lock()
+	defer st.estMu.Unlock()
+	f()
+}
+
+// Count returns the query's answer under its mode. It acquires the
+// statement's lock shared, so it may run at any time against a live
+// pipeline: serialized-class writers hold the lock exclusively, and
+// partition-safe estimators synchronize reads internally.
 func (st *Statement) Count() float64 {
+	st.estMu.RLock()
+	defer st.estMu.RUnlock()
+	return st.count()
+}
+
+func (st *Statement) count() float64 {
 	switch st.query.Mode {
 	case CountNonImplications:
 		return st.est.NonImplicationCount()
@@ -193,7 +310,9 @@ type Engine struct {
 	schema *stream.Schema
 	stmts  []*Statement
 	shared map[string]*Statement
-	tuples int64
+	// tuples is atomic so a concurrent pipeline's workers can publish
+	// applied-batch totals while readers poll Tuples.
+	tuples atomic.Int64
 }
 
 // NewEngine returns an engine bound to the schema.
@@ -263,8 +382,10 @@ func (e *Engine) Register(q Query, backend Backend) (*Statement, error) {
 			if err != nil {
 				return nil, err
 			}
-			st.est = prev.est
-			st.bytes = prev.bytes
+			st.bindEstimator(prev.est)
+			// Aliasing statements share the owner's lock: an exclusive
+			// writer on the owner excludes readers of every alias.
+			st.estMu = prev.estMu
 			st.shared = true
 			e.stmts = append(e.stmts, st)
 			return st, nil
@@ -293,7 +414,7 @@ func (e *Engine) RegisterSQL(sql string, backend Backend) (*Statement, error) {
 // Process feeds one tuple to every registered statement, feeding each
 // shared estimator exactly once.
 func (e *Engine) Process(t stream.Tuple) {
-	e.tuples++
+	e.tuples.Add(1)
 	for _, st := range e.stmts {
 		if st.shared {
 			continue
@@ -307,7 +428,7 @@ func (e *Engine) Process(t stream.Tuple) {
 // calling Process per tuple; each statement runs the whole batch before the
 // next one starts, so its projections and estimator stay cache-hot.
 func (e *Engine) ProcessBatch(ts []stream.Tuple) {
-	e.tuples += int64(len(ts))
+	e.tuples.Add(int64(len(ts)))
 	for _, st := range e.stmts {
 		if st.shared {
 			continue
@@ -345,7 +466,13 @@ func (e *Engine) Consume(src stream.Source) (int64, error) {
 }
 
 // Tuples returns the number of tuples processed.
-func (e *Engine) Tuples() int64 { return e.tuples }
+func (e *Engine) Tuples() int64 { return e.tuples.Load() }
+
+// AddTuples publishes n applied tuples to the engine's total. The pipeline
+// layer feeds statements directly (planned partitions bypass
+// Process/ProcessBatch) and accounts for each batch here once it is fully
+// applied, so Tuples never runs ahead of estimator state.
+func (e *Engine) AddTuples(n int64) { e.tuples.Add(n) }
 
 // Statements returns the registered statements in registration order.
 func (e *Engine) Statements() []*Statement { return append([]*Statement(nil), e.stmts...) }

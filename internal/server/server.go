@@ -2,15 +2,23 @@
 // speaking internal/proto that feeds an Engine from remote producers and
 // answers implication queries, sketch merges and telemetry reads.
 //
-// Architecture: one accept loop, one reader goroutine per connection, and a
-// single ingest worker. Connection readers decode ingest batches (the
-// stream package's binary batch codec, so decode cost is paid concurrently
-// per connection) and hand them to a bounded queue; the worker applies them
-// to the engine in arrival order. When the queue is full the batch is
-// refused with an explicit backpressure reply (proto.TBusy) and NOT
-// enqueued — the client retries. An acknowledged batch is never dropped:
-// graceful shutdown drains the queue before the final checkpoint is
-// written.
+// Architecture: one accept loop, one reader goroutine per connection, one
+// dispatcher, and a pipeline worker pool (internal/pipeline). Connection
+// readers decode AND plan ingest batches — filters, projections and
+// partition hashing run concurrently per connection — and hand the planned
+// batches to a bounded queue; the dispatcher feeds them to the pool in
+// arrival order, which is all the ordering the engine's estimators need
+// for bit-identical-to-serial results (DESIGN.md §10). When the queue is
+// full the batch is refused with an explicit backpressure reply
+// (proto.TBusy) and NOT enqueued — the client retries. An acknowledged
+// batch is never dropped: graceful shutdown drains the queue through the
+// pool before the final checkpoint is written.
+//
+// Reads never stall ingestion: Query and Stats answer under a read lock
+// (plus the per-statement read locks of query.Statement.Count), while
+// workers keep applying batches; only merges and checkpoint captures take
+// the server's write lock, and captures first fence the pool so no task is
+// in flight.
 //
 // Durability composes with the network path exactly as with file streams
 // (DESIGN.md §8): the server checkpoints its engine every CheckpointEvery
@@ -25,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +41,7 @@ import (
 	"implicate/internal/checkpoint"
 	"implicate/internal/core"
 	"implicate/internal/imps"
+	"implicate/internal/pipeline"
 	"implicate/internal/proto"
 	"implicate/internal/query"
 	"implicate/internal/stream"
@@ -56,6 +66,10 @@ type Config struct {
 	// QueueDepth bounds the ingest queue in batches; a full queue refuses
 	// further batches with backpressure replies. Default 64.
 	QueueDepth int
+	// Workers is the pipeline worker pool size batches are fanned out to.
+	// Zero selects GOMAXPROCS. Whatever the pool size, results are
+	// bit-identical to a single-worker run.
+	Workers int
 	// MaxBatchTuples bounds one ingest batch; larger batches are rejected
 	// as errors. Default 65536.
 	MaxBatchTuples int
@@ -73,14 +87,18 @@ type Config struct {
 	// checkpoints, dropped connections).
 	Logf func(format string, args ...any)
 
-	// gate, when non-nil, is called by the ingest worker before each batch
-	// is applied — a test hook for making queue states deterministic.
+	// gate, when non-nil, is called by the dispatcher before each batch is
+	// handed to the pool — a test hook for making queue states
+	// deterministic.
 	gate func()
 }
 
 func (c Config) withDefaults() Config {
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 64
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	if c.MaxBatchTuples == 0 {
 		c.MaxBatchTuples = 1 << 16
@@ -100,14 +118,23 @@ type Server struct {
 	ln    net.Listener
 	stmts []*query.Statement
 	tel   *telemetry.Set
+	pool  *pipeline.Pool
 
-	// mu serializes every engine access: batch application by the worker,
-	// query reads, merges, and checkpoint captures.
-	mu sync.Mutex
+	// mu is the coarse read/write coordination point above the pipeline:
+	// Query and Stats hold it shared (they never stall ingestion — workers
+	// do not take it), merges hold it exclusively alongside the target
+	// statement's own lock, and checkpoint captures hold it exclusively
+	// after fencing the pool.
+	mu sync.RWMutex
 
-	queue      chan []stream.Tuple
-	periodic   checkpoint.Periodic
-	workerDone chan struct{}
+	queue chan *pipeline.Batch
+	// depth tracks the ingest queue's occupancy for the high-water
+	// telemetry: incremented by the enqueuing reader (the post-send value
+	// IS that batch's deterministic depth sample), decremented by the
+	// dispatcher on receive.
+	depth          atomic.Int64
+	periodic       checkpoint.Periodic
+	dispatcherDone chan struct{}
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -131,26 +158,41 @@ func Listen(cfg Config) (*Server, error) {
 	if cfg.QueueDepth < 1 {
 		return nil, fmt.Errorf("server: queue depth %d must be >= 1", cfg.QueueDepth)
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("server: worker count %d must be >= 1", cfg.Workers)
+	}
+	s := &Server{
+		cfg:            cfg,
+		stmts:          cfg.Engine.Statements(),
+		tel:            &telemetry.Set{},
+		queue:          make(chan *pipeline.Batch, cfg.QueueDepth),
+		dispatcherDone: make(chan struct{}),
+		conns:          make(map[net.Conn]struct{}),
+	}
+	s.tel.ConfigureWorkers(cfg.Workers)
+	pool, err := pipeline.New(cfg.Engine, pipeline.Config{
+		Workers:     cfg.Workers,
+		OnApplied:   func(n int) { s.tel.AddTuples(int64(n)) },
+		OnTask:      s.tel.AddWorkerTask,
+		OnSaturated: s.tel.AddPoolSaturation,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
-	s := &Server{
-		cfg:        cfg,
-		ln:         ln,
-		stmts:      cfg.Engine.Statements(),
-		tel:        &telemetry.Set{},
-		queue:      make(chan []stream.Tuple, cfg.QueueDepth),
-		workerDone: make(chan struct{}),
-		conns:      make(map[net.Conn]struct{}),
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		pool.Close()
+		return nil, fmt.Errorf("server: %w", err)
 	}
+	s.pool = pool
+	s.ln = ln
 	s.periodic = checkpoint.Periodic{Path: cfg.CheckpointPath, Every: cfg.CheckpointEvery}
 	if cfg.CheckpointPath == "" {
 		s.periodic.Every = 0
 	}
 	s.periodic.SkipTo(cfg.Engine.Tuples())
 	go s.acceptLoop()
-	go s.worker()
+	go s.dispatcher()
 	return s, nil
 }
 
@@ -283,10 +325,18 @@ func (s *Server) handleIngest(f proto.Frame) proto.Frame {
 	if s.draining.Load() {
 		return errorFrame(f.ID, "ingest: server is shutting down")
 	}
+	// Plan on the connection reader: filters, projections and partition
+	// hashing parallelize across connections instead of serializing in the
+	// dispatch path. A refused batch discards its plan — the client
+	// re-sends, and planning is pure.
+	b := s.pool.Plan(tuples)
 	select {
-	case s.queue <- tuples:
+	case s.queue <- b:
+		// The post-increment value is this batch's exact depth at send
+		// time; sampling len(s.queue) after the send would race the
+		// dispatcher and mis-state the high-water mark.
 		s.tel.AddBatch()
-		s.tel.ObserveQueueDepth(len(s.queue))
+		s.tel.ObserveQueueDepth(int(s.depth.Add(1)))
 		return proto.Frame{Type: proto.TOK, ID: f.ID, Payload: proto.IngestAck{Tuples: int64(len(tuples))}.Encode()}
 	default:
 		s.tel.AddRejectedBatch()
@@ -302,9 +352,12 @@ func (s *Server) handleQuery(f proto.Frame) proto.Frame {
 	if int(req.Stmt) >= len(s.stmts) {
 		return errorFrame(f.ID, fmt.Sprintf("query: no statement %d (server has %d)", req.Stmt, len(s.stmts)))
 	}
-	s.mu.Lock()
+	// Shared lock: reads proceed against a live pool. Count takes the
+	// statement's own read lock, so a serialized-class statement is read
+	// between its batches; partition-safe estimators snapshot internally.
+	s.mu.RLock()
 	res := proto.QueryResult{Count: s.stmts[req.Stmt].Count(), Tuples: s.cfg.Engine.Tuples()}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: res.Encode()}
 }
 
@@ -328,8 +381,12 @@ func (s *Server) handleMerge(f proto.Frame) proto.Frame {
 	if err != nil {
 		return errorFrame(f.ID, fmt.Sprintf("merge: %v", err))
 	}
+	// Exclusive on both levels: the server lock keeps checkpoint captures
+	// and readers out, the statement lock keeps its home worker out (a
+	// plain sketch is serialized-class, so its ingest runs under that
+	// lock).
 	s.mu.Lock()
-	err = dst.Merge(src)
+	st.Exclusive(func() { err = dst.Merge(src) })
 	s.mu.Unlock()
 	if err != nil {
 		return errorFrame(f.ID, fmt.Sprintf("merge: %v", err))
@@ -346,32 +403,53 @@ func kindOf(st *query.Statement) string {
 }
 
 func (s *Server) handleStats(f proto.Frame) proto.Frame {
-	return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: s.tel.Snapshot().Encode()}
+	s.mu.RLock()
+	payload := s.tel.Snapshot().Encode()
+	s.mu.RUnlock()
+	return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: payload}
 }
 
-// worker applies queued batches to the engine in arrival order and drives
-// periodic checkpoints. It exits when the queue is closed and drained.
-func (s *Server) worker() {
-	defer close(s.workerDone)
-	for tuples := range s.queue {
+// dispatcher feeds queued batches to the worker pool in arrival order —
+// the single ordered step of the ingest path — and drives periodic
+// checkpoints. It exits when the queue is closed and drained, leaving the
+// pool fenced (every dispatched batch fully applied).
+func (s *Server) dispatcher() {
+	defer close(s.dispatcherDone)
+	var sinceCkpt int64
+	for b := range s.queue {
+		s.depth.Add(-1)
 		if s.cfg.gate != nil {
 			s.cfg.gate()
 		}
+		n := int64(b.Tuples())
+		s.pool.Dispatch(b)
+		if s.periodic.Every <= 0 {
+			continue
+		}
+		sinceCkpt += n
+		if sinceCkpt < s.periodic.Every {
+			continue
+		}
+		// Capture point: fence the pool so every dispatched tuple is
+		// applied, then take the write lock so no merge mutates an
+		// estimator while it marshals. After the fence the engine's tuple
+		// count equals the dispatched total.
+		s.pool.Fence()
 		s.mu.Lock()
-		s.cfg.Engine.ProcessBatch(tuples)
-		// Captured under mu: a concurrent merge mutating an estimator while
-		// it marshals would tear the snapshot.
-		_, err := s.periodic.Maybe(s.cfg.Engine, s.cfg.Engine.Tuples())
+		wrote, err := s.periodic.Maybe(s.cfg.Engine, s.cfg.Engine.Tuples())
 		s.mu.Unlock()
-		s.tel.AddTuples(int64(len(tuples)))
 		if err != nil {
 			s.cfg.Logf("server: periodic checkpoint: %v", err)
 		}
+		if wrote || err != nil {
+			sinceCkpt = 0
+		}
 	}
+	s.pool.Fence()
 }
 
 // shutdown runs the shared teardown: stop accepting, unblock connection
-// readers, drain or abandon the queue.
+// readers, drain the queue through the pool, stop the pool.
 func (s *Server) shutdown(grace time.Duration) {
 	s.draining.Store(true)
 	s.ln.Close()
@@ -383,7 +461,8 @@ func (s *Server) shutdown(grace time.Duration) {
 	s.connMu.Unlock()
 	s.connWG.Wait()
 	close(s.queue)
-	<-s.workerDone
+	<-s.dispatcherDone // dispatcher fenced the pool on exit: all batches applied
+	s.pool.Close()
 }
 
 // Close shuts the server down gracefully: the listener closes, connection
@@ -420,7 +499,8 @@ func (s *Server) Kill() {
 		s.connMu.Unlock()
 		s.connWG.Wait()
 		close(s.queue)
-		<-s.workerDone
+		<-s.dispatcherDone
+		s.pool.Close()
 	})
 }
 

@@ -37,9 +37,12 @@ func TestSoakLoopbackIngest(t *testing.T) {
 		Schema:     schema,
 		Engine:     testEngine(t, schema, exactBackend()),
 		QueueDepth: 2,
-		// Slow the worker slightly so producers outrun the queue and the
-		// backpressure path actually fires.
-		gate:       func() { time.Sleep(50 * time.Microsecond) },
+		Workers:    4,
+		// Slow the dispatcher so producers outrun the queue and the
+		// backpressure path actually fires. Batch application happens in the
+		// pool, off the dispatch loop, so the gate must be long enough to
+		// dominate the producers' loopback round trip.
+		gate:       func() { time.Sleep(500 * time.Microsecond) },
 		RetryAfter: time.Millisecond,
 	})
 

@@ -6,8 +6,8 @@
 // restore, which algorithm a blob contains.
 //
 // Kind names are part of the checkpoint format and deliberately match the
-// backend names the impstat CLI exposes: "nips", "sharded", "exact", "ilc",
-// "ds". Wrapper types (window.Sliding, the concurrency wrappers) are not
+// backend names the impstat CLI exposes: "nips", "sharded", "exact",
+// "exact-striped", "ilc", "ds". Wrapper types (window.Sliding, the concurrency wrappers) are not
 // leaf estimators and are handled by their own layers; Marshal rejects them
 // with a descriptive error rather than producing a partial snapshot.
 package snapshot
@@ -37,6 +37,8 @@ func Kind(est imps.Estimator) (string, error) {
 		return "sharded", nil
 	case *exact.Counter:
 		return "exact", nil
+	case *exact.Striped:
+		return "exact-striped", nil
 	case *lossy.ILC:
 		return "ilc", nil
 	case *dsample.Sketch:
@@ -86,6 +88,8 @@ func Unmarshal(data []byte) (imps.Estimator, string, error) {
 		est, err = core.UnmarshalShardedSketch(payload)
 	case "exact":
 		est, err = exact.UnmarshalCounter(payload)
+	case "exact-striped":
+		est, err = exact.UnmarshalStriped(payload, 0)
 	case "ilc":
 		est, err = lossy.UnmarshalILC(payload)
 	case "ds":

@@ -49,15 +49,51 @@ func (r RPC) String() string {
 const HistBuckets = 50
 
 // Set is the live counter set a server updates. All methods are safe for
-// concurrent use; the zero value is ready.
+// concurrent use; the zero value is ready. Per-worker counters exist only
+// after ConfigureWorkers, which must run before the workers start.
 type Set struct {
 	tuplesIngested  atomic.Int64
 	batches         atomic.Int64
 	batchesRejected atomic.Int64
 	merges          atomic.Int64
 	queueHighWater  atomic.Int64
+	poolSaturation  atomic.Int64
+	workers         []workerSet
 	hist            [NumRPCs][HistBuckets]atomic.Uint64
 }
+
+// workerSet holds one pipeline worker's counters, padded to a cache line so
+// workers hammering adjacent slots do not false-share.
+type workerSet struct {
+	tasks atomic.Int64
+	units atomic.Int64
+	_     [48]byte
+}
+
+// ConfigureWorkers sizes the per-worker counter block for an n-worker
+// pipeline. It is not safe to call concurrently with worker updates; call
+// it once at server construction.
+func (s *Set) ConfigureWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.workers = make([]workerSet, n)
+}
+
+// AddWorkerTask records one pipeline task applied by the given worker
+// carrying the given number of work units (tuples or planned pairs).
+// Samples for workers outside the configured range are dropped.
+func (s *Set) AddWorkerTask(worker, units int) {
+	if worker < 0 || worker >= len(s.workers) {
+		return
+	}
+	s.workers[worker].tasks.Add(1)
+	s.workers[worker].units.Add(int64(units))
+}
+
+// AddPoolSaturation records one dispatch that found a worker queue full
+// and had to block — the pool-saturation gauge's input.
+func (s *Set) AddPoolSaturation() { s.poolSaturation.Add(1) }
 
 // AddTuples records n tuples applied to the engine.
 func (s *Set) AddTuples(n int64) { s.tuplesIngested.Add(n) }
@@ -114,6 +150,16 @@ func (s *Set) Snapshot() Snapshot {
 	sn.BatchesRejected = s.batchesRejected.Load()
 	sn.Merges = s.merges.Load()
 	sn.QueueHighWater = s.queueHighWater.Load()
+	sn.PoolSaturation = s.poolSaturation.Load()
+	if len(s.workers) > 0 {
+		sn.Workers = make([]WorkerStats, len(s.workers))
+		for i := range s.workers {
+			sn.Workers[i] = WorkerStats{
+				Tasks: s.workers[i].tasks.Load(),
+				Units: s.workers[i].units.Load(),
+			}
+		}
+	}
 	for r := RPC(0); r < NumRPCs; r++ {
 		for b := 0; b < HistBuckets; b++ {
 			sn.Latency[r].Counts[b] = s.hist[r][b].Load()
@@ -178,11 +224,27 @@ type Snapshot struct {
 	Merges int64
 	// QueueHighWater is the deepest the ingest queue has been.
 	QueueHighWater int64
+	// PoolSaturation counts dispatches that found a pipeline worker queue
+	// full and blocked — sustained growth means the pool, not the ingest
+	// queue, is the bottleneck.
+	PoolSaturation int64
+	// Workers holds per-pipeline-worker counters, one entry per worker; nil
+	// when the server predates worker configuration.
+	Workers []WorkerStats
 	// Latency holds one histogram per RPC, indexed by the RPC constants.
 	Latency [NumRPCs]Histogram
 }
 
-const snapshotMagic = "IMPT\x01"
+// WorkerStats is one pipeline worker's frozen counters.
+type WorkerStats struct {
+	// Tasks counts pipeline tasks the worker applied.
+	Tasks int64
+	// Units counts the work units those tasks carried: tuples for
+	// serialized-class tasks, planned pairs for partition-safe ones.
+	Units int64
+}
+
+const snapshotMagic = "IMPT\x02"
 
 // Encode serializes the snapshot for the Stats RPC.
 func (sn Snapshot) Encode() []byte {
@@ -193,6 +255,12 @@ func (sn Snapshot) Encode() []byte {
 	e.I64(sn.BatchesRejected)
 	e.I64(sn.Merges)
 	e.I64(sn.QueueHighWater)
+	e.I64(sn.PoolSaturation)
+	e.U32(uint32(len(sn.Workers)))
+	for _, w := range sn.Workers {
+		e.I64(w.Tasks)
+		e.I64(w.Units)
+	}
 	e.U32(uint32(NumRPCs))
 	e.U32(HistBuckets)
 	for r := RPC(0); r < NumRPCs; r++ {
@@ -214,6 +282,16 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 	sn.BatchesRejected = d.I64()
 	sn.Merges = d.I64()
 	sn.QueueHighWater = d.I64()
+	sn.PoolSaturation = d.I64()
+	// The worker count is the sender's pool size — data, not geometry: any
+	// count round-trips.
+	nworkers := d.Count(16)
+	if d.Err() == nil && nworkers > 0 {
+		sn.Workers = make([]WorkerStats, nworkers)
+		for i := 0; i < nworkers; i++ {
+			sn.Workers[i] = WorkerStats{Tasks: d.I64(), Units: d.I64()}
+		}
+	}
 	nrpc := d.U32()
 	nbuckets := d.U32()
 	if d.Err() == nil && (nrpc != uint32(NumRPCs) || nbuckets != HistBuckets) {
@@ -228,8 +306,13 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 	if err := d.Done(); err != nil {
 		return Snapshot{}, fmt.Errorf("telemetry: %w", err)
 	}
-	if sn.TuplesIngested < 0 || sn.Batches < 0 || sn.BatchesRejected < 0 || sn.Merges < 0 || sn.QueueHighWater < 0 {
+	if sn.TuplesIngested < 0 || sn.Batches < 0 || sn.BatchesRejected < 0 || sn.Merges < 0 || sn.QueueHighWater < 0 || sn.PoolSaturation < 0 {
 		return Snapshot{}, fmt.Errorf("%w: negative counter", wire.ErrCorrupt)
+	}
+	for _, w := range sn.Workers {
+		if w.Tasks < 0 || w.Units < 0 {
+			return Snapshot{}, fmt.Errorf("%w: negative worker counter", wire.ErrCorrupt)
+		}
 	}
 	return sn, nil
 }

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -98,14 +99,43 @@ func TestSnapshotEncodeDecodeRoundTrip(t *testing.T) {
 	s.ObserveQueueDepth(17)
 	s.Observe(RPCQuery, 3*time.Microsecond)
 	s.Observe(RPCMerge, 2*time.Millisecond)
+	s.ConfigureWorkers(4)
+	s.AddWorkerTask(0, 128)
+	s.AddWorkerTask(3, 7)
+	s.AddWorkerTask(3, 5)
+	s.AddPoolSaturation()
 	want := s.Snapshot()
 
 	got, err := DecodeSnapshot(want.Encode())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
+	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if got.PoolSaturation != 1 {
+		t.Fatalf("pool saturation %d, want 1", got.PoolSaturation)
+	}
+	if len(got.Workers) != 4 || got.Workers[0] != (WorkerStats{Tasks: 1, Units: 128}) || got.Workers[3] != (WorkerStats{Tasks: 2, Units: 12}) {
+		t.Fatalf("worker stats %+v", got.Workers)
+	}
+}
+
+// TestSnapshotRoundTripNoWorkers pins the wire form for servers that never
+// configured a pool (Workers nil).
+func TestSnapshotRoundTripNoWorkers(t *testing.T) {
+	var s Set
+	s.AddTuples(5)
+	want := s.Snapshot()
+	got, err := DecodeSnapshot(want.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if got.Workers != nil {
+		t.Fatalf("workers %+v, want nil", got.Workers)
 	}
 }
 
@@ -128,6 +158,68 @@ func TestDecodeSnapshotRejectsCorruption(t *testing.T) {
 	neg[len(snapshotMagic)+7] = 0x80
 	if _, err := DecodeSnapshot(neg); err == nil || !strings.Contains(err.Error(), "negative") {
 		t.Errorf("negative counter accepted: %v", err)
+	}
+}
+
+// TestHistogramConcurrentWriters hammers one Set from concurrent writers —
+// the pool-worker pattern — and asserts no observation is lost (run with
+// -race). Each goroutine plays one pipeline worker observing its own
+// latencies plus shared counters.
+func TestHistogramConcurrentWriters(t *testing.T) {
+	const (
+		writers = 8
+		perGor  = 10000
+	)
+	var s Set
+	s.ConfigureWorkers(writers)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rpc := RPC(g % int(NumRPCs))
+			for i := 0; i < perGor; i++ {
+				// Spread observations across buckets deterministically.
+				s.Observe(rpc, time.Duration(1)<<uint(i%20))
+				s.AddWorkerTask(g, 1)
+				if i%100 == 0 {
+					s.AddPoolSaturation()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	sn := s.Snapshot()
+	var total uint64
+	for r := RPC(0); r < NumRPCs; r++ {
+		total += sn.Latency[r].Count()
+	}
+	if want := uint64(writers * perGor); total != want {
+		t.Fatalf("histograms hold %d observations, want %d — concurrent writers lost samples", total, want)
+	}
+	for w, ws := range sn.Workers {
+		if ws.Tasks != perGor || ws.Units != perGor {
+			t.Fatalf("worker %d counters %+v, want %d tasks/units", w, ws, perGor)
+		}
+	}
+	if want := int64(writers * (perGor / 100)); sn.PoolSaturation != want {
+		t.Fatalf("pool saturation %d, want %d", sn.PoolSaturation, want)
+	}
+}
+
+// TestWorkerCounterBounds checks out-of-range worker samples are dropped,
+// not a panic — including on an unconfigured set.
+func TestWorkerCounterBounds(t *testing.T) {
+	var s Set
+	s.AddWorkerTask(0, 5) // unconfigured: dropped
+	s.ConfigureWorkers(2)
+	s.AddWorkerTask(-1, 5)
+	s.AddWorkerTask(2, 5)
+	s.AddWorkerTask(1, 5)
+	sn := s.Snapshot()
+	if len(sn.Workers) != 2 || sn.Workers[0].Tasks != 0 || sn.Workers[1] != (WorkerStats{Tasks: 1, Units: 5}) {
+		t.Fatalf("worker stats %+v", sn.Workers)
 	}
 }
 

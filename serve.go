@@ -22,8 +22,10 @@ type Server = server.Server
 
 // ServerConfig configures Serve: the listen address, the schema ingest
 // batches must match, the engine with its registered statements, the
-// ingest-queue bound, and optional checkpointing (path + interval) for
-// crash recovery via the replay contract of DESIGN.md §8.
+// ingest-queue bound, the ingest pipeline's worker-pool size (Workers;
+// 0 picks GOMAXPROCS — results are bit-identical at any size, see
+// DESIGN.md §10), and optional checkpointing (path + interval) for crash
+// recovery via the replay contract of DESIGN.md §8.
 type ServerConfig = server.Config
 
 // Client is a connection pool to one server; see Dial.

@@ -45,8 +45,11 @@ func (s *SyncEstimator) Add(a, b string) {
 	s.est.Add(a, b)
 }
 
-// AddBytes observes one tuple from byte-slice keys, avoiding string
-// conversion allocations when the wrapped estimator supports it.
+// AddBytes observes one tuple from byte-slice keys. When the wrapped
+// estimator implements BytesAdder the slices pass straight through and no
+// allocation happens; otherwise the call falls back to Add, paying one
+// string copy per key on every tuple — wrap a BytesAdder (or use AddBatch)
+// when byte-keyed ingest is the hot path.
 func (s *SyncEstimator) AddBytes(a, b []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

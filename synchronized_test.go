@@ -1,6 +1,7 @@
 package implicate_test
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
@@ -65,3 +66,56 @@ func (bareEstimator) NonImplicationCount() float64 { return 0 }
 func (bareEstimator) SupportedDistinct() float64   { return 0 }
 func (bareEstimator) Tuples() int64                { return 0 }
 func (bareEstimator) MemEntries() int              { return 0 }
+
+// recordingEstimator captures Add calls; it deliberately does NOT implement
+// BytesAdder, forcing the wrapper's conversion fallback.
+type recordingEstimator struct {
+	bareEstimator
+	added [][2]string
+}
+
+func (r *recordingEstimator) Add(a, b string) { r.added = append(r.added, [2]string{a, b}) }
+
+// TestSynchronizedAddBytesBothPaths pins both AddBytes routes: the
+// pass-through to a BytesAdder-capable estimator must leave state identical
+// to feeding the same keys via Add, and the fallback for estimators without
+// AddBytes must deliver the converted strings.
+func TestSynchronizedAddBytesBothPaths(t *testing.T) {
+	cond := implicate.Conditions{MaxMultiplicity: 2, MinSupport: 3, TopC: 1, MinTopConfidence: 0.8}
+
+	// Pass-through: the sketch implements BytesAdder.
+	sk, err := implicate.NewSketch(cond, implicate.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := implicate.Synchronized(sk)
+	serial, err := implicate.NewSketch(cond, implicate.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		a, b := fmt.Sprintf("a%d", i%700), fmt.Sprintf("b%d", i%700)
+		wrapped.AddBytes([]byte(a), []byte(b))
+		serial.Add(a, b)
+	}
+	got, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serial.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("AddBytes through the wrapper diverged from serial Add")
+	}
+
+	// Fallback: the recorder has no AddBytes, so the wrapper must convert.
+	rec := &recordingEstimator{}
+	fb := implicate.Synchronized(rec)
+	fb.AddBytes([]byte("x1"), []byte("y1"))
+	fb.AddBytes([]byte("x2"), []byte("y2"))
+	if len(rec.added) != 2 || rec.added[0] != [2]string{"x1", "y1"} || rec.added[1] != [2]string{"x2", "y2"} {
+		t.Fatalf("fallback delivered %v", rec.added)
+	}
+}
