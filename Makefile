@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race race bench bench-serve examples experiments paper clean checkpoint-fault serve-smoke serve-soak
+.PHONY: all build vet test test-race race bench bench-serve bench-obs examples experiments paper clean checkpoint-fault serve-smoke serve-soak obs-smoke
 
 all: build vet test
 
@@ -42,6 +42,12 @@ serve-smoke:
 serve-soak:
 	$(GO) test -race -run TestSoakLoopbackIngest -v ./internal/server/
 
+# Observability smoke: start impserved with -admin and -trace-spans, ingest
+# through the wire, and assert /metrics serves the key series, /healthz
+# answers, and /trace carries plan/dispatch/apply/rpc spans.
+obs-smoke:
+	$(GO) test -run TestObsSmoke -v ./cmd/impserved/
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -50,6 +56,13 @@ bench:
 # cross-size count-equality check) in BENCH_serve.json.
 bench-serve:
 	$(GO) run ./cmd/impbench -exp serve -workers 1,4 -json BENCH_serve.json
+
+# Observability overhead: the serve harness with the full observability
+# layer off and on (tracer in every layer + a live /metrics scraper),
+# recording the throughput delta in BENCH_obs.json. The delta is the
+# guardrail: instrumentation must stay within a few percent.
+bench-obs:
+	$(GO) run ./cmd/impbench -exp obs -json BENCH_obs.json
 
 examples:
 	$(GO) run ./examples/quickstart

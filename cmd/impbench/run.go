@@ -27,7 +27,7 @@ func parseFlags(args []string) (*config, error) {
 	fs := flag.NewFlagSet("impbench", flag.ContinueOnError)
 	cfg := &config{}
 	fs.StringVar(&cfg.exp, "exp", "all",
-		"experiment: fig4, fig5, fig6, fig7a, fig7b, table3, table4, table5, ablations, ingest, serve, all")
+		"experiment: fig4, fig5, fig6, fig7a, fig7b, table3, table4, table5, ablations, ingest, serve, obs, all")
 	fs.BoolVar(&cfg.paper, "paper", false, "use the paper's full-scale configuration")
 	fs.IntVar(&cfg.runs, "runs", 0, "override repetitions per point")
 	fs.Int64Var(&cfg.seed, "seed", 1, "experiment seed")
@@ -258,6 +258,34 @@ func run(cfg *config, w io.Writer) error {
 				return err
 			}
 			if err := experiments.WriteServeJSON(f, scfg, rows); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+
+	if want("obs") {
+		ran = true
+		ocfg := experiments.ObsConfig{Seed: cfg.seed, Producers: cfg.parallel}
+		if cfg.paper {
+			ocfg.Tuples = 2_000_000
+		}
+		start := time.Now()
+		rows, err := experiments.RunObs(ocfg)
+		if err != nil {
+			return err
+		}
+		experiments.PrintObs(w, ocfg, rows)
+		fmt.Fprintf(w, "(%v)\n\n", time.Since(start).Round(time.Millisecond))
+		if cfg.jsonOut != "" {
+			f, err := os.Create(cfg.jsonOut)
+			if err != nil {
+				return err
+			}
+			if err := experiments.WriteObsJSON(f, ocfg, rows); err != nil {
 				f.Close()
 				return err
 			}

@@ -17,6 +17,15 @@
 // the queue, writes a final checkpoint when -checkpoint is set, and prints
 // a telemetry summary. After a crash, -resume restores the engine from the
 // checkpoint; producers replay their streams from the checkpoint offset.
+//
+// Observability: -admin ADDR serves the read-only HTTP admin endpoint
+// (Prometheus /metrics, /healthz, a JSON /trace span dump, and pprof under
+// /debug/pprof/) — it is unauthenticated, so bind it to loopback or an
+// operations network. -trace-spans N enables the in-process event tracer
+// with a ring of N spans; while it is on, SIGQUIT dumps the ring to stderr
+// (overriding Go's default die-with-stacks handling of SIGQUIT) and the
+// process keeps serving. cmd/imptop renders the same statistics as a live
+// terminal dashboard.
 package main
 
 import (
@@ -50,8 +59,15 @@ func main() {
 		close(stop)
 	}()
 
-	ready := make(chan string, 1)
-	go func() { log.Printf("listening on %s", <-ready) }()
+	ready := make(chan addrs, 1)
+	go func() {
+		a := <-ready
+		if a.admin != "" {
+			log.Printf("listening on %s, admin on http://%s", a.server, a.admin)
+		} else {
+			log.Printf("listening on %s", a.server)
+		}
+	}()
 	if err := serve(cfg, ready, stop, os.Stdout); err != nil {
 		log.Fatal(err)
 	}

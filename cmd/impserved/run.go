@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"implicate"
@@ -39,6 +41,9 @@ type config struct {
 	checkpoint string
 	every      int64
 	resume     string
+
+	admin      string
+	traceSpans int
 }
 
 func parseFlags(args []string) (*config, []string, error) {
@@ -57,6 +62,8 @@ func parseFlags(args []string) (*config, []string, error) {
 	fs.StringVar(&cfg.checkpoint, "checkpoint", "", "write crash-recovery checkpoints to this file")
 	fs.Int64Var(&cfg.every, "every", 0, "checkpoint every N applied tuples (with -checkpoint; 0: only on shutdown)")
 	fs.StringVar(&cfg.resume, "resume", "", "restore engine state from this checkpoint file")
+	fs.StringVar(&cfg.admin, "admin", "", "HTTP admin listen address (/metrics, /healthz, /trace, pprof); empty: off. Unauthenticated — bind to loopback")
+	fs.IntVar(&cfg.traceSpans, "trace-spans", 0, "event-tracer ring capacity in spans (4096 is conventional); 0: tracing off")
 	if err := fs.Parse(args); err != nil {
 		return nil, nil, err
 	}
@@ -80,6 +87,9 @@ func (cfg *config) validate() error {
 	}
 	if cfg.workers < 0 {
 		return fmt.Errorf("-workers must be >= 0, got %d", cfg.workers)
+	}
+	if cfg.traceSpans < 0 {
+		return fmt.Errorf("-trace-spans must be >= 0, got %d", cfg.traceSpans)
 	}
 	if cfg.resume != "" {
 		if len(cfg.queries) > 0 {
@@ -141,9 +151,17 @@ func buildEngine(cfg *config, schema *implicate.Schema) (*implicate.Engine, erro
 	return eng, nil
 }
 
+// addrs carries the bound listen addresses serve reports on ready.
+type addrs struct {
+	server string
+	admin  string // empty when -admin is off
+}
+
 // serve runs the server until stop closes, then drains it and prints the
-// telemetry summary to out. The bound address is sent on ready.
-func serve(cfg *config, ready chan<- string, stop <-chan struct{}, out io.Writer) error {
+// telemetry summary to out. The bound addresses are sent on ready. With
+// -trace-spans, SIGQUIT dumps the span ring to stderr instead of killing
+// the process with stack traces (Go's default SIGQUIT behavior).
+func serve(cfg *config, ready chan<- addrs, stop <-chan struct{}, out io.Writer) error {
 	names := strings.Split(cfg.schema, ",")
 	for i := range names {
 		names[i] = strings.TrimSpace(names[i])
@@ -164,17 +182,59 @@ func serve(cfg *config, ready chan<- string, stop <-chan struct{}, out io.Writer
 		Workers:         cfg.workers,
 		CheckpointPath:  cfg.checkpoint,
 		CheckpointEvery: cfg.every,
+		TraceSpans:      cfg.traceSpans,
 	})
 	if err != nil {
 		return err
 	}
-	ready <- srv.Addr()
+	var admin *implicate.AdminServer
+	if cfg.admin != "" {
+		admin, err = implicate.ServeAdmin(cfg.admin, srv)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+	}
+	if cfg.traceSpans > 0 {
+		// Registering SIGQUIT suppresses Go's die-with-stacks default for
+		// it only while tracing is on; SIGABRT still produces stacks.
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		defer signal.Stop(quit)
+		go func() {
+			for range quit {
+				dumpTrace(os.Stderr, srv.Tracer().Snapshot())
+			}
+		}()
+	}
+	ready <- addrs{server: srv.Addr(), admin: adminAddr(admin)}
 	<-stop
 	if err := srv.Close(); err != nil {
 		return err
 	}
+	if admin != nil {
+		admin.Close()
+	}
 	printSummary(out, eng, srv.Telemetry().Snapshot())
 	return nil
+}
+
+func adminAddr(a *implicate.AdminServer) string {
+	if a == nil {
+		return ""
+	}
+	return a.Addr
+}
+
+// dumpTrace renders a span dump as text, one span per line, newest last.
+func dumpTrace(w io.Writer, spans []implicate.TraceSpan) {
+	fmt.Fprintf(w, "--- trace: %d spans ---\n", len(spans))
+	for _, sp := range spans {
+		fmt.Fprintf(w, "%8d %-10s arg=%-4d units=%-8d %s +%v\n",
+			sp.Seq, sp.Kind, sp.Arg, sp.Units,
+			time.Unix(0, sp.Start).UTC().Format("15:04:05.000000"),
+			time.Duration(sp.Dur).Round(time.Microsecond))
+	}
 }
 
 // printSummary renders the shutdown report: per-statement answers, then

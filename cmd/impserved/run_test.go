@@ -116,14 +116,15 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ready := make(chan string, 1)
+	ready := make(chan addrs, 1)
 	stop := make(chan struct{})
 	var out strings.Builder
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- serve(cfg, ready, stop, &out) }()
 	var addr string
 	select {
-	case addr = <-ready:
+	case a := <-ready:
+		addr = a.server
 	case err := <-serveErr:
 		t.Fatal(err)
 	case <-time.After(10 * time.Second):

@@ -1,0 +1,51 @@
+// Command imptop is a live terminal dashboard over a running impserved
+// server, in the spirit of top(1): it polls the Stats and Health RPCs over
+// the ordinary client protocol (no admin endpoint needed) and renders
+// ingest throughput, queue depth, per-RPC latency quantiles, per-worker
+// skew, and each statement's estimator health — sketch fill, fringe
+// occupancy, evictions, memory and self-assessed error — in place.
+//
+// Usage:
+//
+//	imptop -addr 127.0.0.1:7171
+//	imptop -addr 127.0.0.1:7171 -interval 2s
+//	imptop -addr 127.0.0.1:7171 -count 5 -plain   # scripting: plain frames
+//
+// -plain disables the ANSI in-place redraw and prints one frame per poll,
+// which is what non-terminal consumers (logs, tests, pipes) want.
+package main
+
+import (
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("imptop: ")
+
+	cfg, rest, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	if len(rest) != 0 {
+		log.Fatalf("unexpected arguments %q", rest)
+	}
+	if err := cfg.validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		close(stop)
+	}()
+
+	if err := run(cfg, os.Stdout, stop); err != nil {
+		log.Fatal(err)
+	}
+}

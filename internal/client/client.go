@@ -13,8 +13,8 @@
 //     have been enqueued, and re-sending could double-count; the error is
 //     returned to the caller, whose recovery story is the server-side
 //     checkpoint/replay contract.
-//   - Query and Stats are idempotent and are retried across redials on
-//     connection failures.
+//   - Query, Stats, Health and Trace are idempotent and are retried across
+//     redials on connection failures.
 //   - SnapshotMerge is not idempotent (merging twice double-counts) and is
 //     never retried on ambiguous failures.
 package client
@@ -28,6 +28,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"implicate/internal/imps"
+	"implicate/internal/obs"
 	"implicate/internal/proto"
 	"implicate/internal/stream"
 	"implicate/internal/telemetry"
@@ -337,6 +339,38 @@ func (cl *Client) Stats() (telemetry.Snapshot, error) {
 		return telemetry.Snapshot{}, remoteError(f)
 	}
 	return telemetry.Snapshot{}, fmt.Errorf("client: unexpected %s reply to stats", f.Type)
+}
+
+// Health fetches the server engine's per-statement estimator health
+// reports, ordered by statement registration index.
+func (cl *Client) Health() ([]imps.HealthReport, error) {
+	f, err := cl.callIdempotent(proto.THealth, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch f.Type {
+	case proto.TResult:
+		return obs.DecodeHealth(f.Payload)
+	case proto.TError:
+		return nil, remoteError(f)
+	}
+	return nil, fmt.Errorf("client: unexpected %s reply to health", f.Type)
+}
+
+// Trace fetches the server's span ring: the most recent traced events,
+// oldest first. A server running without tracing returns an empty dump.
+func (cl *Client) Trace() ([]obs.Span, error) {
+	f, err := cl.callIdempotent(proto.TTrace, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch f.Type {
+	case proto.TResult:
+		return obs.DecodeSpans(f.Payload)
+	case proto.TError:
+		return nil, remoteError(f)
+	}
+	return nil, fmt.Errorf("client: unexpected %s reply to trace", f.Type)
 }
 
 func remoteError(f proto.Frame) error {

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"iter"
+	"unsafe"
+
+	"implicate/internal/imps"
+	"implicate/internal/metrics"
+)
+
+// Health reports the sketch's runtime health: bitmap saturation, fringe
+// occupancy, memory footprint and the estimator's own relative-error
+// assessment. It implements imps.HealthReporter. Like every other reader,
+// it is not safe to call concurrently with Add.
+func (s *Sketch) Health() imps.HealthReport {
+	h := healthOver(s.bitmaps(), len(s.bms))
+	h.Tuples = s.tuples
+	h.MemEntries = s.entries
+	return h
+}
+
+// Health reports aggregate health across all shards under a consistent
+// snapshot (every shard lock held). Safe for concurrent use.
+func (ss *ShardedSketch) Health() imps.HealthReport {
+	ss.lockAll()
+	defer ss.unlockAll()
+	h := healthOver(ss.bitmaps(), ss.opts.Bitmaps)
+	for i := range ss.shards {
+		h.Tuples += ss.shards[i].sk.tuples
+		h.MemEntries += ss.shards[i].sk.entries
+	}
+	return h
+}
+
+// healthOver computes the health observables shared by Sketch and
+// ShardedSketch over the m bitmaps yielded by bms. The caller fills Tuples
+// and MemEntries (they live outside the bitmaps) and any identity fields.
+func healthOver(bms iter.Seq[*bitmap], m int) imps.HealthReport {
+	var set, dead int
+	var memBytes int64
+	for b := range bms {
+		memBytes += int64(unsafe.Sizeof(*b))
+		for i := 0; i < Levels; i++ {
+			if b.value[i] {
+				set++
+			}
+			if b.dead[i] {
+				dead++
+			}
+		}
+		for _, c := range b.cells {
+			if c == nil {
+				continue
+			}
+			memBytes += int64(unsafe.Sizeof(*c)) + int64(cap(c.items))*int64(unsafe.Sizeof(item{}))
+			for j := range c.items {
+				memBytes += int64(cap(c.items[j].st.perB)) * int64(unsafe.Sizeof(pairEntry{}))
+			}
+		}
+	}
+	fs := fringeStatsOver(bms)
+	est := implicationCountOver(bms, m)
+	_, hi := implicationIntervalOver(bms, m, 1)
+	return imps.HealthReport{
+		MemBytes:         memBytes,
+		BitmapFill:       float64(set) / float64(m*Levels),
+		LeftmostZero:     meanROver(bms, m, (*bitmap).rHashed),
+		FringeTracked:    fs.TrackedItemsets,
+		FringePairs:      fs.PairCounters,
+		FringeTombstones: fs.Tombstones,
+		FringeEvictions:  int64(dead),
+		FringeWidth:      fs.MaxFringeWidth,
+		RelErr:           metrics.IntervalRelErr(est, hi, 1),
+	}
+}
+
+var _ imps.HealthReporter = (*Sketch)(nil)
+var _ imps.HealthReporter = (*ShardedSketch)(nil)

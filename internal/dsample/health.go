@@ -1,0 +1,48 @@
+package dsample
+
+import (
+	"math"
+	"unsafe"
+
+	"implicate/internal/imps"
+	"implicate/internal/metrics"
+)
+
+// mapEntryOverhead approximates the Go map bookkeeping attributable to one
+// entry beyond its key bytes and value payload. Health reports are
+// estimates, not heap measurements.
+const mapEntryOverhead = 48
+
+// Health reports the sampler's runtime health. BitmapFill carries the entry
+// budget's utilization (the sampler's bounded structure is its entry
+// budget, not a bitmap), LeftmostZero the current sampling level — the
+// direct analogue of a bitmap's saturation position: each level halves the
+// inclusion probability 2^−l. RelErr is the Poisson relative error of the
+// scaled qualifying-sample count, 1/√n over the n sampled itemsets
+// currently satisfying the conditions — exactly the erratic-small-n failure
+// mode §6.2 demonstrates. Not safe for concurrent use.
+func (s *Sketch) Health() imps.HealthReport {
+	var bytes int64
+	var qualifying float64
+	for a, v := range s.sample {
+		bytes += int64(len(a)) + mapEntryOverhead + int64(unsafe.Sizeof(*v))
+		for b := range v.perB {
+			bytes += int64(len(b)) + mapEntryOverhead + 8
+		}
+		if !v.out && v.supp >= s.cond.MinSupport {
+			qualifying++
+		}
+	}
+	est := qualifying * s.scale()
+	hi := (qualifying + math.Sqrt(qualifying+1)) * s.scale() // +1 keeps zero-sample reports honest
+	return imps.HealthReport{
+		Tuples:       s.tuples,
+		MemEntries:   s.entries,
+		MemBytes:     bytes,
+		BitmapFill:   float64(s.entries) / float64(s.size),
+		LeftmostZero: float64(s.level),
+		RelErr:       metrics.IntervalRelErr(est, hi, 1),
+	}
+}
+
+var _ imps.HealthReporter = (*Sketch)(nil)

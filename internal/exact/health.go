@@ -1,0 +1,49 @@
+package exact
+
+import (
+	"unsafe"
+
+	"implicate/internal/imps"
+)
+
+// mapEntryOverhead approximates the Go map bookkeeping attributable to one
+// entry beyond its key bytes and value payload: the bucket slot, tophash
+// byte, string header and amortized spare capacity. Health reports are
+// estimates, not heap measurements.
+const mapEntryOverhead = 48
+
+// Health reports the counter's runtime footprint. The counter is exact, so
+// it has no saturation or error fields — only tuples, entries and bytes.
+// Not safe for concurrent use (Striped wraps it under its stripe locks).
+func (c *Counter) Health() imps.HealthReport {
+	var bytes int64
+	for a, st := range c.items {
+		bytes += int64(len(a)) + mapEntryOverhead + int64(unsafe.Sizeof(*st))
+		for b := range st.perB {
+			bytes += int64(len(b)) + mapEntryOverhead + 8
+		}
+	}
+	return imps.HealthReport{
+		Tuples:     c.tuples,
+		MemEntries: c.entries,
+		MemBytes:   bytes,
+	}
+}
+
+// Health reports aggregate footprint across all stripes under a consistent
+// snapshot (every stripe lock held). Safe for concurrent use.
+func (s *Striped) Health() imps.HealthReport {
+	s.lockAll()
+	defer s.unlockAll()
+	var h imps.HealthReport
+	for i := range s.stripes {
+		sh := s.stripes[i].c.Health()
+		h.Tuples += sh.Tuples
+		h.MemEntries += sh.MemEntries
+		h.MemBytes += sh.MemBytes
+	}
+	return h
+}
+
+var _ imps.HealthReporter = (*Counter)(nil)
+var _ imps.HealthReporter = (*Striped)(nil)

@@ -1,0 +1,337 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"implicate/internal/client"
+	"implicate/internal/exact"
+	"implicate/internal/gen"
+	"implicate/internal/imps"
+	"implicate/internal/obs"
+	"implicate/internal/query"
+	"implicate/internal/server"
+	"implicate/internal/stream"
+)
+
+// ObsConfig parametrizes the observability-overhead harness: the serve
+// harness's loopback ingest run, once with the observability layer off and
+// once fully on — span tracing in every layer plus a live /metrics scraper
+// — so the instrumentation guardrail ("tracing must stay within a few
+// percent of untraced throughput") is a measured number, not a hope.
+type ObsConfig struct {
+	// Tuples is the stream length per variant.
+	Tuples int
+	// Batch is the tuples-per-IngestBatch size.
+	Batch int
+	// Producers is the number of concurrent client goroutines.
+	Producers int
+	// Workers is the pipeline pool size (one size; the sweep lives in the
+	// serve experiment).
+	Workers int
+	// Queue is the server's ingest queue depth in batches.
+	Queue int
+	// TraceSpans is the observed variant's ring capacity.
+	TraceSpans int
+	// ScrapeEvery is the observed variant's /metrics poll interval.
+	ScrapeEvery time.Duration
+	// Seed drives the workload generator.
+	Seed int64
+}
+
+func (c ObsConfig) withDefaults() ObsConfig {
+	if c.Tuples == 0 {
+		c.Tuples = 300_000
+	}
+	if c.Batch == 0 {
+		c.Batch = 1000
+	}
+	if c.Producers < 1 {
+		c.Producers = 4
+	}
+	if c.Workers < 1 {
+		c.Workers = 4
+	}
+	if c.Queue == 0 {
+		c.Queue = 64
+	}
+	if c.TraceSpans == 0 {
+		c.TraceSpans = obs.DefaultSpans
+	}
+	if c.ScrapeEvery == 0 {
+		c.ScrapeEvery = 50 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ObsRow is one variant's measured throughput.
+type ObsRow struct {
+	// Observed marks the instrumented variant: tracing on in every layer,
+	// admin endpoint up, a scraper polling /metrics throughout the run.
+	Observed bool `json:"observed"`
+	// Workers is the pipeline pool size.
+	Workers int `json:"workers"`
+	// Tuples is the stream length.
+	Tuples int `json:"tuples"`
+	// Seconds is the wall clock from first send to drained shutdown.
+	Seconds float64 `json:"seconds"`
+	// TuplesPerSec is Tuples/Seconds.
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+	// Implications is the final statement count — must agree between the
+	// variants: observability must never change an answer.
+	Implications float64 `json:"implications"`
+	// Spans is the number of spans the tracer admitted (0 when off).
+	Spans uint64 `json:"spans"`
+	// Scrapes is the number of /metrics polls served during the run.
+	Scrapes int64 `json:"scrapes"`
+}
+
+// RunObs measures loopback ingest throughput with the observability layer
+// off and on. Both variants see identical pre-encoded batches over the
+// striped exact backend; the report's overhead percentage is the headline
+// number.
+func RunObs(cfg ObsConfig) ([]ObsRow, error) {
+	cfg = cfg.withDefaults()
+
+	d, err := gen.NewDatasetOne(gen.DatasetOneConfig{
+		CardA: cfg.Tuples / 10,
+		Count: cfg.Tuples / 20,
+		C:     2,
+		Seed:  cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	schema, err := stream.NewSchema("A", "B")
+	if err != nil {
+		return nil, err
+	}
+	tuples := make([]stream.Tuple, 0, cfg.Tuples)
+	for _, p := range d.Pairs {
+		tuples = append(tuples, stream.Tuple{fmt.Sprintf("a%d", p.A), fmt.Sprintf("b%d", p.B)})
+	}
+	for len(tuples) < cfg.Tuples {
+		tuples = append(tuples, tuples[:min(len(tuples), cfg.Tuples-len(tuples))]...)
+	}
+	tuples = tuples[:cfg.Tuples]
+
+	// Key-hash producer routing, as in RunServe: keeps the final count
+	// interleaving-invariant so the off/on equality check is meaningful.
+	byProducer := make([][]stream.Tuple, cfg.Producers)
+	for _, t := range tuples {
+		h := uint64(14695981039346656037)
+		for i := 0; i < len(t[0]); i++ {
+			h = (h ^ uint64(t[0][i])) * 1099511628211
+		}
+		p := int(h % uint64(cfg.Producers))
+		byProducer[p] = append(byProducer[p], t)
+	}
+	type encBatch struct {
+		payload []byte
+		n       int64
+	}
+	payloads := make([][]encBatch, cfg.Producers)
+	for p := range byProducer {
+		own := byProducer[p]
+		for off := 0; off < len(own); off += cfg.Batch {
+			end := min(off+cfg.Batch, len(own))
+			enc, err := client.EncodeBatch(schema, own[off:end])
+			if err != nil {
+				return nil, err
+			}
+			payloads[p] = append(payloads[p], encBatch{enc, int64(end - off)})
+		}
+	}
+
+	// The first server of a process is the warmup: it pays the page faults,
+	// map growth and scheduler ramp-up that would otherwise be billed to
+	// whichever variant ran first. Its row is discarded.
+	variants := []struct{ observed, record bool }{{true, false}, {false, true}, {true, true}}
+	var rows []ObsRow
+	for _, v := range variants {
+		observed := v.observed
+		eng := query.NewEngine(schema)
+		st, err := eng.RegisterSQL(serveSQL, func(cond imps.Conditions) (imps.Estimator, error) {
+			return exact.NewStriped(cond, 0)
+		})
+		if err != nil {
+			return nil, err
+		}
+		scfg := server.Config{
+			Addr:       "127.0.0.1:0",
+			Schema:     schema,
+			Engine:     eng,
+			QueueDepth: cfg.Queue,
+			Workers:    cfg.Workers,
+		}
+		if observed {
+			scfg.TraceSpans = cfg.TraceSpans
+		}
+		srv, err := server.Listen(scfg)
+		if err != nil {
+			return nil, err
+		}
+
+		// The observed variant pays for the whole layer: admin endpoint up
+		// and a scraper walking /metrics (telemetry snapshot + full health
+		// walk) for the duration of the run.
+		var admin *obs.AdminServer
+		var scrapes int64
+		scrapeDone := make(chan struct{})
+		stopScrape := make(chan struct{})
+		if observed {
+			admin, err = obs.ListenAdmin("127.0.0.1:0", srv)
+			if err != nil {
+				return nil, err
+			}
+			go func() {
+				defer close(scrapeDone)
+				hc := &http.Client{Timeout: 5 * time.Second}
+				for {
+					select {
+					case <-stopScrape:
+						return
+					case <-time.After(cfg.ScrapeEvery):
+					}
+					resp, err := hc.Get("http://" + admin.Addr + "/metrics")
+					if err != nil {
+						continue // server mid-shutdown
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					scrapes++
+				}
+			}()
+		} else {
+			close(scrapeDone)
+		}
+
+		var wg sync.WaitGroup
+		errs := make(chan error, cfg.Producers)
+		start := time.Now()
+		for p := 0; p < cfg.Producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				cl, err := client.Dial(srv.Addr(), schema, client.Options{
+					Conns:       1,
+					BusyRetries: -1,
+					RetryBase:   200 * time.Microsecond,
+					RetryCap:    5 * time.Millisecond,
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer cl.Close()
+				for _, b := range payloads[p] {
+					if err := cl.IngestEncoded(b.payload, b.n); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		if err := srv.Close(); err != nil {
+			return nil, err
+		}
+		dur := time.Since(start)
+		close(stopScrape)
+		<-scrapeDone
+		admin.Close()
+		close(errs)
+		for err := range errs {
+			return nil, err
+		}
+
+		sn := srv.Telemetry().Snapshot()
+		if sn.TuplesIngested != int64(cfg.Tuples) {
+			return nil, fmt.Errorf("obs bench: observed=%t applied %d of %d tuples", observed, sn.TuplesIngested, cfg.Tuples)
+		}
+		if !v.record {
+			continue
+		}
+		rows = append(rows, ObsRow{
+			Observed:     observed,
+			Workers:      cfg.Workers,
+			Tuples:       cfg.Tuples,
+			Seconds:      dur.Seconds(),
+			TuplesPerSec: float64(cfg.Tuples) / dur.Seconds(),
+			Implications: st.Count(),
+			Spans:        srv.Tracer().Recorded(),
+			Scrapes:      scrapes,
+		})
+	}
+	if rows[1].Implications != rows[0].Implications {
+		return nil, fmt.Errorf("obs bench: observed count %v != baseline count %v — instrumentation changed an answer",
+			rows[1].Implications, rows[0].Implications)
+	}
+	return rows, nil
+}
+
+// ObsOverheadPct is the observed variant's throughput loss against the
+// baseline, in percent (negative: the observed run was faster — noise).
+func ObsOverheadPct(rows []ObsRow) float64 {
+	if len(rows) != 2 || rows[0].TuplesPerSec == 0 {
+		return 0
+	}
+	return 100 * (1 - rows[1].TuplesPerSec/rows[0].TuplesPerSec)
+}
+
+// PrintObs writes the observability-overhead table.
+func PrintObs(w io.Writer, cfg ObsConfig, rows []ObsRow) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "Observability overhead (%d tuples, batch %d, %d producers, %d workers, %d-span ring, GOMAXPROCS %d)\n",
+		cfg.Tuples, cfg.Batch, cfg.Producers, cfg.Workers, cfg.TraceSpans, runtime.GOMAXPROCS(0))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "variant\ttuples/s\tseconds\tspans\tscrapes\timplications")
+	for _, r := range rows {
+		name := "baseline"
+		if r.Observed {
+			name = "traced+scraped"
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.3f\t%d\t%d\t%.1f\n",
+			name, r.TuplesPerSec, r.Seconds, r.Spans, r.Scrapes, r.Implications)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "overhead: %.1f%%\n", ObsOverheadPct(rows))
+}
+
+// obsReport is the JSON schema of -json output.
+type obsReport struct {
+	Tuples      int      `json:"tuples"`
+	Batch       int      `json:"batch"`
+	Producers   int      `json:"producers"`
+	Workers     int      `json:"workers"`
+	TraceSpans  int      `json:"trace_spans"`
+	MaxProcs    int      `json:"gomaxprocs"`
+	OverheadPct float64  `json:"overhead_pct"`
+	Rows        []ObsRow `json:"rows"`
+}
+
+// WriteObsJSON writes the rows as an indented JSON report.
+func WriteObsJSON(w io.Writer, cfg ObsConfig, rows []ObsRow) error {
+	cfg = cfg.withDefaults()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(obsReport{
+		Tuples:      cfg.Tuples,
+		Batch:       cfg.Batch,
+		Producers:   cfg.Producers,
+		Workers:     cfg.Workers,
+		TraceSpans:  cfg.TraceSpans,
+		MaxProcs:    runtime.GOMAXPROCS(0),
+		OverheadPct: ObsOverheadPct(rows),
+		Rows:        rows,
+	})
+}

@@ -1,0 +1,39 @@
+package lossy
+
+import (
+	"unsafe"
+
+	"implicate/internal/imps"
+)
+
+// mapEntryOverhead approximates the Go map bookkeeping attributable to one
+// entry beyond its key bytes and value payload. Health reports are
+// estimates, not heap measurements.
+const mapEntryOverhead = 48
+
+// Health reports ILC's runtime footprint. ILC has no bounded structure to
+// report saturation on — the absence of a fill fraction is the point: its
+// memory grows with the stream (§5.1.1, dirty entries are pinned forever).
+// RelErr carries the lossy-counting deficit bound ε: a tracked count trails
+// its true count by at most ε·N, the knob that governs how wrong the
+// support test can be. Not safe for concurrent use.
+func (c *ILC) Health() imps.HealthReport {
+	var bytes int64
+	for a, ae := range c.as {
+		bytes += int64(len(a)) + mapEntryOverhead + int64(unsafe.Sizeof(*ae))
+	}
+	for a, pm := range c.pairs {
+		bytes += int64(len(a)) + mapEntryOverhead
+		for b, pe := range pm {
+			bytes += int64(len(b)) + mapEntryOverhead + int64(unsafe.Sizeof(*pe))
+		}
+	}
+	return imps.HealthReport{
+		Tuples:     c.n,
+		MemEntries: c.MemEntries(),
+		MemBytes:   bytes,
+		RelErr:     c.eps,
+	}
+}
+
+var _ imps.HealthReporter = (*ILC)(nil)

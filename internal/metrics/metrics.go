@@ -20,6 +20,28 @@ func RelErr(actual, measured float64) float64 {
 	return math.Abs(actual-measured) / math.Abs(actual)
 }
 
+// IntervalRelErr converts a symmetric confidence interval at z standard
+// errors into an estimator's self-assessed relative error: stderr/est with
+// stderr recovered from the interval's upper edge, (hi − est)/z. The upper
+// edge is used because estimators clamp the lower edge at zero, which would
+// understate the spread. Returns 0 for a degenerate interval (the estimator
+// claims certainty) and +Inf when the estimate is zero but the interval is
+// not — having seen nothing qualifying, the estimator cannot bound its
+// relative error at all.
+func IntervalRelErr(est, hi, z float64) float64 {
+	if z <= 0 {
+		return 0
+	}
+	stderr := (hi - est) / z
+	if stderr <= 0 {
+		return 0
+	}
+	if est <= 0 {
+		return math.Inf(1)
+	}
+	return stderr / est
+}
+
 // Welford accumulates a running mean and variance without storing samples.
 // The zero value is an empty accumulator.
 type Welford struct {

@@ -1,0 +1,193 @@
+// Package obs is the observability layer of the serving subsystem: a
+// lock-free ring-buffer event tracer recording spans across the ingest
+// pipeline, wire codecs for shipping spans and estimator health reports
+// over the Health/Trace RPCs, a Prometheus-text /metrics renderer over the
+// telemetry snapshot and health reports, and the impserved admin HTTP
+// endpoint that serves them (plus pprof). Everything is stdlib-only: the
+// paper's constrained-environment premise extends to the toolchain.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// SpanKind classifies a traced event.
+type SpanKind uint8
+
+// The traced event kinds. Arg's meaning is per-kind (see Span.Arg).
+const (
+	// SpanPlan is one ingest batch planned into partition buckets on a
+	// connection reader.
+	SpanPlan SpanKind = iota
+	// SpanDispatch is one batch moved from the ingest queue into the
+	// pipeline by the dispatcher.
+	SpanDispatch
+	// SpanApply is one pipeline task (a partition bucket or an exclusive
+	// batch) applied to the engine by a worker.
+	SpanApply
+	// SpanMerge is one remote sketch merged in via SnapshotMerge.
+	SpanMerge
+	// SpanCheckpoint is one engine checkpoint captured and written.
+	SpanCheckpoint
+	// SpanRPC is one request frame handled, any type.
+	SpanRPC
+	numSpanKinds
+)
+
+// String names the kind for dumps and dashboards.
+func (k SpanKind) String() string {
+	switch k {
+	case SpanPlan:
+		return "plan"
+	case SpanDispatch:
+		return "dispatch"
+	case SpanApply:
+		return "apply"
+	case SpanMerge:
+		return "merge"
+	case SpanCheckpoint:
+		return "checkpoint"
+	case SpanRPC:
+		return "rpc"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Span is one recorded event.
+type Span struct {
+	// Seq is the span's ticket in the tracer's total admission order.
+	// Consecutive snapshots overlap by Seq; gaps mean the ring lapped.
+	Seq uint64
+	// Kind classifies the event.
+	Kind SpanKind
+	// Arg is the kind-specific attribution: the applying worker's index for
+	// SpanApply, the telemetry.RPC code for SpanRPC, the target statement
+	// index for SpanMerge, the statement count for SpanCheckpoint, -1 where
+	// no attribution applies.
+	Arg int32
+	// Start is the event's start wall time, Unix nanoseconds.
+	Start int64
+	// Dur is the event's wall duration in nanoseconds.
+	Dur int64
+	// Units is the work the event carried: tuples for plan/dispatch,
+	// planned pairs or tuples for apply, marshalled sketch bytes for merge,
+	// the checkpoint's applied-tuple offset for checkpoint, 0 for RPC spans
+	// (their histogram lives in telemetry).
+	Units int64
+}
+
+// DefaultSpans is the ring capacity a zero TraceSpans configuration gets
+// when tracing is enabled: deep enough to hold several seconds of batch
+// traffic, small enough (~256 KiB) to be left on in production.
+const DefaultSpans = 4096
+
+// Tracer is a fixed-capacity lock-free span ring. Writers never block and
+// never allocate: a span takes one atomic ticket and five atomic stores,
+// overwriting the oldest span once the ring is full. Readers (Snapshot)
+// validate each slot's seqlock-style state word before and after copying
+// it, so a concurrently overwritten slot is skipped rather than returned
+// torn. A nil *Tracer is valid and records nothing — call sites do not
+// branch on whether tracing is enabled.
+type Tracer struct {
+	slots []slot
+	mask  uint64
+	next  atomic.Uint64
+}
+
+// slot holds one span with every field atomic: a lapped writer and a
+// reader may touch a slot concurrently, and the state word tells the
+// reader whether what it copied was one coherent span.
+type slot struct {
+	// state encodes the slot's lifecycle: 0 never written, 2·ticket+1 a
+	// writer holding ticket is mid-write, 2·ticket+2 that write completed.
+	state atomic.Uint64
+	// meta packs kind<<32 | uint32(arg).
+	meta  atomic.Uint64
+	start atomic.Int64
+	dur   atomic.Int64
+	units atomic.Int64
+}
+
+// NewTracer returns a tracer holding the most recent capacity spans;
+// capacity is rounded up to a power of two, minimum 2.
+func NewTracer(capacity int) *Tracer {
+	n := 2
+	for n < capacity {
+		n *= 2
+	}
+	return &Tracer{slots: make([]slot, n), mask: uint64(n - 1)}
+}
+
+// Cap returns the ring capacity (0 for a nil tracer).
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.slots)
+}
+
+// Recorded returns the number of spans ever recorded (0 for nil).
+func (t *Tracer) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.next.Load()
+}
+
+// Record stores one span, overwriting the oldest when the ring is full.
+// Safe for any number of concurrent writers; no-op on a nil tracer.
+func (t *Tracer) Record(kind SpanKind, arg int, units int64, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	ticket := t.next.Add(1) - 1
+	s := &t.slots[ticket&t.mask]
+	s.state.Store(2*ticket + 1)
+	s.meta.Store(uint64(kind)<<32 | uint64(uint32(int32(arg))))
+	s.start.Store(start.UnixNano())
+	s.dur.Store(int64(dur))
+	s.units.Store(units)
+	s.state.Store(2*ticket + 2)
+}
+
+// Span (the measuring variant): Record with the duration taken from the
+// clock — callers that don't carry their own timing call
+// defer tr.Span(kind, arg, units, time.Now()).
+func (t *Tracer) Span(kind SpanKind, arg int, units int64, start time.Time) {
+	t.Record(kind, arg, units, start, time.Since(start))
+}
+
+// Snapshot copies out every coherent span currently in the ring, oldest
+// first. Slots being overwritten during the copy are skipped: the snapshot
+// is a consistent sample, not a barrier. Nil tracers return nil.
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	out := make([]Span, 0, len(t.slots))
+	for i := range t.slots {
+		s := &t.slots[i]
+		st := s.state.Load()
+		if st == 0 || st&1 == 1 {
+			continue
+		}
+		sp := Span{
+			Seq:   (st - 2) / 2,
+			Start: s.start.Load(),
+			Dur:   s.dur.Load(),
+			Units: s.units.Load(),
+		}
+		meta := s.meta.Load()
+		sp.Kind = SpanKind(meta >> 32)
+		sp.Arg = int32(uint32(meta))
+		if s.state.Load() != st {
+			continue // overwritten mid-copy; the fields may be torn
+		}
+		out = append(out, sp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}

@@ -26,8 +26,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"implicate/internal/imps"
+	"implicate/internal/obs"
 	"implicate/internal/query"
 	"implicate/internal/stream"
 )
@@ -52,6 +54,11 @@ type Config struct {
 	// OnSaturated, when set, is called each time Dispatch finds a worker
 	// queue full and has to block — the pool-saturation signal.
 	OnSaturated func()
+
+	// Tracer, when non-nil, records one apply span per worker task with the
+	// worker's index and the task's unit count. Nil disables tracing and
+	// its per-task clock reads entirely.
+	Tracer *obs.Tracer
 }
 
 // Pool fans planned batches out to its workers. Plan is safe for
@@ -219,10 +226,15 @@ func (p *Pool) applied(b *Batch) {
 // run is one worker: it applies its queue in FIFO order until Close.
 func (p *Pool) run(w int) {
 	defer p.wg.Done()
+	tr := p.cfg.Tracer
 	for t := range p.queues[w] {
 		if t.fence != nil {
 			t.fence.Done()
 			continue
+		}
+		var start time.Time
+		if tr != nil {
+			start = time.Now()
 		}
 		units := 0
 		if t.pairs != nil {
@@ -231,6 +243,9 @@ func (p *Pool) run(w int) {
 		} else {
 			t.st.ProcessBatchExclusive(t.tuples)
 			units = len(t.tuples)
+		}
+		if tr != nil {
+			tr.Span(obs.SpanApply, w, int64(units), start)
 		}
 		if p.cfg.OnTask != nil {
 			p.cfg.OnTask(w, units)

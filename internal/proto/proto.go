@@ -1,6 +1,7 @@
 // Package proto is the wire protocol of the serving layer: length-prefixed
-// binary frames over TCP carrying the four RPCs of the ingest/query server
-// (IngestBatch, Query, SnapshotMerge, Stats) and their responses.
+// binary frames over TCP carrying the RPCs of the ingest/query server
+// (IngestBatch, Query, SnapshotMerge, Stats, Health, Trace) and their
+// responses.
 //
 // Frame layout (all integers little-endian):
 //
@@ -62,6 +63,12 @@ const (
 	TMerge Type = 0x03
 	// TStats asks for the server's telemetry snapshot.
 	TStats Type = 0x04
+	// THealth asks for the engine's per-statement estimator health reports
+	// (the obs package's IMPH encoding).
+	THealth Type = 0x05
+	// TTrace asks for a dump of the server's span ring (the obs package's
+	// IMPS encoding); an untraced server answers with an empty dump.
+	TTrace Type = 0x06
 
 	// TOK acknowledges an ingest or merge; ingest acks carry the accepted
 	// tuple count.
@@ -89,6 +96,10 @@ func (t Type) String() string {
 		return "SnapshotMerge"
 	case TStats:
 		return "Stats"
+	case THealth:
+		return "Health"
+	case TTrace:
+		return "Trace"
 	case TOK:
 		return "OK"
 	case TResult:

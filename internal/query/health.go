@@ -1,0 +1,37 @@
+package query
+
+import "implicate/internal/imps"
+
+// Health returns the statement's estimator health, stamped with the
+// statement's identity (kind, query text, sharing). It acquires the
+// statement's lock shared, exactly like Count, so it may run at any time
+// against a live pipeline: serialized-class writers hold the lock
+// exclusively, and partition-safe estimators take their own shard locks
+// inside. Estimators without self-assessment still report their footprint.
+func (st *Statement) Health() imps.HealthReport {
+	st.estMu.RLock()
+	defer st.estMu.RUnlock()
+	var h imps.HealthReport
+	if hr, ok := st.est.(imps.HealthReporter); ok {
+		h = hr.Health()
+	} else {
+		h = imps.HealthReport{Tuples: st.est.Tuples(), MemEntries: st.est.MemEntries()}
+	}
+	h.Kind = st.EstimatorKind()
+	h.Query = st.query.String()
+	h.Shared = st.shared
+	return h
+}
+
+// HealthReports returns one report per registered statement, in
+// registration order, each stamped with its statement index. A shared
+// statement's report duplicates its owner's estimator state (marked by
+// Shared) so the slice always aligns with Statements().
+func (e *Engine) HealthReports() []imps.HealthReport {
+	out := make([]imps.HealthReport, len(e.stmts))
+	for i, st := range e.stmts {
+		out[i] = st.Health()
+		out[i].Stmt = i
+	}
+	return out
+}

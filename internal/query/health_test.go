@@ -1,0 +1,83 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+
+	"implicate/internal/core"
+	"implicate/internal/exact"
+	"implicate/internal/imps"
+	"implicate/internal/stream"
+)
+
+// TestHealthReports drives a sketch-backed and an exact-backed statement
+// plus a mode alias through one engine and checks the reports carry the
+// identity stamps and the estimator observables.
+func TestHealthReports(t *testing.T) {
+	schema, err := stream.NewSchema("A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(schema)
+	sketchBackend := func(cond imps.Conditions) (imps.Estimator, error) {
+		return core.NewSketch(cond, core.Options{Bitmaps: 16, Seed: 7})
+	}
+	exactBackend := func(cond imps.Conditions) (imps.Estimator, error) {
+		return exact.NewCounter(cond)
+	}
+	const q = `SELECT COUNT(DISTINCT A) FROM t WHERE A IMPLIES B WITH SUPPORT >= 2, MULTIPLICITY <= 2`
+	if _, err := e.RegisterSQL(q, sketchBackend); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RegisterSQL(`SELECT COUNT(DISTINCT A) FROM t WHERE A NOT IMPLIES B WITH SUPPORT >= 2, MULTIPLICITY <= 2`, sketchBackend); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RegisterSQL(q, exactBackend); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 5000; i++ {
+		e.Process(stream.Tuple{fmt.Sprintf("a%d", i%700), fmt.Sprintf("b%d", i%13)})
+	}
+
+	reports := e.HealthReports()
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports, want 3", len(reports))
+	}
+	for i, h := range reports {
+		if h.Stmt != i {
+			t.Errorf("report %d stamped Stmt=%d", i, h.Stmt)
+		}
+		if h.Tuples != 5000 {
+			t.Errorf("report %d: tuples %d, want 5000", i, h.Tuples)
+		}
+		if h.Query == "" {
+			t.Errorf("report %d: empty query text", i)
+		}
+		if h.MemEntries <= 0 || h.MemBytes <= 0 {
+			t.Errorf("report %d: footprint %d entries / %d bytes", i, h.MemEntries, h.MemBytes)
+		}
+	}
+	if reports[0].Kind != "nips" || reports[2].Kind != "exact" {
+		t.Errorf("kinds %q, %q; want nips, exact", reports[0].Kind, reports[2].Kind)
+	}
+	if !reports[1].Shared || reports[0].Shared {
+		t.Errorf("sharing stamps: %v, %v; the NOT IMPLIES mode alias should share", reports[0].Shared, reports[1].Shared)
+	}
+	if reports[0].BitmapFill <= 0 || reports[0].BitmapFill > 1 {
+		t.Errorf("sketch fill %v out of (0,1]", reports[0].BitmapFill)
+	}
+	if reports[0].LeftmostZero <= 0 {
+		t.Errorf("sketch leftmost-zero %v, want > 0", reports[0].LeftmostZero)
+	}
+	if reports[0].FringeTracked <= 0 {
+		t.Errorf("sketch fringe tracked %d, want > 0", reports[0].FringeTracked)
+	}
+	if reports[2].BitmapFill != 0 || reports[2].RelErr != 0 {
+		t.Errorf("exact report has sketch fields: %+v", reports[2])
+	}
+	// The shared alias reads the same estimator: identical observables.
+	if reports[1].BitmapFill != reports[0].BitmapFill || reports[1].MemEntries != reports[0].MemEntries {
+		t.Errorf("alias report diverges from owner: %+v vs %+v", reports[1], reports[0])
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"implicate/internal/checkpoint"
 	"implicate/internal/core"
 	"implicate/internal/imps"
+	"implicate/internal/obs"
 	"implicate/internal/pipeline"
 	"implicate/internal/proto"
 	"implicate/internal/query"
@@ -86,6 +87,12 @@ type Config struct {
 	// Logf, when non-nil, receives diagnostic messages (failed periodic
 	// checkpoints, dropped connections).
 	Logf func(format string, args ...any)
+	// TraceSpans, when positive, enables the event tracer with a ring
+	// holding that many spans (obs.DefaultSpans is the conventional size).
+	// Zero disables tracing: no ring is allocated and the ingest path takes
+	// no per-task clock reads. The Trace RPC then answers with an empty
+	// dump.
+	TraceSpans int
 
 	// gate, when non-nil, is called by the dispatcher before each batch is
 	// handed to the pool — a test hook for making queue states
@@ -114,11 +121,12 @@ func (c Config) withDefaults() Config {
 
 // Server is a running ingest/query server. Create with Listen.
 type Server struct {
-	cfg   Config
-	ln    net.Listener
-	stmts []*query.Statement
-	tel   *telemetry.Set
-	pool  *pipeline.Pool
+	cfg    Config
+	ln     net.Listener
+	stmts  []*query.Statement
+	tel    *telemetry.Set
+	pool   *pipeline.Pool
+	tracer *obs.Tracer // nil when tracing is disabled; nil-safe to record on
 
 	// mu is the coarse read/write coordination point above the pipeline:
 	// Query and Stats hold it shared (they never stall ingestion — workers
@@ -170,11 +178,15 @@ func Listen(cfg Config) (*Server, error) {
 		conns:          make(map[net.Conn]struct{}),
 	}
 	s.tel.ConfigureWorkers(cfg.Workers)
+	if cfg.TraceSpans > 0 {
+		s.tracer = obs.NewTracer(cfg.TraceSpans)
+	}
 	pool, err := pipeline.New(cfg.Engine, pipeline.Config{
 		Workers:     cfg.Workers,
 		OnApplied:   func(n int) { s.tel.AddTuples(int64(n)) },
 		OnTask:      s.tel.AddWorkerTask,
 		OnSaturated: s.tel.AddPoolSaturation,
+		Tracer:      s.tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
@@ -205,6 +217,32 @@ func (s *Server) Telemetry() *telemetry.Set { return s.tel }
 // Engine returns the served engine. It must only be used after Close or
 // Kill has returned — while the server runs, the engine is its alone.
 func (s *Server) Engine() *query.Engine { return s.cfg.Engine }
+
+// Tracer exposes the span ring (nil when Config.TraceSpans was zero) for
+// out-of-band dumps — impserved's SIGQUIT handler reads it.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// StatsSnapshot implements obs.AdminState: the live telemetry snapshot the
+// admin endpoint's /metrics renders, under the same shared lock the Stats
+// RPC takes.
+func (s *Server) StatsSnapshot() telemetry.Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tel.Snapshot()
+}
+
+// HealthReports implements obs.AdminState: the engine's per-statement
+// estimator health, read under the server's shared lock so merges and
+// checkpoint captures never race the walk.
+func (s *Server) HealthReports() []imps.HealthReport {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cfg.Engine.HealthReports()
+}
+
+// TraceSpans implements obs.AdminState: the current span ring contents
+// (nil when tracing is disabled).
+func (s *Server) TraceSpans() []obs.Span { return s.tracer.Snapshot() }
 
 func (s *Server) acceptLoop() {
 	for {
@@ -267,10 +305,17 @@ func (s *Server) handle(f proto.Frame) proto.Frame {
 		rpc, resp = telemetry.RPCMerge, s.handleMerge(f)
 	case proto.TStats:
 		rpc, resp = telemetry.RPCStats, s.handleStats(f)
+	case proto.THealth:
+		rpc, resp = telemetry.RPCHealth, s.handleHealth(f)
+	case proto.TTrace:
+		rpc, resp = telemetry.RPCTrace, s.handleTrace(f)
 	default:
 		return errorFrame(f.ID, fmt.Sprintf("unsupported request type %s", f.Type))
 	}
-	s.tel.Observe(rpc, time.Since(start))
+	// One clock read serves both the latency histogram and the RPC span.
+	dur := time.Since(start)
+	s.tel.Observe(rpc, dur)
+	s.tracer.Record(obs.SpanRPC, int(rpc), 0, start, dur)
 	return resp
 }
 
@@ -329,7 +374,14 @@ func (s *Server) handleIngest(f proto.Frame) proto.Frame {
 	// hashing parallelize across connections instead of serializing in the
 	// dispatch path. A refused batch discards its plan — the client
 	// re-sends, and planning is pure.
+	var planStart time.Time
+	if s.tracer != nil {
+		planStart = time.Now()
+	}
 	b := s.pool.Plan(tuples)
+	if s.tracer != nil {
+		s.tracer.Span(obs.SpanPlan, -1, int64(len(tuples)), planStart)
+	}
 	select {
 	case s.queue <- b:
 		// The post-increment value is this batch's exact depth at send
@@ -385,12 +437,14 @@ func (s *Server) handleMerge(f proto.Frame) proto.Frame {
 	// and readers out, the statement lock keeps its home worker out (a
 	// plain sketch is serialized-class, so its ingest runs under that
 	// lock).
+	mergeStart := time.Now()
 	s.mu.Lock()
 	st.Exclusive(func() { err = dst.Merge(src) })
 	s.mu.Unlock()
 	if err != nil {
 		return errorFrame(f.ID, fmt.Sprintf("merge: %v", err))
 	}
+	s.tracer.Span(obs.SpanMerge, int(req.Stmt), int64(len(req.Sketch)), mergeStart)
 	s.tel.AddMerge()
 	return proto.Frame{Type: proto.TOK, ID: f.ID}
 }
@@ -409,6 +463,24 @@ func (s *Server) handleStats(f proto.Frame) proto.Frame {
 	return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: payload}
 }
 
+// handleHealth answers with the engine's per-statement health reports. The
+// shared lock keeps merges and checkpoint captures out; each statement's
+// Health takes its own read lock below, the same path Query walks.
+func (s *Server) handleHealth(f proto.Frame) proto.Frame {
+	s.mu.RLock()
+	payload := obs.EncodeHealth(s.cfg.Engine.HealthReports())
+	s.mu.RUnlock()
+	return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: payload}
+}
+
+// handleTrace answers with the span ring's current contents. No lock: the
+// tracer is its own synchronization, and a disabled tracer encodes as an
+// empty dump rather than an error so pollers need not know the server's
+// configuration.
+func (s *Server) handleTrace(f proto.Frame) proto.Frame {
+	return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: obs.EncodeSpans(s.tracer.Snapshot())}
+}
+
 // dispatcher feeds queued batches to the worker pool in arrival order —
 // the single ordered step of the ingest path — and drives periodic
 // checkpoints. It exits when the queue is closed and drained, leaving the
@@ -422,7 +494,14 @@ func (s *Server) dispatcher() {
 			s.cfg.gate()
 		}
 		n := int64(b.Tuples())
+		var dispatchStart time.Time
+		if s.tracer != nil {
+			dispatchStart = time.Now()
+		}
 		s.pool.Dispatch(b)
+		if s.tracer != nil {
+			s.tracer.Span(obs.SpanDispatch, -1, n, dispatchStart)
+		}
 		if s.periodic.Every <= 0 {
 			continue
 		}
@@ -434,12 +513,16 @@ func (s *Server) dispatcher() {
 		// applied, then take the write lock so no merge mutates an
 		// estimator while it marshals. After the fence the engine's tuple
 		// count equals the dispatched total.
+		ckptStart := time.Now()
 		s.pool.Fence()
 		s.mu.Lock()
 		wrote, err := s.periodic.Maybe(s.cfg.Engine, s.cfg.Engine.Tuples())
 		s.mu.Unlock()
 		if err != nil {
 			s.cfg.Logf("server: periodic checkpoint: %v", err)
+		}
+		if wrote {
+			s.tracer.Span(obs.SpanCheckpoint, len(s.stmts), s.cfg.Engine.Tuples(), ckptStart)
 		}
 		if wrote || err != nil {
 			sinceCkpt = 0
@@ -474,9 +557,13 @@ func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		s.shutdown(drainGrace)
 		if s.cfg.CheckpointPath != "" {
+			ckptStart := time.Now()
 			snap, err := checkpoint.Capture(s.cfg.Engine, s.cfg.Engine.Tuples())
 			if err == nil {
 				err = checkpoint.Write(s.cfg.CheckpointPath, snap)
+			}
+			if err == nil {
+				s.tracer.Span(obs.SpanCheckpoint, len(s.stmts), s.cfg.Engine.Tuples(), ckptStart)
 			}
 			s.closeErr = err
 		}
@@ -505,3 +592,4 @@ func (s *Server) Kill() {
 }
 
 var _ imps.Estimator = (*core.Sketch)(nil) // the merge path's contract
+var _ obs.AdminState = (*Server)(nil)      // the admin endpoint's contract

@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"implicate/internal/wire"
+)
+
+// TestQuantileEdgeCases pins the documented edge behavior: empty histogram,
+// q at and beyond both ends, NaN, and a single-bucket distribution where
+// every quantile is that bucket's bound.
+func TestQuantileEdgeCases(t *testing.T) {
+	single := Histogram{}
+	single.Counts[12] = 37
+	two := Histogram{}
+	two.Counts[10] = 90
+	two.Counts[20] = 10
+	cases := []struct {
+		name string
+		h    Histogram
+		q    float64
+		want time.Duration
+	}{
+		{"empty p0", Histogram{}, 0, 0},
+		{"empty p50", Histogram{}, 0.5, 0},
+		{"empty p100", Histogram{}, 1, 0},
+		{"empty NaN", Histogram{}, math.NaN(), 0},
+		{"NaN", two, math.NaN(), 0},
+		{"single p0", single, 0, 1 << 12},
+		{"single p50", single, 0.5, 1 << 12},
+		{"single p100", single, 1, 1 << 12},
+		{"two p0 is min bucket", two, 0, 1 << 10},
+		{"two p100 is max bucket", two, 1, 1 << 20},
+		{"two below-range clamps to p0", two, -3, 1 << 10},
+		{"two above-range clamps to p100", two, 7, 1 << 20},
+		{"two +Inf clamps to p100", two, math.Inf(1), 1 << 20},
+		{"two -Inf clamps to p0", two, math.Inf(-1), 1 << 10},
+		{"two p89 stays in low bucket", two, 0.89, 1 << 10},
+		{"two p91 crosses", two, 0.91, 1 << 20},
+	}
+	for _, tc := range cases {
+		if got := tc.h.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+}
+
+// encodeV1 builds a v1 ("IMPT\x01") snapshot as a PR-3-era server would
+// have: five counters, no pool saturation, no worker block, and the
+// four-RPC histogram list of that build.
+func encodeV1(tuples, batches, rejected, merges, highWater int64, hist [4][HistBuckets]uint64) []byte {
+	e := wire.NewEncoder(64 + 4*HistBuckets*8)
+	e.Raw([]byte(snapshotMagicV1))
+	e.I64(tuples)
+	e.I64(batches)
+	e.I64(rejected)
+	e.I64(merges)
+	e.I64(highWater)
+	e.U32(4)
+	e.U32(HistBuckets)
+	for r := 0; r < 4; r++ {
+		for b := 0; b < HistBuckets; b++ {
+			e.U64(hist[r][b])
+		}
+	}
+	return e.Bytes()
+}
+
+// TestDecodeSnapshotV1 checks cross-version decoding: a v1 snapshot from an
+// older server decodes with its counters and histograms intact and the
+// fields that postdate it (pool saturation, workers, the newer RPCs'
+// histograms) zero.
+func TestDecodeSnapshotV1(t *testing.T) {
+	var hist [4][HistBuckets]uint64
+	hist[RPCIngest][10] = 42
+	hist[RPCStats][20] = 7
+	sn, err := DecodeSnapshot(encodeV1(1000, 10, 2, 3, 9, hist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.TuplesIngested != 1000 || sn.Batches != 10 || sn.BatchesRejected != 2 || sn.Merges != 3 || sn.QueueHighWater != 9 {
+		t.Fatalf("v1 counters %+v", sn)
+	}
+	if sn.PoolSaturation != 0 || sn.Workers != nil {
+		t.Fatalf("v1 snapshot grew post-v1 fields: saturation=%d workers=%+v", sn.PoolSaturation, sn.Workers)
+	}
+	if sn.Latency[RPCIngest].Counts[10] != 42 || sn.Latency[RPCStats].Counts[20] != 7 {
+		t.Fatalf("v1 histograms %+v", sn.Latency)
+	}
+	for r := RPC(4); r < NumRPCs; r++ {
+		if sn.Latency[r].Count() != 0 {
+			t.Fatalf("RPC %v histogram not zero-filled", r)
+		}
+	}
+
+	// Corruption in a v1 frame is still rejected.
+	good := encodeV1(1, 1, 0, 0, 1, [4][HistBuckets]uint64{})
+	if _, err := DecodeSnapshot(good[:len(good)-1]); err == nil {
+		t.Error("truncated v1 snapshot accepted")
+	}
+	if _, err := DecodeSnapshot(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Error("v1 trailing bytes accepted")
+	}
+}
+
+// TestDecodeSnapshotRejectsLongerRPCList checks the append-only contract's
+// other side: a sender claiming MORE RPCs than this build knows cannot be
+// mapped and must be refused, not truncated.
+func TestDecodeSnapshotRejectsLongerRPCList(t *testing.T) {
+	e := wire.NewEncoder(64)
+	e.Raw([]byte(snapshotMagic))
+	for i := 0; i < 6; i++ {
+		e.I64(0)
+	}
+	e.U32(0) // no workers
+	e.U32(uint32(NumRPCs) + 1)
+	e.U32(HistBuckets)
+	for r := 0; r < int(NumRPCs)+1; r++ {
+		for b := 0; b < HistBuckets; b++ {
+			e.U64(0)
+		}
+	}
+	if _, err := DecodeSnapshot(e.Bytes()); err == nil {
+		t.Fatal("snapshot with unknown extra RPCs accepted")
+	}
+}
+
+// TestConcurrentObserveSnapshotConfigure interleaves Observe, AddWorkerTask,
+// Snapshot and ConfigureWorkers from concurrent goroutines — the
+// reconfiguration race the atomic worker-block swap exists for. Run under
+// -race; the assertion is only that snapshots stay well-formed (a worker
+// block is read coherently or not at all).
+func TestConcurrentObserveSnapshotConfigure(t *testing.T) {
+	var s Set
+	s.ConfigureWorkers(4)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Observe(RPC(i%int(NumRPCs)), time.Duration(1)<<uint(i%16))
+				s.AddWorkerTask(g, 1)
+				s.AddTuples(1)
+				s.ObserveQueueDepth(i % 32)
+			}
+		}(g)
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			sn := s.Snapshot()
+			if len(sn.Workers) != 0 && len(sn.Workers) != 2 && len(sn.Workers) != 4 {
+				t.Errorf("torn worker block: %d entries", len(sn.Workers))
+				return
+			}
+			for _, w := range sn.Workers {
+				if w.Tasks < 0 || w.Units < 0 {
+					t.Errorf("negative worker counters %+v", w)
+					return
+				}
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if i%2 == 0 {
+				s.ConfigureWorkers(2)
+			} else {
+				s.ConfigureWorkers(4)
+			}
+		}
+	}()
+	// Let the reconfiguration and snapshot loops finish, then stop writers.
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

@@ -9,6 +9,7 @@ package telemetry
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -19,12 +20,17 @@ import (
 // RPC indexes the latency histograms, one per request type.
 type RPC uint8
 
-// The instrumented RPCs, in wire-format order.
+// The instrumented RPCs, in wire-format order. The list is append-only:
+// snapshot decoding matches histograms to RPCs by position, and accepting
+// snapshots from older builds (see DecodeSnapshot) depends on an older list
+// being a strict prefix of this one.
 const (
 	RPCIngest RPC = iota
 	RPCQuery
 	RPCMerge
 	RPCStats
+	RPCHealth
+	RPCTrace
 	NumRPCs
 )
 
@@ -39,6 +45,10 @@ func (r RPC) String() string {
 		return "SnapshotMerge"
 	case RPCStats:
 		return "Stats"
+	case RPCHealth:
+		return "Health"
+	case RPCTrace:
+		return "Trace"
 	}
 	return fmt.Sprintf("RPC(%d)", uint8(r))
 }
@@ -58,8 +68,11 @@ type Set struct {
 	merges          atomic.Int64
 	queueHighWater  atomic.Int64
 	poolSaturation  atomic.Int64
-	workers         []workerSet
-	hist            [NumRPCs][HistBuckets]atomic.Uint64
+	// workers is published atomically so a Snapshot or a straggling worker
+	// update racing a ConfigureWorkers reads a coherent (old or new) block,
+	// never a torn slice header.
+	workers atomic.Pointer[[]workerSet]
+	hist    [NumRPCs][HistBuckets]atomic.Uint64
 }
 
 // workerSet holds one pipeline worker's counters, padded to a cache line so
@@ -71,24 +84,27 @@ type workerSet struct {
 }
 
 // ConfigureWorkers sizes the per-worker counter block for an n-worker
-// pipeline. It is not safe to call concurrently with worker updates; call
-// it once at server construction.
+// pipeline, discarding any previously accumulated worker counters. Safe to
+// call concurrently with updates and snapshots: the block swaps atomically,
+// and an update racing the swap lands in whichever block it loaded.
 func (s *Set) ConfigureWorkers(n int) {
 	if n < 0 {
 		n = 0
 	}
-	s.workers = make([]workerSet, n)
+	w := make([]workerSet, n)
+	s.workers.Store(&w)
 }
 
 // AddWorkerTask records one pipeline task applied by the given worker
 // carrying the given number of work units (tuples or planned pairs).
 // Samples for workers outside the configured range are dropped.
 func (s *Set) AddWorkerTask(worker, units int) {
-	if worker < 0 || worker >= len(s.workers) {
+	wp := s.workers.Load()
+	if wp == nil || worker < 0 || worker >= len(*wp) {
 		return
 	}
-	s.workers[worker].tasks.Add(1)
-	s.workers[worker].units.Add(int64(units))
+	(*wp)[worker].tasks.Add(1)
+	(*wp)[worker].units.Add(int64(units))
 }
 
 // AddPoolSaturation records one dispatch that found a worker queue full
@@ -151,12 +167,13 @@ func (s *Set) Snapshot() Snapshot {
 	sn.Merges = s.merges.Load()
 	sn.QueueHighWater = s.queueHighWater.Load()
 	sn.PoolSaturation = s.poolSaturation.Load()
-	if len(s.workers) > 0 {
-		sn.Workers = make([]WorkerStats, len(s.workers))
-		for i := range s.workers {
+	if wp := s.workers.Load(); wp != nil && len(*wp) > 0 {
+		w := *wp
+		sn.Workers = make([]WorkerStats, len(w))
+		for i := range w {
 			sn.Workers[i] = WorkerStats{
-				Tasks: s.workers[i].tasks.Load(),
-				Units: s.workers[i].units.Load(),
+				Tasks: w[i].tasks.Load(),
+				Units: w[i].units.Load(),
 			}
 		}
 	}
@@ -182,12 +199,17 @@ func (h Histogram) Count() uint64 {
 	return n
 }
 
-// Quantile returns an upper bound of the q-quantile latency (the top of the
-// bucket containing it), or 0 when the histogram is empty. q is clamped to
-// [0, 1].
+// Quantile returns an upper bound of the q-quantile latency: buckets hold
+// log2 of the duration (bucket b collects observations with
+// ceil(log2(ns)) == b), so the answer is the top of the bucket containing
+// the quantile, 2^b nanoseconds — never an interpolated value. An empty
+// histogram returns 0. q is clamped to [0, 1]: q=0 is the smallest
+// observed bucket's bound, q=1 the largest, and with every observation in
+// one bucket every quantile is that bucket's bound. A NaN q returns 0
+// rather than relying on the platform-defined float→uint conversion.
 func (h Histogram) Quantile(q float64) time.Duration {
 	total := h.Count()
-	if total == 0 {
+	if total == 0 || math.IsNaN(q) {
 		return 0
 	}
 	if q < 0 {
@@ -244,7 +266,14 @@ type WorkerStats struct {
 	Units int64
 }
 
-const snapshotMagic = "IMPT\x02"
+// The snapshot wire versions. v2 ("IMPT\x02") added the pool-saturation
+// counter and the per-worker block; v1 ("IMPT\x01") snapshots from older
+// servers carry neither and decode with those fields zero. Encode always
+// writes the current version.
+const (
+	snapshotMagic   = "IMPT\x02"
+	snapshotMagicV1 = "IMPT\x01"
+)
 
 // Encode serializes the snapshot for the Stats RPC.
 func (sn Snapshot) Encode() []byte {
@@ -272,33 +301,45 @@ func (sn Snapshot) Encode() []byte {
 }
 
 // DecodeSnapshot parses an encoded snapshot, rejecting any it cannot prove
-// intact (including ones from a build with different histogram geometry).
+// intact. Both wire versions are accepted: v1 snapshots from older servers
+// decode with zero pool saturation and no worker block. The sender's RPC
+// list may be shorter than this build's — the list is append-only, so a
+// shorter list is a prefix and the newer RPCs' histograms stay zero — but
+// never longer, and the bucket geometry must match exactly (bucket
+// boundaries are positional; mismatched counts cannot be reconciled).
 func DecodeSnapshot(data []byte) (Snapshot, error) {
 	d := wire.NewDecoder(data)
-	d.Magic(snapshotMagic)
+	v1 := len(data) >= len(snapshotMagicV1) && string(data[:len(snapshotMagicV1)]) == snapshotMagicV1
+	if v1 {
+		d.Magic(snapshotMagicV1)
+	} else {
+		d.Magic(snapshotMagic)
+	}
 	var sn Snapshot
 	sn.TuplesIngested = d.I64()
 	sn.Batches = d.I64()
 	sn.BatchesRejected = d.I64()
 	sn.Merges = d.I64()
 	sn.QueueHighWater = d.I64()
-	sn.PoolSaturation = d.I64()
-	// The worker count is the sender's pool size — data, not geometry: any
-	// count round-trips.
-	nworkers := d.Count(16)
-	if d.Err() == nil && nworkers > 0 {
-		sn.Workers = make([]WorkerStats, nworkers)
-		for i := 0; i < nworkers; i++ {
-			sn.Workers[i] = WorkerStats{Tasks: d.I64(), Units: d.I64()}
+	if !v1 {
+		sn.PoolSaturation = d.I64()
+		// The worker count is the sender's pool size — data, not geometry:
+		// any count round-trips.
+		nworkers := d.Count(16)
+		if d.Err() == nil && nworkers > 0 {
+			sn.Workers = make([]WorkerStats, nworkers)
+			for i := 0; i < nworkers; i++ {
+				sn.Workers[i] = WorkerStats{Tasks: d.I64(), Units: d.I64()}
+			}
 		}
 	}
 	nrpc := d.U32()
 	nbuckets := d.U32()
-	if d.Err() == nil && (nrpc != uint32(NumRPCs) || nbuckets != HistBuckets) {
-		return Snapshot{}, fmt.Errorf("%w: histogram geometry %d×%d (want %d×%d)",
+	if d.Err() == nil && (nrpc > uint32(NumRPCs) || nbuckets != HistBuckets) {
+		return Snapshot{}, fmt.Errorf("%w: histogram geometry %d×%d (want <=%d×%d)",
 			wire.ErrCorrupt, nrpc, nbuckets, NumRPCs, HistBuckets)
 	}
-	for r := RPC(0); r < NumRPCs; r++ {
+	for r := 0; d.Err() == nil && r < int(nrpc); r++ {
 		for b := 0; b < HistBuckets; b++ {
 			sn.Latency[r].Counts[b] = d.U64()
 		}

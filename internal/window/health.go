@@ -1,0 +1,27 @@
+package window
+
+import "implicate/internal/imps"
+
+// Health reports the sliding vector's aggregate health: the saturation and
+// error fields come from the windowed estimator (the one queries read), the
+// footprint fields sum over every live slot — the vector pays for all of
+// them, not just the one being read. Not safe for concurrent use (the
+// engine's statement lock serializes it against Add).
+func (s *Sliding) Health() imps.HealthReport {
+	var h imps.HealthReport
+	if hr, ok := s.window().(imps.HealthReporter); ok {
+		h = hr.Health()
+	}
+	h.Tuples = s.n
+	h.MemEntries = 0
+	h.MemBytes = 0
+	for _, sl := range s.slots {
+		h.MemEntries += sl.est.MemEntries()
+		if hr, ok := sl.est.(imps.HealthReporter); ok {
+			h.MemBytes += hr.Health().MemBytes
+		}
+	}
+	return h
+}
+
+var _ imps.HealthReporter = (*Sliding)(nil)

@@ -2,6 +2,8 @@ package implicate
 
 import (
 	"implicate/internal/client"
+	"implicate/internal/imps"
+	"implicate/internal/obs"
 	"implicate/internal/proto"
 	"implicate/internal/server"
 	"implicate/internal/telemetry"
@@ -10,12 +12,15 @@ import (
 // Serving layer (DESIGN.md §9): the paper's §2 deployment is distributed —
 // leaf nodes sketch their local streams and ship state upstream — and this
 // is its wire. Serve starts a TCP server speaking a length-prefixed,
-// CRC-tagged binary protocol with four RPCs: IngestBatch (remote tuple
+// CRC-tagged binary protocol whose RPCs are IngestBatch (remote tuple
 // feed through a bounded queue with explicit backpressure), Query (read a
 // registered statement's count), SnapshotMerge (merge a leaf's marshalled
-// sketch into an aggregator — the §2 tree over a real network) and Stats
-// (runtime telemetry). Dial returns a pooled, pipelining client. The
-// cmd/impserved command wraps Serve for standalone deployment.
+// sketch into an aggregator — the §2 tree over a real network), Stats
+// (runtime telemetry), Health (per-statement estimator introspection) and
+// Trace (the server's span ring). Dial returns a pooled, pipelining
+// client. The cmd/impserved command wraps Serve for standalone deployment,
+// and ServeAdmin adds the read-only HTTP admin endpoint (/metrics,
+// /healthz, /trace, pprof) described in DESIGN.md §11.
 
 // Server is a running ingest/query server; see Serve.
 type Server = server.Server
@@ -44,6 +49,21 @@ type ServerStats = telemetry.Snapshot
 // the server engine's applied-tuple total at the time of the read.
 type QueryResult = proto.QueryResult
 
+// HealthReport is one statement's estimator-health introspection record:
+// memory footprint, bitmap fill, fringe occupancy and eviction counts, and
+// the estimator's self-assessed relative error. Client.Health returns one
+// per registered statement.
+type HealthReport = imps.HealthReport
+
+// TraceSpan is one event from the server's span ring — a planned batch, a
+// dispatched batch, a worker apply, a merge, a checkpoint or a handled RPC,
+// with wall times and per-kind attribution. Client.Trace returns the ring's
+// recent spans when the server runs with ServerConfig.TraceSpans > 0.
+type TraceSpan = obs.Span
+
+// AdminServer is a running admin HTTP endpoint; see ServeAdmin.
+type AdminServer = obs.AdminServer
+
 // ErrBackpressure is returned by Client.IngestBatch when the server kept
 // refusing the batch for longer than the client's retry budget. The batch
 // was never enqueued; retrying later is safe.
@@ -60,7 +80,17 @@ func Serve(cfg ServerConfig) (*Server, error) { return server.Listen(cfg) }
 // IngestBatch and may be nil for query/merge/stats-only clients. The
 // returned client pipelines requests over a small connection pool, retries
 // backpressure replies with exponential backoff, and retries idempotent
-// requests (Query, Stats) across redials.
+// requests (Query, Stats, Health, Trace) across redials.
 func Dial(addr string, schema *Schema, opt ClientOptions) (*Client, error) {
 	return client.Dial(addr, schema, opt)
+}
+
+// ServeAdmin starts the read-only HTTP admin endpoint for a running
+// server: Prometheus-text /metrics, /healthz, a JSON /trace span dump, and
+// the pprof suite under /debug/pprof/. The endpoint is unauthenticated —
+// bind it to loopback or an operations network, never the ingest address.
+// Close the returned AdminServer before (or after) closing srv; the two
+// are independent.
+func ServeAdmin(addr string, srv *Server) (*AdminServer, error) {
+	return obs.ListenAdmin(addr, srv)
 }
