@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race race bench bench-serve bench-obs examples experiments paper clean checkpoint-fault serve-smoke serve-soak obs-smoke
+.PHONY: all build vet test test-race race bench bench-serve bench-ingest bench-obs bench-gate examples experiments paper clean checkpoint-fault serve-smoke serve-soak obs-smoke
 
 all: build vet test
 
@@ -52,17 +52,32 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Serving-layer end-to-end throughput: impbench drives loopback impserved
-# ingest at pipeline pool sizes 1 and 4 and records the rows (plus the
-# cross-size count-equality check) in BENCH_serve.json.
+# ingest over both transports at pipeline pool sizes 1 and 4 and GOMAXPROCS
+# 1 and 4, recording the rows (plus the cross-variant count-equality check)
+# in BENCH_serve.json.
 bench-serve:
-	$(GO) run ./cmd/impbench -exp serve -workers 1,4 -json BENCH_serve.json
+	$(GO) run ./cmd/impbench -exp serve -workers 1,4 -procs 1,4 -json BENCH_serve.json
+
+# Throughput regression gate: re-run the serve experiment and fail if the
+# best tuples/sec per transport falls more than 25% below the committed
+# BENCH_serve.json. The tolerance absorbs run-to-run scheduler and CI-host
+# noise (single runs of a multi-second wall-clock measurement routinely
+# wobble 10-15%); a real fast-path regression — a reintroduced per-frame
+# allocation, a lost writev batch — costs far more than 25%.
+bench-gate:
+	$(GO) run ./cmd/impbench -exp serve -workers 1,4 -procs 1,4 -gate BENCH_serve.json
+
+# Library-level ingest throughput (serial vs mutex vs sharded) at
+# GOMAXPROCS 1 and 4, recorded in BENCH_ingest.json.
+bench-ingest:
+	$(GO) run ./cmd/impbench -exp ingest -procs 1,4 -json BENCH_ingest.json
 
 # Observability overhead: the serve harness with the full observability
 # layer off and on (tracer in every layer + a live /metrics scraper),
 # recording the throughput delta in BENCH_obs.json. The delta is the
 # guardrail: instrumentation must stay within a few percent.
 bench-obs:
-	$(GO) run ./cmd/impbench -exp obs -json BENCH_obs.json
+	$(GO) run ./cmd/impbench -exp obs -procs 1,4 -json BENCH_obs.json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -13,14 +13,18 @@ import (
 )
 
 type config struct {
-	exp      string
-	paper    bool
-	runs     int
-	seed     int64
-	cards    string
-	parallel int
-	jsonOut  string
-	workers  string
+	exp        string
+	paper      bool
+	runs       int
+	seed       int64
+	cards      string
+	parallel   int
+	jsonOut    string
+	workers    string
+	procs      string
+	transports string
+	window     int
+	gate       string
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -35,6 +39,10 @@ func parseFlags(args []string) (*config, error) {
 	fs.IntVar(&cfg.parallel, "parallel", 0, "ingest producers (default GOMAXPROCS)")
 	fs.StringVar(&cfg.jsonOut, "json", "", "also write the ingest/serve rows as JSON to this file (last selected experiment wins)")
 	fs.StringVar(&cfg.workers, "workers", "", "override the serve experiment's pool-size sweep (comma-separated)")
+	fs.StringVar(&cfg.procs, "procs", "", "GOMAXPROCS sweep for ingest/serve/obs (comma-separated; default: current setting)")
+	fs.StringVar(&cfg.transports, "transports", "", "serve experiment transports (comma-separated from tcp,udp; default both)")
+	fs.IntVar(&cfg.window, "window", 0, "serve experiment per-producer pipelining window in batches (default 16)")
+	fs.StringVar(&cfg.gate, "gate", "", "compare serve throughput against this baseline JSON and fail on a >25% regression")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -50,6 +58,25 @@ func run(cfg *config, w io.Writer) error {
 	}
 	want := func(name string) bool { return wanted["all"] || wanted[name] }
 	ran := false
+
+	intList := func(flagName, v string) ([]int, error) {
+		if v == "" {
+			return nil, nil
+		}
+		var out []int
+		for _, s := range strings.Split(v, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return nil, fmt.Errorf("bad %s value %q", flagName, s)
+			}
+			out = append(out, n)
+		}
+		return out, nil
+	}
+	procs, err := intList("-procs", cfg.procs)
+	if err != nil {
+		return err
+	}
 
 	datasetOne := func(figure string, c int) error {
 		dcfg := experiments.DatasetOneConfig{C: c, Seed: cfg.seed, Runs: cfg.runs}
@@ -203,6 +230,7 @@ func run(cfg *config, w io.Writer) error {
 		icfg := experiments.IngestConfig{
 			Tuples:    500_000,
 			Producers: cfg.parallel,
+			Procs:     procs,
 			Seed:      cfg.seed,
 		}
 		if cfg.paper {
@@ -232,19 +260,25 @@ func run(cfg *config, w io.Writer) error {
 
 	if want("serve") {
 		ran = true
-		scfg := experiments.ServeConfig{Seed: cfg.seed, Producers: cfg.parallel}
+		scfg := experiments.ServeConfig{
+			Seed:      cfg.seed,
+			Producers: cfg.parallel,
+			Procs:     procs,
+			Window:    cfg.window,
+		}
 		if cfg.paper {
 			scfg.Tuples = 2_000_000
 		}
-		if cfg.workers != "" {
-			for _, v := range strings.Split(cfg.workers, ",") {
-				n, err := strconv.Atoi(strings.TrimSpace(v))
-				if err != nil {
-					return fmt.Errorf("bad -workers value %q", v)
-				}
-				scfg.Workers = append(scfg.Workers, n)
+		if cfg.transports != "" {
+			for _, t := range strings.Split(cfg.transports, ",") {
+				scfg.Transports = append(scfg.Transports, strings.TrimSpace(t))
 			}
 		}
+		workers, err := intList("-workers", cfg.workers)
+		if err != nil {
+			return err
+		}
+		scfg.Workers = workers
 		start := time.Now()
 		rows, err := experiments.RunServe(scfg)
 		if err != nil {
@@ -252,6 +286,18 @@ func run(cfg *config, w io.Writer) error {
 		}
 		experiments.PrintServe(w, scfg, rows)
 		fmt.Fprintf(w, "(%v)\n\n", time.Since(start).Round(time.Millisecond))
+		if cfg.gate != "" {
+			f, err := os.Open(cfg.gate)
+			if err != nil {
+				return err
+			}
+			gateErr := experiments.GateServe(f, rows, 0.25)
+			f.Close()
+			if gateErr != nil {
+				return gateErr
+			}
+			fmt.Fprintf(w, "gate: within 25%% of %s\n\n", cfg.gate)
+		}
 		if cfg.jsonOut != "" {
 			f, err := os.Create(cfg.jsonOut)
 			if err != nil {
@@ -269,7 +315,7 @@ func run(cfg *config, w io.Writer) error {
 
 	if want("obs") {
 		ran = true
-		ocfg := experiments.ObsConfig{Seed: cfg.seed, Producers: cfg.parallel}
+		ocfg := experiments.ObsConfig{Seed: cfg.seed, Producers: cfg.parallel, Procs: procs}
 		if cfg.paper {
 			ocfg.Tuples = 2_000_000
 		}

@@ -62,11 +62,14 @@ func main() {
 	ready := make(chan addrs, 1)
 	go func() {
 		a := <-ready
-		if a.admin != "" {
-			log.Printf("listening on %s, admin on http://%s", a.server, a.admin)
-		} else {
-			log.Printf("listening on %s", a.server)
+		line := "listening on " + a.server
+		if a.udp != "" {
+			line += ", udp ingest on " + a.udp
 		}
+		if a.admin != "" {
+			line += ", admin on http://" + a.admin
+		}
+		log.Print(line)
 	}()
 	if err := serve(cfg, ready, stop, os.Stdout); err != nil {
 		log.Fatal(err)

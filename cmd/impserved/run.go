@@ -28,6 +28,7 @@ func (q *queryList) Set(v string) error {
 // config carries the parsed command line.
 type config struct {
 	addr    string
+	udp     string
 	schema  string
 	queries queryList
 	backend string
@@ -50,6 +51,7 @@ func parseFlags(args []string) (*config, []string, error) {
 	fs := flag.NewFlagSet("impserved", flag.ContinueOnError)
 	cfg := &config{}
 	fs.StringVar(&cfg.addr, "addr", ":7171", "TCP listen address")
+	fs.StringVar(&cfg.udp, "udp", "", "UDP ingest lane listen address (at-most-once datagram batches); empty: off")
 	fs.StringVar(&cfg.schema, "schema", "", "comma-separated stream attribute names (required)")
 	fs.Var(&cfg.queries, "q", "implication query to serve (repeatable; required unless -resume)")
 	fs.StringVar(&cfg.backend, "backend", "nips", "estimator backend: nips, sharded, exact, exact-striped, ilc, ds")
@@ -154,6 +156,7 @@ func buildEngine(cfg *config, schema *implicate.Schema) (*implicate.Engine, erro
 // addrs carries the bound listen addresses serve reports on ready.
 type addrs struct {
 	server string
+	udp    string // empty when -udp is off
 	admin  string // empty when -admin is off
 }
 
@@ -176,6 +179,7 @@ func serve(cfg *config, ready chan<- addrs, stop <-chan struct{}, out io.Writer)
 	}
 	srv, err := implicate.Serve(implicate.ServerConfig{
 		Addr:            cfg.addr,
+		UDPAddr:         cfg.udp,
 		Schema:          schema,
 		Engine:          eng,
 		QueueDepth:      cfg.queue,
@@ -207,7 +211,7 @@ func serve(cfg *config, ready chan<- addrs, stop <-chan struct{}, out io.Writer)
 			}
 		}()
 	}
-	ready <- addrs{server: srv.Addr(), admin: adminAddr(admin)}
+	ready <- addrs{server: srv.Addr(), udp: srv.UDPAddr(), admin: adminAddr(admin)}
 	<-stop
 	if err := srv.Close(); err != nil {
 		return err
@@ -245,6 +249,9 @@ func printSummary(out io.Writer, eng *implicate.Engine, sn implicate.ServerStats
 	}
 	fmt.Fprintf(out, "tuples=%d batches=%d rejected=%d merges=%d queue-high-water=%d\n",
 		sn.TuplesIngested, sn.Batches, sn.BatchesRejected, sn.Merges, sn.QueueHighWater)
+	if sn.UDPDatagrams > 0 || sn.UDPDups > 0 || sn.UDPDrops > 0 {
+		fmt.Fprintf(out, "udp: datagrams=%d dups=%d drops=%d\n", sn.UDPDatagrams, sn.UDPDups, sn.UDPDrops)
+	}
 	if len(sn.Workers) > 0 {
 		fmt.Fprintf(out, "pool: %d workers, %d saturated dispatches\n", len(sn.Workers), sn.PoolSaturation)
 		for w, ws := range sn.Workers {

@@ -293,6 +293,78 @@ func (cl *Client) IngestEncoded(payload []byte, n int64) error {
 	}
 }
 
+// PendingIngest is one in-flight IngestAsync batch. Wait must be called
+// exactly once; until then the caller must keep the encoded payload
+// unmodified (the pending request retains it for busy-retry resends).
+type PendingIngest struct {
+	cl      *Client
+	c       *conn
+	id      uint64
+	ch      chan proto.Frame
+	payload []byte
+	n       int64
+}
+
+// IngestAsync sends an EncodeBatch-serialized batch of n tuples without
+// waiting for the acknowledgement, enabling a window of pipelined batches
+// per connection — the synchronous IngestEncoded pays a full round trip
+// per batch, which caps throughput at batch-size ÷ RTT regardless of how
+// fast the server is. Callers keep at most a bounded number of pendings
+// open and Wait on the oldest before sending more.
+func (cl *Client) IngestAsync(payload []byte, n int64) (*PendingIngest, error) {
+	c, err := cl.getConn()
+	if err != nil {
+		return nil, err
+	}
+	id, ch, err := c.send(proto.TIngest, payload)
+	if err != nil {
+		return nil, err
+	}
+	return &PendingIngest{cl: cl, c: c, id: id, ch: ch, payload: payload, n: n}, nil
+}
+
+// Wait blocks for the batch's acknowledgement. A backpressure reply means
+// the batch was NOT enqueued, so Wait absorbs it by re-sending
+// synchronously through IngestEncoded's retry loop. On success every
+// tuple was acknowledged as enqueued; the error contract matches
+// IngestEncoded.
+//
+// Ordering caveat: a re-sent batch is applied after any pipelined
+// successors the server already accepted. No queue-depth sizing on the
+// client side can rule refusals out (acknowledgements confirm enqueueing,
+// so the queue can be full of batches that were already acked when a new
+// frame arrives). Producers that rely on per-connection tuple order must
+// either run against a server configured with BlockOnFull — which never
+// refuses, it stalls the reader instead — or keep the window at one.
+func (p *PendingIngest) Wait() error {
+	f, err := p.c.await(p.id, p.ch, proto.TIngest, p.cl.opt.RequestTimeout)
+	if err != nil {
+		return err
+	}
+	switch f.Type {
+	case proto.TOK:
+		ack, err := proto.DecodeIngestAck(f.Payload)
+		if err != nil {
+			return err
+		}
+		if ack.Tuples != p.n {
+			return fmt.Errorf("client: server acknowledged %d of %d tuples", ack.Tuples, p.n)
+		}
+		return nil
+	case proto.TBusy:
+		busy, err := proto.DecodeBusy(f.Payload)
+		if err != nil {
+			return err
+		}
+		p.cl.backoff(0, busy.RetryAfter)
+		return p.cl.IngestEncoded(p.payload, p.n)
+	case proto.TError:
+		return remoteError(f)
+	default:
+		return fmt.Errorf("client: unexpected %s reply to ingest", f.Type)
+	}
+}
+
 // Query returns the current answer of the statement registered at index
 // stmt on the server, together with the server's processed-tuple count.
 func (cl *Client) Query(stmt int) (proto.QueryResult, error) {
@@ -386,6 +458,7 @@ func remoteError(f proto.Frame) error {
 type conn struct {
 	nc     net.Conn
 	wmu    sync.Mutex
+	wbuf   []byte // encode scratch, under wmu; steady-state sends allocate nothing
 	nextID atomic.Uint64
 
 	pmu     sync.Mutex
@@ -415,8 +488,9 @@ func (c *conn) close(cause error) {
 }
 
 func (c *conn) readLoop() {
+	fr := proto.NewFrameReader(c.nc)
 	for {
-		f, err := proto.ReadFrame(c.nc)
+		f, err := fr.Next()
 		if err != nil {
 			c.close(fmt.Errorf("client: connection lost: %w", err))
 			return
@@ -428,32 +502,46 @@ func (c *conn) readLoop() {
 		}
 		c.pmu.Unlock()
 		if ok {
+			// The payload aliases the FrameReader's buffer; the waiter may
+			// consume it after the next read, so it gets its own copy.
+			f.Payload = append([]byte(nil), f.Payload...)
 			ch <- f
 		}
 		// Unmatched ids are responses whose caller timed out; drop them.
 	}
 }
 
-func (c *conn) roundTrip(t proto.Type, payload []byte, timeout time.Duration) (proto.Frame, error) {
+// send registers a fresh request id and writes the request frame. The
+// returned channel yields the response (or closes when the connection
+// dies); pass it to await.
+func (c *conn) send(t proto.Type, payload []byte) (uint64, chan proto.Frame, error) {
 	id := c.nextID.Add(1)
 	ch := make(chan proto.Frame, 1)
 	c.pmu.Lock()
 	if c.err != nil {
 		err := c.err
 		c.pmu.Unlock()
-		return proto.Frame{}, err
+		return 0, nil, err
 	}
 	c.pending[id] = ch
 	c.pmu.Unlock()
 
 	c.wmu.Lock()
-	err := proto.WriteFrame(c.nc, proto.Frame{Type: t, ID: id, Payload: payload})
+	buf, err := proto.AppendFrame(c.wbuf[:0], proto.Frame{Type: t, ID: id, Payload: payload})
+	if err == nil {
+		c.wbuf = buf
+		_, err = c.nc.Write(buf)
+	}
 	c.wmu.Unlock()
 	if err != nil {
 		c.close(fmt.Errorf("client: write: %w", err))
-		return proto.Frame{}, err
+		return 0, nil, err
 	}
+	return id, ch, nil
+}
 
+// await blocks for the response to a send-registered request.
+func (c *conn) await(id uint64, ch chan proto.Frame, t proto.Type, timeout time.Duration) (proto.Frame, error) {
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
@@ -471,4 +559,12 @@ func (c *conn) roundTrip(t proto.Type, payload []byte, timeout time.Duration) (p
 		c.pmu.Unlock()
 		return proto.Frame{}, fmt.Errorf("client: %s request timed out after %v", t, timeout)
 	}
+}
+
+func (c *conn) roundTrip(t proto.Type, payload []byte, timeout time.Duration) (proto.Frame, error) {
+	id, ch, err := c.send(t, payload)
+	if err != nil {
+		return proto.Frame{}, err
+	}
+	return c.await(id, ch, t, timeout)
 }

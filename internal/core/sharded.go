@@ -239,6 +239,15 @@ func (ss *ShardedSketch) IngestPartition(a []byte, n int) int {
 	return int(ss.ahash.SumBytes(a) & uint64(n-1))
 }
 
+// IngestPartitionString implements imps.StringPartitioner; see
+// IngestPartition.
+func (ss *ShardedSketch) IngestPartitionString(a string, n int) int {
+	if n > len(ss.shards) {
+		n = len(ss.shards)
+	}
+	return int(ss.ahash.Sum(a) & uint64(n-1))
+}
+
 // HashPair pre-hashes one encoded itemset pair for AddHashedBatch. Producer
 // goroutines can hash their tuples without any lock and hand the sketch
 // ready-routed batches.

@@ -9,6 +9,7 @@ package exact
 
 import (
 	"sort"
+	"strings"
 
 	"implicate/internal/imps"
 )
@@ -61,21 +62,25 @@ func MustCounter(cond imps.Conditions) *Counter {
 // Conditions returns the implication conditions.
 func (c *Counter) Conditions() imps.Conditions { return c.cond }
 
-// Add observes one tuple.
+// Add observes one tuple. Key strings are cloned on first insert: callers
+// on the zero-copy planning path hand keys that alias a whole batch
+// buffer, and a map key that outlives the call must not pin it.
 func (c *Counter) Add(a, b string) {
 	c.tuples++
 	st := c.items[a]
 	if st == nil {
 		st = &state{perB: make(map[string]int64, 1)}
-		c.items[a] = st
+		c.items[strings.Clone(a)] = st
 		c.entries++
 	}
 	st.supp++
 	if !st.out {
-		if _, ok := st.perB[b]; !ok {
+		if _, ok := st.perB[b]; ok {
+			st.perB[b]++
+		} else {
 			c.entries++
+			st.perB[strings.Clone(b)] = 1
 		}
-		st.perB[b]++
 	}
 	if st.supp == c.cond.MinSupport {
 		c.supported++

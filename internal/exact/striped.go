@@ -88,9 +88,18 @@ func (s *Striped) Add(a, b string) {
 	st.mu.Unlock()
 }
 
-// AddBatch observes a batch of encoded itemset pairs, taking each stripe
-// lock at most once for the whole batch.
+// AddBatch observes a batch of encoded itemset pairs, hashing each key
+// once and holding each stripe lock across runs of consecutive same-stripe
+// pairs. Pairs are applied in batch order, which preserves per-key order —
+// all a key's pairs share a stripe — so the result matches the serial
+// Counter. A planned partition bucket (query.Statement.PlanPartitions) is
+// entirely one stripe whenever the partition count is at least the stripe
+// count, both being low bits of the same hash: the common case is one
+// lock acquisition for the whole bucket.
 func (s *Striped) AddBatch(pairs []imps.Pair) {
+	if len(pairs) == 0 {
+		return
+	}
 	if len(s.stripes) == 1 {
 		st := &s.stripes[0]
 		st.mu.Lock()
@@ -100,23 +109,19 @@ func (s *Striped) AddBatch(pairs []imps.Pair) {
 		st.mu.Unlock()
 		return
 	}
-	for si := range s.stripes {
-		st := &s.stripes[si]
-		locked := false
-		for i := range pairs {
-			if s.hash.Sum(pairs[i].A)&s.mask != uint64(si) {
-				continue
+	cur := -1
+	for i := range pairs {
+		si := int(s.hash.Sum(pairs[i].A) & s.mask)
+		if si != cur {
+			if cur >= 0 {
+				s.stripes[cur].mu.Unlock()
 			}
-			if !locked {
-				st.mu.Lock()
-				locked = true
-			}
-			st.c.Add(pairs[i].A, pairs[i].B)
+			s.stripes[si].mu.Lock()
+			cur = si
 		}
-		if locked {
-			st.mu.Unlock()
-		}
+		s.stripes[si].c.Add(pairs[i].A, pairs[i].B)
 	}
+	s.stripes[cur].mu.Unlock()
 }
 
 // IngestPartition implements imps.PartitionedAdder: the partition is the
@@ -127,6 +132,12 @@ func (s *Striped) AddBatch(pairs []imps.Pair) {
 // only guard memory, never ordering.
 func (s *Striped) IngestPartition(a []byte, n int) int {
 	return int(s.hash.SumBytes(a) & uint64(n-1))
+}
+
+// IngestPartitionString implements imps.StringPartitioner; see
+// IngestPartition.
+func (s *Striped) IngestPartitionString(a string, n int) int {
+	return int(s.hash.Sum(a) & uint64(n-1))
 }
 
 func (s *Striped) lockAll() {

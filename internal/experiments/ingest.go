@@ -28,6 +28,9 @@ type IngestConfig struct {
 	Shards []int
 	// Batch is the AddBatch chunk size for the batched variants.
 	Batch int
+	// Procs lists the GOMAXPROCS values to sweep; defaults to the current
+	// setting only.
+	Procs []int
 	// Seed drives the workload generator.
 	Seed int64
 	// Options configure every sketch identically.
@@ -47,6 +50,9 @@ func (c IngestConfig) withDefaults() IngestConfig {
 	if c.Batch == 0 {
 		c.Batch = 256
 	}
+	if len(c.Procs) == 0 {
+		c.Procs = []int{runtime.GOMAXPROCS(0)}
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -58,6 +64,8 @@ type IngestRow struct {
 	// Variant names the ingest path: serial, serial-batch, mutex,
 	// mutex-batch, sharded-N, sharded-N-batch.
 	Variant string `json:"variant"`
+	// Procs is the GOMAXPROCS value the variant ran under.
+	Procs int `json:"gomaxprocs"`
 	// Producers is the number of concurrent feeders (1 for serial).
 	Producers int `json:"producers"`
 	// Tuples is the stream length.
@@ -133,7 +141,6 @@ func chunks(pairs []imps.Pair, n int, each func([]imps.Pair)) {
 // key hashing is inside the timed region for every variant.
 func RunIngest(cfg IngestConfig) ([]IngestRow, error) {
 	cfg = cfg.withDefaults()
-	cond := ingestCond()
 
 	d, err := gen.NewDatasetOne(gen.DatasetOneConfig{
 		CardA: cfg.Tuples / 10,
@@ -154,9 +161,25 @@ func RunIngest(cfg IngestConfig) ([]IngestRow, error) {
 	pairs = pairs[:cfg.Tuples]
 
 	var rows []IngestRow
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+	for _, procs := range cfg.Procs {
+		runtime.GOMAXPROCS(procs)
+		if err := runIngestVariants(cfg, pairs, procs, &rows); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// runIngestVariants runs every variant once under the current GOMAXPROCS
+// and appends the measured rows.
+func runIngestVariants(cfg IngestConfig, pairs []imps.Pair, procs int, rows *[]IngestRow) error {
+	cond := ingestCond()
 	record := func(variant string, producers int, dur time.Duration, impl float64) {
-		rows = append(rows, IngestRow{
+		*rows = append(*rows, IngestRow{
 			Variant:      variant,
+			Procs:        procs,
 			Producers:    producers,
 			Tuples:       len(pairs),
 			Seconds:      dur.Seconds(),
@@ -168,7 +191,7 @@ func RunIngest(cfg IngestConfig) ([]IngestRow, error) {
 	{
 		sk, err := core.NewSketch(cond, cfg.Options)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		start := time.Now()
 		for _, p := range pairs {
@@ -203,7 +226,7 @@ func RunIngest(cfg IngestConfig) ([]IngestRow, error) {
 	for _, n := range cfg.Shards {
 		ss, err := core.NewShardedSketch(cond, cfg.Options, n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dur := feedConcurrent(pairs, cfg.Producers, func(part []imps.Pair) {
 			for _, p := range part {
@@ -218,18 +241,18 @@ func RunIngest(cfg IngestConfig) ([]IngestRow, error) {
 		})
 		record(fmt.Sprintf("sharded-%d-batch", n), cfg.Producers, dur, ssb.ImplicationCount())
 	}
-	return rows, nil
+	return nil
 }
 
 // PrintIngest writes the throughput table.
 func PrintIngest(w io.Writer, cfg IngestConfig, rows []IngestRow) {
 	cfg = cfg.withDefaults()
-	fmt.Fprintf(w, "Ingestion throughput (%d tuples, %d producers, batch %d, GOMAXPROCS %d)\n",
-		cfg.Tuples, cfg.Producers, cfg.Batch, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "Ingestion throughput (%d tuples, %d producers, batch %d)\n",
+		cfg.Tuples, cfg.Producers, cfg.Batch)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "variant\tproducers\ttuples/s\tseconds\timplications")
+	fmt.Fprintln(tw, "variant\tprocs\tproducers\ttuples/s\tseconds\timplications")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.3f\t%.1f\n", r.Variant, r.Producers, r.TuplesPerSec, r.Seconds, r.Implications)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\t%.3f\t%.1f\n", r.Variant, r.Procs, r.Producers, r.TuplesPerSec, r.Seconds, r.Implications)
 	}
 	tw.Flush()
 }
@@ -239,7 +262,6 @@ type ingestReport struct {
 	Tuples    int         `json:"tuples"`
 	Producers int         `json:"producers"`
 	Batch     int         `json:"batch"`
-	MaxProcs  int         `json:"gomaxprocs"`
 	Rows      []IngestRow `json:"rows"`
 }
 
@@ -252,7 +274,6 @@ func WriteIngestJSON(w io.Writer, cfg IngestConfig, rows []IngestRow) error {
 		Tuples:    cfg.Tuples,
 		Producers: cfg.Producers,
 		Batch:     cfg.Batch,
-		MaxProcs:  runtime.GOMAXPROCS(0),
 		Rows:      rows,
 	})
 }

@@ -41,6 +41,9 @@ type ObsConfig struct {
 	TraceSpans int
 	// ScrapeEvery is the observed variant's /metrics poll interval.
 	ScrapeEvery time.Duration
+	// Procs lists the GOMAXPROCS values to sweep; defaults to the current
+	// setting only.
+	Procs []int
 	// Seed drives the workload generator.
 	Seed int64
 }
@@ -67,6 +70,9 @@ func (c ObsConfig) withDefaults() ObsConfig {
 	if c.ScrapeEvery == 0 {
 		c.ScrapeEvery = 50 * time.Millisecond
 	}
+	if len(c.Procs) == 0 {
+		c.Procs = []int{runtime.GOMAXPROCS(0)}
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -78,6 +84,8 @@ type ObsRow struct {
 	// Observed marks the instrumented variant: tracing on in every layer,
 	// admin endpoint up, a scraper polling /metrics throughout the run.
 	Observed bool `json:"observed"`
+	// Procs is the GOMAXPROCS value the variant ran under.
+	Procs int `json:"gomaxprocs"`
 	// Workers is the pipeline pool size.
 	Workers int `json:"workers"`
 	// Tuples is the stream length.
@@ -135,10 +143,6 @@ func RunObs(cfg ObsConfig) ([]ObsRow, error) {
 		p := int(h % uint64(cfg.Producers))
 		byProducer[p] = append(byProducer[p], t)
 	}
-	type encBatch struct {
-		payload []byte
-		n       int64
-	}
 	payloads := make([][]encBatch, cfg.Producers)
 	for p := range byProducer {
 		own := byProducer[p]
@@ -152,159 +156,189 @@ func RunObs(cfg ObsConfig) ([]ObsRow, error) {
 		}
 	}
 
-	// The first server of a process is the warmup: it pays the page faults,
-	// map growth and scheduler ramp-up that would otherwise be billed to
-	// whichever variant ran first. Its row is discarded.
+	// The first server of each GOMAXPROCS setting is the warmup: it pays
+	// the page faults, map growth and scheduler ramp-up that would
+	// otherwise be billed to whichever variant ran first. Its row is
+	// discarded.
 	variants := []struct{ observed, record bool }{{true, false}, {false, true}, {true, true}}
 	var rows []ObsRow
-	for _, v := range variants {
-		observed := v.observed
-		eng := query.NewEngine(schema)
-		st, err := eng.RegisterSQL(serveSQL, func(cond imps.Conditions) (imps.Estimator, error) {
-			return exact.NewStriped(cond, 0)
-		})
-		if err != nil {
-			return nil, err
-		}
-		scfg := server.Config{
-			Addr:       "127.0.0.1:0",
-			Schema:     schema,
-			Engine:     eng,
-			QueueDepth: cfg.Queue,
-			Workers:    cfg.Workers,
-		}
-		if observed {
-			scfg.TraceSpans = cfg.TraceSpans
-		}
-		srv, err := server.Listen(scfg)
-		if err != nil {
-			return nil, err
-		}
-
-		// The observed variant pays for the whole layer: admin endpoint up
-		// and a scraper walking /metrics (telemetry snapshot + full health
-		// walk) for the duration of the run.
-		var admin *obs.AdminServer
-		var scrapes int64
-		scrapeDone := make(chan struct{})
-		stopScrape := make(chan struct{})
-		if observed {
-			admin, err = obs.ListenAdmin("127.0.0.1:0", srv)
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+	for _, procs := range cfg.Procs {
+		runtime.GOMAXPROCS(procs)
+		for _, v := range variants {
+			row, err := runObsVariant(cfg, schema, payloads, procs, v.observed)
 			if err != nil {
 				return nil, err
 			}
-			go func() {
-				defer close(scrapeDone)
-				hc := &http.Client{Timeout: 5 * time.Second}
-				for {
-					select {
-					case <-stopScrape:
-						return
-					case <-time.After(cfg.ScrapeEvery):
-					}
-					resp, err := hc.Get("http://" + admin.Addr + "/metrics")
-					if err != nil {
-						continue // server mid-shutdown
-					}
-					_, _ = io.Copy(io.Discard, resp.Body)
-					resp.Body.Close()
-					scrapes++
-				}
-			}()
-		} else {
-			close(scrapeDone)
+			if v.record {
+				rows = append(rows, row)
+			}
 		}
-
-		var wg sync.WaitGroup
-		errs := make(chan error, cfg.Producers)
-		start := time.Now()
-		for p := 0; p < cfg.Producers; p++ {
-			wg.Add(1)
-			go func(p int) {
-				defer wg.Done()
-				cl, err := client.Dial(srv.Addr(), schema, client.Options{
-					Conns:       1,
-					BusyRetries: -1,
-					RetryBase:   200 * time.Microsecond,
-					RetryCap:    5 * time.Millisecond,
-				})
-				if err != nil {
-					errs <- err
-					return
-				}
-				defer cl.Close()
-				for _, b := range payloads[p] {
-					if err := cl.IngestEncoded(b.payload, b.n); err != nil {
-						errs <- err
-						return
-					}
-				}
-			}(p)
-		}
-		wg.Wait()
-		if err := srv.Close(); err != nil {
-			return nil, err
-		}
-		dur := time.Since(start)
-		close(stopScrape)
-		<-scrapeDone
-		admin.Close()
-		close(errs)
-		for err := range errs {
-			return nil, err
-		}
-
-		sn := srv.Telemetry().Snapshot()
-		if sn.TuplesIngested != int64(cfg.Tuples) {
-			return nil, fmt.Errorf("obs bench: observed=%t applied %d of %d tuples", observed, sn.TuplesIngested, cfg.Tuples)
-		}
-		if !v.record {
-			continue
-		}
-		rows = append(rows, ObsRow{
-			Observed:     observed,
-			Workers:      cfg.Workers,
-			Tuples:       cfg.Tuples,
-			Seconds:      dur.Seconds(),
-			TuplesPerSec: float64(cfg.Tuples) / dur.Seconds(),
-			Implications: st.Count(),
-			Spans:        srv.Tracer().Recorded(),
-			Scrapes:      scrapes,
-		})
 	}
-	if rows[1].Implications != rows[0].Implications {
-		return nil, fmt.Errorf("obs bench: observed count %v != baseline count %v — instrumentation changed an answer",
-			rows[1].Implications, rows[0].Implications)
+	for _, r := range rows[1:] {
+		if r.Implications != rows[0].Implications {
+			return nil, fmt.Errorf("obs bench: observed=%t procs=%d count %v != first row's count %v — instrumentation changed an answer",
+				r.Observed, r.Procs, r.Implications, rows[0].Implications)
+		}
 	}
 	return rows, nil
 }
 
+// runObsVariant runs one loopback ingest with the observability layer off
+// or on under the current GOMAXPROCS.
+func runObsVariant(cfg ObsConfig, schema *stream.Schema, payloads [][]encBatch, procs int, observed bool) (ObsRow, error) {
+	eng := query.NewEngine(schema)
+	st, err := eng.RegisterSQL(serveSQL, func(cond imps.Conditions) (imps.Estimator, error) {
+		return exact.NewStriped(cond, 0)
+	})
+	if err != nil {
+		return ObsRow{}, err
+	}
+	scfg := server.Config{
+		Addr:       "127.0.0.1:0",
+		Schema:     schema,
+		Engine:     eng,
+		QueueDepth: cfg.Queue,
+		Workers:    cfg.Workers,
+	}
+	if observed {
+		scfg.TraceSpans = cfg.TraceSpans
+	}
+	srv, err := server.Listen(scfg)
+	if err != nil {
+		return ObsRow{}, err
+	}
+
+	// The observed variant pays for the whole layer: admin endpoint up
+	// and a scraper walking /metrics (telemetry snapshot + full health
+	// walk) for the duration of the run.
+	var admin *obs.AdminServer
+	var scrapes int64
+	scrapeDone := make(chan struct{})
+	stopScrape := make(chan struct{})
+	if observed {
+		admin, err = obs.ListenAdmin("127.0.0.1:0", srv)
+		if err != nil {
+			return ObsRow{}, err
+		}
+		go func() {
+			defer close(scrapeDone)
+			hc := &http.Client{Timeout: 5 * time.Second}
+			for {
+				select {
+				case <-stopScrape:
+					return
+				case <-time.After(cfg.ScrapeEvery):
+				}
+				resp, err := hc.Get("http://" + admin.Addr + "/metrics")
+				if err != nil {
+					continue // server mid-shutdown
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				scrapes++
+			}
+		}()
+	} else {
+		close(scrapeDone)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Producers)
+	start := time.Now()
+	for p := 0; p < cfg.Producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			cl, err := client.Dial(srv.Addr(), schema, client.Options{
+				Conns:       1,
+				BusyRetries: -1,
+				RetryBase:   200 * time.Microsecond,
+				RetryCap:    5 * time.Millisecond,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for _, b := range payloads[p] {
+				if err := cl.IngestEncoded(b.payload, b.n); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := srv.Close(); err != nil {
+		return ObsRow{}, err
+	}
+	dur := time.Since(start)
+	close(stopScrape)
+	<-scrapeDone
+	admin.Close()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return ObsRow{}, err
+		}
+	}
+
+	sn := srv.Telemetry().Snapshot()
+	if sn.TuplesIngested != int64(cfg.Tuples) {
+		return ObsRow{}, fmt.Errorf("obs bench: observed=%t applied %d of %d tuples", observed, sn.TuplesIngested, cfg.Tuples)
+	}
+	return ObsRow{
+		Observed:     observed,
+		Procs:        procs,
+		Workers:      cfg.Workers,
+		Tuples:       cfg.Tuples,
+		Seconds:      dur.Seconds(),
+		TuplesPerSec: float64(cfg.Tuples) / dur.Seconds(),
+		Implications: st.Count(),
+		Spans:        srv.Tracer().Recorded(),
+		Scrapes:      scrapes,
+	}, nil
+}
+
 // ObsOverheadPct is the observed variant's throughput loss against the
 // baseline, in percent (negative: the observed run was faster — noise).
+// With a GOMAXPROCS sweep the rows hold one baseline/observed pair per
+// setting; the worst pair is the guardrail number.
 func ObsOverheadPct(rows []ObsRow) float64 {
-	if len(rows) != 2 || rows[0].TuplesPerSec == 0 {
-		return 0
+	worst := 0.0
+	first := true
+	for i := 0; i+1 < len(rows); i += 2 {
+		base, obsd := rows[i], rows[i+1]
+		if base.Observed || !obsd.Observed || base.TuplesPerSec == 0 {
+			continue
+		}
+		pct := 100 * (1 - obsd.TuplesPerSec/base.TuplesPerSec)
+		if first || pct > worst {
+			worst, first = pct, false
+		}
 	}
-	return 100 * (1 - rows[1].TuplesPerSec/rows[0].TuplesPerSec)
+	return worst
 }
 
 // PrintObs writes the observability-overhead table.
 func PrintObs(w io.Writer, cfg ObsConfig, rows []ObsRow) {
 	cfg = cfg.withDefaults()
-	fmt.Fprintf(w, "Observability overhead (%d tuples, batch %d, %d producers, %d workers, %d-span ring, GOMAXPROCS %d)\n",
-		cfg.Tuples, cfg.Batch, cfg.Producers, cfg.Workers, cfg.TraceSpans, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "Observability overhead (%d tuples, batch %d, %d producers, %d workers, %d-span ring)\n",
+		cfg.Tuples, cfg.Batch, cfg.Producers, cfg.Workers, cfg.TraceSpans)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "variant\ttuples/s\tseconds\tspans\tscrapes\timplications")
+	fmt.Fprintln(tw, "variant\tprocs\ttuples/s\tseconds\tspans\tscrapes\timplications")
 	for _, r := range rows {
 		name := "baseline"
 		if r.Observed {
 			name = "traced+scraped"
 		}
-		fmt.Fprintf(tw, "%s\t%.0f\t%.3f\t%d\t%d\t%.1f\n",
-			name, r.TuplesPerSec, r.Seconds, r.Spans, r.Scrapes, r.Implications)
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.3f\t%d\t%d\t%.1f\n",
+			name, r.Procs, r.TuplesPerSec, r.Seconds, r.Spans, r.Scrapes, r.Implications)
 	}
 	tw.Flush()
-	fmt.Fprintf(w, "overhead: %.1f%%\n", ObsOverheadPct(rows))
+	fmt.Fprintf(w, "overhead (worst pair): %.1f%%\n", ObsOverheadPct(rows))
 }
 
 // obsReport is the JSON schema of -json output.
@@ -314,7 +348,6 @@ type obsReport struct {
 	Producers   int      `json:"producers"`
 	Workers     int      `json:"workers"`
 	TraceSpans  int      `json:"trace_spans"`
-	MaxProcs    int      `json:"gomaxprocs"`
 	OverheadPct float64  `json:"overhead_pct"`
 	Rows        []ObsRow `json:"rows"`
 }
@@ -330,7 +363,6 @@ func WriteObsJSON(w io.Writer, cfg ObsConfig, rows []ObsRow) error {
 		Producers:   cfg.Producers,
 		Workers:     cfg.Workers,
 		TraceSpans:  cfg.TraceSpans,
-		MaxProcs:    runtime.GOMAXPROCS(0),
 		OverheadPct: ObsOverheadPct(rows),
 		Rows:        rows,
 	})

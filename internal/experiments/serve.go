@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"sync"
 	"text/tabwriter"
 	"time"
@@ -32,8 +33,22 @@ type ServeConfig struct {
 	Producers int
 	// Workers lists the pool sizes to run; defaults to 1, 4.
 	Workers []int
-	// Queue is the server's ingest queue depth in batches.
+	// Queue is the server's ingest queue depth in batches; defaults to
+	// Producers*Window so the queue never throttles below the pipelining
+	// depth. The server runs with BlockOnFull, so a full queue stalls the
+	// connection readers rather than refusing batches — a refused-and-
+	// resent batch would land after its pipelined successors and break the
+	// per-key order the determinism cross-check depends on.
 	Queue int
+	// Window is the per-producer pipelining window in batches; defaults
+	// to 16. One means synchronous (a full round trip per batch).
+	Window int
+	// Procs lists the GOMAXPROCS values to sweep; defaults to the current
+	// setting only.
+	Procs []int
+	// Transports lists the wire paths to measure: "tcp", "udp". Defaults
+	// to both.
+	Transports []string
 	// Seed drives the workload generator.
 	Seed int64
 }
@@ -51,8 +66,17 @@ func (c ServeConfig) withDefaults() ServeConfig {
 	if len(c.Workers) == 0 {
 		c.Workers = []int{1, 4}
 	}
-	if c.Queue == 0 {
-		c.Queue = 64
+	if c.Window == 0 {
+		c.Window = 16
+	}
+	if c.Queue < c.Producers*c.Window {
+		c.Queue = c.Producers * c.Window
+	}
+	if len(c.Procs) == 0 {
+		c.Procs = []int{runtime.GOMAXPROCS(0)}
+	}
+	if len(c.Transports) == 0 {
+		c.Transports = []string{"tcp", "udp"}
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -66,6 +90,11 @@ const serveSQL = `SELECT COUNT(DISTINCT A) FROM s WHERE A IMPLIES B WITH SUPPORT
 
 // ServeRow is one pool size's measured end-to-end throughput.
 type ServeRow struct {
+	// Transport is the wire path measured: "tcp" (pipelined frames) or
+	// "udp" (datagram lane, acks polled over TCP).
+	Transport string `json:"transport"`
+	// Procs is the GOMAXPROCS value the variant ran under.
+	Procs int `json:"gomaxprocs"`
 	// Workers is the pipeline pool size.
 	Workers int `json:"workers"`
 	// Producers is the number of concurrent client connections.
@@ -135,10 +164,6 @@ func RunServe(cfg ServeConfig) ([]ServeRow, error) {
 	}
 
 	// Pre-encode each producer's batches once, outside every timed region.
-	type encBatch struct {
-		payload []byte
-		n       int64
-	}
 	payloads := make([][]encBatch, cfg.Producers)
 	for p := range byProducer {
 		own := byProducer[p]
@@ -153,97 +178,182 @@ func RunServe(cfg ServeConfig) ([]ServeRow, error) {
 	}
 
 	var rows []ServeRow
-	for _, workers := range cfg.Workers {
-		eng := query.NewEngine(schema)
-		st, err := eng.RegisterSQL(serveSQL, func(cond imps.Conditions) (imps.Estimator, error) {
-			return exact.NewStriped(cond, 0)
-		})
-		if err != nil {
-			return nil, err
-		}
-		srv, err := server.Listen(server.Config{
-			Addr:       "127.0.0.1:0",
-			Schema:     schema,
-			Engine:     eng,
-			QueueDepth: cfg.Queue,
-			Workers:    workers,
-		})
-		if err != nil {
-			return nil, err
-		}
-
-		var wg sync.WaitGroup
-		errs := make(chan error, cfg.Producers)
-		start := time.Now()
-		for p := 0; p < cfg.Producers; p++ {
-			wg.Add(1)
-			go func(p int) {
-				defer wg.Done()
-				cl, err := client.Dial(srv.Addr(), schema, client.Options{
-					Conns:       1,
-					BusyRetries: -1,
-					RetryBase:   200 * time.Microsecond,
-					RetryCap:    5 * time.Millisecond,
-				})
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+	for _, procs := range cfg.Procs {
+		runtime.GOMAXPROCS(procs)
+		for _, transport := range cfg.Transports {
+			for _, workers := range cfg.Workers {
+				row, err := runServeVariant(cfg, schema, payloads, transport, procs, workers)
 				if err != nil {
-					errs <- err
-					return
+					return nil, err
 				}
-				defer cl.Close()
-				for _, b := range payloads[p] {
-					if err := cl.IngestEncoded(b.payload, b.n); err != nil {
-						errs <- err
-						return
-					}
-				}
-			}(p)
+				rows = append(rows, row)
+			}
 		}
-		wg.Wait()
-		// Graceful close drains every acknowledged batch; the drain is part
-		// of the measured time, so a deep queue cannot fake throughput.
-		if err := srv.Close(); err != nil {
-			return nil, err
-		}
-		dur := time.Since(start)
-		close(errs)
-		for err := range errs {
-			return nil, err
-		}
-
-		sn := srv.Telemetry().Snapshot()
-		if sn.TuplesIngested != int64(cfg.Tuples) {
-			return nil, fmt.Errorf("serve bench: %d workers applied %d of %d tuples", workers, sn.TuplesIngested, cfg.Tuples)
-		}
-		rows = append(rows, ServeRow{
-			Workers:        workers,
-			Producers:      cfg.Producers,
-			Tuples:         cfg.Tuples,
-			Seconds:        dur.Seconds(),
-			TuplesPerSec:   float64(cfg.Tuples) / dur.Seconds(),
-			Implications:   st.Count(),
-			Rejected:       sn.BatchesRejected,
-			PoolSaturation: sn.PoolSaturation,
-		})
 	}
+	// Every variant — any pool size, either transport, any GOMAXPROCS —
+	// must land on the same exact count: the bench doubles as the
+	// determinism check.
 	for _, r := range rows[1:] {
 		if r.Implications != rows[0].Implications {
-			return nil, fmt.Errorf("serve bench: %d-worker count %v != %d-worker count %v — determinism invariant broken",
-				r.Workers, r.Implications, rows[0].Workers, rows[0].Implications)
+			return nil, fmt.Errorf("serve bench: %s/%d-worker count %v != %s/%d-worker count %v — determinism invariant broken",
+				r.Transport, r.Workers, r.Implications, rows[0].Transport, rows[0].Workers, rows[0].Implications)
 		}
 	}
 	return rows, nil
 }
 
+// encBatch is one pre-encoded IngestBatch payload.
+type encBatch struct {
+	payload []byte
+	n       int64
+}
+
+// runServeVariant measures one (transport, workers) point end to end.
+func runServeVariant(cfg ServeConfig, schema *stream.Schema, payloads [][]encBatch, transport string, procs, workers int) (ServeRow, error) {
+	eng := query.NewEngine(schema)
+	st, err := eng.RegisterSQL(serveSQL, func(cond imps.Conditions) (imps.Estimator, error) {
+		return exact.NewStriped(cond, 0)
+	})
+	if err != nil {
+		return ServeRow{}, err
+	}
+	sc := server.Config{
+		Addr:       "127.0.0.1:0",
+		Schema:     schema,
+		Engine:     eng,
+		QueueDepth: cfg.Queue,
+		Workers:    workers,
+		// Blocking backpressure: with pipelined producers, a busy-refused
+		// batch would be re-sent behind its successors and reorder the
+		// per-key stream the determinism cross-check depends on.
+		BlockOnFull: true,
+	}
+	if transport == "udp" {
+		sc.UDPAddr = "127.0.0.1:0"
+	}
+	srv, err := server.Listen(sc)
+	if err != nil {
+		return ServeRow{}, err
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Producers)
+	start := time.Now()
+	for p := 0; p < cfg.Producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			cl, err := client.Dial(srv.Addr(), schema, client.Options{
+				Conns:       1,
+				BusyRetries: -1,
+				RetryBase:   200 * time.Microsecond,
+				RetryCap:    5 * time.Millisecond,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			switch transport {
+			case "udp":
+				errs <- serveProduceUDP(cl, srv.UDPAddr(), uint64(p+1), payloads[p])
+			default:
+				errs <- serveProduceTCP(cl, cfg.Window, payloads[p])
+			}
+		}(p)
+	}
+	wg.Wait()
+	// Graceful close drains every acknowledged batch; the drain is part
+	// of the measured time, so a deep queue cannot fake throughput.
+	if err := srv.Close(); err != nil {
+		return ServeRow{}, err
+	}
+	dur := time.Since(start)
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return ServeRow{}, err
+		}
+	}
+
+	sn := srv.Telemetry().Snapshot()
+	if sn.TuplesIngested != int64(cfg.Tuples) {
+		return ServeRow{}, fmt.Errorf("serve bench: %s %d workers applied %d of %d tuples", transport, workers, sn.TuplesIngested, cfg.Tuples)
+	}
+	return ServeRow{
+		Transport:      transport,
+		Procs:          procs,
+		Workers:        workers,
+		Producers:      cfg.Producers,
+		Tuples:         cfg.Tuples,
+		Seconds:        dur.Seconds(),
+		TuplesPerSec:   float64(cfg.Tuples) / dur.Seconds(),
+		Implications:   st.Count(),
+		Rejected:       sn.BatchesRejected,
+		PoolSaturation: sn.PoolSaturation,
+	}, nil
+}
+
+// serveProduceTCP streams batches over one pipelined connection, keeping up
+// to window batches in flight. The server runs with BlockOnFull, so no
+// batch is ever busy-refused and re-sent out of order; a non-zero Rejected
+// row would mean that contract broke, not that the producer retried.
+func serveProduceTCP(cl *client.Client, window int, batches []encBatch) error {
+	pend := make([]*client.PendingIngest, 0, window)
+	for _, b := range batches {
+		if len(pend) == window {
+			if err := pend[0].Wait(); err != nil {
+				return err
+			}
+			copy(pend, pend[1:])
+			pend = pend[:len(pend)-1]
+		}
+		pi, err := cl.IngestAsync(b.payload, b.n)
+		if err != nil {
+			return err
+		}
+		pend = append(pend, pi)
+	}
+	for _, pi := range pend {
+		if err := pi.Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serveProduceUDP streams batches over the datagram lane. Per-source
+// sequencing makes the apply order loss- and reorder-proof, so the
+// determinism cross-check holds on this path by construction.
+func serveProduceUDP(cl *client.Client, udpAddr string, source uint64, batches []encBatch) error {
+	// A wide window (still inside the server's 256-datagram reorder
+	// window) with sparse polls keeps the producer off the synchronous
+	// ack round trip; the watermark mops up at Flush.
+	ui, err := cl.DialUDP(udpAddr, client.UDPOptions{Source: source, Window: 128, PollEvery: 32})
+	if err != nil {
+		return err
+	}
+	defer ui.Close()
+	for _, b := range batches {
+		if err := ui.Send(b.payload); err != nil {
+			return err
+		}
+	}
+	return ui.Flush()
+}
+
 // PrintServe writes the serving-layer throughput table.
 func PrintServe(w io.Writer, cfg ServeConfig, rows []ServeRow) {
 	cfg = cfg.withDefaults()
-	fmt.Fprintf(w, "Serving-layer ingest throughput (%d tuples, batch %d, %d producers, GOMAXPROCS %d)\n",
-		cfg.Tuples, cfg.Batch, cfg.Producers, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "Serving-layer ingest throughput (%d tuples, batch %d, %d producers, window %d)\n",
+		cfg.Tuples, cfg.Batch, cfg.Producers, cfg.Window)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "workers\ttuples/s\tseconds\trejected\tpool-saturation\timplications")
+	fmt.Fprintln(tw, "transport\tprocs\tworkers\ttuples/s\tseconds\trejected\tpool-saturation\timplications")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%d\t%.0f\t%.3f\t%d\t%d\t%.1f\n",
-			r.Workers, r.TuplesPerSec, r.Seconds, r.Rejected, r.PoolSaturation, r.Implications)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\t%.3f\t%d\t%d\t%.1f\n",
+			r.Transport, r.Procs, r.Workers, r.TuplesPerSec, r.Seconds, r.Rejected, r.PoolSaturation, r.Implications)
 	}
 	tw.Flush()
 }
@@ -253,7 +363,7 @@ type serveReport struct {
 	Tuples    int        `json:"tuples"`
 	Batch     int        `json:"batch"`
 	Producers int        `json:"producers"`
-	MaxProcs  int        `json:"gomaxprocs"`
+	Window    int        `json:"window"`
 	Rows      []ServeRow `json:"rows"`
 }
 
@@ -266,7 +376,48 @@ func WriteServeJSON(w io.Writer, cfg ServeConfig, rows []ServeRow) error {
 		Tuples:    cfg.Tuples,
 		Batch:     cfg.Batch,
 		Producers: cfg.Producers,
-		MaxProcs:  runtime.GOMAXPROCS(0),
+		Window:    cfg.Window,
 		Rows:      rows,
 	})
+}
+
+// GateServe compares fresh serve rows against a committed baseline report
+// and fails on a regression beyond tolerance (a fraction, e.g. 0.25). Only
+// the best tuples/sec per transport is compared: individual rows move with
+// scheduler noise, but the envelope of the fast path should not.
+func GateServe(baseline io.Reader, rows []ServeRow, tolerance float64) error {
+	var base serveReport
+	if err := json.NewDecoder(baseline).Decode(&base); err != nil {
+		return fmt.Errorf("gate: decoding baseline: %w", err)
+	}
+	best := func(rs []ServeRow) map[string]float64 {
+		m := make(map[string]float64)
+		for _, r := range rs {
+			tr := r.Transport
+			if tr == "" {
+				tr = "tcp" // pre-transport baseline rows
+			}
+			if r.TuplesPerSec > m[tr] {
+				m[tr] = r.TuplesPerSec
+			}
+		}
+		return m
+	}
+	baseBest, curBest := best(base.Rows), best(rows)
+	var failures []string
+	for tr, b := range baseBest {
+		cur, ok := curBest[tr]
+		if !ok {
+			continue // baseline transport not re-run; nothing to compare
+		}
+		floor := b * (1 - tolerance)
+		if cur < floor {
+			failures = append(failures, fmt.Sprintf("%s: %.0f tuples/s < floor %.0f (baseline %.0f, tolerance %.0f%%)",
+				tr, cur, floor, b, tolerance*100))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("gate: throughput regression: %s", strings.Join(failures, "; "))
+	}
+	return nil
 }

@@ -133,6 +133,14 @@ type PartitionedAdder interface {
 	IngestPartition(a []byte, n int) int
 }
 
+// StringPartitioner extends PartitionedAdder with string-key routing, so a
+// planner already holding the key as a string routes it without a byte
+// conversion. IngestPartitionString(a, n) must equal
+// IngestPartition([]byte(a), n) for every key.
+type StringPartitioner interface {
+	IngestPartitionString(a string, n int) int
+}
+
 // MultiplicityAverager is implemented by estimators that can additionally
 // report the average multiplicity |φ(a→B)| over the itemsets currently in
 // the implication count — the aggregate of Table 2's "Complex Implication"

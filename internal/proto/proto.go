@@ -69,6 +69,11 @@ const (
 	// TTrace asks for a dump of the server's span ring (the obs package's
 	// IMPS encoding); an untraced server answers with an empty dump.
 	TTrace Type = 0x06
+	// TUDPAck asks for the cumulative state of one UDP ingest source: the
+	// datagram lane's acknowledgements travel over the TCP control
+	// connection as ordinary request/response polls, so the request/reply
+	// protocol stays strictly client-initiated.
+	TUDPAck Type = 0x07
 
 	// TOK acknowledges an ingest or merge; ingest acks carry the accepted
 	// tuple count.
@@ -100,6 +105,8 @@ func (t Type) String() string {
 		return "Health"
 	case TTrace:
 		return "Trace"
+	case TUDPAck:
+		return "UDPAck"
 	case TOK:
 		return "OK"
 	case TResult:
@@ -153,31 +160,39 @@ func WriteFrame(w io.Writer, f Frame) error {
 // ReadFrame reads and validates one frame. Any failure other than a clean
 // io.EOF at a frame boundary means the stream is unusable; io.EOF mid-frame
 // is reported as an unexpected EOF wrapping ErrMalformed.
+//
+// ReadFrame reads exactly the frame's bytes from r (no readahead) and the
+// returned payload is freshly allocated, sized to the payload alone — the
+// one-shot path for control-plane callers. Connection loops should use
+// FrameReader instead, which reuses one buffer across frames and decodes
+// with zero steady-state allocations.
 func ReadFrame(r io.Reader) (Frame, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+	var head [4 + headerLen]byte
+	if _, err := io.ReadFull(r, head[:4]); err != nil {
 		if err == io.EOF {
 			return Frame{}, io.EOF
 		}
 		return Frame{}, fmt.Errorf("%w: truncated length prefix: %v", ErrMalformed, err)
 	}
-	n := binary.LittleEndian.Uint32(lenBuf[:])
+	n := binary.LittleEndian.Uint32(head[:4])
 	if n < headerLen || n > MaxFrame {
 		return Frame{}, fmt.Errorf("%w: implausible frame length %d", ErrMalformed, n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	if _, err := io.ReadFull(r, head[4:]); err != nil {
 		return Frame{}, fmt.Errorf("%w: truncated frame body: %v", ErrMalformed, err)
 	}
-	if buf[0] != Version {
-		return Frame{}, fmt.Errorf("%w: protocol version %d (want %d)", ErrMalformed, buf[0], Version)
+	if head[4] != Version {
+		return Frame{}, fmt.Errorf("%w: protocol version %d (want %d)", ErrMalformed, head[4], Version)
 	}
 	f := Frame{
-		Type:    Type(buf[1]),
-		ID:      binary.LittleEndian.Uint64(buf[2:]),
-		Payload: buf[headerLen:],
+		Type:    Type(head[5]),
+		ID:      binary.LittleEndian.Uint64(head[6:]),
+		Payload: make([]byte, n-headerLen),
 	}
-	sum := binary.LittleEndian.Uint32(buf[10:])
+	if _, err := io.ReadFull(r, f.Payload); err != nil {
+		return Frame{}, fmt.Errorf("%w: truncated frame body: %v", ErrMalformed, err)
+	}
+	sum := binary.LittleEndian.Uint32(head[14:])
 	if got := crc32.Checksum(f.Payload, castagnoli); got != sum {
 		return Frame{}, fmt.Errorf("%w: payload checksum mismatch (stored %08x, computed %08x)", ErrMalformed, sum, got)
 	}

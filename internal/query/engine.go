@@ -42,6 +42,9 @@ type Statement struct {
 	// part is est's partitioned concurrent ingest path, nil for the
 	// serialized class.
 	part imps.PartitionedAdder
+	// partStr is est's string-key partition routing, nil when part is nil
+	// or the estimator routes bytes only.
+	partStr imps.StringPartitioner
 	// estMu guards the estimator for the serialized class: exclusive for
 	// writers (ProcessBatchExclusive, Exclusive), shared for readers
 	// (Count). Statements aliasing one estimator alias its lock too.
@@ -154,6 +157,10 @@ func (st *Statement) bindEstimator(est imps.Estimator) {
 	st.est = est
 	st.bytes, _ = est.(imps.BytesAdder)
 	st.part, _ = est.(imps.PartitionedAdder)
+	st.partStr = nil
+	if st.part != nil {
+		st.partStr, _ = est.(imps.StringPartitioner)
+	}
 }
 
 // Query returns the normalized query.
@@ -218,6 +225,17 @@ func (st *Statement) PlanPartitions(ts []stream.Tuple, parts int, buckets [][]im
 	} else {
 		buckets = make([][]imps.Pair, parts)
 	}
+	// One-attribute projections need no key assembly — the key IS the
+	// tuple's value — so when the estimator also routes string keys, the
+	// loop allocates nothing: pairs reference the batch's own strings.
+	// (Estimators that store keys clone them on first insert, so a stored
+	// key never pins its batch buffer; see exact.Counter.Add.)
+	aIdx, aOne := st.projA.Single()
+	bIdx, bOne := -1, true
+	if st.hasB {
+		bIdx, bOne = st.projB.Single()
+	}
+	fast := aOne && bOne && st.partStr != nil
 	// Local key buffers: st.bufA/bufB belong to the single-writer paths and
 	// must not be shared by concurrent planners.
 	var bufA, bufB []byte
@@ -231,6 +249,16 @@ func (st *Statement) PlanPartitions(ts []stream.Tuple, parts int, buckets [][]im
 			}
 		}
 		if !ok {
+			continue
+		}
+		if fast {
+			a := t[aIdx]
+			var b string
+			if st.hasB {
+				b = t[bIdx]
+			}
+			p := st.partStr.IngestPartitionString(a, parts)
+			buckets[p] = append(buckets[p], imps.Pair{A: a, B: b})
 			continue
 		}
 		bufA = st.projA.AppendKey(bufA[:0], t)

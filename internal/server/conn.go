@@ -1,0 +1,275 @@
+// The per-connection fast wire path (DESIGN.md §12). Each TCP connection
+// runs two goroutines: a reader that decodes frames with a reusable
+// FrameReader, decodes and plans ingest batches in place, and enqueues
+// them; and a writer that drains a bounded reply channel, coalesces
+// pending replies into one scratch buffer, and flushes them with a single
+// vectored write. Steady-state ingest therefore costs zero allocations
+// per frame on both directions of the wire, and acknowledgements for
+// pipelined batches share syscalls instead of paying one each.
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"implicate/internal/obs"
+	"implicate/internal/pipeline"
+	"implicate/internal/proto"
+	"implicate/internal/stream"
+	"implicate/internal/telemetry"
+)
+
+const (
+	// replyQueueDepth bounds the per-connection reply channel. A full
+	// channel blocks the reader — backpressure, not loss; the writer is
+	// strictly faster than the reader in steady state so depth beyond the
+	// pipelining window is never used.
+	replyQueueDepth = 256
+	// maxFlushReplies caps how many replies one vectored write coalesces,
+	// bounding scratch growth and per-flush latency.
+	maxFlushReplies = 64
+	// inlineReplyLimit is the payload size above which a reply is vectored
+	// (header in scratch, payload as its own iovec) instead of copied into
+	// scratch. Acks and busy replies are far below it; stats, health and
+	// trace dumps are above.
+	inlineReplyLimit = 4096
+)
+
+// replyKind selects the writer-side encoding of one reply.
+type replyKind uint8
+
+const (
+	// replyAck is an ingest acknowledgement: TOK carrying IngestAck{n},
+	// encoded allocation-free into the connection scratch.
+	replyAck replyKind = iota
+	// replyBusy is a backpressure reply: TBusy carrying the server's
+	// RetryAfter hint, also encoded allocation-free.
+	replyBusy
+	// replyGeneric carries a pre-encoded payload from a control-plane
+	// handler (query results, stats, errors, merge acks).
+	replyGeneric
+)
+
+// reply is one queued response. Ack and busy replies carry scalars, not
+// payload bytes — the writer encodes them into its scratch, which is the
+// bugfix for the fresh-frame-per-ack allocation the old path made.
+type reply struct {
+	kind    replyKind
+	id      uint64
+	n       int64  // replyAck: acknowledged tuple count
+	t       proto.Type
+	payload []byte // replyGeneric only; owned by the writer once enqueued
+}
+
+func (s *Server) serveConn(c net.Conn) {
+	defer s.connWG.Done()
+	defer s.dropConn(c)
+	replies := make(chan reply, replyQueueDepth)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		s.connWriter(c, replies)
+	}()
+	fr := proto.NewFrameReader(c)
+	for {
+		f, err := fr.Next()
+		if err != nil {
+			if err != io.EOF && !s.draining.Load() {
+				s.cfg.Logf("server: dropping %s: %v", c.RemoteAddr(), err)
+			}
+			break
+		}
+		// f.Payload aliases the FrameReader's buffer: every handler below
+		// finishes with it (or copies out of it) before the next Next call.
+		if f.Type == proto.TIngest {
+			s.handleIngestFast(f, replies)
+			continue
+		}
+		resp := s.handle(f)
+		replies <- reply{kind: replyGeneric, id: resp.ID, t: resp.Type, payload: resp.Payload}
+	}
+	close(replies)
+	<-writerDone
+}
+
+// handleIngestFast is the reader-side ingest path: decode straight from
+// the frame buffer, plan on this goroutine, enqueue, and hand the reply to
+// the writer. Nothing here allocates per frame in steady state except the
+// batch's own tuples.
+func (s *Server) handleIngestFast(f proto.Frame, out chan<- reply) {
+	start := time.Now()
+	var r reply
+	tuples, err := s.decodeBatch(f.Payload)
+	switch {
+	case err != nil:
+		r = reply{kind: replyGeneric, id: f.ID, t: proto.TError, payload: proto.EncodeError(fmt.Sprintf("ingest: %v", err))}
+	case s.draining.Load():
+		r = reply{kind: replyGeneric, id: f.ID, t: proto.TError, payload: proto.EncodeError("ingest: server is shutting down")}
+	case s.cfg.BlockOnFull:
+		// Blocking backpressure: the reader waits for queue room, so
+		// pipelined frames on this connection are never refused and never
+		// reordered by a re-send (the dispatcher keeps draining, so the
+		// wait always ends, including during shutdown).
+		s.enqueueWait(s.plan(tuples))
+		r = reply{kind: replyAck, id: f.ID, n: int64(len(tuples))}
+	default:
+		if s.enqueue(s.plan(tuples)) {
+			r = reply{kind: replyAck, id: f.ID, n: int64(len(tuples))}
+		} else {
+			s.tel.AddRejectedBatch()
+			r = reply{kind: replyBusy, id: f.ID}
+		}
+	}
+	// One clock read serves both the latency histogram and the RPC span,
+	// mirroring the control-plane handler.
+	dur := time.Since(start)
+	s.tel.Observe(telemetry.RPCIngest, dur)
+	s.tracer.Record(obs.SpanRPC, int(telemetry.RPCIngest), 0, start, dur)
+	out <- r
+}
+
+// decodeBatch parses an ingest payload — a complete binary stream (header
+// included) — validating the schema and the batch size. The fast path
+// compares the header bytes against the server schema's canonical encoding
+// and decodes the records in place (three allocations per batch); anything
+// else takes the slow path, whose job is the precise error message.
+func (s *Server) decodeBatch(payload []byte) ([]stream.Tuple, error) {
+	if bytes.HasPrefix(payload, s.hdr) {
+		return stream.DecodeBinaryRecords(payload[len(s.hdr):], s.arity, s.cfg.MaxBatchTuples)
+	}
+	return s.decodeBatchSlow(payload)
+}
+
+// plan runs the pure planning stage — filters, projections, partition
+// hashing — on the caller's goroutine. Connection readers and the UDP lane
+// both call it; the dispatcher never does.
+func (s *Server) plan(tuples []stream.Tuple) *pipeline.Batch {
+	var planStart time.Time
+	if s.tracer != nil {
+		planStart = time.Now()
+	}
+	b := s.pool.Plan(tuples)
+	if s.tracer != nil {
+		s.tracer.Span(obs.SpanPlan, -1, int64(len(tuples)), planStart)
+	}
+	return b
+}
+
+// enqueue offers a planned batch to the ingest queue without blocking.
+// False means the queue was full and the batch was refused (its plan is
+// discarded — planning is pure, the client re-sends).
+func (s *Server) enqueue(b *pipeline.Batch) bool {
+	select {
+	case s.queue <- b:
+		// The post-increment value is this batch's exact depth at send
+		// time; sampling len(s.queue) after the send would race the
+		// dispatcher and mis-state the high-water mark.
+		s.tel.AddBatch()
+		s.tel.ObserveQueueDepth(int(s.depth.Add(1)))
+		return true
+	default:
+		return false
+	}
+}
+
+// enqueueWait enqueues a planned batch, blocking until the queue has room —
+// the UDP lane's flow control (its socket buffer absorbs the wait).
+func (s *Server) enqueueWait(b *pipeline.Batch) {
+	s.queue <- b
+	s.tel.AddBatch()
+	s.tel.ObserveQueueDepth(int(s.depth.Add(1)))
+}
+
+// connWriter drains the reply channel, coalescing every reply available
+// (up to maxFlushReplies) into one vectored write. Small replies are
+// encoded back to back in a reusable scratch buffer; large payloads join
+// the iovec uncopied. It exits when the channel closes; on a write error
+// it closes the connection to unblock the reader and keeps draining so the
+// reader never wedges on a full channel.
+func (s *Server) connWriter(nc net.Conn, replies <-chan reply) {
+	var (
+		scratch []byte
+		bufs    net.Buffers
+		dead    bool
+	)
+	flush := func(seg int) {
+		if len(scratch) > seg {
+			bufs = append(bufs, scratch[seg:])
+		}
+		if len(bufs) == 0 {
+			return
+		}
+		// WriteTo consumes its receiver, so hand it a copy of the slice
+		// header; bufs keeps its backing array for the next round.
+		v := bufs
+		if _, err := v.WriteTo(nc); err != nil {
+			dead = true
+			nc.Close()
+			if !s.draining.Load() {
+				s.cfg.Logf("server: write to %s: %v", nc.RemoteAddr(), err)
+			}
+		}
+	}
+	for {
+		r, ok := <-replies
+		if !ok {
+			return
+		}
+		if dead {
+			continue
+		}
+		scratch, bufs = scratch[:0], bufs[:0]
+		seg := 0 // start of the scratch segment not yet pushed to bufs
+		scratch, seg = s.appendReply(scratch, &bufs, seg, r)
+		for n := 1; n < maxFlushReplies; n++ {
+			select {
+			case r, ok = <-replies:
+				if !ok {
+					flush(seg)
+					return
+				}
+				scratch, seg = s.appendReply(scratch, &bufs, seg, r)
+			default:
+				n = maxFlushReplies
+			}
+		}
+		flush(seg)
+	}
+}
+
+// appendReply encodes one reply: small ones into scratch, large payloads
+// as their own iovec behind their header. Appending to scratch may move
+// its backing array; segments already pushed to bufs stay valid — they
+// reference the abandoned array, whose bytes are never modified again.
+func (s *Server) appendReply(scratch []byte, bufs *net.Buffers, seg int, r reply) ([]byte, int) {
+	switch r.kind {
+	case replyAck:
+		scratch, _ = proto.AppendFrameFunc(scratch, proto.TOK, r.id, func(d []byte) []byte {
+			return proto.IngestAck{Tuples: r.n}.AppendTo(d)
+		})
+	case replyBusy:
+		scratch, _ = proto.AppendFrameFunc(scratch, proto.TBusy, r.id, func(d []byte) []byte {
+			return proto.Busy{RetryAfter: s.cfg.RetryAfter}.AppendTo(d)
+		})
+	default:
+		if len(r.payload) >= inlineReplyLimit {
+			ext, err := proto.AppendFrameHeader(scratch, r.t, r.id, r.payload)
+			if err != nil {
+				// A handler produced a payload no frame can carry; tell the
+				// client that much instead of wedging the connection.
+				ext, _ = proto.AppendFrame(scratch, errorFrame(r.id, "reply exceeds the frame size limit"))
+				return ext, seg
+			}
+			scratch = ext
+			*bufs = append(*bufs, scratch[seg:], r.payload)
+			return scratch, len(scratch)
+		}
+		// Payloads under inlineReplyLimit are far below MaxFrame; the
+		// error path is unreachable.
+		scratch, _ = proto.AppendFrame(scratch, proto.Frame{Type: r.t, ID: r.id, Payload: r.payload})
+	}
+	return scratch, seg
+}

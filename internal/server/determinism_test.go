@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"implicate/internal/checkpoint"
 	"implicate/internal/client"
@@ -36,7 +37,9 @@ func determinismEngine(t *testing.T, schema *stream.Schema, seed uint64) *query.
 		{`SELECT COUNT(DISTINCT A) FROM t WHERE A IMPLIES B WITH SUPPORT >= 3, MULTIPLICITY <= 2, CONFIDENCE >= 0.8 TOP 1`,
 			func(cond imps.Conditions) (imps.Estimator, error) { return exact.NewStriped(cond, 4) }},
 		{`SELECT COUNT(DISTINCT A) FROM t WHERE A IMPLIES B WITH SUPPORT >= 4, MULTIPLICITY <= 2, CONFIDENCE >= 0.8 TOP 1`,
-			func(cond imps.Conditions) (imps.Estimator, error) { return core.NewSketch(cond, core.Options{Seed: seed}) }},
+			func(cond imps.Conditions) (imps.Estimator, error) {
+				return core.NewSketch(cond, core.Options{Seed: seed})
+			}},
 		{`SELECT COUNT(DISTINCT A) FROM t WHERE A IMPLIES B WITH SUPPORT >= 5, MULTIPLICITY <= 2, CONFIDENCE >= 0.8 TOP 1`,
 			func(cond imps.Conditions) (imps.Estimator, error) { return exact.NewCounter(cond) }},
 		{`SELECT COUNT(DISTINCT A) FROM t WHERE A NOT IMPLIES B WITH SUPPORT >= 2, MULTIPLICITY <= 2, CONFIDENCE >= 0.8 TOP 1`, sharded},
@@ -235,5 +238,63 @@ func TestServerKillRecoverThroughPool(t *testing.T) {
 	}
 	if !bytes.Equal(got, want) {
 		t.Error("recover-and-replay state diverged from the serial run")
+	}
+}
+
+// TestServerBlockOnFullOrdering pins the BlockOnFull contract: with a
+// 1-deep queue and a throttled dispatcher, a deeply pipelined producer is
+// never busy-refused — the connection reader stalls for queue room instead
+// — so per-connection order survives and the engine state stays
+// bit-identical to a serial run. (Without BlockOnFull this setup refuses
+// batches: acks confirm enqueueing, so the queue fills with already-acked
+// batches while the producer keeps pipelining.)
+func TestServerBlockOnFullOrdering(t *testing.T) {
+	schema := testSchema(t)
+	batches := determinismBatches(40, 25)
+	want, _ := serialState(t, schema, 23, batches)
+
+	srv := startServer(t, Config{
+		Schema:      schema,
+		Engine:      determinismEngine(t, schema, 23),
+		QueueDepth:  1,
+		Workers:     4,
+		BlockOnFull: true,
+		gate:        func() { time.Sleep(200 * time.Microsecond) },
+	})
+	cl := dialClient(t, srv, schema, client.Options{Conns: 1})
+
+	// Pipeline every batch before waiting on any ack: the queue is
+	// guaranteed to be full (of acked batches) for most arrivals.
+	pend := make([]*client.PendingIngest, 0, len(batches))
+	for _, ts := range batches {
+		enc, err := client.EncodeBatch(schema, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi, err := cl.IngestAsync(enc, int64(len(ts)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pend = append(pend, pi)
+	}
+	for _, pi := range pend {
+		if err := pi.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sn := srv.Telemetry().Snapshot()
+	if sn.BatchesRejected != 0 {
+		t.Fatalf("%d batches busy-refused under BlockOnFull", sn.BatchesRejected)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv.Engine().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("engine state diverged from the serial run under blocking backpressure")
 	}
 }

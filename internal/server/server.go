@@ -2,17 +2,27 @@
 // speaking internal/proto that feeds an Engine from remote producers and
 // answers implication queries, sketch merges and telemetry reads.
 //
-// Architecture: one accept loop, one reader goroutine per connection, one
-// dispatcher, and a pipeline worker pool (internal/pipeline). Connection
-// readers decode AND plan ingest batches — filters, projections and
-// partition hashing run concurrently per connection — and hand the planned
-// batches to a bounded queue; the dispatcher feeds them to the pool in
-// arrival order, which is all the ordering the engine's estimators need
-// for bit-identical-to-serial results (DESIGN.md §10). When the queue is
-// full the batch is refused with an explicit backpressure reply
-// (proto.TBusy) and NOT enqueued — the client retries. An acknowledged
+// Architecture: one accept loop, one reader and one writer goroutine per
+// connection, one dispatcher, and a pipeline worker pool
+// (internal/pipeline). Connection readers decode AND plan ingest batches —
+// filters, projections and partition hashing run concurrently per
+// connection — and hand the planned batches to a bounded queue; the
+// dispatcher feeds them to the pool in arrival order, which is all the
+// ordering the engine's estimators need for bit-identical-to-serial
+// results (DESIGN.md §10). Replies flow through the per-connection writer,
+// which coalesces pending acks into vectored writes (conn.go). When the
+// queue is full the batch is refused with an explicit backpressure reply
+// (proto.TBusy) and NOT enqueued — the client retries. (Pipelined
+// producers that need strict per-connection ordering set
+// Config.BlockOnFull instead: the reader then blocks for queue room, so
+// no batch is ever refused and re-sent out of order.) An acknowledged
 // batch is never dropped: graceful shutdown drains the queue through the
 // pool before the final checkpoint is written.
+//
+// An optional UDP ingest lane (udp.go, Config.UDPAddr) accepts
+// sequence-numbered datagram batches for fire-and-forget producers, with
+// cumulative acknowledgement polls over TCP; see internal/proto's udp.go
+// for the lane's exact semantics.
 //
 // Reads never stall ingestion: Query and Stats answer under a read lock
 // (plus the per-statement read locks of query.Statement.Count), while
@@ -84,6 +94,24 @@ type Config struct {
 	// RetryAfter is the delay hint carried in backpressure replies.
 	// Default 20ms.
 	RetryAfter time.Duration
+	// BlockOnFull switches ingest backpressure from busy-refusal to
+	// blocking: when the queue is full the connection reader waits for room
+	// instead of replying TBusy, so backpressure propagates through TCP
+	// flow control. Pipelined producers that depend on per-connection
+	// ordering need this — a busy-refused batch is re-sent behind its
+	// already-pipelined successors, which reorders the stream even though
+	// acknowledgements confirm enqueueing (the queue can be full of batches
+	// that were already acked). The default (false) keeps explicit TBusy
+	// replies, which synchronous request/response producers prefer.
+	BlockOnFull bool
+	// UDPAddr, when non-empty, opens the UDP ingest lane on that address
+	// (e.g. "127.0.0.1:0"). Empty disables the lane; TUDPAck polls then
+	// answer with zero watermarks.
+	UDPAddr string
+	// UDPWindow is the UDP lane's per-source reorder window in sequence
+	// numbers: a datagram more than this far ahead of the cumulative
+	// watermark is dropped. Default 256.
+	UDPWindow int
 	// Logf, when non-nil, receives diagnostic messages (failed periodic
 	// checkpoints, dropped connections).
 	Logf func(format string, args ...any)
@@ -113,6 +141,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter == 0 {
 		c.RetryAfter = 20 * time.Millisecond
 	}
+	if c.UDPWindow == 0 {
+		c.UDPWindow = 256
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -127,6 +158,13 @@ type Server struct {
 	tel    *telemetry.Set
 	pool   *pipeline.Pool
 	tracer *obs.Tracer // nil when tracing is disabled; nil-safe to record on
+	udp    *udpLane    // nil when Config.UDPAddr is empty
+
+	// hdr is the canonical binary-stream header for cfg.Schema; an ingest
+	// payload with this exact prefix has a verified schema (fast path in
+	// decodeBatch). arity caches cfg.Schema.Len().
+	hdr   []byte
+	arity int
 
 	// mu is the coarse read/write coordination point above the pipeline:
 	// Query and Stats hold it shared (they never stall ingestion — workers
@@ -176,6 +214,8 @@ func Listen(cfg Config) (*Server, error) {
 		queue:          make(chan *pipeline.Batch, cfg.QueueDepth),
 		dispatcherDone: make(chan struct{}),
 		conns:          make(map[net.Conn]struct{}),
+		hdr:            stream.BinaryHeader(cfg.Schema),
+		arity:          cfg.Schema.Len(),
 	}
 	s.tel.ConfigureWorkers(cfg.Workers)
 	if cfg.TraceSpans > 0 {
@@ -198,6 +238,15 @@ func Listen(cfg Config) (*Server, error) {
 	}
 	s.pool = pool
 	s.ln = ln
+	if cfg.UDPAddr != "" {
+		lane, err := newUDPLane(s, cfg.UDPAddr, cfg.UDPWindow)
+		if err != nil {
+			ln.Close()
+			pool.Close()
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.udp = lane
+	}
 	s.periodic = checkpoint.Periodic{Path: cfg.CheckpointPath, Every: cfg.CheckpointEvery}
 	if cfg.CheckpointPath == "" {
 		s.periodic.Every = 0
@@ -210,6 +259,15 @@ func Listen(cfg Config) (*Server, error) {
 
 // Addr returns the bound listen address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// UDPAddr returns the UDP ingest lane's bound address, or "" when the
+// lane is disabled.
+func (s *Server) UDPAddr() string {
+	if s.udp == nil {
+		return ""
+	}
+	return s.udp.pc.LocalAddr().String()
+}
 
 // Telemetry exposes the live counter set.
 func (s *Server) Telemetry() *telemetry.Set { return s.tel }
@@ -270,35 +328,14 @@ func (s *Server) dropConn(c net.Conn) {
 	c.Close()
 }
 
-func (s *Server) serveConn(c net.Conn) {
-	defer s.connWG.Done()
-	defer s.dropConn(c)
-	for {
-		f, err := proto.ReadFrame(c)
-		if err != nil {
-			if err != io.EOF && !s.draining.Load() {
-				s.cfg.Logf("server: dropping %s: %v", c.RemoteAddr(), err)
-			}
-			return
-		}
-		resp := s.handle(f)
-		if err := proto.WriteFrame(c, resp); err != nil {
-			if !s.draining.Load() {
-				s.cfg.Logf("server: write to %s: %v", c.RemoteAddr(), err)
-			}
-			return
-		}
-	}
-}
-
-// handle dispatches one request frame and builds the response frame.
+// handle dispatches one control-plane request frame and builds the
+// response frame. Ingest frames never reach it — the connection reader
+// short-circuits them through handleIngestFast (conn.go).
 func (s *Server) handle(f proto.Frame) proto.Frame {
 	start := time.Now()
 	var resp proto.Frame
 	var rpc telemetry.RPC
 	switch f.Type {
-	case proto.TIngest:
-		rpc, resp = telemetry.RPCIngest, s.handleIngest(f)
 	case proto.TQuery:
 		rpc, resp = telemetry.RPCQuery, s.handleQuery(f)
 	case proto.TMerge:
@@ -309,6 +346,8 @@ func (s *Server) handle(f proto.Frame) proto.Frame {
 		rpc, resp = telemetry.RPCHealth, s.handleHealth(f)
 	case proto.TTrace:
 		rpc, resp = telemetry.RPCTrace, s.handleTrace(f)
+	case proto.TUDPAck:
+		rpc, resp = telemetry.RPCUDPAck, s.handleUDPAck(f)
 	default:
 		return errorFrame(f.ID, fmt.Sprintf("unsupported request type %s", f.Type))
 	}
@@ -323,9 +362,11 @@ func errorFrame(id uint64, msg string) proto.Frame {
 	return proto.Frame{Type: proto.TError, ID: id, Payload: proto.EncodeError(msg)}
 }
 
-// decodeBatch parses an ingest payload — a complete binary stream (header
-// included) — validating the schema and the batch size.
-func (s *Server) decodeBatch(payload []byte) ([]stream.Tuple, error) {
+// decodeBatchSlow parses an ingest payload through the general
+// BinaryReader — the fallback for payloads whose header is not the
+// server schema's canonical encoding, where the job is the precise
+// schema-mismatch error. The fast path is decodeBatch in conn.go.
+func (s *Server) decodeBatchSlow(payload []byte) ([]stream.Tuple, error) {
 	br, err := stream.NewBinaryReader(bytes.NewReader(payload))
 	if err != nil {
 		return nil, err
@@ -359,40 +400,6 @@ func (s *Server) decodeBatch(payload []byte) ([]stream.Tuple, error) {
 		if err != nil {
 			return nil, err
 		}
-	}
-}
-
-func (s *Server) handleIngest(f proto.Frame) proto.Frame {
-	tuples, err := s.decodeBatch(f.Payload)
-	if err != nil {
-		return errorFrame(f.ID, fmt.Sprintf("ingest: %v", err))
-	}
-	if s.draining.Load() {
-		return errorFrame(f.ID, "ingest: server is shutting down")
-	}
-	// Plan on the connection reader: filters, projections and partition
-	// hashing parallelize across connections instead of serializing in the
-	// dispatch path. A refused batch discards its plan — the client
-	// re-sends, and planning is pure.
-	var planStart time.Time
-	if s.tracer != nil {
-		planStart = time.Now()
-	}
-	b := s.pool.Plan(tuples)
-	if s.tracer != nil {
-		s.tracer.Span(obs.SpanPlan, -1, int64(len(tuples)), planStart)
-	}
-	select {
-	case s.queue <- b:
-		// The post-increment value is this batch's exact depth at send
-		// time; sampling len(s.queue) after the send would race the
-		// dispatcher and mis-state the high-water mark.
-		s.tel.AddBatch()
-		s.tel.ObserveQueueDepth(int(s.depth.Add(1)))
-		return proto.Frame{Type: proto.TOK, ID: f.ID, Payload: proto.IngestAck{Tuples: int64(len(tuples))}.Encode()}
-	default:
-		s.tel.AddRejectedBatch()
-		return proto.Frame{Type: proto.TBusy, ID: f.ID, Payload: proto.Busy{RetryAfter: s.cfg.RetryAfter}.Encode()}
 	}
 }
 
@@ -481,6 +488,22 @@ func (s *Server) handleTrace(f proto.Frame) proto.Frame {
 	return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: obs.EncodeSpans(s.tracer.Snapshot())}
 }
 
+// handleUDPAck answers a cumulative-acknowledgement poll for one UDP
+// source. A server without the lane — or a source it has never heard from —
+// answers with the zero watermark, so pollers need not know the server's
+// configuration.
+func (s *Server) handleUDPAck(f proto.Frame) proto.Frame {
+	req, err := proto.DecodeUDPAckReq(f.Payload)
+	if err != nil {
+		return errorFrame(f.ID, err.Error())
+	}
+	var ack proto.UDPAck
+	if s.udp != nil {
+		ack = s.udp.ack(req.Source)
+	}
+	return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: ack.Encode()}
+}
+
 // dispatcher feeds queued batches to the worker pool in arrival order —
 // the single ordered step of the ingest path — and drives periodic
 // checkpoints. It exits when the queue is closed and drained, leaving the
@@ -531,11 +554,16 @@ func (s *Server) dispatcher() {
 	s.pool.Fence()
 }
 
-// shutdown runs the shared teardown: stop accepting, unblock connection
-// readers, drain the queue through the pool, stop the pool.
+// shutdown runs the shared teardown: stop accepting, stop the UDP lane,
+// unblock connection readers, drain the queue through the pool, stop the
+// pool. The lane stops before the queue closes: its reader may be blocked
+// enqueueing, and the dispatcher keeps draining until the close.
 func (s *Server) shutdown(grace time.Duration) {
 	s.draining.Store(true)
 	s.ln.Close()
+	if s.udp != nil {
+		s.udp.close()
+	}
 	s.connMu.Lock()
 	deadline := time.Now().Add(grace)
 	for c := range s.conns {
@@ -579,6 +607,9 @@ func (s *Server) Kill() {
 		s.killed.Store(true)
 		s.draining.Store(true)
 		s.ln.Close()
+		if s.udp != nil {
+			s.udp.close()
+		}
 		s.connMu.Lock()
 		for c := range s.conns {
 			c.Close()

@@ -1,0 +1,228 @@
+package server
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"implicate/internal/client"
+	"implicate/internal/proto"
+)
+
+// pollAck polls the lane's watermark until cond is satisfied or the
+// deadline passes.
+func pollAck(t *testing.T, cl *client.Client, source uint64, what string, cond func(proto.UDPAck) bool) proto.UDPAck {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ack, err := cl.UDPAck(source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cond(ack) {
+			return ack
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lane never reached %s; last ack %+v", what, ack)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestUDPLaneReorderDuplicatesDrops drives the lane with hand-crafted
+// datagrams — out of order, duplicated, beyond the reorder window, and
+// corrupted — and asserts the watermark converges, every batch applies
+// exactly once, and the final engine state is bit-identical to a serial
+// run of the same batches in sequence order.
+func TestUDPLaneReorderDuplicatesDrops(t *testing.T) {
+	schema := testSchema(t)
+	batches := determinismBatches(6, 50)
+	want, serial := serialState(t, schema, 13, batches)
+
+	srv := startServer(t, Config{
+		Schema:    schema,
+		Engine:    determinismEngine(t, schema, 13),
+		Workers:   4,
+		UDPAddr:   "127.0.0.1:0",
+		UDPWindow: 8,
+	})
+	cl := dialClient(t, srv, schema, client.Options{Conns: 1})
+
+	payloads := make([][]byte, len(batches))
+	for i, ts := range batches {
+		enc, err := client.EncodeBatch(schema, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloads[i] = enc
+	}
+	const source = 3
+	raw, err := net.Dial("udp", srv.UDPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	send := func(seq uint64, payload []byte) {
+		t.Helper()
+		dg, err := proto.AppendDatagram(nil, proto.Datagram{Source: source, Seq: seq, Payload: payload})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := raw.Write(dg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Seq 2 ahead of 1: buffered, not applied. A second copy is a dup.
+	send(2, payloads[1])
+	send(2, payloads[1])
+	pollAck(t, cl, source, "dup of a buffered datagram", func(a proto.UDPAck) bool { return a.Dups == 1 })
+	// Seq 1 fills the gap: 1 and 2 apply, in order.
+	send(1, payloads[0])
+	pollAck(t, cl, source, "watermark 2", func(a proto.UDPAck) bool { return a.Cum == 2 })
+	// Another reorder pair.
+	send(4, payloads[3])
+	send(3, payloads[2])
+	pollAck(t, cl, source, "watermark 4", func(a proto.UDPAck) bool { return a.Cum == 4 })
+	// A stale retransmission of an applied seq is a dup, never re-applied.
+	send(1, payloads[0])
+	pollAck(t, cl, source, "dup of an applied datagram", func(a proto.UDPAck) bool { return a.Dups == 2 })
+	// Far beyond cum+window: dropped, not buffered.
+	send(20, payloads[5])
+	pollAck(t, cl, source, "window-overflow drop", func(a proto.UDPAck) bool { return a.Drops == 1 })
+	// A corrupted datagram (bad CRC) is dropped before source attribution.
+	dg, err := proto.AppendDatagram(nil, proto.Datagram{Source: source, Seq: 5, Payload: payloads[4]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg[len(dg)-1] ^= 0xFF
+	if _, err := raw.Write(dg); err != nil {
+		t.Fatal(err)
+	}
+	// Finish the sequence, last gap first.
+	send(6, payloads[5])
+	send(5, payloads[4])
+	ack := pollAck(t, cl, source, "watermark 6", func(a proto.UDPAck) bool { return a.Cum == 6 })
+	if ack.Applied != 6 || ack.Dups != 2 || ack.Drops != 1 {
+		t.Fatalf("final ack %+v, want applied 6, dups 2, drops 1", ack)
+	}
+
+	// Exactly-once application: the engine ends at precisely the serial
+	// tuple count (waitTuples fails on overshoot) and bit-identical state.
+	total := 0
+	for _, ts := range batches {
+		total += len(ts)
+	}
+	waitTuples(t, cl, int64(total))
+	sn := srv.Telemetry().Snapshot()
+	if sn.UDPDatagrams == 0 || sn.UDPDups != 2 || sn.UDPDrops < 2 {
+		t.Fatalf("telemetry %d datagrams, %d dups, %d drops; want >0, 2, >=2 (overflow + corrupt)", sn.UDPDatagrams, sn.UDPDups, sn.UDPDrops)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv.Engine().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("engine state diverged from the serial run")
+	}
+	for i, st := range srv.Engine().Statements() {
+		if got, want := st.Count(), serial.Statements()[i].Count(); got != want {
+			t.Errorf("stmt %d: count %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestUDPIngesterLossInjection runs the real client ingester against the
+// real lane with injected transmission loss: first attempts of every third
+// datagram vanish, and every ninth loses its first retransmission too. The
+// retransmit loop must still converge the watermark, and the engine state
+// must stay bit-identical to serial — loss can delay batches, never reorder
+// or double-apply them.
+func TestUDPIngesterLossInjection(t *testing.T) {
+	schema := testSchema(t)
+	batches := determinismBatches(30, 100)
+	want, _ := serialState(t, schema, 17, batches)
+
+	srv := startServer(t, Config{
+		Schema:  schema,
+		Engine:  determinismEngine(t, schema, 17),
+		Workers: 4,
+		UDPAddr: "127.0.0.1:0",
+	})
+	cl := dialClient(t, srv, schema, client.Options{Conns: 1})
+	ui, err := cl.DialUDP(srv.UDPAddr(), client.UDPOptions{
+		Source:    9,
+		Window:    8,
+		PollEvery: 4,
+		PollGap:   200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ui.Close()
+	var dropped int
+	ui.SetDropHook(func(seq uint64, attempt int) bool {
+		if (attempt == 1 && seq%3 == 0) || (attempt == 2 && seq%9 == 0) {
+			dropped++
+			return true
+		}
+		return false
+	})
+
+	total := 0
+	for _, ts := range batches {
+		enc, err := client.EncodeBatch(schema, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ui.Send(enc); err != nil {
+			t.Fatal(err)
+		}
+		total += len(ts)
+	}
+	if err := ui.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if ui.Cum() != uint64(len(batches)) {
+		t.Fatalf("watermark %d after flush, want %d", ui.Cum(), len(batches))
+	}
+	if dropped < len(batches)/3 {
+		t.Fatalf("drop hook fired %d times, injection did not engage", dropped)
+	}
+
+	waitTuples(t, cl, int64(total))
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv.Engine().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("engine state diverged from the serial run under loss injection")
+	}
+}
+
+// TestUDPAckUnknownSource documents the poll contract: an unknown source
+// answers with a zero watermark rather than an error, so a client can poll
+// before its first datagram lands.
+func TestUDPAckUnknownSource(t *testing.T) {
+	schema := testSchema(t)
+	srv := startServer(t, Config{
+		Schema:  schema,
+		Engine:  testEngine(t, schema, exactBackend()),
+		UDPAddr: "127.0.0.1:0",
+	})
+	cl := dialClient(t, srv, schema, client.Options{Conns: 1})
+	ack, err := cl.UDPAck(424242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack != (proto.UDPAck{}) {
+		t.Fatalf("unknown source answered %+v, want zero", ack)
+	}
+}

@@ -1,0 +1,92 @@
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// In-memory batch decoding (DESIGN.md §12). The server's ingest payloads
+// arrive as complete binary streams already sitting in one frame buffer;
+// running them through BinaryReader costs a 64 KiB bufio allocation plus a
+// string allocation per tuple. The functions here decode straight from the
+// payload slice instead: the whole batch materializes with three heap
+// allocations — one string conversion covering every record's bytes, one
+// flat field array, one tuple slice — independent of the tuple count.
+
+// BinaryHeader returns the encoded binary-format header for schema,
+// exactly as BinaryWriter emits it. A server that compares an ingest
+// payload's prefix against this (bytes.HasPrefix) has verified the batch
+// schema without parsing: the encoding is canonical, so equal headers and
+// equal schemas coincide.
+func BinaryHeader(schema *Schema) []byte {
+	dst := append([]byte(nil), binaryMagic...)
+	dst = binary.AppendUvarint(dst, uint64(schema.Len()))
+	for _, name := range schema.names {
+		dst = binary.AppendUvarint(dst, uint64(len(name)))
+		dst = append(dst, name...)
+	}
+	return dst
+}
+
+// maxBatchValueLen mirrors BinaryReader's per-value bound.
+const maxBatchValueLen = 1 << 24
+
+// DecodeBinaryRecords decodes the record region of a binary batch — the
+// bytes following the header, e.g. payload[len(BinaryHeader(schema)):] —
+// into tuples of the given arity. maxTuples bounds the batch; exceeding it
+// is an error, not a truncation, matching the server's batch-size policy.
+//
+// Every field string points into a single string conversion of the record
+// region, so the returned tuples are immutable, self-contained (they do
+// not alias data), and cost O(1) allocations for the whole batch.
+func DecodeBinaryRecords(data []byte, arity, maxTuples int) ([]Tuple, error) {
+	if arity < 1 {
+		return nil, fmt.Errorf("stream: record decode needs arity >= 1")
+	}
+	// Pass 1: validate the uvarint/length structure and count records. No
+	// bytes are copied; a malformed batch is rejected before any
+	// allocation is sized from its contents.
+	fields := 0
+	off := 0
+	for off < len(data) {
+		n, w := binary.Uvarint(data[off:])
+		if w <= 0 {
+			return nil, fmt.Errorf("stream: binary record at byte offset %d (after tuple %d): bad value length", off, fields/arity)
+		}
+		if n > maxBatchValueLen {
+			return nil, fmt.Errorf("stream: binary record at byte offset %d (after tuple %d): value length %d exceeds limit", off, fields/arity, n)
+		}
+		if uint64(len(data)-off-w) < n {
+			return nil, fmt.Errorf("stream: binary record at byte offset %d (after tuple %d): truncated value", off, fields/arity)
+		}
+		off += w + int(n)
+		fields++
+	}
+	if fields%arity != 0 {
+		return nil, fmt.Errorf("stream: binary batch ends mid-record (%d fields, arity %d)", fields, arity)
+	}
+	count := fields / arity
+	if count > maxTuples {
+		return nil, fmt.Errorf("stream: batch exceeds %d tuples", maxTuples)
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	// Pass 2: one conversion covers every record's bytes (the interleaved
+	// length prefixes ride along — a few percent of slack for zero
+	// compaction work); fields slice into it.
+	rec := string(data)
+	flat := make([]string, fields)
+	tuples := make([]Tuple, count)
+	off = 0
+	for i := 0; i < fields; i++ {
+		n, w := binary.Uvarint(data[off:])
+		off += w
+		flat[i] = rec[off : off+int(n)]
+		off += int(n)
+	}
+	for i := range tuples {
+		tuples[i] = Tuple(flat[i*arity : (i+1)*arity : (i+1)*arity])
+	}
+	return tuples, nil
+}

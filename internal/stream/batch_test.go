@@ -1,0 +1,159 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// encodeBinary writes tuples in the binary format and returns the full
+// stream plus the record region (header stripped via BinaryHeader).
+func encodeBinary(t testing.TB, schema *Schema, tuples []Tuple) (full, records []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf, schema)
+	for _, tu := range tuples {
+		if err := w.Write(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full = buf.Bytes()
+	hdr := BinaryHeader(schema)
+	if !bytes.HasPrefix(full, hdr) {
+		t.Fatalf("BinaryHeader is not the writer's header prefix\nheader: %x\nstream: %x", hdr, full[:min(len(full), len(hdr)+8)])
+	}
+	return full, full[len(hdr):]
+}
+
+// TestDecodeBinaryRecordsMatchesReader decodes the same batches through
+// DecodeBinaryRecords and BinaryReader.NextBatch and requires identical
+// tuples.
+func TestDecodeBinaryRecordsMatchesReader(t *testing.T) {
+	schema := MustSchema("A", "B")
+	cases := [][]Tuple{
+		nil,
+		{{"x", "y"}},
+		{{"", ""}, {"a", ""}, {"", "b"}},
+		func() []Tuple {
+			var ts []Tuple
+			for i := 0; i < 500; i++ {
+				ts = append(ts, Tuple{fmt.Sprintf("key-%d", i), fmt.Sprintf("val-%d", i%7)})
+			}
+			return ts
+		}(),
+	}
+	for ci, tuples := range cases {
+		full, records := encodeBinary(t, schema, tuples)
+
+		got, err := DecodeBinaryRecords(records, schema.Len(), len(tuples)+1)
+		if err != nil {
+			t.Fatalf("case %d: DecodeBinaryRecords: %v", ci, err)
+		}
+
+		r, err := NewBinaryReader(bytes.NewReader(full))
+		if err != nil {
+			t.Fatalf("case %d: NewBinaryReader: %v", ci, err)
+		}
+		want := make([]Tuple, len(tuples))
+		n, err := r.NextBatch(want)
+		if err != nil && err != io.EOF {
+			t.Fatalf("case %d: NextBatch: %v", ci, err)
+		}
+		want = want[:n]
+
+		if len(got) != len(want) {
+			t.Fatalf("case %d: %d tuples vs reader's %d", ci, len(got), len(want))
+		}
+		for i := range got {
+			for j := range got[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("case %d tuple %d field %d: %q vs %q", ci, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeBinaryRecordsRejects covers the decoder's failure policy:
+// structural damage and oversized batches are errors, never truncations.
+func TestDecodeBinaryRecordsRejects(t *testing.T) {
+	schema := MustSchema("A", "B")
+	tuples := []Tuple{{"aa", "bb"}, {"cc", "dd"}}
+	_, records := encodeBinary(t, schema, tuples)
+
+	if _, err := DecodeBinaryRecords(records, schema.Len(), 1); err == nil {
+		t.Fatal("expected a too-many-tuples error")
+	}
+	if _, err := DecodeBinaryRecords(records[:len(records)-1], schema.Len(), 10); err == nil {
+		t.Fatal("expected a truncated-value error")
+	}
+	// An odd field count ends mid-record for arity 2.
+	oneField := append([]byte{1}, 'z')
+	if _, err := DecodeBinaryRecords(oneField, 2, 10); err == nil {
+		t.Fatal("expected a mid-record error")
+	}
+	if _, err := DecodeBinaryRecords(records, 0, 10); err == nil {
+		t.Fatal("expected an arity error")
+	}
+}
+
+// TestDecodeBinaryRecordsNoAliasing pins the self-containment contract:
+// mutating the input buffer after decoding must not change the tuples.
+func TestDecodeBinaryRecordsNoAliasing(t *testing.T) {
+	schema := MustSchema("A", "B")
+	_, records := encodeBinary(t, schema, []Tuple{{"alpha", "beta"}})
+	buf := append([]byte(nil), records...)
+	got, err := DecodeBinaryRecords(buf, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	if got[0][0] != "alpha" || got[0][1] != "beta" {
+		t.Fatalf("decoded tuples alias the input buffer: %v", got[0])
+	}
+}
+
+func BenchmarkDecodeBinaryRecords(b *testing.B) {
+	schema := MustSchema("A", "B")
+	tuples := make([]Tuple, 1000)
+	for i := range tuples {
+		tuples[i] = Tuple{fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i%11)}
+	}
+	_, records := encodeBinary(b, schema, tuples)
+	b.SetBytes(int64(len(records)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBinaryRecords(records, 2, len(tuples)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinaryReaderNextBatch(b *testing.B) {
+	schema := MustSchema("A", "B")
+	tuples := make([]Tuple, 1000)
+	for i := range tuples {
+		tuples[i] = Tuple{fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i%11)}
+	}
+	full, _ := encodeBinary(b, schema, tuples)
+	dst := make([]Tuple, len(tuples))
+	b.SetBytes(int64(len(full)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewBinaryReader(bytes.NewReader(full))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.NextBatch(dst); err != nil && err != io.EOF {
+			b.Fatal(err)
+		}
+	}
+}

@@ -105,6 +105,17 @@ func (p Proj) Attrs() []string { return append([]string(nil), p.attrs...) }
 // Arity returns the number of projected attributes.
 func (p Proj) Arity() int { return len(p.idx) }
 
+// Single reports the tuple index of a one-attribute projection. Such a
+// projection's key is the attribute value itself (no separator, no
+// assembly), which lets hot planning loops use the tuple's string without
+// copying.
+func (p Proj) Single() (int, bool) {
+	if len(p.idx) == 1 {
+		return p.idx[0], true
+	}
+	return -1, false
+}
+
 // Key encodes the projection of t as an itemset key. Keys of equal itemsets
 // compare equal; distinct itemsets yield distinct keys because values may
 // not contain the separator.

@@ -31,6 +31,7 @@ const (
 	RPCStats
 	RPCHealth
 	RPCTrace
+	RPCUDPAck
 	NumRPCs
 )
 
@@ -49,6 +50,8 @@ func (r RPC) String() string {
 		return "Health"
 	case RPCTrace:
 		return "Trace"
+	case RPCUDPAck:
+		return "UDPAck"
 	}
 	return fmt.Sprintf("RPC(%d)", uint8(r))
 }
@@ -68,6 +71,9 @@ type Set struct {
 	merges          atomic.Int64
 	queueHighWater  atomic.Int64
 	poolSaturation  atomic.Int64
+	udpDatagrams    atomic.Int64
+	udpDups         atomic.Int64
+	udpDrops        atomic.Int64
 	// workers is published atomically so a Snapshot or a straggling worker
 	// update racing a ConfigureWorkers reads a coherent (old or new) block,
 	// never a torn slice header.
@@ -123,6 +129,16 @@ func (s *Set) AddRejectedBatch() { s.batchesRejected.Add(1) }
 // AddMerge records one sketch merged in.
 func (s *Set) AddMerge() { s.merges.Add(1) }
 
+// AddUDPDatagram records one valid UDP ingest datagram received.
+func (s *Set) AddUDPDatagram() { s.udpDatagrams.Add(1) }
+
+// AddUDPDup records one UDP datagram dropped as a duplicate.
+func (s *Set) AddUDPDup() { s.udpDups.Add(1) }
+
+// AddUDPDrop records one UDP datagram dropped for any non-duplicate
+// reason: malformed, beyond the reorder window, or refused while draining.
+func (s *Set) AddUDPDrop() { s.udpDrops.Add(1) }
+
 // ObserveQueueDepth folds one ingest-queue depth sample into the high-water
 // mark.
 func (s *Set) ObserveQueueDepth(depth int) {
@@ -167,6 +183,9 @@ func (s *Set) Snapshot() Snapshot {
 	sn.Merges = s.merges.Load()
 	sn.QueueHighWater = s.queueHighWater.Load()
 	sn.PoolSaturation = s.poolSaturation.Load()
+	sn.UDPDatagrams = s.udpDatagrams.Load()
+	sn.UDPDups = s.udpDups.Load()
+	sn.UDPDrops = s.udpDrops.Load()
 	if wp := s.workers.Load(); wp != nil && len(*wp) > 0 {
 		w := *wp
 		sn.Workers = make([]WorkerStats, len(w))
@@ -250,6 +269,15 @@ type Snapshot struct {
 	// full and blocked — sustained growth means the pool, not the ingest
 	// queue, is the bottleneck.
 	PoolSaturation int64
+	// UDPDatagrams counts valid UDP ingest datagrams received (whether
+	// applied, buffered or dropped as duplicates).
+	UDPDatagrams int64
+	// UDPDups counts UDP datagrams dropped as duplicates — already applied
+	// or already buffered in the reorder window.
+	UDPDups int64
+	// UDPDrops counts UDP datagrams dropped for any other reason:
+	// malformed, beyond the reorder window, or refused while draining.
+	UDPDrops int64
 	// Workers holds per-pipeline-worker counters, one entry per worker; nil
 	// when the server predates worker configuration.
 	Workers []WorkerStats
@@ -266,12 +294,14 @@ type WorkerStats struct {
 	Units int64
 }
 
-// The snapshot wire versions. v2 ("IMPT\x02") added the pool-saturation
-// counter and the per-worker block; v1 ("IMPT\x01") snapshots from older
-// servers carry neither and decode with those fields zero. Encode always
-// writes the current version.
+// The snapshot wire versions. v3 ("IMPT\x03") added the UDP lane counters;
+// v2 ("IMPT\x02") added the pool-saturation counter and the per-worker
+// block; v1 ("IMPT\x01") snapshots from older servers carry none of these
+// and decode with those fields zero. Encode always writes the current
+// version.
 const (
-	snapshotMagic   = "IMPT\x02"
+	snapshotMagic   = "IMPT\x03"
+	snapshotMagicV2 = "IMPT\x02"
 	snapshotMagicV1 = "IMPT\x01"
 )
 
@@ -285,6 +315,9 @@ func (sn Snapshot) Encode() []byte {
 	e.I64(sn.Merges)
 	e.I64(sn.QueueHighWater)
 	e.I64(sn.PoolSaturation)
+	e.I64(sn.UDPDatagrams)
+	e.I64(sn.UDPDups)
+	e.I64(sn.UDPDrops)
 	e.U32(uint32(len(sn.Workers)))
 	for _, w := range sn.Workers {
 		e.I64(w.Tasks)
@@ -310,9 +343,13 @@ func (sn Snapshot) Encode() []byte {
 func DecodeSnapshot(data []byte) (Snapshot, error) {
 	d := wire.NewDecoder(data)
 	v1 := len(data) >= len(snapshotMagicV1) && string(data[:len(snapshotMagicV1)]) == snapshotMagicV1
-	if v1 {
+	v2 := len(data) >= len(snapshotMagicV2) && string(data[:len(snapshotMagicV2)]) == snapshotMagicV2
+	switch {
+	case v1:
 		d.Magic(snapshotMagicV1)
-	} else {
+	case v2:
+		d.Magic(snapshotMagicV2)
+	default:
 		d.Magic(snapshotMagic)
 	}
 	var sn Snapshot
@@ -323,6 +360,11 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 	sn.QueueHighWater = d.I64()
 	if !v1 {
 		sn.PoolSaturation = d.I64()
+		if !v2 {
+			sn.UDPDatagrams = d.I64()
+			sn.UDPDups = d.I64()
+			sn.UDPDrops = d.I64()
+		}
 		// The worker count is the sender's pool size — data, not geometry:
 		// any count round-trips.
 		nworkers := d.Count(16)
@@ -347,7 +389,7 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 	if err := d.Done(); err != nil {
 		return Snapshot{}, fmt.Errorf("telemetry: %w", err)
 	}
-	if sn.TuplesIngested < 0 || sn.Batches < 0 || sn.BatchesRejected < 0 || sn.Merges < 0 || sn.QueueHighWater < 0 || sn.PoolSaturation < 0 {
+	if sn.TuplesIngested < 0 || sn.Batches < 0 || sn.BatchesRejected < 0 || sn.Merges < 0 || sn.QueueHighWater < 0 || sn.PoolSaturation < 0 || sn.UDPDatagrams < 0 || sn.UDPDups < 0 || sn.UDPDrops < 0 {
 		return Snapshot{}, fmt.Errorf("%w: negative counter", wire.ErrCorrupt)
 	}
 	for _, w := range sn.Workers {
