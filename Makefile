@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race race bench bench-serve bench-ingest bench-obs bench-gate examples experiments paper clean checkpoint-fault serve-smoke serve-soak obs-smoke
+.PHONY: all build vet test test-race race bench bench-serve bench-ingest bench-obs bench-gate examples experiments paper clean checkpoint-fault serve-smoke serve-soak obs-smoke cluster-smoke
 
 all: build vet test
 
@@ -41,6 +41,13 @@ serve-smoke:
 # client retried).
 serve-soak:
 	$(GO) test -race -run TestSoakLoopbackIngest -v ./internal/server/
+
+# Coordinator fleet smoke under the race detector: impcoordd over real
+# impserved leaves, one leaf killed mid-stream and restored from its
+# checkpoint through the coordinator's journal-replay recovery, merged
+# count asserted bit-identical to an uncrashed shadow fleet.
+cluster-smoke:
+	$(GO) test -race -run TestClusterSmoke -count=1 -v ./cmd/impcoordd/
 
 # Observability smoke: start impserved with -admin and -trace-spans, ingest
 # through the wire, and assert /metrics serves the key series, /healthz

@@ -24,6 +24,7 @@ type config struct {
 	procs      string
 	transports string
 	window     int
+	leaves     int
 	gate       string
 }
 
@@ -42,6 +43,7 @@ func parseFlags(args []string) (*config, error) {
 	fs.StringVar(&cfg.procs, "procs", "", "GOMAXPROCS sweep for ingest/serve/obs (comma-separated; default: current setting)")
 	fs.StringVar(&cfg.transports, "transports", "", "serve experiment transports (comma-separated from tcp,udp; default both)")
 	fs.IntVar(&cfg.window, "window", 0, "serve experiment per-producer pipelining window in batches (default 16)")
+	fs.IntVar(&cfg.leaves, "leaves", 0, "serve experiment fleet mode: a coordinator fronting N leaf servers (replaces the transport sweep); 0: single server")
 	fs.StringVar(&cfg.gate, "gate", "", "compare serve throughput against this baseline JSON and fail on a >25% regression")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -265,6 +267,7 @@ func run(cfg *config, w io.Writer) error {
 			Producers: cfg.parallel,
 			Procs:     procs,
 			Window:    cfg.window,
+			Leaves:    cfg.leaves,
 		}
 		if cfg.paper {
 			scfg.Tuples = 2_000_000

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"strings"
+	"time"
+
+	"implicate"
+)
+
+// queryList collects repeated -q flags; their order is their statement id,
+// and must match the leaves' registration order.
+type queryList []string
+
+func (q *queryList) String() string { return strings.Join(*q, "; ") }
+
+func (q *queryList) Set(v string) error {
+	*q = append(*q, v)
+	return nil
+}
+
+// config carries the parsed command line.
+type config struct {
+	listen  string
+	leaves  string
+	schema  string
+	queries queryList
+
+	parts int
+	flush int
+
+	probeEvery   time.Duration
+	probeTimeout time.Duration
+	probeFails   int
+	drainTimeout time.Duration
+
+	leafSpecs []implicate.LeafSpec // filled by validate
+}
+
+func parseFlags(args []string) (*config, []string, error) {
+	fs := flag.NewFlagSet("impcoordd", flag.ContinueOnError)
+	cfg := &config{}
+	fs.StringVar(&cfg.listen, "listen", ":7100", "TCP listen address for the fleet front-end")
+	fs.StringVar(&cfg.leaves, "leaves", "", "fleet members as name=addr,name=addr (required); names are stable routing identities")
+	fs.StringVar(&cfg.schema, "schema", "", "comma-separated stream attribute names (required)")
+	fs.Var(&cfg.queries, "q", "implication query the fleet serves (repeatable; required); must match the leaves' registration order")
+	fs.IntVar(&cfg.parts, "parts", 64, "virtual partitions in the route table; a power of two >= the fleet size")
+	fs.IntVar(&cfg.flush, "flush", 512, "per-leaf batch size in tuples: routed tuples buffer until a leaf has this many")
+	fs.DurationVar(&cfg.probeEvery, "probe-every", 50*time.Millisecond, "health-probe period per leaf")
+	fs.DurationVar(&cfg.probeTimeout, "probe-timeout", time.Second, "health-probe round-trip bound")
+	fs.IntVar(&cfg.probeFails, "probe-fails", 3, "consecutive probe failures before a leaf is marked down")
+	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "bound on fleet flush and per-query merge quiesce")
+	if err := fs.Parse(args); err != nil {
+		return nil, nil, err
+	}
+	return cfg, fs.Args(), nil
+}
+
+// parseLeaves turns "name=addr,name=addr" into leaf specs, rejecting
+// malformed entries and duplicate names early with a flag-shaped error.
+func parseLeaves(s string) ([]implicate.LeafSpec, error) {
+	var specs []implicate.LeafSpec
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(part, "=")
+		name, addr = strings.TrimSpace(name), strings.TrimSpace(addr)
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("leaf %q is not name=addr", part)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate leaf name %q", name)
+		}
+		seen[name] = true
+		specs = append(specs, implicate.LeafSpec{Name: name, Addr: addr})
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no leaves")
+	}
+	return specs, nil
+}
+
+// validate rejects flag combinations that would otherwise fail late, and
+// resolves the leaf list.
+func (cfg *config) validate() error {
+	if cfg.schema == "" {
+		return fmt.Errorf("missing -schema (comma-separated attribute names)")
+	}
+	if len(cfg.queries) == 0 {
+		return fmt.Errorf("missing -q query")
+	}
+	if cfg.leaves == "" {
+		return fmt.Errorf("missing -leaves (name=addr,name=addr)")
+	}
+	specs, err := parseLeaves(cfg.leaves)
+	if err != nil {
+		return fmt.Errorf("-leaves: %w", err)
+	}
+	cfg.leafSpecs = specs
+	if cfg.parts < 1 || cfg.parts&(cfg.parts-1) != 0 {
+		return fmt.Errorf("-parts must be a power of two >= 1, got %d", cfg.parts)
+	}
+	if cfg.parts < len(specs) {
+		return fmt.Errorf("-parts %d cannot cover %d leaves", cfg.parts, len(specs))
+	}
+	if cfg.flush < 1 {
+		return fmt.Errorf("-flush must be >= 1, got %d", cfg.flush)
+	}
+	if cfg.probeFails < 1 {
+		return fmt.Errorf("-probe-fails must be >= 1, got %d", cfg.probeFails)
+	}
+	if cfg.probeEvery <= 0 || cfg.probeTimeout <= 0 || cfg.drainTimeout <= 0 {
+		return fmt.Errorf("-probe-every, -probe-timeout and -drain-timeout must be positive")
+	}
+	return nil
+}
+
+// serve runs the coordinator until stop closes, then flushes the fleet and
+// prints the final answers and membership to out. The front-end's bound
+// address is sent on ready.
+func serve(cfg *config, ready chan<- string, stop <-chan struct{}, out io.Writer) error {
+	names := strings.Split(cfg.schema, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	schema, err := implicate.NewSchema(names...)
+	if err != nil {
+		return err
+	}
+	co, err := implicate.NewCoordinator(implicate.CoordinatorConfig{
+		Schema:            schema,
+		Statements:        cfg.queries,
+		Leaves:            cfg.leafSpecs,
+		VirtualPartitions: cfg.parts,
+		FlushTuples:       cfg.flush,
+		ProbeEvery:        cfg.probeEvery,
+		ProbeTimeout:      cfg.probeTimeout,
+		ProbeFails:        cfg.probeFails,
+		DrainTimeout:      cfg.drainTimeout,
+		Logf:              log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	fe, err := implicate.ServeCoordinator(co, cfg.listen)
+	if err != nil {
+		co.Close()
+		return err
+	}
+	ready <- fe.Addr()
+	<-stop
+	fe.Close()
+	// Producers are cut; push every buffered tuple into the fleet so the
+	// final answers cover everything acknowledged.
+	if err := co.Flush(); err != nil {
+		co.Close()
+		return err
+	}
+	err = printSummary(out, co, cfg.queries)
+	co.Close()
+	return err
+}
+
+// printSummary renders the shutdown report: per-statement answers off the
+// merged fleet state, then the membership view.
+func printSummary(out io.Writer, co *implicate.Coordinator, queries []string) error {
+	for i, sql := range queries {
+		res, err := co.Query(i)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "stmt %d: %s = %.1f (%d tuples fleet-wide)\n", i, sql, res.Count, res.Tuples)
+	}
+	cs := co.Status()
+	fmt.Fprintf(out, "fleet: %d leaves over %d virtual partitions\n", len(cs.Leaves), cs.VirtualPartitions)
+	for _, lf := range cs.Leaves {
+		fmt.Fprintf(out, "  %s: %s epoch=%d parts=%d journaled=%d acked=%d\n",
+			lf.Addr, leafStateName(lf.State), lf.Epoch, lf.Parts, lf.Journaled, lf.Acked)
+	}
+	return nil
+}
+
+func leafStateName(s uint8) string {
+	switch s {
+	case implicate.LeafDown:
+		return "down"
+	case implicate.LeafRecovering:
+		return "recovering"
+	}
+	return "up"
+}

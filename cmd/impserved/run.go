@@ -27,17 +27,18 @@ func (q *queryList) Set(v string) error {
 
 // config carries the parsed command line.
 type config struct {
-	addr    string
-	udp     string
-	schema  string
-	queries queryList
-	backend string
-	seed    uint64
-	ilcEps  float64
-	dsSize  int
-	dsBound int
-	queue   int
-	workers int
+	addr      string
+	udp       string
+	udpWindow int
+	schema    string
+	queries   queryList
+	backend   string
+	seed      uint64
+	ilcEps    float64
+	dsSize    int
+	dsBound   int
+	queue     int
+	workers   int
 
 	checkpoint string
 	every      int64
@@ -52,6 +53,7 @@ func parseFlags(args []string) (*config, []string, error) {
 	cfg := &config{}
 	fs.StringVar(&cfg.addr, "addr", ":7171", "TCP listen address")
 	fs.StringVar(&cfg.udp, "udp", "", "UDP ingest lane listen address (at-most-once datagram batches); empty: off")
+	fs.IntVar(&cfg.udpWindow, "udp-window", 256, "UDP lane per-source reorder window in sequence numbers (with -udp)")
 	fs.StringVar(&cfg.schema, "schema", "", "comma-separated stream attribute names (required)")
 	fs.Var(&cfg.queries, "q", "implication query to serve (repeatable; required unless -resume)")
 	fs.StringVar(&cfg.backend, "backend", "nips", "estimator backend: nips, sharded, exact, exact-striped, ilc, ds")
@@ -86,6 +88,12 @@ func (cfg *config) validate() error {
 	}
 	if cfg.queue < 1 {
 		return fmt.Errorf("-queue must be >= 1, got %d", cfg.queue)
+	}
+	// A window below 1 would wrap negative through the lane's uint64
+	// conversion and disable the reorder bound entirely; refuse it here the
+	// same way the server config does.
+	if cfg.udp != "" && cfg.udpWindow < 1 {
+		return fmt.Errorf("-udp-window must be >= 1, got %d", cfg.udpWindow)
 	}
 	if cfg.workers < 0 {
 		return fmt.Errorf("-workers must be >= 0, got %d", cfg.workers)
@@ -180,6 +188,7 @@ func serve(cfg *config, ready chan<- addrs, stop <-chan struct{}, out io.Writer)
 	srv, err := implicate.Serve(implicate.ServerConfig{
 		Addr:            cfg.addr,
 		UDPAddr:         cfg.udp,
+		UDPWindow:       cfg.udpWindow,
 		Schema:          schema,
 		Engine:          eng,
 		QueueDepth:      cfg.queue,

@@ -1,21 +1,22 @@
 // Distributed runs the sensor-network aggregation setting of §2 over a real
-// network: eight leaf nodes are impserved instances on loopback TCP, each
-// observing a shard of the global traffic fed to it through the IngestBatch
-// RPC. When a leaf's stream ends, the leaf serializes its sketch and ships
-// it up a two-level aggregation tree — two relay servers, then a root, all
-// separate TCP servers receiving the state through SnapshotMerge. The root
-// answers the global implication query through the Query RPC without any
-// node ever holding the stream; the bandwidth spent upstream is the
-// serialized sketch size instead of the raw tuples.
+// network, managed by the coordinator subsystem (DESIGN.md §13): eight leaf
+// nodes are impserved instances on loopback TCP, fronted by a Coordinator
+// that consistent-hash-routes every tuple to exactly one leaf, journals and
+// delivers batches in order, and answers the global implication query by
+// pulling and merging leaf state through the Snapshot RPC. The producer
+// talks to the coordinator's wire front-end exactly as it would to a single
+// server — it holds no shards, no offsets, no recovery logic.
 //
 // Constrained nodes also die. One leaf checkpoints its engine to local
 // storage as it ingests and is kill()ed mid-stream — connections cut,
-// queued batches lost, no final checkpoint. Its producer recovers it the
-// way DESIGN.md §8 prescribes: restore the last checkpoint into a fresh
-// server and replay the shard from the recorded offset. The recovered
-// leaf's sketch is bit-identical to an uncrashed shadow's, and therefore so
-// is the root's merged count: the aggregation tree cannot tell there was
-// ever a failure.
+// queued batches lost, no final checkpoint. Nobody replays anything by
+// hand: the coordinator's prober notices the silence, the Restart hook
+// restores the last checkpoint into a fresh server, and the coordinator
+// replays its journal from the restored batch boundary before re-admitting
+// the leaf. An incarnation fence on every delivery guarantees no batch ever
+// reaches the restarted process before that alignment happens. The merged
+// root count is bit-identical to an uncrashed shadow fleet fed the same
+// stream: the aggregation tree cannot tell there was ever a failure.
 package main
 
 import (
@@ -52,13 +53,13 @@ const sql = `SELECT COUNT(DISTINCT Source) FROM traffic
 	WITH SUPPORT >= 12, MULTIPLICITY <= 2, CONFIDENCE >= 0.9 TOP 1`
 
 // leafBackend builds merge-compatible sketches: identical options on every
-// node, explicit seed so a recovered node grows exactly like an uncrashed
-// one and every sketch in the tree can merge with every other.
+// node, explicit seed, so the coordinator's merge fan-in can fold any
+// leaf's state into any other's.
 func leafBackend(cond implicate.Conditions) (implicate.Estimator, error) {
 	return implicate.NewSketch(cond, implicate.Options{Seed: 99})
 }
 
-func newNode(schema *implicate.Schema) *implicate.Engine {
+func newEngine(schema *implicate.Schema) *implicate.Engine {
 	eng := implicate.NewEngine(schema)
 	if _, err := eng.RegisterSQL(sql, leafBackend); err != nil {
 		log.Fatal(err)
@@ -66,18 +67,9 @@ func newNode(schema *implicate.Schema) *implicate.Engine {
 	return eng
 }
 
-func nodeSketch(eng *implicate.Engine) *implicate.Sketch {
-	return eng.Statements()[0].Estimator().(*implicate.Sketch)
-}
-
-// node is one impserved instance plus the feeder's client to it.
-type node struct {
-	srv *implicate.Server
-	cl  *implicate.Client
-}
-
-// startNode serves eng on a fresh loopback port and dials it.
-func startNode(schema *implicate.Schema, eng *implicate.Engine, ckptPath string) *node {
+// startLeaf serves a fresh engine on a loopback port; ckptPath enables the
+// crash-recovery checkpoint loop.
+func startLeaf(schema *implicate.Schema, eng *implicate.Engine, ckptPath string) *implicate.Server {
 	srv, err := implicate.Serve(implicate.ServerConfig{
 		Addr:            "127.0.0.1:0",
 		Schema:          schema,
@@ -88,35 +80,41 @@ func startNode(schema *implicate.Schema, eng *implicate.Engine, ckptPath string)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cl, err := implicate.Dial(srv.Addr(), schema, implicate.ClientOptions{BusyRetries: -1})
-	if err != nil {
-		log.Fatal(err)
-	}
-	return &node{srv: srv, cl: cl}
+	return srv
 }
 
-// shipSketch plays the upstream hop of the §2 tree: dial the parent and
-// merge the marshalled sketch into its statement 0. Returns the bytes sent.
-func shipSketch(addr string, eng *implicate.Engine) int64 {
-	blob, err := nodeSketch(eng).MarshalBinary()
+// startFleet boots n leaves and a coordinator over them. Leaf NAMES are the
+// stable routing identities — two fleets with the same names route every
+// tuple identically regardless of which ports their leaves landed on, which
+// is what makes the shadow comparison below meaningful.
+func startFleet(schema *implicate.Schema, ckptPath string, restart func(string) (string, error)) ([]*implicate.Server, *implicate.Coordinator) {
+	srvs := make([]*implicate.Server, leaves)
+	specs := make([]implicate.LeafSpec, leaves)
+	for i := range srvs {
+		path := ""
+		if i == crashLeaf && ckptPath != "" {
+			path = ckptPath
+		}
+		srvs[i] = startLeaf(schema, newEngine(schema), path)
+		specs[i] = implicate.LeafSpec{Name: fmt.Sprintf("leaf%d", i), Addr: srvs[i].Addr()}
+	}
+	co, err := implicate.NewCoordinator(implicate.CoordinatorConfig{
+		Schema:      schema,
+		Statements:  []string{sql},
+		Leaves:      specs,
+		FlushTuples: batchSize,
+		Restart:     restart,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	cl, err := implicate.Dial(addr, nil, implicate.ClientOptions{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer cl.Close()
-	if err := cl.SnapshotMerge(0, blob); err != nil {
-		log.Fatal(err)
-	}
-	return int64(len(blob))
+	return srvs, co
 }
 
 func main() {
 	// Global question: how many sources talk to a single destination at
-	// least 90% of the time? (Sources are spread across leaves, so no leaf
-	// can answer alone.)
+	// least 90% of the time? (Sources are spread across leaves by the route
+	// table, so no leaf can answer alone.)
 	cond := implicate.Conditions{
 		MaxMultiplicity:  2,
 		MinSupport:       12,
@@ -124,7 +122,7 @@ func main() {
 		MinTopConfidence: 0.9,
 	}
 
-	// Ground truth across the union of all leaf streams.
+	// Ground truth across the whole stream.
 	truth, err := implicate.NewExact(cond)
 	if err != nil {
 		log.Fatal(err)
@@ -142,34 +140,62 @@ func main() {
 	defer os.RemoveAll(ckptDir)
 	ckptPath := filepath.Join(ckptDir, "leaf5.ckpt")
 
-	// Eight leaf servers on loopback; only the crash victim checkpoints.
-	nodes := make([]*node, leaves)
-	for i := range nodes {
-		path := ""
-		if i == crashLeaf {
-			path = ckptPath
+	// The live fleet. Its Restart hook is the whole operator playbook:
+	// restore the checkpoint into a fresh server and report where it
+	// listens — journal alignment and replay are the coordinator's job.
+	var srvs []*implicate.Server
+	recovered := false
+	restart := func(name string) (string, error) {
+		if name != fmt.Sprintf("leaf%d", crashLeaf) {
+			return "", nil // any other leaf is a transient blip; same address
 		}
-		nodes[i] = startNode(schema, newNode(schema), path)
+		snap, err := implicate.ReadCheckpoint(ckptPath)
+		if err != nil {
+			return "", err
+		}
+		eng, err := implicate.RestoreCheckpoint(snap, schema, nil)
+		if err != nil {
+			return "", err
+		}
+		srvs[crashLeaf] = startLeaf(schema, eng, ckptPath)
+		recovered = true
+		fmt.Printf("  leaf %d: restored checkpoint at offset %d, serving on %s\n",
+			crashLeaf, snap.Offset, srvs[crashLeaf].Addr())
+		return srvs[crashLeaf].Addr(), nil
 	}
-	// The shadow is what the crashing leaf would have been had it lived —
-	// the yardstick for "recovery loses nothing". It runs in-process.
-	shadow := newNode(schema)
+	srvs, co := startFleet(schema, ckptPath, restart)
 
-	// Feed the shards. Packets of one flow hash to any leaf (think ECMP), so
-	// no leaf can answer the global question alone. The victim's producer
-	// keeps its shard around — it is the replay source recovery depends on.
-	batches := make([][]stream.Tuple, leaves)
-	var shard []stream.Tuple
+	// The wire front-end: the producer below speaks to the fleet through the
+	// same client and the same RPCs it would use against one impserved.
+	fe, err := implicate.ServeCoordinator(co, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := implicate.Dial(fe.Addr(), schema, implicate.ClientOptions{BusyRetries: -1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The shadow fleet never crashes. Same leaf names => same routing; it is
+	// the yardstick for "recovery loses nothing".
+	shadowSrvs, shadow := startFleet(schema, "", nil)
+
+	// One producer, one stream, no shard bookkeeping. The victim dies at
+	// crashAt; the producer never notices — batches routed to the dead leaf
+	// queue in the coordinator's journal until recovery replays them.
+	var batch []stream.Tuple
 	var rawBytes int64
-	victimDown := false
-	flush := func(leaf int) {
-		if len(batches[leaf]) == 0 {
+	send := func() {
+		if len(batch) == 0 {
 			return
 		}
-		if err := nodes[leaf].cl.IngestBatch(batches[leaf]); err != nil {
+		if err := cl.IngestBatch(batch); err != nil {
 			log.Fatal(err)
 		}
-		batches[leaf] = batches[leaf][:0]
+		if err := shadow.Ingest(batch); err != nil {
+			log.Fatal(err)
+		}
+		batch = nil // both fleets retain the tuples until journaled
 	}
 	for i := int64(0); i < total; i++ {
 		t, err := g.Next()
@@ -180,175 +206,95 @@ func main() {
 		truth.Add(a, b)
 		rawBytes += int64(len(a) + len(b))
 
-		leaf := int(i % leaves)
-		tup := append(stream.Tuple(nil), t...) // batches outlive the generator's buffer
-		if leaf == crashLeaf {
-			shadow.Process(tup)
-			shard = append(shard, tup)
-			if victimDown {
-				continue // node is down; these tuples reach it on replay
-			}
+		batch = append(batch, append(stream.Tuple(nil), t...))
+		if len(batch) >= batchSize {
+			send()
 		}
-		batches[leaf] = append(batches[leaf], tup)
-		if len(batches[leaf]) >= batchSize {
-			flush(leaf)
-		}
-
 		if i == crashAt {
-			// The node dies abruptly: connections cut, the ingest queue's
-			// acknowledged batches lost, no final checkpoint. Only the
-			// periodic checkpoint file survives.
-			nodes[crashLeaf].cl.Close()
-			nodes[crashLeaf].srv.Kill()
-			batches[crashLeaf] = batches[crashLeaf][:0]
-			victimDown = true
+			// The node dies abruptly: connections cut, its queued batches
+			// lost, no final checkpoint. Only the periodic checkpoint file
+			// survives.
+			srvs[crashLeaf].Kill()
+			fmt.Printf("  leaf %d: killed at global tuple %d\n", crashLeaf, i)
 		}
 	}
-	for leaf := range nodes {
-		if leaf != crashLeaf {
-			flush(leaf)
-		}
+	send()
+
+	// Flush = the fleet-wide quiesce: every journaled batch delivered AND
+	// applied — which forces the victim's recovery to have completed.
+	if err := co.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := shadow.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if !recovered {
+		log.Fatal("the crash was never recovered — probe or restart hook misconfigured")
 	}
 
-	// Recovery: restore the engine from the last checkpoint (queries and
-	// sketch state included; no WINDOW clause, so no resolver needed), serve
-	// it on a fresh port, and replay the shard from the recorded offset —
-	// through the same IngestBatch RPC the live feed used.
-	snap, err := implicate.ReadCheckpoint(ckptPath)
+	// The global answer comes off the front-end through the ordinary Query
+	// RPC; the coordinator merges leaf snapshots behind it.
+	res, err := cl.Query(0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	recovered, err := implicate.RestoreCheckpoint(snap, schema, nil)
+	want, err := shadow.Query(0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	nodes[crashLeaf] = startNode(schema, recovered, ckptPath)
-	var replayed int64
-	for off := snap.Offset; off < int64(len(shard)); off += batchSize {
-		end := off + batchSize
-		if end > int64(len(shard)) {
-			end = int64(len(shard))
-		}
-		if err := nodes[crashLeaf].cl.IngestBatch(shard[off:end]); err != nil {
-			log.Fatal(err)
-		}
-		replayed += end - off
+	if math.Float64bits(res.Count) != math.Float64bits(want.Count) || res.Tuples != want.Tuples {
+		log.Fatalf("crashed fleet answered %v over %d tuples; uncrashed shadow %v over %d",
+			res.Count, res.Tuples, want.Count, want.Tuples)
 	}
 
-	// The leaves' streams are done: drain every server gracefully. After
-	// Close, each engine is the local node's to serialize and ship.
-	var ingestStats []implicate.ServerStats
-	for _, n := range nodes {
-		n.cl.Close()
-		if err := n.srv.Close(); err != nil {
-			log.Fatal(err)
-		}
-		ingestStats = append(ingestStats, n.srv.Telemetry().Snapshot())
-	}
-
-	// The recovered node must be indistinguishable from the shadow — not
-	// merely close: bit-identical serialized state.
-	recBlob, err := nodeSketch(nodes[crashLeaf].srv.Engine()).MarshalBinary()
+	// Stronger than count equality: the merged sketch STATE is bit-identical,
+	// pulled over the wire from the recovered fleet vs in-process from the
+	// shadow.
+	snap, err := cl.Snapshot(0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	shadowBlob, err := nodeSketch(shadow).MarshalBinary()
+	shadowSnap, err := shadow.Snapshot(0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !bytes.Equal(recBlob, shadowBlob) {
-		log.Fatalf("recovered leaf diverged from the uncrashed shadow (%d vs %d bytes)",
-			len(recBlob), len(shadowBlob))
+	if !bytes.Equal(snap.Sketch, shadowSnap.Sketch) {
+		log.Fatal("merged fleet state diverged from the uncrashed shadow")
 	}
 
-	// The two-level aggregation tree, every hop a real TCP SnapshotMerge:
-	// leaves 0-3 ship to relay A, 4-7 to relay B, the relays to the root.
-	relayA := startNode(schema, newNode(schema), "")
-	relayB := startNode(schema, newNode(schema), "")
-	root := startNode(schema, newNode(schema), "")
-	var shipped int64
-	for i, n := range nodes {
-		relay := relayA
-		if i >= leaves/2 {
-			relay = relayB
-		}
-		shipped += shipSketch(relay.srv.Addr(), n.srv.Engine())
-	}
-	for _, relay := range []*node{relayA, relayB} {
-		relay.cl.Close()
-		if err := relay.srv.Close(); err != nil {
-			log.Fatal(err)
-		}
-		shipped += shipSketch(root.srv.Addr(), relay.srv.Engine())
-	}
-
-	// The global answer comes off the root through the Query RPC.
-	res, err := root.cl.Query(0)
+	// Membership view: the victim's epoch counts its completed recovery.
+	status, err := cl.Cluster()
 	if err != nil {
 		log.Fatal(err)
 	}
-	rootStats, err := root.cl.Stats()
+
+	cl.Close()
+	fe.Close()
+	co.Close()
+	shadow.Close()
+	for _, s := range append(srvs, shadowSrvs...) {
+		s.Close()
+	}
+
+	rootSketch, err := implicate.UnmarshalSketch(snap.Sketch)
 	if err != nil {
 		log.Fatal(err)
 	}
-	root.cl.Close()
-	if err := root.srv.Close(); err != nil {
-		log.Fatal(err)
-	}
-
-	// An uncrashed baseline tree, merged in-process in the same order from
-	// the same serialized states (shadow standing in for the victim), must
-	// give the bit-identical count — the crash is invisible at the root.
-	baseline := func(members []*implicate.Engine) *implicate.Engine {
-		agg := newNode(schema)
-		for _, m := range members {
-			blob, err := nodeSketch(m).MarshalBinary()
-			if err != nil {
-				log.Fatal(err)
-			}
-			restored, err := implicate.UnmarshalSketch(blob)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := nodeSketch(agg).Merge(restored); err != nil {
-				log.Fatal(err)
-			}
-		}
-		return agg
-	}
-	members := make([]*implicate.Engine, leaves)
-	for i, n := range nodes {
-		members[i] = n.srv.Engine()
-	}
-	members[crashLeaf] = shadow
-	baseRoot := baseline([]*implicate.Engine{
-		baseline(members[:leaves/2]), baseline(members[leaves/2:]),
-	})
-	if want := nodeSketch(baseRoot).ImplicationCount(); math.Float64bits(res.Count) != math.Float64bits(want) {
-		log.Fatalf("root count %v differs from the uncrashed baseline %v", res.Count, want)
-	}
-
-	var leafBatches, leafRejected int64
-	for _, sn := range ingestStats {
-		leafBatches += sn.Batches
-		leafRejected += sn.BatchesRejected
-	}
-	rootSketch := nodeSketch(root.srv.Engine())
 	est := rootSketch.ImplicationCount()
 	lo, hi := rootSketch.ImplicationCountInterval(2)
 	exact := truth.ImplicationCount()
-	fmt.Printf("distributed: %d leaf servers × %d tuples over loopback TCP, two-level merge tree\n", leaves, tuplesPerLeaf)
-	fmt.Printf("  ingest: %d batches acknowledged, %d backpressure retries\n", leafBatches, leafRejected)
-	fmt.Printf("  leaf %d killed at global tuple %d; recovered from checkpoint offset %d, replayed %d tuples\n",
-		crashLeaf, crashAt, snap.Offset, replayed)
-	fmt.Printf("  recovered state vs uncrashed shadow: bit-identical (%d bytes)\n", len(recBlob))
-	fmt.Printf("  root merges received:             %d\n", rootStats.Merges)
-	fmt.Printf("  root count vs uncrashed baseline: bit-identical (%.0f)\n", res.Count)
+	fmt.Printf("distributed: %d leaf servers, coordinator-routed over loopback TCP\n", leaves)
+	fmt.Printf("  fleet over %d virtual partitions:\n", status.VirtualPartitions)
+	for i, lf := range status.Leaves {
+		fmt.Printf("    leaf%d %s: epoch=%d parts=%d journaled=%d\n", i, lf.Addr, lf.Epoch, lf.Parts, lf.Journaled)
+	}
+	fmt.Printf("  root count vs uncrashed shadow fleet: bit-identical (%.0f over %d tuples)\n", res.Count, res.Tuples)
+	fmt.Printf("  merged sketch state vs shadow:        bit-identical (%d bytes)\n", len(snap.Sketch))
 	fmt.Printf("  exact single-destination sources: %.0f\n", exact)
 	fmt.Printf("  merged-sketch estimate:           %.0f  (95%% interval [%.0f, %.0f])\n", est, lo, hi)
 	fmt.Printf("  relative error:                   %.1f%%\n", 100*abs(est-exact)/exact)
-	fmt.Printf("  bytes shipped upstream:           %d (raw stream would be %d — %.0fx saving)\n",
-		shipped, rawBytes, float64(rawBytes)/float64(shipped))
+	fmt.Printf("  state pulled per fleet snapshot:  %d bytes (raw stream is %d — %.0fx more)\n",
+		len(snap.Sketch), rawBytes, float64(rawBytes)/float64(len(snap.Sketch)))
 	fmt.Printf("  root memory:                      %d counter entries\n", rootSketch.MemEntries())
 }
 

@@ -13,10 +13,17 @@
 //     have been enqueued, and re-sending could double-count; the error is
 //     returned to the caller, whose recovery story is the server-side
 //     checkpoint/replay contract.
-//   - Query, Stats, Health and Trace are idempotent and are retried across
-//     redials on connection failures.
+//   - Query, Stats, Health, Trace, Snapshot and Cluster are read-only and
+//     idempotent and are retried across redials on connection failures.
 //   - SnapshotMerge is not idempotent (merging twice double-counts) and is
 //     never retried on ambiguous failures.
+//
+// Every dial ends with a boot handshake (proto.TBoot) that records the
+// server incarnation's nonce on the connection. The fenced variants
+// (IngestFenced, QueryFenced, SnapshotFenced) compare that nonce before
+// writing anything, so a stateful feeder can guarantee its requests never
+// reach a server that silently restarted from an older checkpoint behind
+// the pool's transparent redial; see ErrIncarnation.
 package client
 
 import (
@@ -143,6 +150,25 @@ func (cl *Client) dial() (*conn, error) {
 	}
 	c := &conn{nc: nc, pending: make(map[uint64]chan proto.Frame)}
 	go c.readLoop()
+	// Hello handshake: learn the server incarnation behind this connection.
+	// A TCP connection can never outlive its server process, so the nonce
+	// read here identifies the incarnation for the connection's whole life —
+	// the invariant the fenced calls build on.
+	f, err := c.roundTrip(proto.TBoot, nil, cl.opt.DialTimeout)
+	if err != nil {
+		c.close(err)
+		return nil, fmt.Errorf("client: boot handshake: %w", err)
+	}
+	if f.Type != proto.TResult {
+		c.close(errors.New("client: boot handshake refused"))
+		return nil, fmt.Errorf("client: unexpected %s reply to boot handshake", f.Type)
+	}
+	boot, err := proto.DecodeBoot(f.Payload)
+	if err != nil {
+		c.close(err)
+		return nil, err
+	}
+	c.boot = boot.Nonce
 	return c, nil
 }
 
@@ -266,31 +292,148 @@ func (cl *Client) IngestEncoded(payload []byte, n int64) error {
 		if err != nil {
 			return err
 		}
-		switch f.Type {
-		case proto.TOK:
-			ack, err := proto.DecodeIngestAck(f.Payload)
-			if err != nil {
-				return err
-			}
-			if ack.Tuples != n {
-				return fmt.Errorf("client: server acknowledged %d of %d tuples", ack.Tuples, n)
-			}
-			return nil
-		case proto.TBusy:
-			if cl.opt.BusyRetries >= 0 && attempt >= cl.opt.BusyRetries {
-				return fmt.Errorf("%w after %d attempts", ErrBackpressure, attempt+1)
-			}
-			busy, err := proto.DecodeBusy(f.Payload)
-			if err != nil {
-				return err
-			}
-			cl.backoff(attempt, busy.RetryAfter)
-		case proto.TError:
-			return remoteError(f)
-		default:
-			return fmt.Errorf("client: unexpected %s reply to ingest", f.Type)
+		done, err := cl.ingestReply(f, n, attempt)
+		if done || err != nil {
+			return err
 		}
 	}
+}
+
+// ingestReply interprets one reply to an ingest request: done reports the
+// batch acknowledged, a false done with a nil error means the batch was
+// refused with backpressure (absorbed here with backoff) and must be
+// re-sent.
+func (cl *Client) ingestReply(f proto.Frame, n int64, attempt int) (done bool, err error) {
+	switch f.Type {
+	case proto.TOK:
+		ack, err := proto.DecodeIngestAck(f.Payload)
+		if err != nil {
+			return true, err
+		}
+		if ack.Tuples != n {
+			return true, fmt.Errorf("client: server acknowledged %d of %d tuples", ack.Tuples, n)
+		}
+		return true, nil
+	case proto.TBusy:
+		if cl.opt.BusyRetries >= 0 && attempt >= cl.opt.BusyRetries {
+			return true, fmt.Errorf("%w after %d attempts", ErrBackpressure, attempt+1)
+		}
+		busy, err := proto.DecodeBusy(f.Payload)
+		if err != nil {
+			return true, err
+		}
+		cl.backoff(attempt, busy.RetryAfter)
+		return false, nil
+	case proto.TError:
+		return true, remoteError(f)
+	}
+	return true, fmt.Errorf("client: unexpected %s reply to ingest", f.Type)
+}
+
+// ErrIncarnation is returned by the fenced calls when the connection the
+// pool offers reaches a different server incarnation than the caller
+// fenced against — the server restarted (losing state back to its last
+// checkpoint) and the pool transparently redialed it. The caller's state
+// and the server's have silently diverged; re-sending cannot help, the
+// caller must re-verify the server's state before feeding it anything.
+var ErrIncarnation = errors.New("client: server incarnation changed")
+
+// Boot returns the incarnation nonce of a live pooled connection, dialing
+// one if needed. Callers fence subsequent sends against this value.
+func (cl *Client) Boot() (uint64, error) {
+	c, err := cl.getConn()
+	if err != nil {
+		return 0, err
+	}
+	return c.boot, nil
+}
+
+// callFenced performs one round trip pinned to the given server
+// incarnation: the connection's handshake nonce is compared BEFORE any
+// bytes are written, so a request can never reach a restarted server. The
+// pool may still redial a dead slot — a redial to the same incarnation
+// (a transient network failure) passes the fence and proceeds normally.
+func (cl *Client) callFenced(t proto.Type, payload []byte, boot uint64) (proto.Frame, error) {
+	c, err := cl.getConn()
+	if err != nil {
+		return proto.Frame{}, err
+	}
+	if c.boot != boot {
+		return proto.Frame{}, fmt.Errorf("%w: connection reached incarnation %016x, fenced to %016x", ErrIncarnation, c.boot, boot)
+	}
+	return c.roundTrip(t, payload, cl.opt.RequestTimeout)
+}
+
+// callFencedIdempotent retries callFenced across redials on connection
+// failures; a fence mismatch is permanent and returned immediately.
+func (cl *Client) callFencedIdempotent(t proto.Type, payload []byte, boot uint64) (proto.Frame, error) {
+	var lastErr error
+	for attempt := 0; attempt <= cl.opt.NetRetries; attempt++ {
+		if attempt > 0 {
+			cl.backoff(attempt-1, 0)
+		}
+		f, err := cl.callFenced(t, payload, boot)
+		if err == nil {
+			return f, nil
+		}
+		if errors.Is(err, ErrIncarnation) {
+			return proto.Frame{}, err
+		}
+		lastErr = err
+	}
+	return proto.Frame{}, lastErr
+}
+
+// IngestFenced is IngestEncoded fenced to one server incarnation (see
+// Boot): a batch is only ever written to a connection whose handshake
+// nonce matches boot, so a server that silently restarted — dropping
+// state back to its last checkpoint — can never absorb a batch meant for
+// its predecessor. Stateful feeders that track per-server offsets (the
+// coordinator's journal replay) need this: an offset is only meaningful
+// against the incarnation it was established with.
+func (cl *Client) IngestFenced(payload []byte, n int64, boot uint64) error {
+	for attempt := 0; ; attempt++ {
+		f, err := cl.callFenced(proto.TIngest, payload, boot)
+		if err != nil {
+			return err
+		}
+		done, err := cl.ingestReply(f, n, attempt)
+		if done || err != nil {
+			return err
+		}
+	}
+}
+
+// QueryFenced is Query fenced to one server incarnation: the result is
+// guaranteed to describe the fenced incarnation's state, never a restarted
+// successor's.
+func (cl *Client) QueryFenced(stmt int, boot uint64) (proto.QueryResult, error) {
+	f, err := cl.callFencedIdempotent(proto.TQuery, proto.QueryReq{Stmt: uint32(stmt)}.Encode(), boot)
+	if err != nil {
+		return proto.QueryResult{}, err
+	}
+	switch f.Type {
+	case proto.TResult:
+		return proto.DecodeQueryResult(f.Payload)
+	case proto.TError:
+		return proto.QueryResult{}, remoteError(f)
+	}
+	return proto.QueryResult{}, fmt.Errorf("client: unexpected %s reply to query", f.Type)
+}
+
+// SnapshotFenced is Snapshot fenced to one server incarnation.
+func (cl *Client) SnapshotFenced(stmt int, boot uint64) (proto.SnapshotResult, error) {
+	f, err := cl.callFencedIdempotent(proto.TSnapshot, proto.SnapshotReq{Stmt: uint32(stmt)}.Encode(), boot)
+	if err != nil {
+		return proto.SnapshotResult{}, err
+	}
+	switch f.Type {
+	case proto.TResult:
+		return proto.DecodeSnapshotResult(f.Payload)
+	case proto.TError:
+		return proto.SnapshotResult{}, remoteError(f)
+	}
+	return proto.SnapshotResult{}, fmt.Errorf("client: unexpected %s reply to snapshot", f.Type)
 }
 
 // PendingIngest is one in-flight IngestAsync batch. Wait must be called
@@ -398,6 +541,55 @@ func (cl *Client) SnapshotMerge(stmt int, sketch []byte) error {
 	return fmt.Errorf("client: unexpected %s reply to merge", f.Type)
 }
 
+// Snapshot pulls the marshalled estimator state of the statement registered
+// at index stmt, together with the server's applied-tuple count at the
+// capture — the read direction of the §2 aggregation tree, merge-compatible
+// with SnapshotMerge on another server. Coordinators answer it with their
+// merged fleet state, so the call works the same against a leaf or a
+// coordinator.
+func (cl *Client) Snapshot(stmt int) (proto.SnapshotResult, error) {
+	f, err := cl.callIdempotent(proto.TSnapshot, proto.SnapshotReq{Stmt: uint32(stmt)}.Encode())
+	if err != nil {
+		return proto.SnapshotResult{}, err
+	}
+	switch f.Type {
+	case proto.TResult:
+		return proto.DecodeSnapshotResult(f.Payload)
+	case proto.TError:
+		return proto.SnapshotResult{}, remoteError(f)
+	}
+	return proto.SnapshotResult{}, fmt.Errorf("client: unexpected %s reply to snapshot", f.Type)
+}
+
+// Cluster fetches a coordinator's membership view. Leaf servers answer it
+// with an error frame (they do not implement the RPC).
+func (cl *Client) Cluster() (proto.ClusterStatus, error) {
+	f, err := cl.callIdempotent(proto.TCluster, nil)
+	if err != nil {
+		return proto.ClusterStatus{}, err
+	}
+	switch f.Type {
+	case proto.TResult:
+		return proto.DecodeClusterStatus(f.Payload)
+	case proto.TError:
+		return proto.ClusterStatus{}, remoteError(f)
+	}
+	return proto.ClusterStatus{}, fmt.Errorf("client: unexpected %s reply to cluster", f.Type)
+}
+
+// Ping performs one liveness round trip (a Health request whose reports are
+// discarded) with its own timeout and NO retries — a health prober wants the
+// failure, not a masked redial. Any decoded reply, error frames included,
+// proves the server is alive and serving.
+func (cl *Client) Ping(timeout time.Duration) error {
+	c, err := cl.getConn()
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(proto.THealth, nil, timeout)
+	return err
+}
+
 // Stats fetches the server's telemetry snapshot.
 func (cl *Client) Stats() (telemetry.Snapshot, error) {
 	f, err := cl.callIdempotent(proto.TStats, nil)
@@ -457,6 +649,7 @@ func remoteError(f proto.Frame) error {
 // goroutine dispatching response frames to the pending map by request id.
 type conn struct {
 	nc     net.Conn
+	boot   uint64 // server incarnation nonce, set by the dial handshake
 	wmu    sync.Mutex
 	wbuf   []byte // encode scratch, under wmu; steady-state sends allocate nothing
 	nextID atomic.Uint64

@@ -48,6 +48,15 @@ func startFake(t *testing.T, handle func(f proto.Frame) proto.Frame) *fakeServer
 					if err != nil {
 						return
 					}
+					if f.Type == proto.TBoot {
+						// The dial handshake; scripted handlers only see the
+						// RPCs under test.
+						wmu.Lock()
+						proto.WriteFrame(c, proto.Frame{Type: proto.TResult, ID: f.ID,
+							Payload: proto.Boot{Nonce: 0xfa4e}.Encode()})
+						wmu.Unlock()
+						continue
+					}
 					fs.wg.Add(1)
 					go func() {
 						defer fs.wg.Done()
@@ -210,8 +219,8 @@ func TestPipeliningMatchesResponsesById(t *testing.T) {
 }
 
 func TestQueryRedialsDeadConnection(t *testing.T) {
-	// First connection is accepted and immediately closed; the pooled client
-	// sees a dead conn and must redial for the next idempotent call.
+	// The first connection dies right after the dial handshake; the pooled
+	// client sees a dead conn and must redial for the next idempotent call.
 	var mu sync.Mutex
 	drops := 1
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -231,16 +240,20 @@ func TestQueryRedialsDeadConnection(t *testing.T) {
 				drops--
 			}
 			mu.Unlock()
-			if drop {
-				c.Close()
-				continue
-			}
 			go func() {
 				defer c.Close()
 				for {
 					f, err := proto.ReadFrame(c)
 					if err != nil {
 						return
+					}
+					if f.Type == proto.TBoot {
+						proto.WriteFrame(c, proto.Frame{Type: proto.TResult, ID: f.ID,
+							Payload: proto.Boot{Nonce: 0xb007}.Encode()})
+						if drop {
+							return // connection dies after the handshake
+						}
+						continue
 					}
 					proto.WriteFrame(c, proto.Frame{Type: proto.TResult, ID: f.ID,
 						Payload: proto.QueryResult{Count: 7, Tuples: 1}.Encode()})
@@ -295,6 +308,115 @@ func TestCallsAfterCloseFail(t *testing.T) {
 	}
 	if err := cl.IngestBatch([]stream.Tuple{{"a", "b"}}); err == nil {
 		t.Fatal("ingest on closed client succeeded")
+	}
+}
+
+func TestFencedCallsRefuseNewIncarnation(t *testing.T) {
+	// A fake server whose boot nonce can be bumped, simulating a restart.
+	// After the bump every live connection is killed, so the pooled client
+	// transparently redials — and the fence must catch the new incarnation
+	// before a single ingest byte is written.
+	var mu sync.Mutex
+	nonce := uint64(1)
+	var conns []net.Conn
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, c)
+			mu.Unlock()
+			go func() {
+				defer c.Close()
+				for {
+					f, err := proto.ReadFrame(c)
+					if err != nil {
+						return
+					}
+					switch f.Type {
+					case proto.TBoot:
+						mu.Lock()
+						n := nonce
+						mu.Unlock()
+						proto.WriteFrame(c, proto.Frame{Type: proto.TResult, ID: f.ID,
+							Payload: proto.Boot{Nonce: n}.Encode()})
+					case proto.TIngest:
+						proto.WriteFrame(c, proto.Frame{Type: proto.TOK, ID: f.ID,
+							Payload: proto.IngestAck{Tuples: 1}.Encode()})
+					case proto.TQuery:
+						proto.WriteFrame(c, proto.Frame{Type: proto.TResult, ID: f.ID,
+							Payload: proto.QueryResult{Count: 1, Tuples: 1}.Encode()})
+					}
+				}
+			}()
+		}
+	}()
+
+	schema := testSchema(t)
+	cl, err := Dial(ln.Addr().String(), schema, Options{Conns: 1, RetryBase: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	boot, err := cl.Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boot != 1 {
+		t.Fatalf("boot nonce %d, want 1", boot)
+	}
+	payload, err := EncodeBatch(schema, []stream.Tuple{{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same incarnation: fenced calls go through.
+	if err := cl.IngestFenced(payload, 1, boot); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.QueryFenced(0, boot); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": bump the nonce and kill every live connection.
+	mu.Lock()
+	nonce = 2
+	for _, c := range conns {
+		c.Close()
+	}
+	mu.Unlock()
+
+	// The pool will transparently redial — exactly the hole the fence closes.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := cl.IngestFenced(payload, 1, boot)
+		if errors.Is(err, ErrIncarnation) {
+			break
+		}
+		if err == nil {
+			t.Fatal("fenced ingest crossed a server restart without error")
+		}
+		// A transient net error from the dying conn is fine; retry until the
+		// redial lands on the new incarnation.
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw ErrIncarnation, last err: %v", err)
+		}
+	}
+	if _, err := cl.QueryFenced(0, boot); !errors.Is(err, ErrIncarnation) {
+		t.Fatalf("fenced query after restart: %v", err)
+	}
+	// Unfenced calls still work against the new incarnation.
+	if _, err := cl.Query(0); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := cl.Boot(); err != nil || got != 2 {
+		t.Fatalf("boot after restart = %d, %v; want 2", got, err)
 	}
 }
 

@@ -4,7 +4,12 @@
 // cumulative watermark polls on the client's TCP control connection,
 // retransmitting datagrams the watermark refuses to pass. Delivery is
 // at-most-once on the server; the retransmit loop turns that into
-// effectively-once for producers that Flush.
+// effectively-once for producers that Flush — with one carve-out the
+// watermark alone cannot express: a CRC-valid batch the server fails to
+// decode advances the watermark while counting as a drop, because
+// retransmitting bytes that arrived intact cannot help. Flush therefore
+// audits the full ack accounting (applied + decode-drops == cum) and
+// reports such losses as ErrUDPDataDropped instead of succeeding.
 package client
 
 import (
@@ -91,6 +96,13 @@ type UDPIngester struct {
 	buf       []byte // datagram encode scratch
 	pending   map[uint64]*pendingDG
 	sendCount int
+
+	// base is the server's ack state for this source at dial time, captured
+	// so a reused source id does not charge a prior producer's drops to this
+	// one; last is the most recent poll. The difference is this ingester's
+	// own accounting (Applied, Drops, Flush's loss audit).
+	base proto.UDPAck
+	last proto.UDPAck
 }
 
 // DialUDP connects a datagram ingester for the server's UDP lane at
@@ -107,7 +119,17 @@ func (cl *Client) DialUDP(udpAddr string, opt UDPOptions) (*UDPIngester, error) 
 	if uc, ok := pc.(*net.UDPConn); ok {
 		_ = uc.SetWriteBuffer(1 << 20) // best effort, as on the server side
 	}
-	return &UDPIngester{cl: cl, pc: pc, opt: opt, pending: make(map[uint64]*pendingDG)}, nil
+	// Baseline poll: a reused source id may carry watermark and drop state
+	// from an earlier producer; everything this ingester accounts for is
+	// measured against the state found here.
+	base, err := cl.UDPAck(opt.Source)
+	if err != nil {
+		pc.Close()
+		return nil, fmt.Errorf("client: udp baseline poll: %w", err)
+	}
+	u := &UDPIngester{cl: cl, pc: pc, opt: opt, pending: make(map[uint64]*pendingDG)}
+	u.base, u.last, u.cum, u.next = base, base, base.Cum, base.Cum
+	return u, nil
 }
 
 // UDPAck polls the server's cumulative acknowledgement for a UDP source.
@@ -152,6 +174,7 @@ func (u *UDPIngester) poll() (bool, error) {
 	u.polls++
 	advanced := ack.Cum > u.cum
 	u.cum = ack.Cum
+	u.last = ack
 	for seq := range u.pending {
 		if seq <= ack.Cum {
 			delete(u.pending, seq)
@@ -227,15 +250,49 @@ func (u *UDPIngester) Send(payload []byte) error {
 	return nil
 }
 
-// Flush polls and retransmits until every sent datagram is acknowledged
-// applied — the point where at-most-once delivery has become exactly-once
-// for this producer.
+// ErrUDPDataDropped reports that the server consumed one or more of this
+// ingester's batches without applying them: the batch arrived intact
+// (CRC-verified, watermark advanced) but failed to decode, so
+// retransmission cannot recover it. The data is lost; the producer's only
+// remedies are fixing what it encodes or re-sending the tuples as new
+// batches.
+var ErrUDPDataDropped = errors.New("udp batches dropped undecodable after delivery")
+
+// Flush polls and retransmits until the watermark has passed every sent
+// datagram, then audits the ack accounting: the watermark promises
+// consumed-exactly-once, not applied — a CRC-valid batch the server could
+// not decode advances it while counting as a drop (see proto.UDPAck.Applied).
+// A nil return therefore means every batch this ingester sent was applied
+// to the engine exactly once; a return wrapping ErrUDPDataDropped names how
+// many of this ingester's batches the server consumed without applying
+// (cumulative over the ingester's lifetime — repeated flushes re-report an
+// earlier loss).
 func (u *UDPIngester) Flush() error {
-	return u.reap(0)
+	if err := u.reap(0); err != nil {
+		return err
+	}
+	consumed := u.last.Cum - u.base.Cum
+	applied := u.last.Applied - u.base.Applied
+	if lost := consumed - applied; lost > 0 {
+		return fmt.Errorf("client: udp source %d: %w: %d of %d consumed batches unapplied", u.opt.Source, ErrUDPDataDropped, lost, consumed)
+	}
+	return nil
 }
 
 // Cum returns the last watermark the ingester has seen.
 func (u *UDPIngester) Cum() uint64 { return u.cum }
+
+// Applied returns how many of this ingester's batches the server has
+// reported applied to the engine, as of the last poll. Dial-time baseline
+// state of a reused source id is excluded.
+func (u *UDPIngester) Applied() uint64 { return u.last.Applied - u.base.Applied }
+
+// Drops returns how many of this ingester's datagrams the server has
+// reported dropped for non-duplicate reasons, as of the last poll —
+// recoverable window overflows and drain refusals alongside the
+// unrecoverable decode failures Flush reports. Dial-time baseline state of
+// a reused source id is excluded.
+func (u *UDPIngester) Drops() uint64 { return u.last.Drops - u.base.Drops }
 
 // SetDropHook installs a transmission predicate for loss-injection tests:
 // when it returns true for a (seq, attempt) pair, that transmission is

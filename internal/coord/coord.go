@@ -1,0 +1,391 @@
+// Package coord is the fleet coordinator: the managed form of the paper's
+// §2 two-level aggregation tree (DESIGN.md §13). A Coordinator fronts N
+// impserved leaves, routes every ingested tuple to exactly one leaf through
+// an immutable partition table (route.go), journals and delivers batches in
+// order per leaf (leaf.go), tracks liveness with health probes, recovers a
+// crashed leaf from its checkpoint before re-admitting it, and answers
+// queries by pulling and merging leaf state through the Snapshot RPC.
+//
+// Determinism contract: with a fixed configuration (leaf names, partition
+// count, route statement) and a fixed tuple sequence, every leaf receives
+// the same tuples in the same order on every run — crashes included,
+// because routing ignores liveness and recovery replays the journal from
+// the leaf's restored checkpoint boundary. A fleet that lost and recovered
+// a leaf is therefore bit-identical to an uncrashed shadow fleet fed the
+// same stream, which is the property the cluster smoke test enforces.
+//
+// Restrictions: leaves must run merge-compatible estimators for every
+// statement — the plain "nips" sketch with identical seeds and parameters —
+// because the merge fan-in round-trips marshalled sketches through
+// core.Sketch.Merge. Windowed statements are rejected at construction.
+package coord
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"implicate/internal/client"
+	"implicate/internal/core"
+	"implicate/internal/imps"
+	"implicate/internal/proto"
+	"implicate/internal/query"
+	"implicate/internal/stream"
+)
+
+// LeafSpec names one fleet member. Name is the stable identity the route
+// table hashes — it must survive restarts and address changes; Addr is
+// where the leaf listens now.
+type LeafSpec struct {
+	Name string
+	Addr string
+}
+
+// Config configures a Coordinator.
+type Config struct {
+	// Schema is the stream schema, shared with every leaf.
+	Schema *stream.Schema
+	// Statements are the SQL statements the fleet serves, in the leaves'
+	// registration order. Statement 0's A-projection (plus GROUP BY) is the
+	// route key.
+	Statements []string
+	// Leaves is the fleet, in route-table order. Names must be unique.
+	Leaves []LeafSpec
+	// VirtualPartitions sizes the route table; a power of two >= the fleet
+	// size. Default 64.
+	VirtualPartitions int
+	// Partitioner overrides the key→partition mapping; any
+	// imps.PartitionedAdder satisfies it. Nil selects the fixed-seed xhash
+	// router, which every identically-configured coordinator shares.
+	Partitioner Partitioner
+	// FlushTuples is the per-leaf batch size: routed tuples are buffered
+	// until a leaf's buffer holds this many, then journaled and delivered
+	// as one batch. Default 512.
+	FlushTuples int
+	// ProbeEvery is the health-probe period per leaf. Default 50ms.
+	ProbeEvery time.Duration
+	// ProbeTimeout bounds one probe round trip. Default 1s.
+	ProbeTimeout time.Duration
+	// ProbeFails is how many consecutive probe failures mark a leaf down.
+	// Default 3.
+	ProbeFails int
+	// DrainTimeout bounds Flush and the merge fan-in's per-leaf quiesce.
+	// Default 30s.
+	DrainTimeout time.Duration
+	// Restart, when non-nil, is the recovery hook: called with a down
+	// leaf's name, it restarts that leaf from its latest checkpoint and
+	// returns the address it listens on now ("" keeps the old address).
+	// When nil, recovery waits for the leaf to come back on its own at the
+	// same address.
+	Restart func(name string) (addr string, err error)
+	// ClientOptions tune the per-leaf clients.
+	ClientOptions client.Options
+	// Logf, when non-nil, receives diagnostic messages (probe failures,
+	// recovery progress).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.VirtualPartitions == 0 {
+		c.VirtualPartitions = 64
+	}
+	if c.FlushTuples == 0 {
+		c.FlushTuples = 512
+	}
+	if c.ProbeEvery == 0 {
+		c.ProbeEvery = 50 * time.Millisecond
+	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.ProbeFails == 0 {
+		c.ProbeFails = 3
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	// The recovery backoff schedule reuses the client's retry tuning; give
+	// it the client package's defaults when unset so it never hot-loops.
+	if c.ClientOptions.RetryBase == 0 {
+		c.ClientOptions.RetryBase = 2 * time.Millisecond
+	}
+	if c.ClientOptions.RetryCap == 0 {
+		c.ClientOptions.RetryCap = 500 * time.Millisecond
+	}
+	return c
+}
+
+// Coordinator fronts a leaf fleet. Create with New; Ingest and Flush are
+// single-producer (callers serialize them — the wire front-end does);
+// Query, Snapshot and Status are safe concurrently with ingest.
+type Coordinator struct {
+	cfg     Config
+	queries []query.Query // parsed and normalized statement templates
+	rt      *routeTable
+	leaves  []*leaf
+	boot    uint64 // this coordinator's incarnation nonce, served over TBoot
+
+	// mu guards the router buffers and key scratch on the ingest path.
+	mu   sync.Mutex
+	pend [][]stream.Tuple // per-leaf buffered tuples, not yet journaled
+	key  []byte
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// New validates the configuration, dials every leaf eagerly (configuration
+// errors surface here), and starts the feeders and probers.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("coord: nil schema")
+	}
+	if len(cfg.Statements) == 0 {
+		return nil, fmt.Errorf("coord: at least one statement is required")
+	}
+	if len(cfg.Leaves) == 0 {
+		return nil, fmt.Errorf("coord: at least one leaf is required")
+	}
+	seen := make(map[string]bool, len(cfg.Leaves))
+	for _, l := range cfg.Leaves {
+		if l.Name == "" || l.Addr == "" {
+			return nil, fmt.Errorf("coord: every leaf needs a name and an address")
+		}
+		if seen[l.Name] {
+			return nil, fmt.Errorf("coord: duplicate leaf name %q", l.Name)
+		}
+		seen[l.Name] = true
+	}
+	co := &Coordinator{cfg: cfg, stop: make(chan struct{})}
+	nonce, err := proto.NewBootNonce()
+	if err != nil {
+		return nil, fmt.Errorf("coord: %w", err)
+	}
+	co.boot = nonce
+	for _, sql := range cfg.Statements {
+		q, err := query.Parse(sql)
+		if err != nil {
+			return nil, fmt.Errorf("coord: %w", err)
+		}
+		if err := q.Normalize(cfg.Schema); err != nil {
+			return nil, fmt.Errorf("coord: %w", err)
+		}
+		if q.Window > 0 {
+			return nil, fmt.Errorf("coord: windowed statements cannot be merged across a fleet")
+		}
+		co.queries = append(co.queries, *q)
+	}
+	names := make([]string, len(cfg.Leaves))
+	for i, l := range cfg.Leaves {
+		names[i] = l.Name
+	}
+	attrs := append(append([]string(nil), co.queries[0].A...), co.queries[0].GroupBy...)
+	rt, err := newRouteTable(cfg.Schema, attrs, cfg.Partitioner, cfg.VirtualPartitions, names)
+	if err != nil {
+		return nil, err
+	}
+	co.rt = rt
+	co.pend = make([][]stream.Tuple, len(cfg.Leaves))
+	for i, spec := range cfg.Leaves {
+		lf, err := newLeaf(co, i, spec)
+		if err != nil {
+			for _, prev := range co.leaves {
+				prev.shut()
+			}
+			return nil, err
+		}
+		co.leaves = append(co.leaves, lf)
+	}
+	for _, lf := range co.leaves {
+		co.wg.Add(2)
+		go lf.run()
+		go lf.probe()
+	}
+	return co, nil
+}
+
+func (co *Coordinator) logf(format string, args ...any) { co.cfg.Logf(format, args...) }
+
+// Ingest routes a batch of tuples into the per-leaf buffers, journaling
+// each buffer as it fills. Tuples are retained until journaled; callers
+// may reuse the slice but not the tuples it holds.
+func (co *Coordinator) Ingest(tuples []stream.Tuple) error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for _, t := range tuples {
+		idx, key := co.rt.leafOf(t, co.key)
+		co.key = key
+		co.pend[idx] = append(co.pend[idx], t)
+		if len(co.pend[idx]) >= co.cfg.FlushTuples {
+			if err := co.journalLocked(idx); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// journalLocked encodes leaf idx's buffer and hands it to the leaf's
+// journal. Must hold co.mu.
+func (co *Coordinator) journalLocked(idx int) error {
+	if len(co.pend[idx]) == 0 {
+		return nil
+	}
+	payload, err := client.EncodeBatch(co.cfg.Schema, co.pend[idx])
+	if err != nil {
+		return fmt.Errorf("coord: encode batch for leaf %s: %w", co.leaves[idx].name, err)
+	}
+	co.leaves[idx].append(payload, int64(len(co.pend[idx])))
+	co.pend[idx] = co.pend[idx][:0]
+	return nil
+}
+
+// Flush journals every buffered tuple and blocks until the whole fleet has
+// applied everything routed to it — acknowledgements only confirm
+// enqueueing, so this is the one call after which a merge fan-in reflects
+// every ingested tuple.
+func (co *Coordinator) Flush() error {
+	co.mu.Lock()
+	for idx := range co.pend {
+		if err := co.journalLocked(idx); err != nil {
+			co.mu.Unlock()
+			return err
+		}
+	}
+	co.mu.Unlock()
+	deadline := time.Now().Add(co.cfg.DrainTimeout)
+	errs := make([]error, len(co.leaves))
+	var wg sync.WaitGroup
+	for i, lf := range co.leaves {
+		wg.Add(1)
+		go func(i int, lf *leaf) {
+			defer wg.Done()
+			errs[i] = lf.drain(deadline)
+		}(i, lf)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// merged pulls statement stmt's state from every leaf and merges it in
+// leaf order. The pulls run concurrently; the merge is sequential so the
+// result is a pure function of the leaf states.
+func (co *Coordinator) merged(stmt int) (*core.Sketch, string, int64, error) {
+	if stmt < 0 || stmt >= len(co.queries) {
+		return nil, "", 0, fmt.Errorf("coord: no statement %d (coordinator has %d)", stmt, len(co.queries))
+	}
+	deadline := time.Now().Add(co.cfg.DrainTimeout)
+	results := make([]proto.SnapshotResult, len(co.leaves))
+	errs := make([]error, len(co.leaves))
+	var wg sync.WaitGroup
+	for i, lf := range co.leaves {
+		wg.Add(1)
+		go func(i int, lf *leaf) {
+			defer wg.Done()
+			results[i], errs[i] = lf.snapshot(stmt, deadline)
+		}(i, lf)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, "", 0, err
+		}
+	}
+	var dst *core.Sketch
+	var tuples int64
+	kind := results[0].Kind
+	for i, res := range results {
+		tuples += res.Tuples
+		s, err := core.UnmarshalSketch(res.Sketch)
+		if err != nil {
+			return nil, "", 0, fmt.Errorf("coord: leaf %s snapshot: %w", co.leaves[i].name, err)
+		}
+		if dst == nil {
+			dst = s
+			continue
+		}
+		if err := dst.Merge(s); err != nil {
+			return nil, "", 0, fmt.Errorf("coord: merging leaf %s: %w (leaves must share sketch parameters and seed)", co.leaves[i].name, err)
+		}
+	}
+	return dst, kind, tuples, nil
+}
+
+// Query answers statement stmt from the merged fleet state: the count under
+// the statement's own read mode, and the fleet-wide applied-tuple total.
+// The answer is a live point-in-time read; call Flush first when it must
+// cover everything ingested.
+func (co *Coordinator) Query(stmt int) (proto.QueryResult, error) {
+	merged, _, tuples, err := co.merged(stmt)
+	if err != nil {
+		return proto.QueryResult{}, err
+	}
+	count, err := co.evalCount(stmt, merged)
+	if err != nil {
+		return proto.QueryResult{}, err
+	}
+	return proto.QueryResult{Count: count, Tuples: tuples}, nil
+}
+
+// evalCount reads the statement's answer off a merged estimator by binding
+// it into a throwaway compilation of the statement template — Count then
+// applies the statement's read mode (implications, supported, distinct...)
+// exactly as a leaf would.
+func (co *Coordinator) evalCount(stmt int, est imps.Estimator) (float64, error) {
+	st, err := query.Compile(co.queries[stmt], co.cfg.Schema, func(imps.Conditions) (imps.Estimator, error) {
+		return est, nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("coord: evaluating statement %d: %w", stmt, err)
+	}
+	return st.Count(), nil
+}
+
+// Snapshot answers the Snapshot RPC with the merged fleet state — the same
+// shape a leaf answers with, which is what lets coordinators stack into
+// deeper aggregation trees.
+func (co *Coordinator) Snapshot(stmt int) (proto.SnapshotResult, error) {
+	merged, kind, tuples, err := co.merged(stmt)
+	if err != nil {
+		return proto.SnapshotResult{}, err
+	}
+	blob, err := merged.MarshalBinary()
+	if err != nil {
+		return proto.SnapshotResult{}, fmt.Errorf("coord: %w", err)
+	}
+	return proto.SnapshotResult{Tuples: tuples, Kind: kind, Sketch: blob}, nil
+}
+
+// Status reports the membership view: route-table size and one row per
+// leaf.
+func (co *Coordinator) Status() proto.ClusterStatus {
+	cs := proto.ClusterStatus{VirtualPartitions: uint32(co.rt.parts)}
+	for _, lf := range co.leaves {
+		cs.Leaves = append(cs.Leaves, lf.status())
+	}
+	return cs
+}
+
+// Close stops the probers and feeders and closes every leaf client.
+// Buffered tuples not yet journaled and journaled batches not yet delivered
+// are NOT flushed — call Flush first for a clean handoff.
+func (co *Coordinator) Close() error {
+	co.closeOnce.Do(func() {
+		close(co.stop)
+		for _, lf := range co.leaves {
+			lf.shut()
+		}
+		co.wg.Wait()
+	})
+	return nil
+}

@@ -1,0 +1,221 @@
+// The coordinator's wire front-end: a TCP listener speaking internal/proto
+// so producers and queriers talk to the fleet exactly as they would to one
+// impserved — the pooled client, impbench and a parent coordinator all work
+// unchanged. Ingest frames route into the coordinator's partition table and
+// are acknowledged once buffered (durability at this tier is the journal
+// plus the leaves' checkpoints); Query and Snapshot answer from the merged
+// fleet state; Cluster reports membership. The front-end is a control-plane
+// loop — one reader per connection, replies written in request order — not
+// the leaves' vectored hot path: the fan-out to N leaves, not front-end
+// framing, bounds fleet throughput.
+package coord
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"implicate/internal/obs"
+	"implicate/internal/proto"
+	"implicate/internal/stream"
+	"implicate/internal/telemetry"
+)
+
+// frontDrainGrace mirrors the server's: how long connection readers may
+// finish in-flight requests after Close.
+const frontDrainGrace = 200 * time.Millisecond
+
+// Frontend serves the coordinator over the wire protocol. Create with
+// Serve.
+type Frontend struct {
+	co *Coordinator
+	ln net.Listener
+
+	connMu   sync.Mutex
+	conns    map[net.Conn]struct{}
+	draining bool
+	wg       sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// Serve starts a front-end listener for co on addr.
+func Serve(co *Coordinator, addr string) (*Frontend, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("coord: %w", err)
+	}
+	fe := &Frontend{co: co, ln: ln, conns: make(map[net.Conn]struct{})}
+	fe.wg.Add(1)
+	go fe.acceptLoop()
+	return fe, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (fe *Frontend) Addr() string { return fe.ln.Addr().String() }
+
+func (fe *Frontend) acceptLoop() {
+	defer fe.wg.Done()
+	for {
+		c, err := fe.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		fe.connMu.Lock()
+		if fe.draining {
+			fe.connMu.Unlock()
+			c.Close()
+			continue
+		}
+		fe.conns[c] = struct{}{}
+		fe.wg.Add(1)
+		fe.connMu.Unlock()
+		go fe.serveConn(c)
+	}
+}
+
+func (fe *Frontend) serveConn(c net.Conn) {
+	defer fe.wg.Done()
+	defer func() {
+		fe.connMu.Lock()
+		delete(fe.conns, c)
+		fe.connMu.Unlock()
+		c.Close()
+	}()
+	fr := proto.NewFrameReader(c)
+	var wbuf []byte
+	for {
+		f, err := fr.Next()
+		if err != nil {
+			return // EOF, deadline or protocol error; nothing to answer on
+		}
+		resp := fe.handle(f)
+		wbuf, err = proto.AppendFrame(wbuf[:0], resp)
+		if err != nil {
+			return
+		}
+		if _, err := c.Write(wbuf); err != nil {
+			return
+		}
+	}
+}
+
+func (fe *Frontend) handle(f proto.Frame) proto.Frame {
+	switch f.Type {
+	case proto.TIngest:
+		return fe.handleIngest(f)
+	case proto.TQuery:
+		req, err := proto.DecodeQueryReq(f.Payload)
+		if err != nil {
+			return errFrame(f.ID, err)
+		}
+		res, err := fe.co.Query(int(req.Stmt))
+		if err != nil {
+			return errFrame(f.ID, err)
+		}
+		return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: res.Encode()}
+	case proto.TSnapshot:
+		req, err := proto.DecodeSnapshotReq(f.Payload)
+		if err != nil {
+			return errFrame(f.ID, err)
+		}
+		res, err := fe.co.Snapshot(int(req.Stmt))
+		if err != nil {
+			return errFrame(f.ID, err)
+		}
+		return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: res.Encode()}
+	case proto.TCluster:
+		return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: fe.co.Status().Encode()}
+	case proto.TBoot:
+		// The coordinator journals in memory, so its restart loses routing
+		// state the same way a leaf restart loses uncheckpointed tuples —
+		// stateful feeders fence against it just like against a leaf.
+		return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: proto.Boot{Nonce: fe.co.boot}.Encode()}
+	case proto.THealth:
+		// The coordinator holds no estimators of its own; an empty report
+		// keeps Ping and health pollers working against either tier.
+		return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: obs.EncodeHealth(nil)}
+	case proto.TStats:
+		var empty telemetry.Set
+		return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: empty.Snapshot().Encode()}
+	case proto.TTrace:
+		return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: obs.EncodeSpans(nil)}
+	case proto.TUDPAck:
+		// No UDP lane at this tier; the zero watermark is the protocol's
+		// "lane disabled" answer.
+		if _, err := proto.DecodeUDPAckReq(f.Payload); err != nil {
+			return errFrame(f.ID, err)
+		}
+		return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: proto.UDPAck{}.Encode()}
+	}
+	return errFrame(f.ID, fmt.Errorf("unsupported request type %s", f.Type))
+}
+
+func (fe *Frontend) handleIngest(f proto.Frame) proto.Frame {
+	tuples, err := fe.decodeBatch(f.Payload)
+	if err != nil {
+		return errFrame(f.ID, err)
+	}
+	if err := fe.co.Ingest(tuples); err != nil {
+		return errFrame(f.ID, err)
+	}
+	return proto.Frame{Type: proto.TOK, ID: f.ID, Payload: proto.IngestAck{Tuples: int64(len(tuples))}.Encode()}
+}
+
+// decodeBatch parses an ingest payload against the coordinator's schema.
+// The general BinaryReader path, not the leaf server's zero-alloc fast
+// path: the tuples are retained in the router buffers anyway, so they need
+// their own allocations.
+func (fe *Frontend) decodeBatch(payload []byte) ([]stream.Tuple, error) {
+	br, err := stream.NewBinaryReader(bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	got, want := br.Schema().Names(), fe.co.cfg.Schema.Names()
+	if len(got) != len(want) {
+		return nil, fmt.Errorf("batch schema has %d attributes, coordinator schema has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return nil, fmt.Errorf("batch schema attribute %d is %q, coordinator schema has %q", i, got[i], want[i])
+		}
+	}
+	var tuples []stream.Tuple
+	buf := make([]stream.Tuple, 256)
+	for {
+		n, err := br.NextBatch(buf)
+		for i := 0; i < n; i++ {
+			tuples = append(tuples, append(stream.Tuple(nil), buf[i]...))
+		}
+		if err == io.EOF {
+			return tuples, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+func errFrame(id uint64, err error) proto.Frame {
+	return proto.Frame{Type: proto.TError, ID: id, Payload: proto.EncodeError(err.Error())}
+}
+
+// Close stops accepting, lets connection readers finish briefly, then cuts
+// them. The coordinator itself is left running — callers own its shutdown.
+func (fe *Frontend) Close() error {
+	fe.closeOnce.Do(func() {
+		fe.connMu.Lock()
+		fe.draining = true
+		deadline := time.Now().Add(frontDrainGrace)
+		for c := range fe.conns {
+			c.SetReadDeadline(deadline)
+		}
+		fe.connMu.Unlock()
+		fe.ln.Close()
+		fe.wg.Wait()
+	})
+	return nil
+}

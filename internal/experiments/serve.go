@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"implicate/internal/client"
+	"implicate/internal/coord"
+	"implicate/internal/core"
 	"implicate/internal/exact"
 	"implicate/internal/gen"
 	"implicate/internal/imps"
@@ -47,8 +49,17 @@ type ServeConfig struct {
 	// setting only.
 	Procs []int
 	// Transports lists the wire paths to measure: "tcp", "udp". Defaults
-	// to both.
+	// to both. With Leaves > 0 the sweep is replaced by the "fleet"
+	// transport regardless of this setting.
 	Transports []string
+	// Leaves, when positive, measures a coordinator fronting that many
+	// leaf servers instead of one server: producers feed the coordinator's
+	// front-end, which routes and fans batches out over the fleet. The
+	// leaves run merge-compatible "nips" sketches (the coordinator's merge
+	// fan-in round-trips marshalled sketches, which the exact backend
+	// cannot), so fleet rows are not count-comparable with tcp/udp rows and
+	// replace them.
+	Leaves int
 	// Seed drives the workload generator.
 	Seed int64
 }
@@ -75,7 +86,9 @@ func (c ServeConfig) withDefaults() ServeConfig {
 	if len(c.Procs) == 0 {
 		c.Procs = []int{runtime.GOMAXPROCS(0)}
 	}
-	if len(c.Transports) == 0 {
+	if c.Leaves > 0 {
+		c.Transports = []string{"fleet"}
+	} else if len(c.Transports) == 0 {
 		c.Transports = []string{"tcp", "udp"}
 	}
 	if c.Seed == 0 {
@@ -212,6 +225,9 @@ type encBatch struct {
 
 // runServeVariant measures one (transport, workers) point end to end.
 func runServeVariant(cfg ServeConfig, schema *stream.Schema, payloads [][]encBatch, transport string, procs, workers int) (ServeRow, error) {
+	if transport == "fleet" {
+		return runServeFleetVariant(cfg, schema, payloads, procs, workers)
+	}
 	eng := query.NewEngine(schema)
 	st, err := eng.RegisterSQL(serveSQL, func(cond imps.Conditions) (imps.Estimator, error) {
 		return exact.NewStriped(cond, 0)
@@ -293,6 +309,126 @@ func runServeVariant(cfg ServeConfig, schema *stream.Schema, payloads [][]encBat
 		Implications:   st.Count(),
 		Rejected:       sn.BatchesRejected,
 		PoolSaturation: sn.PoolSaturation,
+	}, nil
+}
+
+// runServeFleetVariant measures one (fleet, workers) point: cfg.Leaves leaf
+// servers behind a coordinator front-end, producers feeding the front-end
+// exactly as they would a single server. The timed region runs from first
+// send through the coordinator's Flush — the fleet-wide quiesce — so
+// journal depth cannot fake throughput.
+func runServeFleetVariant(cfg ServeConfig, schema *stream.Schema, payloads [][]encBatch, procs, workers int) (ServeRow, error) {
+	backend := func(cond imps.Conditions) (imps.Estimator, error) {
+		return core.NewSketch(cond, core.Options{Seed: uint64(cfg.Seed)*2 + 1})
+	}
+	leaves := make([]*server.Server, 0, cfg.Leaves)
+	closeLeaves := func() {
+		for _, srv := range leaves {
+			srv.Close()
+		}
+	}
+	specs := make([]coord.LeafSpec, cfg.Leaves)
+	for i := 0; i < cfg.Leaves; i++ {
+		eng := query.NewEngine(schema)
+		if _, err := eng.RegisterSQL(serveSQL, backend); err != nil {
+			closeLeaves()
+			return ServeRow{}, err
+		}
+		srv, err := server.Listen(server.Config{
+			Addr:        "127.0.0.1:0",
+			Schema:      schema,
+			Engine:      eng,
+			QueueDepth:  cfg.Queue,
+			Workers:     workers,
+			BlockOnFull: true,
+		})
+		if err != nil {
+			closeLeaves()
+			return ServeRow{}, err
+		}
+		leaves = append(leaves, srv)
+		specs[i] = coord.LeafSpec{Name: fmt.Sprintf("leaf%d", i), Addr: srv.Addr()}
+	}
+	co, err := coord.New(coord.Config{
+		Schema:      schema,
+		Statements:  []string{serveSQL},
+		Leaves:      specs,
+		FlushTuples: cfg.Batch,
+	})
+	if err != nil {
+		closeLeaves()
+		return ServeRow{}, err
+	}
+	fe, err := coord.Serve(co, "127.0.0.1:0")
+	if err != nil {
+		co.Close()
+		closeLeaves()
+		return ServeRow{}, err
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Producers)
+	start := time.Now()
+	for p := 0; p < cfg.Producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			cl, err := client.Dial(fe.Addr(), schema, client.Options{Conns: 1})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			errs <- serveProduceTCP(cl, cfg.Window, payloads[p])
+		}(p)
+	}
+	wg.Wait()
+	flushErr := co.Flush()
+	dur := time.Since(start)
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			fe.Close()
+			co.Close()
+			closeLeaves()
+			return ServeRow{}, err
+		}
+	}
+	if flushErr != nil {
+		fe.Close()
+		co.Close()
+		closeLeaves()
+		return ServeRow{}, flushErr
+	}
+	q, err := co.Query(0)
+	fe.Close()
+	co.Close()
+	var rejected, saturation int64
+	for _, srv := range leaves {
+		if cerr := srv.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		sn := srv.Telemetry().Snapshot()
+		rejected += sn.BatchesRejected
+		saturation += sn.PoolSaturation
+	}
+	if err != nil {
+		return ServeRow{}, err
+	}
+	if q.Tuples != int64(cfg.Tuples) {
+		return ServeRow{}, fmt.Errorf("serve bench: fleet of %d applied %d of %d tuples", cfg.Leaves, q.Tuples, cfg.Tuples)
+	}
+	return ServeRow{
+		Transport:      "fleet",
+		Procs:          procs,
+		Workers:        workers,
+		Producers:      cfg.Producers,
+		Tuples:         cfg.Tuples,
+		Seconds:        dur.Seconds(),
+		TuplesPerSec:   float64(cfg.Tuples) / dur.Seconds(),
+		Implications:   q.Count,
+		Rejected:       rejected,
+		PoolSaturation: saturation,
 	}, nil
 }
 

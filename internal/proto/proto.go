@@ -25,6 +25,7 @@
 package proto
 
 import (
+	"crypto/rand"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -74,6 +75,21 @@ const (
 	// connection as ordinary request/response polls, so the request/reply
 	// protocol stays strictly client-initiated.
 	TUDPAck Type = 0x07
+	// TSnapshot asks for one statement's marshalled estimator state — the
+	// pull direction of the §2 aggregation tree, which a coordinator uses
+	// to fan a merge in from its leaves (coord.go).
+	TSnapshot Type = 0x08
+	// TCluster asks a coordinator for its membership view: per-leaf
+	// liveness, recovery epochs and journal offsets. Leaf servers do not
+	// answer it.
+	TCluster Type = 0x09
+	// TBoot asks for the server's boot nonce: a random value drawn once per
+	// process start. A connection's nonce identifies the server incarnation
+	// behind it for the connection's whole life (a restart necessarily drops
+	// the connection), which is what lets stateful feeders fence their sends
+	// against a server that silently restarted from an older checkpoint —
+	// see client.IngestFenced.
+	TBoot Type = 0x0a
 
 	// TOK acknowledges an ingest or merge; ingest acks carry the accepted
 	// tuple count.
@@ -107,6 +123,12 @@ func (t Type) String() string {
 		return "Trace"
 	case TUDPAck:
 		return "UDPAck"
+	case TSnapshot:
+		return "Snapshot"
+	case TCluster:
+		return "Cluster"
+	case TBoot:
+		return "Boot"
 	case TOK:
 		return "OK"
 	case TResult:
@@ -300,6 +322,40 @@ func DecodeIngestAck(data []byte) (IngestAck, error) {
 		return IngestAck{}, fmt.Errorf("proto: ingest ack: %w", err)
 	}
 	return a, nil
+}
+
+// Boot is the TBoot reply payload: the server incarnation's nonce.
+type Boot struct {
+	Nonce uint64
+}
+
+// NewBootNonce draws a fresh incarnation nonce for a process that serves
+// TBoot. Randomness (not a counter or a clock) makes two incarnations of
+// the same logical node — or two different nodes behind a recycled
+// address — collide with negligible probability, no coordination needed.
+func NewBootNonce() (uint64, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0, fmt.Errorf("proto: boot nonce: %w", err)
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// Encode serializes the boot payload.
+func (b Boot) Encode() []byte {
+	e := wire.NewEncoder(8)
+	e.U64(b.Nonce)
+	return e.Bytes()
+}
+
+// DecodeBoot parses a TResult payload of a boot request.
+func DecodeBoot(data []byte) (Boot, error) {
+	d := wire.NewDecoder(data)
+	b := Boot{Nonce: d.U64()}
+	if err := d.Done(); err != nil {
+		return Boot{}, fmt.Errorf("proto: boot reply: %w", err)
+	}
+	return b, nil
 }
 
 // Busy is the backpressure reply payload: the suggested delay before the

@@ -134,16 +134,28 @@ func DecodeUDPAckReq(data []byte) (UDPAckReq, error) {
 // same thing.
 type UDPAck struct {
 	// Cum is the cumulative watermark: every sequence number <= Cum has
-	// been applied to the engine exactly once.
+	// been consumed exactly once — applied to the engine, or counted in
+	// Drops when its batch arrived intact (CRC-verified) but failed to
+	// decode, where a retransmission could not help.
 	Cum uint64
-	// Applied counts batches applied for this source (== Cum, kept
-	// separate in case a future lane applies out of order).
+	// Applied counts batches applied to the engine for this source. The
+	// invariant is applied + drops_after_decode == cum, NOT applied == cum:
+	// a CRC-valid batch the server cannot decode advances the watermark
+	// while incrementing Drops instead of Applied. A producer that needs
+	// exactly-once application must therefore compare Applied against Cum
+	// (the client's UDPIngester.Flush does) — a watermark that passed a
+	// sequence number does not alone prove its data reached the engine.
 	Applied uint64
 	// Dups counts datagrams dropped as duplicates (already applied or
 	// already buffered).
 	Dups uint64
-	// Drops counts datagrams dropped for any other reason: malformed,
-	// beyond the reorder window, or refused by a shutting-down server.
+	// Drops counts datagrams dropped for any other reason: beyond the
+	// reorder window or refused by a shutting-down server (neither advances
+	// Cum — a retransmission recovers them), or decodable-batch failures
+	// after an intact delivery (these DO advance Cum and are unrecoverable
+	// data loss; see Applied). Datagrams malformed below the protocol layer
+	// are dropped before source attribution and appear only in the
+	// server-wide telemetry.
 	Drops uint64
 }
 

@@ -166,6 +166,11 @@ type Server struct {
 	hdr   []byte
 	arity int
 
+	// boot is this incarnation's nonce, drawn once at Listen and served
+	// through the Boot RPC so stateful feeders can fence their sends against
+	// a silent restart-from-checkpoint (see proto.TBoot).
+	boot uint64
+
 	// mu is the coarse read/write coordination point above the pipeline:
 	// Query and Stats hold it shared (they never stall ingestion — workers
 	// do not take it), merges hold it exclusively alongside the target
@@ -207,6 +212,12 @@ func Listen(cfg Config) (*Server, error) {
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("server: worker count %d must be >= 1", cfg.Workers)
 	}
+	// A non-positive window would wrap to ~2^64 in the lane's uint64
+	// arithmetic and disable the reorder bound entirely; reject it here
+	// rather than trusting newUDPLane's conversion.
+	if cfg.UDPAddr != "" && cfg.UDPWindow < 1 {
+		return nil, fmt.Errorf("server: udp window %d must be >= 1", cfg.UDPWindow)
+	}
 	s := &Server{
 		cfg:            cfg,
 		stmts:          cfg.Engine.Statements(),
@@ -218,6 +229,11 @@ func Listen(cfg Config) (*Server, error) {
 		arity:          cfg.Schema.Len(),
 	}
 	s.tel.ConfigureWorkers(cfg.Workers)
+	nonce, err := proto.NewBootNonce()
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s.boot = nonce
 	if cfg.TraceSpans > 0 {
 		s.tracer = obs.NewTracer(cfg.TraceSpans)
 	}
@@ -348,6 +364,10 @@ func (s *Server) handle(f proto.Frame) proto.Frame {
 		rpc, resp = telemetry.RPCTrace, s.handleTrace(f)
 	case proto.TUDPAck:
 		rpc, resp = telemetry.RPCUDPAck, s.handleUDPAck(f)
+	case proto.TSnapshot:
+		rpc, resp = telemetry.RPCSnapshot, s.handleSnapshot(f)
+	case proto.TBoot:
+		rpc, resp = telemetry.RPCBoot, s.handleBoot(f)
 	default:
 		return errorFrame(f.ID, fmt.Sprintf("unsupported request type %s", f.Type))
 	}
@@ -454,6 +474,51 @@ func (s *Server) handleMerge(f proto.Frame) proto.Frame {
 	s.tracer.Span(obs.SpanMerge, int(req.Stmt), int64(len(req.Sketch)), mergeStart)
 	s.tel.AddMerge()
 	return proto.Frame{Type: proto.TOK, ID: f.ID}
+}
+
+// handleSnapshot answers a state pull: the statement's estimator marshalled
+// for a downstream SnapshotMerge, plus the engine's applied-tuple count at
+// the capture — the offset a coordinator compares against its journal. The
+// same restrictions as the merge path apply (no shared estimators, plain
+// sketches only), because the reply is meant to round-trip through Merge.
+func (s *Server) handleSnapshot(f proto.Frame) proto.Frame {
+	req, err := proto.DecodeSnapshotReq(f.Payload)
+	if err != nil {
+		return errorFrame(f.ID, err.Error())
+	}
+	if int(req.Stmt) >= len(s.stmts) {
+		return errorFrame(f.ID, fmt.Sprintf("snapshot: no statement %d (server has %d)", req.Stmt, len(s.stmts)))
+	}
+	st := s.stmts[req.Stmt]
+	if st.Shared() {
+		return errorFrame(f.ID, fmt.Sprintf("snapshot: statement %d reads a shared estimator; snapshot its owner", req.Stmt))
+	}
+	src, ok := st.Estimator().(*core.Sketch)
+	if !ok {
+		return errorFrame(f.ID, fmt.Sprintf("snapshot: statement %d estimator (%s) does not support state pulls", req.Stmt, kindOf(st)))
+	}
+	// Exclusive on both levels, like the merge path: the server lock keeps
+	// checkpoint captures and merges out, the statement lock keeps its home
+	// worker out mid-marshal. Workers do not take the server lock, so the
+	// tuple count is a watermark, not a fence — a caller that needs the
+	// snapshot to cover everything it shipped compares Tuples against its
+	// own ledger and re-pulls after the engine catches up (the coordinator
+	// quiesces exactly this way before its merge fan-in).
+	var blob []byte
+	s.mu.Lock()
+	res := proto.SnapshotResult{Tuples: s.cfg.Engine.Tuples(), Kind: st.EstimatorKind()}
+	st.Exclusive(func() { blob, err = src.MarshalBinary() })
+	s.mu.Unlock()
+	if err != nil {
+		return errorFrame(f.ID, fmt.Sprintf("snapshot: %v", err))
+	}
+	res.Sketch = blob
+	return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: res.Encode()}
+}
+
+// handleBoot answers with the incarnation nonce drawn at Listen.
+func (s *Server) handleBoot(f proto.Frame) proto.Frame {
+	return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: proto.Boot{Nonce: s.boot}.Encode()}
 }
 
 func kindOf(st *query.Statement) string {

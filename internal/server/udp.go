@@ -19,10 +19,15 @@ import (
 	"implicate/internal/proto"
 )
 
-// udpSource is the per-producer lane state.
+// udpSource is the per-producer lane state. The accounting invariant is
+// applied + decode-failure drops == cum (NOT applied == cum): a CRC-valid
+// batch that fails to decode advances cum while counting in drops, since a
+// retransmission could not help it. Window-overflow and drain drops do not
+// advance cum and are recoverable by retransmission; see
+// proto.UDPAck.Applied.
 type udpSource struct {
-	cum     uint64 // every seq <= cum is applied
-	applied uint64 // batches applied (== cum; see proto.UDPAck.Applied)
+	cum     uint64 // every seq <= cum is consumed (applied or decode-dropped)
+	applied uint64 // batches applied to the engine (cum minus decode drops)
 	dups    uint64 // duplicates dropped
 	drops   uint64 // non-duplicate drops (window overflow, drain, bad batch)
 	// pending buffers out-of-order datagram payloads (retained copies —

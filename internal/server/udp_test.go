@@ -2,12 +2,15 @@ package server
 
 import (
 	"bytes"
+	"errors"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
 	"implicate/internal/client"
 	"implicate/internal/proto"
+	"implicate/internal/stream"
 )
 
 // pollAck polls the lane's watermark until cond is satisfied or the
@@ -107,6 +110,12 @@ func TestUDPLaneReorderDuplicatesDrops(t *testing.T) {
 	if ack.Applied != 6 || ack.Dups != 2 || ack.Drops != 1 {
 		t.Fatalf("final ack %+v, want applied 6, dups 2, drops 1", ack)
 	}
+	// The lane accounting invariant (proto.UDPAck.Applied): applied plus
+	// decode drops equals cum. The one drop here was a window overflow,
+	// which never advances the watermark, so applied == cum exactly.
+	if ack.Applied != ack.Cum {
+		t.Fatalf("applied %d != cum %d with no decode drops", ack.Applied, ack.Cum)
+	}
 
 	// Exactly-once application: the engine ends at precisely the serial
 	// tuple count (waitTuples fails on overshoot) and bit-identical state.
@@ -193,6 +202,12 @@ func TestUDPIngesterLossInjection(t *testing.T) {
 	if dropped < len(batches)/3 {
 		t.Fatalf("drop hook fired %d times, injection did not engage", dropped)
 	}
+	// The lane accounting invariant: applied plus decode drops equals the
+	// watermark. Transmission loss never decode-drops, so applied == cum.
+	if ui.Applied() != ui.Cum() || ui.Drops() != 0 {
+		t.Fatalf("applied %d, drops %d after flush, want applied == cum %d and 0 drops",
+			ui.Applied(), ui.Drops(), ui.Cum())
+	}
 
 	waitTuples(t, cl, int64(total))
 	if err := srv.Close(); err != nil {
@@ -204,6 +219,103 @@ func TestUDPIngesterLossInjection(t *testing.T) {
 	}
 	if !bytes.Equal(got, want) {
 		t.Error("engine state diverged from the serial run under loss injection")
+	}
+}
+
+// TestUDPFlushReportsUndecodableBatchLoss is the regression test for the
+// false "exactly-once" Flush: a datagram that arrives intact (CRC-valid)
+// but whose batch the server cannot decode — here, encoded against a wider
+// schema than the server's — advances the watermark while counting as a
+// drop, because retransmitting bytes that were delivered correctly cannot
+// help. The pre-fix Flush compared only the watermark and returned nil,
+// silently losing the batch; it must now report the loss as
+// ErrUDPDataDropped with the full accounting intact.
+func TestUDPFlushReportsUndecodableBatchLoss(t *testing.T) {
+	schema := testSchema(t)
+	batches := determinismBatches(4, 25)
+
+	srv := startServer(t, Config{
+		Schema:  schema,
+		Engine:  determinismEngine(t, schema, 23),
+		Workers: 2,
+		UDPAddr: "127.0.0.1:0",
+	})
+	cl := dialClient(t, srv, schema, client.Options{Conns: 1})
+	ui, err := cl.DialUDP(srv.UDPAddr(), client.UDPOptions{
+		Source:  5,
+		PollGap: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ui.Close()
+
+	// A batch the server can never apply: valid datagram framing and a valid
+	// stream header, but three attributes against a two-attribute server.
+	wide, err := stream.NewSchema("A", "B", "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := client.EncodeBatch(wide, []stream.Tuple{{"x", "y", "z"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	total := 0
+	for i, ts := range batches {
+		if i == 2 {
+			if err := ui.Send(bad); err != nil {
+				t.Fatal(err)
+			}
+		}
+		enc, err := client.EncodeBatch(schema, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ui.Send(enc); err != nil {
+			t.Fatal(err)
+		}
+		total += len(ts)
+	}
+
+	err = ui.Flush()
+	if !errors.Is(err, client.ErrUDPDataDropped) {
+		t.Fatalf("flush after an undecodable batch returned %v, want ErrUDPDataDropped", err)
+	}
+	// Accounting: 5 datagrams consumed (watermark passed them all), 4
+	// applied, 1 decode-dropped — and the invariant ties them together.
+	if ui.Cum() != 5 || ui.Applied() != 4 || ui.Drops() != 1 {
+		t.Fatalf("cum %d, applied %d, drops %d; want 5, 4, 1", ui.Cum(), ui.Applied(), ui.Drops())
+	}
+	if ui.Applied()+ui.Drops() != ui.Cum() {
+		t.Fatalf("invariant applied(%d) + decode drops(%d) != cum(%d)", ui.Applied(), ui.Drops(), ui.Cum())
+	}
+	// The loss is permanent: a second flush re-reports it rather than
+	// pretending the lane healed.
+	if err := ui.Flush(); !errors.Is(err, client.ErrUDPDataDropped) {
+		t.Fatalf("second flush returned %v, want ErrUDPDataDropped again", err)
+	}
+	// The decodable batches still applied exactly once each.
+	waitTuples(t, cl, int64(total))
+}
+
+// TestListenRejectsNegativeUDPWindow guards the config boundary: the lane
+// stores its window as uint64, so a negative int would wrap to ~2^64 and
+// silently disable the reorder bound. Listen must refuse it. (A zero window
+// means "default", which withDefaults resolves to 256.)
+func TestListenRejectsNegativeUDPWindow(t *testing.T) {
+	schema := testSchema(t)
+	for _, w := range []int{-1, -1 << 40} {
+		_, err := Listen(Config{
+			Addr:      "127.0.0.1:0",
+			UDPAddr:   "127.0.0.1:0",
+			UDPWindow: w,
+			Schema:    schema,
+			Engine:    testEngine(t, schema, exactBackend()),
+		})
+		if err == nil || !strings.Contains(err.Error(), "udp window") {
+			t.Fatalf("window %d accepted: %v", w, err)
+		}
 	}
 }
 

@@ -32,6 +32,8 @@ const (
 	RPCHealth
 	RPCTrace
 	RPCUDPAck
+	RPCSnapshot
+	RPCBoot
 	NumRPCs
 )
 
@@ -52,6 +54,10 @@ func (r RPC) String() string {
 		return "Trace"
 	case RPCUDPAck:
 		return "UDPAck"
+	case RPCSnapshot:
+		return "Snapshot"
+	case RPCBoot:
+		return "Boot"
 	}
 	return fmt.Sprintf("RPC(%d)", uint8(r))
 }

@@ -2,6 +2,7 @@ package implicate
 
 import (
 	"implicate/internal/client"
+	"implicate/internal/coord"
 	"implicate/internal/imps"
 	"implicate/internal/obs"
 	"implicate/internal/proto"
@@ -94,3 +95,67 @@ func Dial(addr string, schema *Schema, opt ClientOptions) (*Client, error) {
 func ServeAdmin(addr string, srv *Server) (*AdminServer, error) {
 	return obs.ListenAdmin(addr, srv)
 }
+
+// Coordinator fronts a fleet of impserved leaves (DESIGN.md §13): it
+// routes every ingested tuple to exactly one leaf through an immutable
+// partition table, journals and delivers batches in order per leaf, tracks
+// liveness with health probes, recovers a crashed leaf from its checkpoint
+// before re-admitting it, and answers queries from the merged fleet state.
+// With a fixed configuration and tuple sequence the fleet's answer is
+// bit-identical whether or not leaves crashed along the way. Create with
+// NewCoordinator.
+type Coordinator = coord.Coordinator
+
+// CoordinatorConfig configures NewCoordinator: the shared schema, the
+// statements the fleet serves, the leaf specs (stable name + current
+// address), and the routing, batching, probing and recovery tuning.
+type CoordinatorConfig = coord.Config
+
+// LeafSpec names one fleet member: a stable name (the route-table
+// identity, surviving restarts and address changes) and its current
+// address.
+type LeafSpec = coord.LeafSpec
+
+// CoordinatorFrontend serves a Coordinator over the same wire protocol an
+// impserved leaf speaks, so producers, queriers and parent coordinators
+// talk to the fleet exactly as they would to one server. Create with
+// ServeCoordinator.
+type CoordinatorFrontend = coord.Frontend
+
+// ClusterStatus is a Coordinator's membership view: the route-table size
+// and one LeafStatus per fleet member.
+type ClusterStatus = proto.ClusterStatus
+
+// LeafStatus is one fleet member's row in a ClusterStatus: address,
+// liveness state, recovery epoch, partitions owned, and journal and
+// delivery watermarks.
+type LeafStatus = proto.LeafStatus
+
+// SnapshotResult is a marshalled estimator pulled through the Snapshot
+// RPC: the applied-tuple watermark, the estimator kind, and the sketch
+// bytes, ready to merge upstream.
+type SnapshotResult = proto.SnapshotResult
+
+// NewCoordinator validates cfg, dials every leaf eagerly, and starts the
+// per-leaf feeders and health probers. Close releases them; call Flush
+// first for a clean handoff.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) { return coord.New(cfg) }
+
+// ServeCoordinator starts a wire front-end for co on addr. Closing the
+// front-end leaves the coordinator running — callers own its shutdown.
+func ServeCoordinator(co *Coordinator, addr string) (*CoordinatorFrontend, error) {
+	return coord.Serve(co, addr)
+}
+
+// ErrUDPDataDropped is reported by the UDP ingest lane's Flush when
+// batches that were delivered and consumed could not be decoded and
+// applied by the server — loss that retransmission cannot repair. The
+// wrapped error carries the dropped-batch count; unwrap with errors.Is.
+var ErrUDPDataDropped = client.ErrUDPDataDropped
+
+// Leaf liveness states reported in LeafStatus.State.
+const (
+	LeafUp         = proto.LeafUp         // serving and routed to
+	LeafDown       = proto.LeafDown       // probes fail; traffic queues in its journal
+	LeafRecovering = proto.LeafRecovering // being re-admitted from its checkpoint
+)
