@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race race bench bench-serve bench-ingest bench-obs bench-gate examples experiments paper clean checkpoint-fault serve-smoke serve-soak obs-smoke cluster-smoke
+.PHONY: all build vet test test-race race bench bench-serve bench-ingest bench-obs bench-gate examples experiments paper clean checkpoint-fault serve-smoke serve-soak obs-smoke cluster-smoke tenant-smoke
 
 all: build vet test
 
@@ -55,15 +55,25 @@ cluster-smoke:
 obs-smoke:
 	$(GO) test -run TestObsSmoke -v ./cmd/impserved/
 
+# Multi-tenant smoke under the race detector: the noisy-neighbor isolation
+# bound (a quota-saturating tenant leaves a victim's throughput within 80%
+# of solo and its engine bit-identical to a dedicated run) and the
+# two-tenant kill-and-recover path over per-tenant checkpoint files.
+tenant-smoke:
+	$(GO) test -race -count=1 -v \
+		-run 'TestTenantNoisyNeighbor|TestTenantCheckpointKillRecover' \
+		./internal/server/
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Serving-layer end-to-end throughput: impbench drives loopback impserved
 # ingest over both transports at pipeline pool sizes 1 and 4 and GOMAXPROCS
-# 1 and 4, recording the rows (plus the cross-variant count-equality check)
-# in BENCH_serve.json.
+# 1 and 4, plus multi-tenant rows (one server, two namespaced tenants),
+# recording the rows (plus the cross-variant count-equality check, which
+# extends across the tenant boundary) in BENCH_serve.json.
 bench-serve:
-	$(GO) run ./cmd/impbench -exp serve -workers 1,4 -procs 1,4 -json BENCH_serve.json
+	$(GO) run ./cmd/impbench -exp serve -workers 1,4 -procs 1,4 -tenants 2 -json BENCH_serve.json
 
 # Throughput regression gate: re-run the serve experiment and fail if the
 # best tuples/sec per transport falls more than 25% below the committed
@@ -72,7 +82,7 @@ bench-serve:
 # wobble 10-15%); a real fast-path regression — a reintroduced per-frame
 # allocation, a lost writev batch — costs far more than 25%.
 bench-gate:
-	$(GO) run ./cmd/impbench -exp serve -workers 1,4 -procs 1,4 -gate BENCH_serve.json
+	$(GO) run ./cmd/impbench -exp serve -workers 1,4 -procs 1,4 -tenants 2 -gate BENCH_serve.json
 
 # Library-level ingest throughput (serial vs mutex vs sharded) at
 # GOMAXPROCS 1 and 4, recorded in BENCH_ingest.json.

@@ -25,6 +25,7 @@ type config struct {
 	transports string
 	window     int
 	leaves     int
+	tenants    int
 	gate       string
 }
 
@@ -44,6 +45,7 @@ func parseFlags(args []string) (*config, error) {
 	fs.StringVar(&cfg.transports, "transports", "", "serve experiment transports (comma-separated from tcp,udp; default both)")
 	fs.IntVar(&cfg.window, "window", 0, "serve experiment per-producer pipelining window in batches (default 16)")
 	fs.IntVar(&cfg.leaves, "leaves", 0, "serve experiment fleet mode: a coordinator fronting N leaf servers (replaces the transport sweep); 0: single server")
+	fs.IntVar(&cfg.tenants, "tenants", 0, "serve experiment multi-tenant rows: one server hosting N named tenants, producers pinned round-robin; 0: off")
 	fs.StringVar(&cfg.gate, "gate", "", "compare serve throughput against this baseline JSON and fail on a >25% regression")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -268,6 +270,7 @@ func run(cfg *config, w io.Writer) error {
 			Procs:     procs,
 			Window:    cfg.window,
 			Leaves:    cfg.leaves,
+			Tenants:   cfg.tenants,
 		}
 		if cfg.paper {
 			scfg.Tuples = 2_000_000

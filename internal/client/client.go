@@ -18,12 +18,21 @@
 //   - SnapshotMerge is not idempotent (merging twice double-counts) and is
 //     never retried on ambiguous failures.
 //
-// Every dial ends with a boot handshake (proto.TBoot) that records the
-// server incarnation's nonce on the connection. The fenced variants
-// (IngestFenced, QueryFenced, SnapshotFenced) compare that nonce before
-// writing anything, so a stateful feeder can guarantee its requests never
-// reach a server that silently restarted from an older checkpoint behind
-// the pool's transparent redial; see ErrIncarnation.
+// Every dial runs a handshake chain before the connection joins the pool:
+// a boot step (proto.TBoot) that records the server incarnation's nonce on
+// the connection, then — for DialTenant clients — an auth step
+// (proto.TAuth) that pins the session to its tenant. Because the chain
+// runs on EVERY dial, a transparent mid-stream redial of a dead pool slot
+// re-establishes the whole session: it can never silently fall back to the
+// default tenant. The fenced variants (IngestFenced, QueryFenced,
+// SnapshotFenced) compare the boot nonce before writing anything, so a
+// stateful feeder can guarantee its requests never reach a server that
+// silently restarted from an older checkpoint behind the redial; see
+// ErrIncarnation.
+//
+// A quota refusal (proto.TQuota, multi-tenant servers) is terminal for the
+// call: the batch was refused at admission with no partial state anywhere,
+// and the client does not retry it — see ErrQuota.
 package client
 
 import (
@@ -54,6 +63,28 @@ type RemoteError struct {
 }
 
 func (e *RemoteError) Error() string { return "client: server: " + e.Msg }
+
+// ErrQuota matches (errors.Is) an ingest refusal by the session tenant's
+// admission quota. Unlike backpressure, it is NOT absorbed with retries:
+// the refusal is the tenant's own budget speaking, not transient load, and
+// re-sending on the server's schedule is the caller's policy decision. The
+// concrete error is a *QuotaRefusal carrying the server's retry hint.
+var ErrQuota = errors.New("client: tenant quota exceeded")
+
+// QuotaRefusal is the concrete error behind ErrQuota: the server's
+// admission refusal for one batch. The batch was never planned or
+// enqueued — no partial engine state exists. RetryAfter is the server's
+// hint; zero means retrying cannot help until tenant state changes (a
+// memory ceiling, not a rate).
+type QuotaRefusal struct {
+	Msg        string
+	RetryAfter time.Duration
+}
+
+func (e *QuotaRefusal) Error() string { return "client: quota: " + e.Msg }
+
+// Is makes errors.Is(err, ErrQuota) match.
+func (e *QuotaRefusal) Is(target error) bool { return target == ErrQuota }
 
 // Options tune a client. The zero value is usable.
 type Options struct {
@@ -105,6 +136,10 @@ type Client struct {
 	addr   string
 	schema *stream.Schema
 	opt    Options
+	// tenant/token, when tenant is non-empty, add the auth step to every
+	// dial's handshake chain (DialTenant sets them).
+	tenant string
+	token  string
 
 	mu     sync.Mutex
 	conns  []*conn
@@ -114,13 +149,27 @@ type Client struct {
 
 // Dial connects to addr. schema is required for IngestBatch and may be nil
 // for query/merge/stats-only clients. The first connection is established
-// eagerly so configuration errors surface here.
+// eagerly so configuration errors surface here. The session serves the
+// server's implicit default tenant; see DialTenant for namespaced
+// sessions.
 func Dial(addr string, schema *stream.Schema, opt Options) (*Client, error) {
+	return DialTenant(addr, schema, "", "", opt)
+}
+
+// DialTenant connects like Dial and pins every pooled connection to the
+// named tenant: the dial handshake chain runs a TAuth step after the boot
+// step, presenting token (minted by the server operator from the shared
+// key). The chain runs on every dial — the eager first connection here AND
+// every transparent redial of a dead pool slot — so a connection the pool
+// hands out is always authenticated; a mid-stream redial can never
+// silently serve the default tenant. An empty tenantName skips the auth
+// step entirely (plain Dial).
+func DialTenant(addr string, schema *stream.Schema, tenantName, token string, opt Options) (*Client, error) {
 	opt = opt.withDefaults()
 	if opt.Conns < 1 {
 		return nil, fmt.Errorf("client: pool size %d must be >= 1", opt.Conns)
 	}
-	cl := &Client{addr: addr, schema: schema, opt: opt, conns: make([]*conn, opt.Conns)}
+	cl := &Client{addr: addr, schema: schema, opt: opt, tenant: tenantName, token: token, conns: make([]*conn, opt.Conns)}
 	c, err := cl.dial()
 	if err != nil {
 		return nil, err
@@ -143,6 +192,10 @@ func (cl *Client) Close() error {
 	return nil
 }
 
+// dial establishes one connection and runs the full handshake chain on it
+// before any caller sees it. Each step is a round trip; a step failure
+// kills the connection, so the pool never holds a half-established
+// session.
 func (cl *Client) dial() (*conn, error) {
 	nc, err := net.DialTimeout("tcp", cl.addr, cl.opt.DialTimeout)
 	if err != nil {
@@ -150,26 +203,58 @@ func (cl *Client) dial() (*conn, error) {
 	}
 	c := &conn{nc: nc, pending: make(map[uint64]chan proto.Frame)}
 	go c.readLoop()
-	// Hello handshake: learn the server incarnation behind this connection.
-	// A TCP connection can never outlive its server process, so the nonce
-	// read here identifies the incarnation for the connection's whole life —
-	// the invariant the fenced calls build on.
+	for _, step := range []func(*conn) error{cl.bootStep, cl.authStep} {
+		if err := step(c); err != nil {
+			c.close(err)
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// bootStep learns the server incarnation behind a fresh connection. A TCP
+// connection can never outlive its server process, so the nonce read here
+// identifies the incarnation for the connection's whole life — the
+// invariant the fenced calls build on.
+func (cl *Client) bootStep(c *conn) error {
 	f, err := c.roundTrip(proto.TBoot, nil, cl.opt.DialTimeout)
 	if err != nil {
-		c.close(err)
-		return nil, fmt.Errorf("client: boot handshake: %w", err)
+		return fmt.Errorf("client: boot handshake: %w", err)
 	}
 	if f.Type != proto.TResult {
-		c.close(errors.New("client: boot handshake refused"))
-		return nil, fmt.Errorf("client: unexpected %s reply to boot handshake", f.Type)
+		return fmt.Errorf("client: unexpected %s reply to boot handshake", f.Type)
 	}
 	boot, err := proto.DecodeBoot(f.Payload)
 	if err != nil {
-		c.close(err)
-		return nil, err
+		return err
 	}
 	c.boot = boot.Nonce
-	return c, nil
+	return nil
+}
+
+// authStep pins a fresh connection to the client's tenant — a no-op for
+// plain Dial sessions. Running inside the dial chain (not once at Dial) is
+// what makes the pool's redials safe: every connection authenticates
+// before it carries a single request.
+func (cl *Client) authStep(c *conn) error {
+	if cl.tenant == "" {
+		return nil
+	}
+	f, err := c.roundTrip(proto.TAuth, proto.AuthReq{Tenant: cl.tenant, Token: cl.token}.Encode(), cl.opt.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("client: auth handshake: %w", err)
+	}
+	switch f.Type {
+	case proto.TOK:
+		return nil
+	case proto.TError:
+		msg, derr := proto.DecodeError(f.Payload)
+		if derr != nil {
+			return derr
+		}
+		return fmt.Errorf("client: auth handshake: %s", msg)
+	}
+	return fmt.Errorf("client: unexpected %s reply to auth handshake", f.Type)
 }
 
 // getConn returns a live pooled connection, dialing a replacement for a
@@ -324,6 +409,12 @@ func (cl *Client) ingestReply(f proto.Frame, n int64, attempt int) (done bool, e
 		}
 		cl.backoff(attempt, busy.RetryAfter)
 		return false, nil
+	case proto.TQuota:
+		q, err := proto.DecodeQuota(f.Payload)
+		if err != nil {
+			return true, err
+		}
+		return true, &QuotaRefusal{Msg: q.Msg, RetryAfter: q.RetryAfter}
 	case proto.TError:
 		return true, remoteError(f)
 	}
@@ -501,6 +592,12 @@ func (p *PendingIngest) Wait() error {
 		}
 		p.cl.backoff(0, busy.RetryAfter)
 		return p.cl.IngestEncoded(p.payload, p.n)
+	case proto.TQuota:
+		q, err := proto.DecodeQuota(f.Payload)
+		if err != nil {
+			return err
+		}
+		return &QuotaRefusal{Msg: q.Msg, RetryAfter: q.RetryAfter}
 	case proto.TError:
 		return remoteError(f)
 	default:

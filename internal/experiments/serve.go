@@ -19,6 +19,7 @@ import (
 	"implicate/internal/query"
 	"implicate/internal/server"
 	"implicate/internal/stream"
+	"implicate/internal/tenant"
 )
 
 // ServeConfig parametrizes the serving-layer throughput harness: a loopback
@@ -52,6 +53,13 @@ type ServeConfig struct {
 	// to both. With Leaves > 0 the sweep is replaced by the "fleet"
 	// transport regardless of this setting.
 	Transports []string
+	// Tenants, when positive, adds a "tenants" row per pool size: the same
+	// stream served by one multi-tenant server with N named tenants,
+	// producers pinned round-robin to tenants by authenticated sessions.
+	// Key-hash producer routing keeps every key inside one tenant, so the
+	// sum of the per-tenant counts must equal the single-engine rows' count
+	// — the determinism cross-check extends across the tenant boundary.
+	Tenants int
 	// Leaves, when positive, measures a coordinator fronting that many
 	// leaf servers instead of one server: producers feed the coordinator's
 	// front-end, which routes and fans batches out over the fleet. The
@@ -103,9 +111,12 @@ const serveSQL = `SELECT COUNT(DISTINCT A) FROM s WHERE A IMPLIES B WITH SUPPORT
 
 // ServeRow is one pool size's measured end-to-end throughput.
 type ServeRow struct {
-	// Transport is the wire path measured: "tcp" (pipelined frames) or
-	// "udp" (datagram lane, acks polled over TCP).
+	// Transport is the wire path measured: "tcp" (pipelined frames),
+	// "udp" (datagram lane, acks polled over TCP), "fleet" (coordinator
+	// fan-out) or "tenants" (multi-tenant server, authenticated sessions).
 	Transport string `json:"transport"`
+	// Tenants is the named-tenant count of a "tenants" row; 0 otherwise.
+	Tenants int `json:"tenants,omitempty"`
 	// Procs is the GOMAXPROCS value the variant ran under.
 	Procs int `json:"gomaxprocs"`
 	// Workers is the pipeline pool size.
@@ -198,6 +209,15 @@ func RunServe(cfg ServeConfig) ([]ServeRow, error) {
 		for _, transport := range cfg.Transports {
 			for _, workers := range cfg.Workers {
 				row, err := runServeVariant(cfg, schema, payloads, transport, procs, workers)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, row)
+			}
+		}
+		if cfg.Tenants > 0 && cfg.Leaves == 0 {
+			for _, workers := range cfg.Workers {
+				row, err := runServeTenantsVariant(cfg, schema, payloads, procs, workers)
 				if err != nil {
 					return nil, err
 				}
@@ -307,6 +327,99 @@ func runServeVariant(cfg ServeConfig, schema *stream.Schema, payloads [][]encBat
 		Seconds:        dur.Seconds(),
 		TuplesPerSec:   float64(cfg.Tuples) / dur.Seconds(),
 		Implications:   st.Count(),
+		Rejected:       sn.BatchesRejected,
+		PoolSaturation: sn.PoolSaturation,
+	}, nil
+}
+
+// runServeTenantsVariant measures one (tenants, workers) point: one server
+// hosting cfg.Tenants namespaced engines, each producer's session pinned to
+// tenant p mod N. Because producers own disjoint key sets, partitioning
+// producers across tenants partitions keys across tenants, and the sum of
+// per-tenant exact counts must equal the single-engine variants' count.
+func runServeTenantsVariant(cfg ServeConfig, schema *stream.Schema, payloads [][]encBatch, procs, workers int) (ServeRow, error) {
+	striped := func(cond imps.Conditions) (imps.Estimator, error) {
+		return exact.NewStriped(cond, 0)
+	}
+	tcfgs := make([]tenant.Config, cfg.Tenants)
+	for i := range tcfgs {
+		tcfgs[i] = tenant.Config{
+			Name:    fmt.Sprintf("t%d", i),
+			Queries: []string{serveSQL},
+			Backend: "exact-striped",
+		}
+	}
+	srv, err := server.Listen(server.Config{
+		Addr:        "127.0.0.1:0",
+		Schema:      schema,
+		Engine:      query.NewEngine(schema), // default tenant: present, idle
+		QueueDepth:  cfg.Queue,
+		Workers:     workers,
+		BlockOnFull: true,
+		Tenants:     tcfgs,
+		Backends:    tenant.Backends{"exact-striped": striped},
+	})
+	if err != nil {
+		return ServeRow{}, err
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Producers)
+	start := time.Now()
+	for p := 0; p < cfg.Producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			// No token key on the bench server: authentication pins the
+			// session, the empty key skips the HMAC check.
+			cl, err := client.DialTenant(srv.Addr(), schema, fmt.Sprintf("t%d", p%cfg.Tenants), "", client.Options{
+				Conns:       1,
+				BusyRetries: -1,
+				RetryBase:   200 * time.Microsecond,
+				RetryCap:    5 * time.Millisecond,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			errs <- serveProduceTCP(cl, cfg.Window, payloads[p])
+		}(p)
+	}
+	wg.Wait()
+	if err := srv.Close(); err != nil {
+		return ServeRow{}, err
+	}
+	dur := time.Since(start)
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return ServeRow{}, err
+		}
+	}
+
+	sn := srv.Telemetry().Snapshot()
+	if sn.TuplesIngested != int64(cfg.Tuples) {
+		return ServeRow{}, fmt.Errorf("serve bench: %d tenants applied %d of %d tuples", cfg.Tenants, sn.TuplesIngested, cfg.Tuples)
+	}
+	var count float64
+	for i := range tcfgs {
+		eng, ok := srv.TenantEngine(tcfgs[i].Name)
+		if !ok {
+			return ServeRow{}, fmt.Errorf("serve bench: tenant %s missing after close", tcfgs[i].Name)
+		}
+		count += eng.Statements()[0].Count()
+	}
+	return ServeRow{
+		Transport:      "tenants",
+		Tenants:        cfg.Tenants,
+		Procs:          procs,
+		Workers:        workers,
+		Producers:      cfg.Producers,
+		Tuples:         cfg.Tuples,
+		Seconds:        dur.Seconds(),
+		TuplesPerSec:   float64(cfg.Tuples) / dur.Seconds(),
+		Implications:   count,
 		Rejected:       sn.BatchesRejected,
 		PoolSaturation: sn.PoolSaturation,
 	}, nil
@@ -488,8 +601,12 @@ func PrintServe(w io.Writer, cfg ServeConfig, rows []ServeRow) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "transport\tprocs\tworkers\ttuples/s\tseconds\trejected\tpool-saturation\timplications")
 	for _, r := range rows {
+		tr := r.Transport
+		if r.Tenants > 0 {
+			tr = fmt.Sprintf("tenants(%d)", r.Tenants)
+		}
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\t%.3f\t%d\t%d\t%.1f\n",
-			r.Transport, r.Procs, r.Workers, r.TuplesPerSec, r.Seconds, r.Rejected, r.PoolSaturation, r.Implications)
+			tr, r.Procs, r.Workers, r.TuplesPerSec, r.Seconds, r.Rejected, r.PoolSaturation, r.Implications)
 	}
 	tw.Flush()
 }

@@ -1,0 +1,303 @@
+// Fair-share admission: a Fair dispatcher owns one bounded FIFO lane per
+// tenant and drains them with deficit round robin, so a tenant that floods
+// its lane can delay only its own batches — every other lane keeps
+// receiving its weighted share of dispatch capacity. Each lane feeds its
+// own Pool (tenants do not share estimator state), and the single
+// dispatcher goroutine is the one caller of Dispatch/Fence on all of them,
+// preserving each pool's ordering contract: a lane's batches reach its
+// pool in lane-arrival order, so per-tenant state stays bit-identical to a
+// dedicated single-tenant server fed the same stream.
+package pipeline
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultQuantum is the per-round deficit credit in tuples a weight-1 lane
+// earns. Batches cost their tuple count; a lane may dispatch while its
+// accumulated credit covers the head batch, so the quantum bounds how far
+// one visit can overshoot the weighted share (one batch's worth).
+const DefaultQuantum = 2048
+
+// Fair is the multi-lane dispatcher. NewFair starts its goroutine; Close
+// drains every lane and stops it.
+type Fair struct {
+	mu      sync.Mutex
+	work    sync.Cond // batches queued, or closing
+	lanes   []*Lane
+	quantum int
+	closed  bool
+	done    chan struct{}
+
+	// gate, when set, runs in the dispatcher goroutine before each batch is
+	// handed to its pool — the server's test seam for deterministic queue
+	// states. Install with SetGate before batches are enqueued.
+	gate func()
+
+	// afterDispatch, when set, observes every dispatched batch from the
+	// dispatcher goroutine — a test hook for drain-order properties.
+	afterDispatch func(l *Lane, b *Batch)
+}
+
+// Lane is one tenant's bounded ingest queue. Enqueue/TryEnqueue are safe
+// for concurrent use by any number of producers; batches leave in arrival
+// order toward the lane's pool.
+type Lane struct {
+	f      *Fair
+	name   string
+	weight int
+	cap    int
+	pool   *Pool
+	// after, when set, runs in the dispatcher goroutine right after each of
+	// this lane's batches is dispatched, with the clock read taken just
+	// before the dispatch — the legal place to Fence the lane's pool
+	// (periodic checkpoints), since the dispatcher goroutine is the pool's
+	// only dispatcher.
+	after func(b *Batch, start time.Time)
+
+	q       []*Batch
+	deficit int64
+	// inflight counts batches popped from q but not yet through Dispatch;
+	// RemoveLane waits for both q and inflight to reach zero, so the lane's
+	// pool is quiescent from the dispatcher's side when it returns.
+	inflight  int
+	room      sync.Cond // lane drained below cap, or lane/dispatcher closing
+	closed    bool
+	highWater int64
+}
+
+// NewFair starts a fair-share dispatcher with the given per-round quantum
+// in tuples (0 selects DefaultQuantum).
+func NewFair(quantum int) *Fair {
+	if quantum <= 0 {
+		quantum = DefaultQuantum
+	}
+	f := &Fair{quantum: quantum, done: make(chan struct{})}
+	f.work.L = &f.mu
+	go f.loop()
+	return f
+}
+
+// AddLane registers a lane draining into pool with the given dispatch
+// weight (minimum 1) and queue capacity in batches (minimum 1). after, if
+// non-nil, runs in the dispatcher goroutine after each of the lane's
+// batches is dispatched. Safe to call while other lanes are live.
+// SetGate installs the pre-dispatch hook. Call it before any batch is
+// enqueued; the dispatcher snapshots it under the lock each round.
+func (f *Fair) SetGate(fn func()) {
+	f.mu.Lock()
+	f.gate = fn
+	f.mu.Unlock()
+}
+
+func (f *Fair) AddLane(name string, weight, capacity int, pool *Pool, after func(b *Batch, start time.Time)) *Lane {
+	if weight < 1 {
+		weight = 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	l := &Lane{f: f, name: name, weight: weight, cap: capacity, pool: pool, after: after}
+	l.room.L = &f.mu
+	f.mu.Lock()
+	f.lanes = append(f.lanes, l)
+	f.mu.Unlock()
+	return l
+}
+
+// RemoveLane stops a lane accepting batches, waits until the dispatcher
+// has dispatched what it already accepted, and unregisters it. When it
+// returns, the dispatcher will never touch the lane's pool again — the
+// caller may fence and close the pool from its own goroutine. The lane's
+// pool still holds in-flight tasks until that fence.
+func (f *Fair) RemoveLane(l *Lane) {
+	f.mu.Lock()
+	l.closed = true
+	l.room.Broadcast()
+	f.work.Signal()
+	// No f.closed escape hatch: while the lane is still registered the
+	// dispatcher drains it even in closed mode, so the wait always ends.
+	for len(l.q) > 0 || l.inflight > 0 {
+		l.room.Wait()
+	}
+	for i, el := range f.lanes {
+		if el == l {
+			f.lanes = append(f.lanes[:i], f.lanes[i+1:]...)
+			break
+		}
+	}
+	f.mu.Unlock()
+}
+
+// Close stops admission on every lane, waits for the dispatcher to drain
+// and dispatch everything already accepted, and stops it. The lanes'
+// pools still hold in-flight work — the caller fences and closes them.
+func (f *Fair) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		<-f.done
+		return
+	}
+	f.closed = true
+	f.work.Broadcast()
+	for _, l := range f.lanes {
+		l.room.Broadcast()
+	}
+	f.mu.Unlock()
+	<-f.done
+}
+
+// TryEnqueue admits a planned batch if the lane has room, reporting false
+// (a Busy reply, or a drop on the UDP lane) when it does not or when the
+// lane is closed. On success the returned depth is the batch's own
+// deterministic queue-depth sample for the high-water telemetry.
+func (l *Lane) TryEnqueue(b *Batch) (depth int, ok bool) {
+	f := l.f
+	f.mu.Lock()
+	if l.closed || f.closed || len(l.q) >= l.cap {
+		f.mu.Unlock()
+		return 0, false
+	}
+	l.push(b)
+	depth = len(l.q)
+	f.work.Signal()
+	f.mu.Unlock()
+	return depth, true
+}
+
+// Enqueue admits a planned batch, blocking while the lane is full — the
+// BlockOnFull backpressure mode. It reports false only when the lane or
+// dispatcher closed before the batch was admitted.
+func (l *Lane) Enqueue(b *Batch) (depth int, ok bool) {
+	f := l.f
+	f.mu.Lock()
+	for !l.closed && !f.closed && len(l.q) >= l.cap {
+		l.room.Wait()
+	}
+	if l.closed || f.closed {
+		f.mu.Unlock()
+		return 0, false
+	}
+	l.push(b)
+	depth = len(l.q)
+	f.work.Signal()
+	f.mu.Unlock()
+	return depth, true
+}
+
+// push appends under f.mu and folds the depth into the high-water mark.
+func (l *Lane) push(b *Batch) {
+	l.q = append(l.q, b)
+	if d := int64(len(l.q)); d > l.highWater {
+		l.highWater = d
+	}
+}
+
+// Closed reports whether the lane has stopped accepting batches — removed,
+// or the dispatcher closed. Callers use it to distinguish a terminal
+// refusal from transient backpressure.
+func (l *Lane) Closed() bool {
+	l.f.mu.Lock()
+	defer l.f.mu.Unlock()
+	return l.closed || l.f.closed
+}
+
+// Depth returns the lane's current queue depth in batches.
+func (l *Lane) Depth() int {
+	l.f.mu.Lock()
+	defer l.f.mu.Unlock()
+	return len(l.q)
+}
+
+// HighWater returns the deepest the lane has been.
+func (l *Lane) HighWater() int64 {
+	l.f.mu.Lock()
+	defer l.f.mu.Unlock()
+	return l.highWater
+}
+
+// Pool returns the pool the lane drains into.
+func (l *Lane) Pool() *Pool { return l.pool }
+
+// Name returns the lane's tenant name.
+func (l *Lane) Name() string { return l.name }
+
+// cost is a batch's deficit price. Empty batches still cost one unit so a
+// flood of them cannot dispatch unbounded work in one visit.
+func cost(b *Batch) int64 {
+	if n := int64(b.Tuples()); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// loop is the dispatcher: deficit round robin over the lanes. Each round
+// visits every backlogged lane, credits it quantum×weight, and dispatches
+// head batches while the credit covers them; an empty lane's credit resets
+// so idle time never banks priority. Dispatch itself (which can block on a
+// saturated worker queue) runs outside f.mu, so producers keep enqueueing
+// and other lanes' workers keep applying while one pool absorbs a batch.
+func (f *Fair) loop() {
+	defer close(f.done)
+	var ready []*Batch
+	f.mu.Lock()
+	for {
+		busy := false
+		for i := 0; i < len(f.lanes); i++ {
+			l := f.lanes[i]
+			if len(l.q) == 0 {
+				l.deficit = 0
+				continue
+			}
+			busy = true
+			l.deficit += int64(f.quantum) * int64(l.weight)
+			ready = ready[:0]
+			for len(l.q) > 0 && cost(l.q[0]) <= l.deficit {
+				b := l.q[0]
+				l.q[0] = nil
+				l.q = l.q[1:]
+				l.deficit -= cost(b)
+				ready = append(ready, b)
+			}
+			if len(l.q) == 0 {
+				l.deficit = 0
+			}
+			if len(ready) == 0 {
+				continue
+			}
+			l.inflight = len(ready)
+			gate := f.gate
+			l.room.Broadcast()
+			f.mu.Unlock()
+			for _, b := range ready {
+				if gate != nil {
+					gate()
+				}
+				var start time.Time
+				if l.after != nil {
+					start = time.Now()
+				}
+				l.pool.Dispatch(b)
+				if f.afterDispatch != nil {
+					f.afterDispatch(l, b)
+				}
+				if l.after != nil {
+					l.after(b, start)
+				}
+			}
+			f.mu.Lock()
+			l.inflight = 0
+			l.room.Broadcast()
+		}
+		if busy {
+			continue
+		}
+		if f.closed {
+			f.mu.Unlock()
+			return
+		}
+		f.work.Wait()
+	}
+}

@@ -119,6 +119,14 @@ func TestPayloadCodecs(t *testing.T) {
 	if err != nil || msg != "it broke" {
 		t.Fatalf("error: %q %v", msg, err)
 	}
+	au, err := DecodeAuthReq(AuthReq{Tenant: "acme", Token: "deadbeef"}.Encode())
+	if err != nil || au.Tenant != "acme" || au.Token != "deadbeef" {
+		t.Fatalf("auth req: %+v %v", au, err)
+	}
+	qa, err := DecodeQuota(Quota{Msg: "rate", RetryAfter: 125 * time.Millisecond}.Encode())
+	if err != nil || qa.Msg != "rate" || qa.RetryAfter != 125*time.Millisecond {
+		t.Fatalf("quota: %+v %v", qa, err)
+	}
 
 	// Trailing bytes poison every codec.
 	if _, err := DecodeQueryReq(append(QueryReq{Stmt: 1}.Encode(), 0)); err == nil {
@@ -130,6 +138,12 @@ func TestPayloadCodecs(t *testing.T) {
 	if _, err := DecodeError(nil); err == nil {
 		t.Error("empty error payload accepted")
 	}
+	if _, err := DecodeAuthReq(append(AuthReq{Tenant: "t"}.Encode(), 0)); err == nil {
+		t.Error("auth req trailing bytes accepted")
+	}
+	if _, err := DecodeQuota([]byte{1}); err == nil {
+		t.Error("truncated quota accepted")
+	}
 }
 
 func TestTypeStrings(t *testing.T) {
@@ -139,7 +153,7 @@ func TestTypeStrings(t *testing.T) {
 	}{
 		{TIngest, "IngestBatch"}, {TQuery, "Query"}, {TMerge, "SnapshotMerge"},
 		{TStats, "Stats"}, {TOK, "OK"}, {TResult, "Result"}, {TError, "Error"},
-		{TBusy, "Busy"}, {Type(0xEE), "Type(0xee)"},
+		{TBusy, "Busy"}, {TAuth, "Auth"}, {TQuota, "Quota"}, {Type(0xEE), "Type(0xee)"},
 	} {
 		if got := tc.t.String(); got != tc.want {
 			t.Errorf("Type %d: %q, want %q", tc.t, got, tc.want)

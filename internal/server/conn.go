@@ -20,6 +20,7 @@ import (
 	"implicate/internal/proto"
 	"implicate/internal/stream"
 	"implicate/internal/telemetry"
+	"implicate/internal/tenant"
 )
 
 const (
@@ -59,9 +60,19 @@ const (
 type reply struct {
 	kind    replyKind
 	id      uint64
-	n       int64  // replyAck: acknowledged tuple count
+	n       int64 // replyAck: acknowledged tuple count
 	t       proto.Type
 	payload []byte // replyGeneric only; owned by the writer once enqueued
+}
+
+// connState is the per-connection session: which tenant requests resolve
+// against, and whether a TAuth frame has pinned it. Only the reader
+// goroutine touches it, so it needs no lock. Every connection starts on
+// the implicit default tenant — a client that never authenticates sees
+// exactly the single-tenant server.
+type connState struct {
+	tenant *tenant.Tenant
+	authed bool
 }
 
 func (s *Server) serveConn(c net.Conn) {
@@ -73,6 +84,7 @@ func (s *Server) serveConn(c net.Conn) {
 		defer close(writerDone)
 		s.connWriter(c, replies)
 	}()
+	cs := &connState{tenant: s.def}
 	fr := proto.NewFrameReader(c)
 	for {
 		f, err := fr.Next()
@@ -85,10 +97,10 @@ func (s *Server) serveConn(c net.Conn) {
 		// f.Payload aliases the FrameReader's buffer: every handler below
 		// finishes with it (or copies out of it) before the next Next call.
 		if f.Type == proto.TIngest {
-			s.handleIngestFast(f, replies)
+			s.handleIngestFast(f, cs, replies)
 			continue
 		}
-		resp := s.handle(f)
+		resp := s.handle(f, cs)
 		replies <- reply{kind: replyGeneric, id: resp.ID, t: resp.Type, payload: resp.Payload}
 	}
 	close(replies)
@@ -99,7 +111,7 @@ func (s *Server) serveConn(c net.Conn) {
 // the frame buffer, plan on this goroutine, enqueue, and hand the reply to
 // the writer. Nothing here allocates per frame in steady state except the
 // batch's own tuples.
-func (s *Server) handleIngestFast(f proto.Frame, out chan<- reply) {
+func (s *Server) handleIngestFast(f proto.Frame, cs *connState, out chan<- reply) {
 	start := time.Now()
 	var r reply
 	tuples, err := s.decodeBatch(f.Payload)
@@ -108,20 +120,8 @@ func (s *Server) handleIngestFast(f proto.Frame, out chan<- reply) {
 		r = reply{kind: replyGeneric, id: f.ID, t: proto.TError, payload: proto.EncodeError(fmt.Sprintf("ingest: %v", err))}
 	case s.draining.Load():
 		r = reply{kind: replyGeneric, id: f.ID, t: proto.TError, payload: proto.EncodeError("ingest: server is shutting down")}
-	case s.cfg.BlockOnFull:
-		// Blocking backpressure: the reader waits for queue room, so
-		// pipelined frames on this connection are never refused and never
-		// reordered by a re-send (the dispatcher keeps draining, so the
-		// wait always ends, including during shutdown).
-		s.enqueueWait(s.plan(tuples))
-		r = reply{kind: replyAck, id: f.ID, n: int64(len(tuples))}
 	default:
-		if s.enqueue(s.plan(tuples)) {
-			r = reply{kind: replyAck, id: f.ID, n: int64(len(tuples))}
-		} else {
-			s.tel.AddRejectedBatch()
-			r = reply{kind: replyBusy, id: f.ID}
-		}
+		r = s.admitIngest(cs.tenant, f.ID, tuples, start)
 	}
 	// One clock read serves both the latency histogram and the RPC span,
 	// mirroring the control-plane handler.
@@ -129,6 +129,42 @@ func (s *Server) handleIngestFast(f proto.Frame, out chan<- reply) {
 	s.tel.Observe(telemetry.RPCIngest, dur)
 	s.tracer.Record(obs.SpanRPC, int(telemetry.RPCIngest), 0, start, dur)
 	out <- r
+}
+
+// admitIngest runs the tenant admission sequence for one decoded batch:
+// quota check first (a refusal is a TQuota reply carrying the retry hint,
+// charged before planning so no partial state exists anywhere), then plan,
+// then the lane offer — blocking or busy-refusing per Config.BlockOnFull.
+func (s *Server) admitIngest(t *tenant.Tenant, id uint64, tuples []stream.Tuple, now time.Time) reply {
+	if q := t.Admit(len(tuples), now); q != nil {
+		payload := proto.Quota{Msg: q.Msg, RetryAfter: q.RetryAfter}.Encode()
+		return reply{kind: replyGeneric, id: id, t: proto.TQuota, payload: payload}
+	}
+	b := s.plan(t, tuples)
+	var depth int
+	var ok bool
+	if s.cfg.BlockOnFull {
+		// Blocking backpressure: the reader waits for lane room, so
+		// pipelined frames on this connection are never refused and never
+		// reordered by a re-send (the dispatcher keeps draining, so the
+		// wait always ends, including during shutdown). The wait holds up
+		// this tenant's producers only.
+		depth, ok = t.Lane.Enqueue(b)
+		if !ok {
+			return reply{kind: replyGeneric, id: id, t: proto.TError, payload: proto.EncodeError("ingest: tenant dropped or server shutting down")}
+		}
+	} else if depth, ok = t.Lane.TryEnqueue(b); !ok {
+		if t.Lane.Closed() {
+			return reply{kind: replyGeneric, id: id, t: proto.TError, payload: proto.EncodeError("ingest: tenant dropped or server shutting down")}
+		}
+		t.AddRejected()
+		s.tel.AddRejectedBatch()
+		return reply{kind: replyBusy, id: id}
+	}
+	t.AddBatch()
+	s.tel.AddBatch()
+	s.tel.ObserveQueueDepth(depth)
+	return reply{kind: replyAck, id: id, n: int64(len(tuples))}
 }
 
 // decodeBatch parses an ingest payload — a complete binary stream (header
@@ -144,43 +180,34 @@ func (s *Server) decodeBatch(payload []byte) ([]stream.Tuple, error) {
 }
 
 // plan runs the pure planning stage — filters, projections, partition
-// hashing — on the caller's goroutine. Connection readers and the UDP lane
-// both call it; the dispatcher never does.
-func (s *Server) plan(tuples []stream.Tuple) *pipeline.Batch {
+// hashing — on the caller's goroutine against the tenant's pool.
+// Connection readers and the UDP lane both call it; the dispatcher never
+// does.
+func (s *Server) plan(t *tenant.Tenant, tuples []stream.Tuple) *pipeline.Batch {
 	var planStart time.Time
 	if s.tracer != nil {
 		planStart = time.Now()
 	}
-	b := s.pool.Plan(tuples)
+	b := t.Pool.Plan(tuples)
 	if s.tracer != nil {
 		s.tracer.Span(obs.SpanPlan, -1, int64(len(tuples)), planStart)
 	}
 	return b
 }
 
-// enqueue offers a planned batch to the ingest queue without blocking.
-// False means the queue was full and the batch was refused (its plan is
-// discarded — planning is pure, the client re-sends).
-func (s *Server) enqueue(b *pipeline.Batch) bool {
-	select {
-	case s.queue <- b:
-		// The post-increment value is this batch's exact depth at send
-		// time; sampling len(s.queue) after the send would race the
-		// dispatcher and mis-state the high-water mark.
-		s.tel.AddBatch()
-		s.tel.ObserveQueueDepth(int(s.depth.Add(1)))
-		return true
-	default:
+// enqueueWait enqueues a planned batch on the tenant's lane, blocking
+// until it has room — the UDP lane's flow control (its socket buffer
+// absorbs the wait). False means the lane closed before the batch was
+// admitted; the batch was not applied.
+func (s *Server) enqueueWait(t *tenant.Tenant, b *pipeline.Batch) bool {
+	depth, ok := t.Lane.Enqueue(b)
+	if !ok {
 		return false
 	}
-}
-
-// enqueueWait enqueues a planned batch, blocking until the queue has room —
-// the UDP lane's flow control (its socket buffer absorbs the wait).
-func (s *Server) enqueueWait(b *pipeline.Batch) {
-	s.queue <- b
+	t.AddBatch()
 	s.tel.AddBatch()
-	s.tel.ObserveQueueDepth(int(s.depth.Add(1)))
+	s.tel.ObserveQueueDepth(depth)
+	return true
 }
 
 // connWriter drains the reply channel, coalescing every reply available

@@ -1,37 +1,50 @@
 // Package server is the network face of the query engine: a TCP server
-// speaking internal/proto that feeds an Engine from remote producers and
-// answers implication queries, sketch merges and telemetry reads.
+// speaking internal/proto that feeds one or more engines from remote
+// producers and answers implication queries, sketch merges and telemetry
+// reads.
 //
 // Architecture: one accept loop, one reader and one writer goroutine per
-// connection, one dispatcher, and a pipeline worker pool
-// (internal/pipeline). Connection readers decode AND plan ingest batches —
-// filters, projections and partition hashing run concurrently per
-// connection — and hand the planned batches to a bounded queue; the
-// dispatcher feeds them to the pool in arrival order, which is all the
-// ordering the engine's estimators need for bit-identical-to-serial
-// results (DESIGN.md §10). Replies flow through the per-connection writer,
-// which coalesces pending acks into vectored writes (conn.go). When the
-// queue is full the batch is refused with an explicit backpressure reply
-// (proto.TBusy) and NOT enqueued — the client retries. (Pipelined
-// producers that need strict per-connection ordering set
-// Config.BlockOnFull instead: the reader then blocks for queue room, so
-// no batch is ever refused and re-sent out of order.) An acknowledged
-// batch is never dropped: graceful shutdown drains the queue through the
-// pool before the final checkpoint is written.
+// connection, one fair-share dispatcher, and a pipeline worker pool per
+// tenant (internal/pipeline). Connection readers decode AND plan ingest
+// batches — filters, projections and partition hashing run concurrently
+// per connection — and hand the planned batches to their tenant's bounded
+// lane; the dispatcher drains the lanes deficit-round-robin and feeds each
+// tenant's pool in lane-arrival order, which is all the ordering the
+// engine's estimators need for bit-identical-to-serial results (DESIGN.md
+// §10). Replies flow through the per-connection writer, which coalesces
+// pending acks into vectored writes (conn.go). When a lane is full the
+// batch is refused with an explicit backpressure reply (proto.TBusy) and
+// NOT enqueued — the client retries. (Pipelined producers that need strict
+// per-connection ordering set Config.BlockOnFull instead: the reader then
+// blocks for lane room, so no batch is ever refused and re-sent out of
+// order.) An acknowledged batch is never dropped: graceful shutdown drains
+// every lane through its pool before the final checkpoints are written.
+//
+// Multi-tenancy (DESIGN.md §14): every server carries an implicit default
+// tenant wrapping Config.Engine — exactly the single-tenant behavior older
+// clients see, no TAuth required. Named tenants (Config.Tenants, or the
+// admin endpoint's POST /tenants) each own an engine, statement registry,
+// checkpoint lineage (<CheckpointDir>/<name>.ckpt) and counters. A
+// connection serves the default tenant until a TAuth frame pins it to a
+// namespace — HMAC-SHA256 connect tokens, verified against Config.TokenKey
+// — and every request after the pin resolves against that tenant alone.
+// Per-tenant ingest quotas (token-bucket rate, memory ceiling) refuse at
+// admission with proto.TQuota before planning or enqueueing, so a refused
+// batch leaves no partial engine state and no neighbor pays for it.
 //
 // An optional UDP ingest lane (udp.go, Config.UDPAddr) accepts
 // sequence-numbered datagram batches for fire-and-forget producers, with
-// cumulative acknowledgement polls over TCP; see internal/proto's udp.go
-// for the lane's exact semantics.
+// cumulative acknowledgement polls over TCP; the lane feeds the default
+// tenant. See internal/proto's udp.go for the lane's exact semantics.
 //
-// Reads never stall ingestion: Query and Stats answer under a read lock
-// (plus the per-statement read locks of query.Statement.Count), while
-// workers keep applying batches; only merges and checkpoint captures take
-// the server's write lock, and captures first fence the pool so no task is
-// in flight.
+// Reads never stall ingestion: Query and Stats answer under the tenant's
+// read lock (plus the per-statement read locks of query.Statement.Count),
+// while workers keep applying batches; only merges and checkpoint captures
+// take a tenant's write lock, and captures first fence that tenant's pool
+// so no task is in flight.
 //
 // Durability composes with the network path exactly as with file streams
-// (DESIGN.md §8): the server checkpoints its engine every CheckpointEvery
+// (DESIGN.md §8): each tenant checkpoints its engine every CheckpointEvery
 // applied tuples and once more on graceful shutdown. The checkpoint offset
 // is the engine's applied-tuple count; a producer recovering a crashed
 // server replays its tuple sequence from that offset. Acknowledgements
@@ -44,11 +57,11 @@ import (
 	"io"
 	"net"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"implicate/internal/checkpoint"
 	"implicate/internal/core"
 	"implicate/internal/imps"
 	"implicate/internal/obs"
@@ -57,6 +70,7 @@ import (
 	"implicate/internal/query"
 	"implicate/internal/stream"
 	"implicate/internal/telemetry"
+	"implicate/internal/tenant"
 )
 
 // drainGrace is how long connection readers may keep serving requests after
@@ -72,48 +86,51 @@ type Config struct {
 	Addr string
 	// Schema is the stream schema ingest batches must match.
 	Schema *stream.Schema
-	// Engine answers the queries and receives the tuples.
+	// Engine answers the default tenant's queries and receives its tuples.
 	Engine *query.Engine
-	// QueueDepth bounds the ingest queue in batches; a full queue refuses
-	// further batches with backpressure replies. Default 64.
+	// QueueDepth bounds each tenant's ingest lane in batches (unless the
+	// tenant's own QueueLen overrides it); a full lane refuses further
+	// batches with backpressure replies. Default 64.
 	QueueDepth int
-	// Workers is the pipeline worker pool size batches are fanned out to.
-	// Zero selects GOMAXPROCS. Whatever the pool size, results are
-	// bit-identical to a single-worker run.
+	// Workers is the per-tenant pipeline worker pool size batches are
+	// fanned out to. Zero selects GOMAXPROCS. Whatever the pool size,
+	// results are bit-identical to a single-worker run.
 	Workers int
 	// MaxBatchTuples bounds one ingest batch; larger batches are rejected
 	// as errors. Default 65536.
 	MaxBatchTuples int
-	// CheckpointPath, when non-empty, makes the worker write engine
-	// checkpoints there — every CheckpointEvery applied tuples and once on
-	// graceful Close.
+	// CheckpointPath, when non-empty, makes the server write the default
+	// tenant's checkpoints there — every CheckpointEvery applied tuples and
+	// once on graceful Close.
 	CheckpointPath string
 	// CheckpointEvery is the applied-tuple interval between periodic
-	// checkpoints; zero checkpoints only on Close.
+	// checkpoints (per tenant); zero checkpoints only on Close.
 	CheckpointEvery int64
 	// RetryAfter is the delay hint carried in backpressure replies.
 	// Default 20ms.
 	RetryAfter time.Duration
 	// BlockOnFull switches ingest backpressure from busy-refusal to
-	// blocking: when the queue is full the connection reader waits for room
-	// instead of replying TBusy, so backpressure propagates through TCP
-	// flow control. Pipelined producers that depend on per-connection
-	// ordering need this — a busy-refused batch is re-sent behind its
-	// already-pipelined successors, which reorders the stream even though
-	// acknowledgements confirm enqueueing (the queue can be full of batches
-	// that were already acked). The default (false) keeps explicit TBusy
-	// replies, which synchronous request/response producers prefer.
+	// blocking: when the tenant's lane is full the connection reader waits
+	// for room instead of replying TBusy, so backpressure propagates
+	// through TCP flow control. Pipelined producers that depend on
+	// per-connection ordering need this — a busy-refused batch is re-sent
+	// behind its already-pipelined successors, which reorders the stream
+	// even though acknowledgements confirm enqueueing (the lane can be full
+	// of batches that were already acked). The default (false) keeps
+	// explicit TBusy replies, which synchronous request/response producers
+	// prefer. The wait is per tenant: a blocked lane never stalls another
+	// tenant's dispatch.
 	BlockOnFull bool
 	// UDPAddr, when non-empty, opens the UDP ingest lane on that address
 	// (e.g. "127.0.0.1:0"). Empty disables the lane; TUDPAck polls then
-	// answer with zero watermarks.
+	// answer with zero watermarks. The lane feeds the default tenant.
 	UDPAddr string
 	// UDPWindow is the UDP lane's per-source reorder window in sequence
 	// numbers: a datagram more than this far ahead of the cumulative
 	// watermark is dropped. Default 256.
 	UDPWindow int
 	// Logf, when non-nil, receives diagnostic messages (failed periodic
-	// checkpoints, dropped connections).
+	// checkpoints, dropped connections, tenant lifecycle).
 	Logf func(format string, args ...any)
 	// TraceSpans, when positive, enables the event tracer with a ring
 	// holding that many spans (obs.DefaultSpans is the conventional size).
@@ -122,9 +139,25 @@ type Config struct {
 	// dump.
 	TraceSpans int
 
+	// TokenKey is the HMAC-SHA256 key connect tokens are verified against
+	// (tenant.Token mints them). Empty disables verification: any token
+	// authenticates an existing tenant, for deployments that gate access at
+	// the network layer.
+	TokenKey []byte
+	// Tenants declares named tenants to create (or resume from
+	// CheckpointDir) at Listen. Requires Backends.
+	Tenants []tenant.Config
+	// Backends maps estimator kind names to factories for tenant creation
+	// and checkpoint resume. Required when Tenants is non-empty or tenants
+	// are created through the admin endpoint.
+	Backends tenant.Backends
+	// CheckpointDir, when non-empty, holds one checkpoint file per named
+	// tenant (<dir>/<name>.ckpt), written on the same cadence as the
+	// default tenant's and resumed from at create time.
+	CheckpointDir string
+
 	// gate, when non-nil, is called by the dispatcher before each batch is
-	// handed to the pool — a test hook for making queue states
-	// deterministic.
+	// handed to a pool — a test hook for making queue states deterministic.
 	gate func()
 }
 
@@ -154,9 +187,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg    Config
 	ln     net.Listener
-	stmts  []*query.Statement
 	tel    *telemetry.Set
-	pool   *pipeline.Pool
 	tracer *obs.Tracer // nil when tracing is disabled; nil-safe to record on
 	udp    *udpLane    // nil when Config.UDPAddr is empty
 
@@ -171,21 +202,23 @@ type Server struct {
 	// a silent restart-from-checkpoint (see proto.TBoot).
 	boot uint64
 
-	// mu is the coarse read/write coordination point above the pipeline:
-	// Query and Stats hold it shared (they never stall ingestion — workers
-	// do not take it), merges hold it exclusively alongside the target
-	// statement's own lock, and checkpoint captures hold it exclusively
-	// after fencing the pool.
-	mu sync.RWMutex
-
-	queue chan *pipeline.Batch
-	// depth tracks the ingest queue's occupancy for the high-water
-	// telemetry: incremented by the enqueuing reader (the post-send value
-	// IS that batch's deterministic depth sample), decremented by the
-	// dispatcher on receive.
-	depth          atomic.Int64
-	periodic       checkpoint.Periodic
-	dispatcherDone chan struct{}
+	// def is the implicit default tenant wrapping Config.Engine — what
+	// every connection serves until a TAuth frame pins it elsewhere, and
+	// what the UDP lane always feeds. It lives outside the registry (its
+	// name is reserved) and carries no quotas.
+	def *tenant.Tenant
+	// reg resolves named tenants and verifies their connect tokens.
+	reg *tenant.Registry
+	// fair is the deficit-round-robin dispatcher draining every tenant's
+	// lane; its goroutine is the sole caller of Dispatch/Fence on live
+	// pools, preserving the per-pool ordering contract.
+	fair *pipeline.Fair
+	// tenMu serializes tenant lifecycle: create, drop, and shutdown's pool
+	// teardown. Never held on the request path.
+	tenMu sync.Mutex
+	// laneSeq numbers named tenants' lanes for dispatch spans; the default
+	// tenant keeps the single-tenant span arg (-1).
+	laneSeq atomic.Int64
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -212,6 +245,9 @@ func Listen(cfg Config) (*Server, error) {
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("server: worker count %d must be >= 1", cfg.Workers)
 	}
+	if len(cfg.Tenants) > 0 && len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("server: tenants declared without backends")
+	}
 	// A non-positive window would wrap to ~2^64 in the lane's uint64
 	// arithmetic and disable the reorder bound entirely; reject it here
 	// rather than trusting newUDPLane's conversion.
@@ -219,14 +255,12 @@ func Listen(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: udp window %d must be >= 1", cfg.UDPWindow)
 	}
 	s := &Server{
-		cfg:            cfg,
-		stmts:          cfg.Engine.Statements(),
-		tel:            &telemetry.Set{},
-		queue:          make(chan *pipeline.Batch, cfg.QueueDepth),
-		dispatcherDone: make(chan struct{}),
-		conns:          make(map[net.Conn]struct{}),
-		hdr:            stream.BinaryHeader(cfg.Schema),
-		arity:          cfg.Schema.Len(),
+		cfg:   cfg,
+		tel:   &telemetry.Set{},
+		reg:   tenant.NewRegistry(cfg.TokenKey),
+		conns: make(map[net.Conn]struct{}),
+		hdr:   stream.BinaryHeader(cfg.Schema),
+		arity: cfg.Schema.Len(),
 	}
 	s.tel.ConfigureWorkers(cfg.Workers)
 	nonce, err := proto.NewBootNonce()
@@ -237,40 +271,212 @@ func Listen(cfg Config) (*Server, error) {
 	if cfg.TraceSpans > 0 {
 		s.tracer = obs.NewTracer(cfg.TraceSpans)
 	}
-	pool, err := pipeline.New(cfg.Engine, pipeline.Config{
-		Workers:     cfg.Workers,
-		OnApplied:   func(n int) { s.tel.AddTuples(int64(n)) },
-		OnTask:      s.tel.AddWorkerTask,
-		OnSaturated: s.tel.AddPoolSaturation,
-		Tracer:      s.tracer,
-	})
-	if err != nil {
+	s.fair = pipeline.NewFair(0)
+	if cfg.gate != nil {
+		s.fair.SetGate(cfg.gate)
+	}
+	s.def = tenant.Wrap(tenant.DefaultName, cfg.Engine, cfg.CheckpointPath, cfg.CheckpointEvery)
+	if err := s.attach(s.def); err != nil {
+		s.fair.Close()
 		return nil, fmt.Errorf("server: %w", err)
+	}
+	for _, tc := range cfg.Tenants {
+		if err := s.addTenant(tc); err != nil {
+			s.teardownPools()
+			return nil, fmt.Errorf("server: %w", err)
+		}
 	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
-		pool.Close()
+		s.teardownPools()
 		return nil, fmt.Errorf("server: %w", err)
 	}
-	s.pool = pool
 	s.ln = ln
 	if cfg.UDPAddr != "" {
 		lane, err := newUDPLane(s, cfg.UDPAddr, cfg.UDPWindow)
 		if err != nil {
 			ln.Close()
-			pool.Close()
+			s.teardownPools()
 			return nil, fmt.Errorf("server: %w", err)
 		}
 		s.udp = lane
 	}
-	s.periodic = checkpoint.Periodic{Path: cfg.CheckpointPath, Every: cfg.CheckpointEvery}
-	if cfg.CheckpointPath == "" {
-		s.periodic.Every = 0
-	}
-	s.periodic.SkipTo(cfg.Engine.Tuples())
 	go s.acceptLoop()
-	go s.dispatcher()
 	return s, nil
+}
+
+// attach builds a tenant's worker pool and fair-share lane. Called from
+// Listen and (under tenMu) from addTenant, always before the tenant is
+// resolvable by connections.
+func (s *Server) attach(t *tenant.Tenant) error {
+	pool, err := pipeline.New(t.Engine(), pipeline.Config{
+		Workers:     s.cfg.Workers,
+		OnApplied:   func(n int) { s.tel.AddTuples(int64(n)); t.NoteApplied(n) },
+		OnTask:      s.tel.AddWorkerTask,
+		OnSaturated: s.tel.AddPoolSaturation,
+		Tracer:      s.tracer,
+	})
+	if err != nil {
+		return err
+	}
+	qlen := t.QueueLen()
+	if qlen == 0 {
+		qlen = s.cfg.QueueDepth
+	}
+	t.Pool = pool
+	t.Lane = s.fair.AddLane(t.Name(), t.Weight(), qlen, pool, s.afterDispatch(t))
+	return nil
+}
+
+// afterDispatch builds the tenant's post-dispatch hook: the dispatch span
+// and the periodic-checkpoint cadence, both running in the dispatcher
+// goroutine (the only legal place to fence the tenant's pool). Nil when
+// neither applies, so the plain fast path takes no per-batch clock reads.
+func (s *Server) afterDispatch(t *tenant.Tenant) func(b *pipeline.Batch, start time.Time) {
+	every := t.CheckpointEvery()
+	if s.tracer == nil && every <= 0 {
+		return nil
+	}
+	// The default tenant keeps the single-tenant span args; named tenants
+	// are numbered so their dispatch and checkpoint spans are attributable.
+	laneID := -1
+	ckptID := len(t.Statements())
+	if t != s.def {
+		laneID = int(s.laneSeq.Add(1))
+		ckptID = laneID
+	}
+	var sinceCkpt int64
+	return func(b *pipeline.Batch, start time.Time) {
+		n := int64(b.Tuples())
+		if s.tracer != nil {
+			s.tracer.Span(obs.SpanDispatch, laneID, n, start)
+		}
+		if every <= 0 {
+			return
+		}
+		sinceCkpt += n
+		if sinceCkpt < every {
+			return
+		}
+		// Capture point: fence the tenant's pool so every dispatched tuple
+		// is applied, then capture under its exclusive lock so no merge
+		// mutates an estimator while it marshals. Other tenants' lanes keep
+		// dispatching only after this returns — the price of a single
+		// dispatcher — but the capture is per-tenant state only.
+		ckptStart := time.Now()
+		t.Pool.Fence()
+		wrote, err := t.MaybeCheckpoint()
+		if err != nil {
+			s.cfg.Logf("server: periodic checkpoint (%s): %v", t.Name(), err)
+		}
+		if wrote {
+			s.tracer.Span(obs.SpanCheckpoint, ckptID, t.Engine().Tuples(), ckptStart)
+		}
+		if wrote || err != nil {
+			sinceCkpt = 0
+		}
+	}
+}
+
+// addTenant builds, attaches and registers one named tenant. Callers hold
+// tenMu (or are Listen, before any other goroutine exists).
+func (s *Server) addTenant(cfg tenant.Config) error {
+	t, resumed, err := tenant.New(cfg, s.cfg.Schema, s.cfg.Backends, s.cfg.CheckpointDir, s.cfg.CheckpointEvery)
+	if err != nil {
+		return err
+	}
+	if err := s.attach(t); err != nil {
+		return err
+	}
+	if err := s.reg.Add(t); err != nil {
+		s.fair.RemoveLane(t.Lane)
+		t.Pool.Close()
+		return err
+	}
+	if resumed {
+		s.cfg.Logf("server: tenant %s resumed from %s at offset %d", cfg.Name, t.CheckpointPath(), t.Engine().Tuples())
+	}
+	return nil
+}
+
+// CreateTenant implements obs.TenantAdmin: the admin endpoint's POST
+// /tenants. Safe while the server serves — other tenants never pause.
+func (s *Server) CreateTenant(spec obs.TenantSpec) error {
+	s.tenMu.Lock()
+	defer s.tenMu.Unlock()
+	if s.draining.Load() {
+		return fmt.Errorf("server is shutting down")
+	}
+	if len(s.cfg.Backends) == 0 {
+		return fmt.Errorf("server has no backends configured for tenant creation")
+	}
+	return s.addTenant(tenant.Config{
+		Name:      spec.Name,
+		Queries:   spec.Queries,
+		Backend:   spec.Backend,
+		MemBudget: spec.MemBudget,
+		Rate:      spec.Rate,
+		Burst:     spec.Burst,
+		Weight:    spec.Weight,
+		QueueLen:  spec.QueueLen,
+	})
+}
+
+// DropTenant implements obs.TenantAdmin: unregister the tenant (new
+// sessions stop resolving it), drain what its lane already admitted, write
+// its final checkpoint, and release its pool. Connections still pinned to
+// it get refusals from then on; other tenants never pause.
+func (s *Server) DropTenant(name string) error {
+	s.tenMu.Lock()
+	defer s.tenMu.Unlock()
+	if s.draining.Load() {
+		return fmt.Errorf("server is shutting down")
+	}
+	t, ok := s.reg.Remove(name)
+	if !ok {
+		return fmt.Errorf("tenant %q: not found", name)
+	}
+	s.fair.RemoveLane(t.Lane)
+	// RemoveLane returned: the dispatcher will never touch this pool again,
+	// so fencing and closing it from here is the dispatcher role handed
+	// over.
+	t.Pool.Fence()
+	err := t.FinalCheckpoint()
+	t.Pool.Close()
+	return err
+}
+
+// TenantStats implements obs.TenantAdmin: per-tenant counters for the
+// admin endpoint, nil on single-tenant servers.
+func (s *Server) TenantStats() []telemetry.TenantStats { return s.snapshot().Tenants }
+
+// snapshot freezes the telemetry set, appending per-tenant rows when named
+// tenants exist — single-tenant servers keep the v3 wire encoding
+// byte-for-byte.
+func (s *Server) snapshot() telemetry.Snapshot {
+	sn := s.tel.Snapshot()
+	if s.reg.Len() > 0 {
+		ts := []telemetry.TenantStats{s.def.Stats()}
+		for _, t := range s.reg.List() {
+			ts = append(ts, t.Stats())
+		}
+		sort.Slice(ts, func(i, j int) bool { return ts[i].Name < ts[j].Name })
+		sn.Tenants = ts
+	}
+	return sn
+}
+
+// teardownPools stops the fair dispatcher and closes every tenant pool —
+// the shared tail of shutdown, Kill and failed Listen. Pool.Close drains
+// the worker queues, so every dispatched batch is applied when it returns.
+func (s *Server) teardownPools() {
+	s.fair.Close()
+	s.tenMu.Lock()
+	s.def.Pool.Close()
+	for _, t := range s.reg.List() {
+		t.Pool.Close()
+	}
+	s.tenMu.Unlock()
 }
 
 // Addr returns the bound listen address (useful with ":0").
@@ -288,30 +494,42 @@ func (s *Server) UDPAddr() string {
 // Telemetry exposes the live counter set.
 func (s *Server) Telemetry() *telemetry.Set { return s.tel }
 
-// Engine returns the served engine. It must only be used after Close or
-// Kill has returned — while the server runs, the engine is its alone.
+// Engine returns the default tenant's engine. It must only be used after
+// Close or Kill has returned — while the server runs, the engine is its
+// alone.
 func (s *Server) Engine() *query.Engine { return s.cfg.Engine }
+
+// TenantEngine returns a tenant's engine by name (the default tenant's for
+// tenant.DefaultName). Like Engine, the result must only be used after
+// Close or Kill has returned.
+func (s *Server) TenantEngine(name string) (*query.Engine, bool) {
+	if name == tenant.DefaultName {
+		return s.def.Engine(), true
+	}
+	t, ok := s.reg.Get(name)
+	if !ok {
+		return nil, false
+	}
+	return t.Engine(), true
+}
 
 // Tracer exposes the span ring (nil when Config.TraceSpans was zero) for
 // out-of-band dumps — impserved's SIGQUIT handler reads it.
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // StatsSnapshot implements obs.AdminState: the live telemetry snapshot the
-// admin endpoint's /metrics renders, under the same shared lock the Stats
-// RPC takes.
+// admin endpoint's /metrics renders, tenant rows included.
 func (s *Server) StatsSnapshot() telemetry.Snapshot {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.tel.Snapshot()
+	return s.snapshot()
 }
 
-// HealthReports implements obs.AdminState: the engine's per-statement
-// estimator health, read under the server's shared lock so merges and
-// checkpoint captures never race the walk.
+// HealthReports implements obs.AdminState: the default engine's
+// per-statement estimator health, read under the tenant's shared lock so
+// merges and checkpoint captures never race the walk.
 func (s *Server) HealthReports() []imps.HealthReport {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.cfg.Engine.HealthReports()
+	s.def.Mu.RLock()
+	defer s.def.Mu.RUnlock()
+	return s.def.Engine().HealthReports()
 }
 
 // TraceSpans implements obs.AdminState: the current span ring contents
@@ -344,30 +562,33 @@ func (s *Server) dropConn(c net.Conn) {
 	c.Close()
 }
 
-// handle dispatches one control-plane request frame and builds the
-// response frame. Ingest frames never reach it — the connection reader
-// short-circuits them through handleIngestFast (conn.go).
-func (s *Server) handle(f proto.Frame) proto.Frame {
+// handle dispatches one control-plane request frame against the
+// connection's pinned tenant and builds the response frame. Ingest frames
+// never reach it — the connection reader short-circuits them through
+// handleIngestFast (conn.go).
+func (s *Server) handle(f proto.Frame, cs *connState) proto.Frame {
 	start := time.Now()
 	var resp proto.Frame
 	var rpc telemetry.RPC
 	switch f.Type {
 	case proto.TQuery:
-		rpc, resp = telemetry.RPCQuery, s.handleQuery(f)
+		rpc, resp = telemetry.RPCQuery, s.handleQuery(f, cs.tenant)
 	case proto.TMerge:
-		rpc, resp = telemetry.RPCMerge, s.handleMerge(f)
+		rpc, resp = telemetry.RPCMerge, s.handleMerge(f, cs.tenant)
 	case proto.TStats:
 		rpc, resp = telemetry.RPCStats, s.handleStats(f)
 	case proto.THealth:
-		rpc, resp = telemetry.RPCHealth, s.handleHealth(f)
+		rpc, resp = telemetry.RPCHealth, s.handleHealth(f, cs.tenant)
 	case proto.TTrace:
 		rpc, resp = telemetry.RPCTrace, s.handleTrace(f)
 	case proto.TUDPAck:
 		rpc, resp = telemetry.RPCUDPAck, s.handleUDPAck(f)
 	case proto.TSnapshot:
-		rpc, resp = telemetry.RPCSnapshot, s.handleSnapshot(f)
+		rpc, resp = telemetry.RPCSnapshot, s.handleSnapshot(f, cs.tenant)
 	case proto.TBoot:
 		rpc, resp = telemetry.RPCBoot, s.handleBoot(f)
+	case proto.TAuth:
+		rpc, resp = telemetry.RPCAuth, s.handleAuth(f, cs)
 	default:
 		return errorFrame(f.ID, fmt.Sprintf("unsupported request type %s", f.Type))
 	}
@@ -380,6 +601,37 @@ func (s *Server) handle(f proto.Frame) proto.Frame {
 
 func errorFrame(id uint64, msg string) proto.Frame {
 	return proto.Frame{Type: proto.TError, ID: id, Payload: proto.EncodeError(msg)}
+}
+
+// handleAuth pins the connection to a tenant. A session authenticates at
+// most once — re-pinning mid-stream would let one connection's pipelined
+// batches straddle two engines, so a second TAuth is an error. The default
+// tenant may be named explicitly (token still verified when a key is set);
+// connections that never send TAuth serve it implicitly, which is the
+// whole backward-compatibility story.
+func (s *Server) handleAuth(f proto.Frame, cs *connState) proto.Frame {
+	req, err := proto.DecodeAuthReq(f.Payload)
+	if err != nil {
+		return errorFrame(f.ID, err.Error())
+	}
+	if cs.authed {
+		return errorFrame(f.ID, "auth: session already pinned to a tenant")
+	}
+	var t *tenant.Tenant
+	if req.Tenant == tenant.DefaultName {
+		if !tenant.VerifyToken(s.cfg.TokenKey, req.Tenant, req.Token) {
+			return errorFrame(f.ID, fmt.Sprintf("tenant %q: unknown tenant or bad token", req.Tenant))
+		}
+		t = s.def
+	} else {
+		t, err = s.reg.Authenticate(req.Tenant, req.Token)
+		if err != nil {
+			return errorFrame(f.ID, err.Error())
+		}
+	}
+	cs.tenant = t
+	cs.authed = true
+	return proto.Frame{Type: proto.TOK, ID: f.ID}
 }
 
 // decodeBatchSlow parses an ingest payload through the general
@@ -423,32 +675,34 @@ func (s *Server) decodeBatchSlow(payload []byte) ([]stream.Tuple, error) {
 	}
 }
 
-func (s *Server) handleQuery(f proto.Frame) proto.Frame {
+func (s *Server) handleQuery(f proto.Frame, t *tenant.Tenant) proto.Frame {
 	req, err := proto.DecodeQueryReq(f.Payload)
 	if err != nil {
 		return errorFrame(f.ID, err.Error())
 	}
-	if int(req.Stmt) >= len(s.stmts) {
-		return errorFrame(f.ID, fmt.Sprintf("query: no statement %d (server has %d)", req.Stmt, len(s.stmts)))
+	stmts := t.Statements()
+	if int(req.Stmt) >= len(stmts) {
+		return errorFrame(f.ID, fmt.Sprintf("query: no statement %d (tenant has %d)", req.Stmt, len(stmts)))
 	}
 	// Shared lock: reads proceed against a live pool. Count takes the
 	// statement's own read lock, so a serialized-class statement is read
 	// between its batches; partition-safe estimators snapshot internally.
-	s.mu.RLock()
-	res := proto.QueryResult{Count: s.stmts[req.Stmt].Count(), Tuples: s.cfg.Engine.Tuples()}
-	s.mu.RUnlock()
+	t.Mu.RLock()
+	res := proto.QueryResult{Count: stmts[req.Stmt].Count(), Tuples: t.Engine().Tuples()}
+	t.Mu.RUnlock()
 	return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: res.Encode()}
 }
 
-func (s *Server) handleMerge(f proto.Frame) proto.Frame {
+func (s *Server) handleMerge(f proto.Frame, t *tenant.Tenant) proto.Frame {
 	req, err := proto.DecodeMergeReq(f.Payload)
 	if err != nil {
 		return errorFrame(f.ID, err.Error())
 	}
-	if int(req.Stmt) >= len(s.stmts) {
-		return errorFrame(f.ID, fmt.Sprintf("merge: no statement %d (server has %d)", req.Stmt, len(s.stmts)))
+	stmts := t.Statements()
+	if int(req.Stmt) >= len(stmts) {
+		return errorFrame(f.ID, fmt.Sprintf("merge: no statement %d (tenant has %d)", req.Stmt, len(stmts)))
 	}
-	st := s.stmts[req.Stmt]
+	st := stmts[req.Stmt]
 	if st.Shared() {
 		return errorFrame(f.ID, fmt.Sprintf("merge: statement %d reads a shared estimator; merge into its owner", req.Stmt))
 	}
@@ -460,14 +714,14 @@ func (s *Server) handleMerge(f proto.Frame) proto.Frame {
 	if err != nil {
 		return errorFrame(f.ID, fmt.Sprintf("merge: %v", err))
 	}
-	// Exclusive on both levels: the server lock keeps checkpoint captures
+	// Exclusive on both levels: the tenant lock keeps checkpoint captures
 	// and readers out, the statement lock keeps its home worker out (a
 	// plain sketch is serialized-class, so its ingest runs under that
 	// lock).
 	mergeStart := time.Now()
-	s.mu.Lock()
+	t.Mu.Lock()
 	st.Exclusive(func() { err = dst.Merge(src) })
-	s.mu.Unlock()
+	t.Mu.Unlock()
 	if err != nil {
 		return errorFrame(f.ID, fmt.Sprintf("merge: %v", err))
 	}
@@ -481,15 +735,16 @@ func (s *Server) handleMerge(f proto.Frame) proto.Frame {
 // the capture — the offset a coordinator compares against its journal. The
 // same restrictions as the merge path apply (no shared estimators, plain
 // sketches only), because the reply is meant to round-trip through Merge.
-func (s *Server) handleSnapshot(f proto.Frame) proto.Frame {
+func (s *Server) handleSnapshot(f proto.Frame, t *tenant.Tenant) proto.Frame {
 	req, err := proto.DecodeSnapshotReq(f.Payload)
 	if err != nil {
 		return errorFrame(f.ID, err.Error())
 	}
-	if int(req.Stmt) >= len(s.stmts) {
-		return errorFrame(f.ID, fmt.Sprintf("snapshot: no statement %d (server has %d)", req.Stmt, len(s.stmts)))
+	stmts := t.Statements()
+	if int(req.Stmt) >= len(stmts) {
+		return errorFrame(f.ID, fmt.Sprintf("snapshot: no statement %d (tenant has %d)", req.Stmt, len(stmts)))
 	}
-	st := s.stmts[req.Stmt]
+	st := stmts[req.Stmt]
 	if st.Shared() {
 		return errorFrame(f.ID, fmt.Sprintf("snapshot: statement %d reads a shared estimator; snapshot its owner", req.Stmt))
 	}
@@ -497,18 +752,18 @@ func (s *Server) handleSnapshot(f proto.Frame) proto.Frame {
 	if !ok {
 		return errorFrame(f.ID, fmt.Sprintf("snapshot: statement %d estimator (%s) does not support state pulls", req.Stmt, kindOf(st)))
 	}
-	// Exclusive on both levels, like the merge path: the server lock keeps
+	// Exclusive on both levels, like the merge path: the tenant lock keeps
 	// checkpoint captures and merges out, the statement lock keeps its home
-	// worker out mid-marshal. Workers do not take the server lock, so the
+	// worker out mid-marshal. Workers do not take the tenant lock, so the
 	// tuple count is a watermark, not a fence — a caller that needs the
 	// snapshot to cover everything it shipped compares Tuples against its
 	// own ledger and re-pulls after the engine catches up (the coordinator
 	// quiesces exactly this way before its merge fan-in).
 	var blob []byte
-	s.mu.Lock()
-	res := proto.SnapshotResult{Tuples: s.cfg.Engine.Tuples(), Kind: st.EstimatorKind()}
+	t.Mu.Lock()
+	res := proto.SnapshotResult{Tuples: t.Engine().Tuples(), Kind: st.EstimatorKind()}
 	st.Exclusive(func() { blob, err = src.MarshalBinary() })
-	s.mu.Unlock()
+	t.Mu.Unlock()
 	if err != nil {
 		return errorFrame(f.ID, fmt.Sprintf("snapshot: %v", err))
 	}
@@ -529,19 +784,17 @@ func kindOf(st *query.Statement) string {
 }
 
 func (s *Server) handleStats(f proto.Frame) proto.Frame {
-	s.mu.RLock()
-	payload := s.tel.Snapshot().Encode()
-	s.mu.RUnlock()
-	return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: payload}
+	return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: s.snapshot().Encode()}
 }
 
-// handleHealth answers with the engine's per-statement health reports. The
-// shared lock keeps merges and checkpoint captures out; each statement's
-// Health takes its own read lock below, the same path Query walks.
-func (s *Server) handleHealth(f proto.Frame) proto.Frame {
-	s.mu.RLock()
-	payload := obs.EncodeHealth(s.cfg.Engine.HealthReports())
-	s.mu.RUnlock()
+// handleHealth answers with the pinned tenant's per-statement health
+// reports. The shared lock keeps merges and checkpoint captures out; each
+// statement's Health takes its own read lock below, the same path Query
+// walks.
+func (s *Server) handleHealth(f proto.Frame, t *tenant.Tenant) proto.Frame {
+	t.Mu.RLock()
+	payload := obs.EncodeHealth(t.Engine().HealthReports())
+	t.Mu.RUnlock()
 	return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: payload}
 }
 
@@ -569,60 +822,11 @@ func (s *Server) handleUDPAck(f proto.Frame) proto.Frame {
 	return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: ack.Encode()}
 }
 
-// dispatcher feeds queued batches to the worker pool in arrival order —
-// the single ordered step of the ingest path — and drives periodic
-// checkpoints. It exits when the queue is closed and drained, leaving the
-// pool fenced (every dispatched batch fully applied).
-func (s *Server) dispatcher() {
-	defer close(s.dispatcherDone)
-	var sinceCkpt int64
-	for b := range s.queue {
-		s.depth.Add(-1)
-		if s.cfg.gate != nil {
-			s.cfg.gate()
-		}
-		n := int64(b.Tuples())
-		var dispatchStart time.Time
-		if s.tracer != nil {
-			dispatchStart = time.Now()
-		}
-		s.pool.Dispatch(b)
-		if s.tracer != nil {
-			s.tracer.Span(obs.SpanDispatch, -1, n, dispatchStart)
-		}
-		if s.periodic.Every <= 0 {
-			continue
-		}
-		sinceCkpt += n
-		if sinceCkpt < s.periodic.Every {
-			continue
-		}
-		// Capture point: fence the pool so every dispatched tuple is
-		// applied, then take the write lock so no merge mutates an
-		// estimator while it marshals. After the fence the engine's tuple
-		// count equals the dispatched total.
-		ckptStart := time.Now()
-		s.pool.Fence()
-		s.mu.Lock()
-		wrote, err := s.periodic.Maybe(s.cfg.Engine, s.cfg.Engine.Tuples())
-		s.mu.Unlock()
-		if err != nil {
-			s.cfg.Logf("server: periodic checkpoint: %v", err)
-		}
-		if wrote {
-			s.tracer.Span(obs.SpanCheckpoint, len(s.stmts), s.cfg.Engine.Tuples(), ckptStart)
-		}
-		if wrote || err != nil {
-			sinceCkpt = 0
-		}
-	}
-	s.pool.Fence()
-}
-
 // shutdown runs the shared teardown: stop accepting, stop the UDP lane,
-// unblock connection readers, drain the queue through the pool, stop the
-// pool. The lane stops before the queue closes: its reader may be blocked
-// enqueueing, and the dispatcher keeps draining until the close.
+// unblock connection readers, drain every lane through its pool, stop the
+// dispatcher and the pools. The lane stops before the fair dispatcher
+// closes: its reader may be blocked enqueueing, and the dispatcher keeps
+// draining until every producer is gone.
 func (s *Server) shutdown(grace time.Duration) {
 	s.draining.Store(true)
 	s.ln.Close()
@@ -636,29 +840,28 @@ func (s *Server) shutdown(grace time.Duration) {
 	}
 	s.connMu.Unlock()
 	s.connWG.Wait()
-	close(s.queue)
-	<-s.dispatcherDone // dispatcher fenced the pool on exit: all batches applied
-	s.pool.Close()
+	s.teardownPools() // fair.Close drains the lanes; Pool.Close applies the rest
 }
 
 // Close shuts the server down gracefully: the listener closes, connection
 // readers finish their in-flight requests (within a short grace window),
-// the ingest queue is drained through the engine, and — when checkpointing
-// is configured — a final checkpoint is written. Every batch acknowledged
-// before Close is applied before the final checkpoint.
+// every tenant's lane is drained through its engine, and — when
+// checkpointing is configured — final checkpoints are written for the
+// default tenant and every named tenant. Every batch acknowledged before
+// Close is applied before its tenant's final checkpoint.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		s.shutdown(drainGrace)
-		if s.cfg.CheckpointPath != "" {
-			ckptStart := time.Now()
-			snap, err := checkpoint.Capture(s.cfg.Engine, s.cfg.Engine.Tuples())
-			if err == nil {
-				err = checkpoint.Write(s.cfg.CheckpointPath, snap)
-			}
-			if err == nil {
-				s.tracer.Span(obs.SpanCheckpoint, len(s.stmts), s.cfg.Engine.Tuples(), ckptStart)
-			}
+		ckptStart := time.Now()
+		if err := s.def.FinalCheckpoint(); err != nil {
 			s.closeErr = err
+		} else if s.cfg.CheckpointPath != "" {
+			s.tracer.Span(obs.SpanCheckpoint, len(s.def.Statements()), s.def.Engine().Tuples(), ckptStart)
+		}
+		for _, t := range s.reg.List() {
+			if err := t.FinalCheckpoint(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
 		}
 	})
 	return s.closeErr
@@ -666,7 +869,8 @@ func (s *Server) Close() error {
 
 // Kill tears the server down abruptly — connections are cut mid-request and
 // no final checkpoint is written, simulating a crash. Only previously
-// written periodic checkpoints survive; the engine must be considered lost.
+// written periodic checkpoints survive; the engines must be considered
+// lost.
 func (s *Server) Kill() {
 	s.closeOnce.Do(func() {
 		s.killed.Store(true)
@@ -681,11 +885,10 @@ func (s *Server) Kill() {
 		}
 		s.connMu.Unlock()
 		s.connWG.Wait()
-		close(s.queue)
-		<-s.dispatcherDone
-		s.pool.Close()
+		s.teardownPools()
 	})
 }
 
 var _ imps.Estimator = (*core.Sketch)(nil) // the merge path's contract
 var _ obs.AdminState = (*Server)(nil)      // the admin endpoint's contract
+var _ obs.TenantAdmin = (*Server)(nil)     // the admin endpoint's tenant CRUD

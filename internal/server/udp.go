@@ -175,7 +175,16 @@ func (l *udpLane) apply(src *udpSource, seq uint64, payload []byte, retained boo
 	}
 	tuples, err := l.s.decodeBatch(payload)
 	if err == nil {
-		l.s.enqueueWait(l.s.plan(tuples))
+		if !l.s.enqueueWait(l.s.def, l.s.plan(l.s.def, tuples)) {
+			// The default lane closed mid-shutdown: the batch was not
+			// applied, so like the draining branch this refuses WITHOUT
+			// advancing the watermark.
+			l.mu.Lock()
+			src.drops++
+			l.mu.Unlock()
+			l.s.tel.AddUDPDrop()
+			return
+		}
 	}
 	l.mu.Lock()
 	src.cum = seq

@@ -34,6 +34,7 @@ const (
 	RPCUDPAck
 	RPCSnapshot
 	RPCBoot
+	RPCAuth
 	NumRPCs
 )
 
@@ -58,6 +59,8 @@ func (r RPC) String() string {
 		return "Snapshot"
 	case RPCBoot:
 		return "Boot"
+	case RPCAuth:
+		return "Auth"
 	}
 	return fmt.Sprintf("RPC(%d)", uint8(r))
 }
@@ -289,6 +292,34 @@ type Snapshot struct {
 	Workers []WorkerStats
 	// Latency holds one histogram per RPC, indexed by the RPC constants.
 	Latency [NumRPCs]Histogram
+	// Tenants holds per-tenant counters, one entry per registered tenant,
+	// sorted by name. Nil on single-tenant servers — and only a snapshot
+	// with tenants is encoded in the v4 format, so a server with no named
+	// tenants stays byte-compatible with v3 readers.
+	Tenants []TenantStats
+}
+
+// TenantStats is one tenant's frozen counters.
+type TenantStats struct {
+	// Name is the tenant's namespace.
+	Name string
+	// Weight is the tenant's fair-share dispatch weight.
+	Weight int64
+	// Tuples counts tuples applied to the tenant's engine.
+	Tuples int64
+	// Batches counts batches accepted into the tenant's lane.
+	Batches int64
+	// Rejected counts batches refused with a backpressure (Busy) reply.
+	Rejected int64
+	// QuotaRefusals counts batches refused with a Quota reply — over the
+	// ingest rate or memory budget, never enqueued.
+	QuotaRefusals int64
+	// MemBytes is the tenant's last-assessed estimator memory footprint.
+	MemBytes int64
+	// MemBudget is the tenant's configured memory ceiling; 0 is unlimited.
+	MemBudget int64
+	// QueueHighWater is the deepest the tenant's lane has been.
+	QueueHighWater int64
 }
 
 // WorkerStats is one pipeline worker's frozen counters.
@@ -300,12 +331,15 @@ type WorkerStats struct {
 	Units int64
 }
 
-// The snapshot wire versions. v3 ("IMPT\x03") added the UDP lane counters;
-// v2 ("IMPT\x02") added the pool-saturation counter and the per-worker
-// block; v1 ("IMPT\x01") snapshots from older servers carry none of these
-// and decode with those fields zero. Encode always writes the current
-// version.
+// The snapshot wire versions. v4 ("IMPT\x04") appends the per-tenant
+// block; v3 ("IMPT\x03") added the UDP lane counters; v2 ("IMPT\x02")
+// added the pool-saturation counter and the per-worker block; v1
+// ("IMPT\x01") snapshots from older servers carry none of these and decode
+// with those fields zero. Encode writes v4 only when the snapshot carries
+// tenants, so servers without named tenants emit bytes a v3-only reader
+// still accepts.
 const (
+	snapshotMagicV4 = "IMPT\x04"
 	snapshotMagic   = "IMPT\x03"
 	snapshotMagicV2 = "IMPT\x02"
 	snapshotMagicV1 = "IMPT\x01"
@@ -314,7 +348,11 @@ const (
 // Encode serializes the snapshot for the Stats RPC.
 func (sn Snapshot) Encode() []byte {
 	e := wire.NewEncoder(64 + int(NumRPCs)*HistBuckets*8)
-	e.Raw([]byte(snapshotMagic))
+	if len(sn.Tenants) > 0 {
+		e.Raw([]byte(snapshotMagicV4))
+	} else {
+		e.Raw([]byte(snapshotMagic))
+	}
 	e.I64(sn.TuplesIngested)
 	e.I64(sn.Batches)
 	e.I64(sn.BatchesRejected)
@@ -336,6 +374,20 @@ func (sn Snapshot) Encode() []byte {
 			e.U64(sn.Latency[r].Counts[b])
 		}
 	}
+	if len(sn.Tenants) > 0 {
+		e.U32(uint32(len(sn.Tenants)))
+		for _, t := range sn.Tenants {
+			e.Str(t.Name)
+			e.I64(t.Weight)
+			e.I64(t.Tuples)
+			e.I64(t.Batches)
+			e.I64(t.Rejected)
+			e.I64(t.QuotaRefusals)
+			e.I64(t.MemBytes)
+			e.I64(t.MemBudget)
+			e.I64(t.QueueHighWater)
+		}
+	}
 	return e.Bytes()
 }
 
@@ -350,11 +402,14 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 	d := wire.NewDecoder(data)
 	v1 := len(data) >= len(snapshotMagicV1) && string(data[:len(snapshotMagicV1)]) == snapshotMagicV1
 	v2 := len(data) >= len(snapshotMagicV2) && string(data[:len(snapshotMagicV2)]) == snapshotMagicV2
+	v4 := len(data) >= len(snapshotMagicV4) && string(data[:len(snapshotMagicV4)]) == snapshotMagicV4
 	switch {
 	case v1:
 		d.Magic(snapshotMagicV1)
 	case v2:
 		d.Magic(snapshotMagicV2)
+	case v4:
+		d.Magic(snapshotMagicV4)
 	default:
 		d.Magic(snapshotMagic)
 	}
@@ -392,6 +447,27 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 			sn.Latency[r].Counts[b] = d.U64()
 		}
 	}
+	if v4 {
+		// 68 is the smallest possible tenant row: empty-name length prefix
+		// plus eight i64 counters.
+		ntenants := d.Count(68)
+		if d.Err() == nil && ntenants > 0 {
+			sn.Tenants = make([]TenantStats, ntenants)
+			for i := 0; i < ntenants && d.Err() == nil; i++ {
+				sn.Tenants[i] = TenantStats{
+					Name:           d.Str(256),
+					Weight:         d.I64(),
+					Tuples:         d.I64(),
+					Batches:        d.I64(),
+					Rejected:       d.I64(),
+					QuotaRefusals:  d.I64(),
+					MemBytes:       d.I64(),
+					MemBudget:      d.I64(),
+					QueueHighWater: d.I64(),
+				}
+			}
+		}
+	}
 	if err := d.Done(); err != nil {
 		return Snapshot{}, fmt.Errorf("telemetry: %w", err)
 	}
@@ -401,6 +477,12 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 	for _, w := range sn.Workers {
 		if w.Tasks < 0 || w.Units < 0 {
 			return Snapshot{}, fmt.Errorf("%w: negative worker counter", wire.ErrCorrupt)
+		}
+	}
+	for _, t := range sn.Tenants {
+		if t.Weight < 0 || t.Tuples < 0 || t.Batches < 0 || t.Rejected < 0 ||
+			t.QuotaRefusals < 0 || t.MemBytes < 0 || t.MemBudget < 0 || t.QueueHighWater < 0 {
+			return Snapshot{}, fmt.Errorf("%w: negative tenant counter", wire.ErrCorrupt)
 		}
 	}
 	return sn, nil

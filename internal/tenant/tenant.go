@@ -1,0 +1,452 @@
+// Package tenant is the multi-tenancy layer of the serving subsystem: a
+// registry of namespaced tenants, each owning its own engine, statement
+// registry, checkpoint lineage and counters, created and dropped online.
+// The server pins each authenticated connection to one tenant (proto.TAuth)
+// and asks this package two questions on every ingest batch: does the
+// token authenticate the tenant (HMAC-SHA256 connect tokens, the udpx
+// connect_token idiom), and does the batch fit the tenant's declared
+// budgets (a token-bucket ingest rate and a memory ceiling in the spirit
+// of the paper's bounded-sketch tradeoff — the budget is declared at
+// create time and enforced at admission, never by degrading neighbors).
+// A refused batch is refused before planning or enqueueing, so refusal
+// leaves no partial engine state.
+package tenant
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"implicate/internal/checkpoint"
+	"implicate/internal/pipeline"
+	"implicate/internal/query"
+	"implicate/internal/stream"
+	"implicate/internal/telemetry"
+)
+
+// DefaultName is the implicit tenant a connection serves until (unless) it
+// authenticates: the engine handed to the server's config, exactly the
+// single-tenant behavior older clients expect. The name is reserved — a
+// named tenant cannot claim it.
+const DefaultName = "default"
+
+// MaxNameLen bounds tenant names; the proto codec enforces a looser wire
+// bound, this is the registry's.
+const MaxNameLen = 128
+
+// Backends maps estimator kind names to factories — the same mapping the
+// checkpoint resolver uses, so a tenant's checkpoint restores through the
+// map it was created from.
+type Backends map[string]query.Backend
+
+// Config declares one tenant.
+type Config struct {
+	// Name is the namespace, pinned by TAuth. Letters, digits, ".", "_",
+	// "-" only — it names the tenant's checkpoint file.
+	Name string
+	// Queries are the implication statements the tenant's engine registers,
+	// in statement-id order. Ignored when the tenant resumes from its
+	// checkpoint (the checkpoint carries them).
+	Queries []string
+	// Backend names the estimator factory (a Backends key) the queries
+	// register with.
+	Backend string
+	// MemBudget caps the engine's self-assessed estimator memory in bytes;
+	// at or above it, ingest refuses with a quota reply. Zero is unlimited.
+	MemBudget int64
+	// Rate caps admitted ingest in tuples per second (token bucket); zero
+	// is unlimited.
+	Rate float64
+	// Burst is the token bucket's capacity in tuples; zero selects
+	// max(Rate, 65536).
+	Burst float64
+	// Weight is the tenant's fair-share dispatch weight; zero selects 1.
+	Weight int
+	// QueueLen bounds the tenant's ingest lane in batches; zero selects the
+	// server's queue depth.
+	QueueLen int
+}
+
+// Tenant is one live namespace. The server attaches Pool and Lane after
+// construction and owns their lifecycle; everything else is internal.
+type Tenant struct {
+	cfg Config
+	eng *query.Engine
+
+	// Mu is the tenant-scoped read/write coordination point the server
+	// used to hold process-wide: queries and stats hold it shared, merges
+	// and checkpoint captures exclusive. Workers never take it.
+	Mu sync.RWMutex
+
+	// Pool fans the tenant's batches out; Lane queues them for the
+	// fair-share dispatcher. Both are attached by the server before the
+	// tenant serves and must not change afterwards.
+	Pool *pipeline.Pool
+	Lane *pipeline.Lane
+
+	// periodic drives the tenant's checkpoint cadence; guarded by Mu like
+	// the capture itself. Zero-valued when the server has no checkpoint
+	// directory.
+	periodic checkpoint.Periodic
+
+	// stmts caches the engine's statement list; statements are registered
+	// before a tenant serves and never change afterwards, so handlers read
+	// this instead of re-copying the engine's slice per request.
+	stmts []*query.Statement
+
+	tuples        atomic.Int64
+	batches       atomic.Int64
+	rejected      atomic.Int64
+	quotaRefusals atomic.Int64
+	memBytes      atomic.Int64
+
+	qmu    sync.Mutex
+	tokens float64
+	filled time.Time
+}
+
+// ValidName reports whether a tenant name is well-formed: non-reserved,
+// bounded, and safe to embed in a checkpoint filename.
+func ValidName(name string) bool {
+	if name == "" || name == DefaultName || len(name) > MaxNameLen {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return name != "." && name != ".."
+}
+
+// CheckpointPath names a tenant's checkpoint file under dir.
+func CheckpointPath(dir, name string) string {
+	return filepath.Join(dir, name+".ckpt")
+}
+
+// New builds a tenant: fresh from cfg.Queries, or — when dir holds
+// <name>.ckpt — resumed from its checkpoint lineage (resumed reports
+// which). every sets the periodic checkpoint interval in applied tuples;
+// it only matters when dir is non-empty.
+func New(cfg Config, schema *stream.Schema, backends Backends, dir string, every int64) (t *Tenant, resumed bool, err error) {
+	if !ValidName(cfg.Name) {
+		return nil, false, fmt.Errorf("tenant: invalid name %q", cfg.Name)
+	}
+	if cfg.Weight == 0 {
+		cfg.Weight = 1
+	}
+	if cfg.Weight < 1 {
+		return nil, false, fmt.Errorf("tenant %s: weight %d must be >= 1", cfg.Name, cfg.Weight)
+	}
+	if cfg.MemBudget < 0 || cfg.Rate < 0 || cfg.Burst < 0 || cfg.QueueLen < 0 {
+		return nil, false, fmt.Errorf("tenant %s: negative budget", cfg.Name)
+	}
+	if cfg.Burst == 0 {
+		cfg.Burst = cfg.Rate
+		if cfg.Burst < 65536 {
+			cfg.Burst = 65536
+		}
+	}
+	t = &Tenant{cfg: cfg, tokens: cfg.Burst}
+	resolve := func(q query.Query, kind string) (query.Backend, error) {
+		b, ok := backends[kind]
+		if !ok {
+			return nil, fmt.Errorf("tenant %s: checkpoint needs a %q backend the server cannot build", cfg.Name, kind)
+		}
+		return b, nil
+	}
+	if dir != "" {
+		path := CheckpointPath(dir, cfg.Name)
+		t.periodic = checkpoint.Periodic{Path: path, Every: every}
+		if _, statErr := os.Stat(path); statErr == nil {
+			snap, err := checkpoint.Read(path)
+			if err != nil {
+				return nil, false, fmt.Errorf("tenant %s: %w", cfg.Name, err)
+			}
+			t.eng, err = checkpoint.Restore(snap, schema, resolve)
+			if err != nil {
+				return nil, false, fmt.Errorf("tenant %s: %w", cfg.Name, err)
+			}
+			t.periodic.SkipTo(t.eng.Tuples())
+			t.stmts = t.eng.Statements()
+			return t, true, nil
+		}
+	}
+	backend, ok := backends[cfg.Backend]
+	if !ok {
+		return nil, false, fmt.Errorf("tenant %s: unknown backend %q", cfg.Name, cfg.Backend)
+	}
+	if len(cfg.Queries) == 0 {
+		return nil, false, fmt.Errorf("tenant %s: no queries", cfg.Name)
+	}
+	t.eng = query.NewEngine(schema)
+	for _, sql := range cfg.Queries {
+		if _, err := t.eng.RegisterSQL(sql, backend); err != nil {
+			return nil, false, fmt.Errorf("tenant %s: %w", cfg.Name, err)
+		}
+	}
+	t.stmts = t.eng.Statements()
+	return t, false, nil
+}
+
+// Wrap lifts an existing engine into a Tenant — how the server's implicit
+// default tenant (Config.Engine, possibly resumed by the caller) joins the
+// registry machinery without changing hands.
+func Wrap(name string, eng *query.Engine, ckptPath string, every int64) *Tenant {
+	t := &Tenant{cfg: Config{Name: name, Weight: 1, Burst: 65536}, eng: eng, stmts: eng.Statements()}
+	if ckptPath != "" {
+		t.periodic = checkpoint.Periodic{Path: ckptPath, Every: every}
+		t.periodic.SkipTo(eng.Tuples())
+	}
+	return t
+}
+
+// Name returns the tenant's namespace.
+func (t *Tenant) Name() string { return t.cfg.Name }
+
+// Engine returns the tenant's engine.
+func (t *Tenant) Engine() *query.Engine { return t.eng }
+
+// Statements returns the tenant's registered statements in statement-id
+// order, cached at construction (statements never change while serving).
+// Callers must not mutate the slice.
+func (t *Tenant) Statements() []*query.Statement { return t.stmts }
+
+// Weight returns the fair-share dispatch weight.
+func (t *Tenant) Weight() int { return t.cfg.Weight }
+
+// QueueLen returns the configured lane bound (0: server default).
+func (t *Tenant) QueueLen() int { return t.cfg.QueueLen }
+
+// CheckpointPath returns the tenant's checkpoint file ("" when the server
+// has no checkpoint directory).
+func (t *Tenant) CheckpointPath() string { return t.periodic.Path }
+
+// QuotaError is an admission refusal: the batch was not planned, not
+// enqueued, and left no engine state. RetryAfter of zero means retrying
+// will not help until state changes (a memory ceiling).
+type QuotaError struct {
+	Msg        string
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string { return "quota: " + e.Msg }
+
+// Admit charges an n-tuple batch against the tenant's budgets, refusing —
+// before any planning or enqueueing — when it would breach them. The
+// memory ceiling compares the engine's last self-assessment (NoteApplied
+// refreshes it); the rate is a token bucket refilled from the wall clock.
+func (t *Tenant) Admit(n int, now time.Time) *QuotaError {
+	if b := t.cfg.MemBudget; b > 0 {
+		if used := t.memBytes.Load(); used >= b {
+			t.quotaRefusals.Add(1)
+			return &QuotaError{Msg: fmt.Sprintf("tenant %s over memory budget (%d of %d bytes)", t.cfg.Name, used, b)}
+		}
+	}
+	if t.cfg.Rate > 0 {
+		t.qmu.Lock()
+		if t.filled.IsZero() {
+			t.filled = now
+		}
+		t.tokens += now.Sub(t.filled).Seconds() * t.cfg.Rate
+		t.filled = now
+		if t.tokens > t.cfg.Burst {
+			t.tokens = t.cfg.Burst
+		}
+		if t.tokens < float64(n) {
+			wait := time.Duration((float64(n) - t.tokens) / t.cfg.Rate * float64(time.Second))
+			t.qmu.Unlock()
+			t.quotaRefusals.Add(1)
+			return &QuotaError{Msg: fmt.Sprintf("tenant %s over ingest rate (%g tuples/s)", t.cfg.Name, t.cfg.Rate), RetryAfter: wait}
+		}
+		t.tokens -= float64(n)
+		t.qmu.Unlock()
+	}
+	return nil
+}
+
+// NoteApplied is the tenant's pool OnApplied target: it advances the
+// tuple counter and — for budgeted tenants — refreshes the memory
+// self-assessment from the engine's health reports, so the ceiling binds
+// within one batch of being crossed.
+func (t *Tenant) NoteApplied(n int) {
+	t.tuples.Add(int64(n))
+	if t.cfg.MemBudget > 0 {
+		var sum int64
+		for _, r := range t.eng.HealthReports() {
+			sum += r.MemBytes
+		}
+		t.memBytes.Store(sum)
+	}
+}
+
+// AddBatch counts one batch admitted to the lane.
+func (t *Tenant) AddBatch() { t.batches.Add(1) }
+
+// AddRejected counts one batch refused with a backpressure (Busy) reply.
+func (t *Tenant) AddRejected() { t.rejected.Add(1) }
+
+// MaybeCheckpoint writes a periodic checkpoint when the cadence is due.
+// Like the single-tenant dispatcher's capture point, the caller must have
+// fenced the tenant's pool; the capture runs under the tenant's exclusive
+// lock so no merge mutates an estimator mid-marshal.
+func (t *Tenant) MaybeCheckpoint() (bool, error) {
+	t.Mu.Lock()
+	defer t.Mu.Unlock()
+	return t.periodic.Maybe(t.eng, t.eng.Tuples())
+}
+
+// CheckpointEvery returns the periodic checkpoint interval in applied
+// tuples, zero when periodic checkpointing is off — the dispatch hook's
+// cheap cadence check, so the pool is only fenced when a write is due.
+func (t *Tenant) CheckpointEvery() int64 {
+	if t.periodic.Path == "" {
+		return 0
+	}
+	return t.periodic.Every
+}
+
+// FinalCheckpoint captures and writes the tenant's state unconditionally —
+// the graceful-shutdown and drop-tenant path. The caller must have fenced
+// the tenant's pool.
+func (t *Tenant) FinalCheckpoint() error {
+	if t.periodic.Path == "" {
+		return nil
+	}
+	t.Mu.Lock()
+	defer t.Mu.Unlock()
+	snap, err := checkpoint.Capture(t.eng, t.eng.Tuples())
+	if err != nil {
+		return err
+	}
+	return checkpoint.Write(t.periodic.Path, snap)
+}
+
+// Stats freezes the tenant's counters for telemetry; the queue high-water
+// mark is read off the attached lane.
+func (t *Tenant) Stats() telemetry.TenantStats {
+	var hw int64
+	if t.Lane != nil {
+		hw = t.Lane.HighWater()
+	}
+	return telemetry.TenantStats{
+		Name:           t.cfg.Name,
+		Weight:         int64(t.cfg.Weight),
+		Tuples:         t.tuples.Load(),
+		Batches:        t.batches.Load(),
+		Rejected:       t.rejected.Load(),
+		QuotaRefusals:  t.quotaRefusals.Load(),
+		MemBytes:       t.memBytes.Load(),
+		MemBudget:      t.cfg.MemBudget,
+		QueueHighWater: hw,
+	}
+}
+
+// Token derives a tenant's connect token from the server key: hex of
+// HMAC-SHA256(key, name). Operators mint tokens offline with the same key
+// (impserved prints them at startup); clients present them in TAuth.
+func Token(key []byte, name string) string {
+	m := hmac.New(sha256.New, key)
+	m.Write([]byte(name))
+	return hex.EncodeToString(m.Sum(nil))
+}
+
+// VerifyToken checks a presented connect token against the server key in
+// constant time. An empty key disables verification (any token passes) —
+// the keyless deployments Registry documents. The default tenant is not in
+// any registry, so its TAuth path verifies through this directly.
+func VerifyToken(key []byte, name, token string) bool {
+	if len(key) == 0 {
+		return true
+	}
+	return hmac.Equal([]byte(token), []byte(Token(key, name)))
+}
+
+// Registry is the live tenant map. All methods are safe for concurrent
+// use.
+type Registry struct {
+	mu  sync.RWMutex
+	key []byte
+	m   map[string]*Tenant
+}
+
+// NewRegistry builds a registry whose Authenticate verifies tokens against
+// key. An empty key disables verification — any token authenticates an
+// existing tenant — for deployments that gate access at the network layer.
+func NewRegistry(key []byte) *Registry {
+	return &Registry{key: append([]byte(nil), key...), m: make(map[string]*Tenant)}
+}
+
+// Add registers a tenant, refusing duplicates.
+func (r *Registry) Add(t *Tenant) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.m[t.cfg.Name]; ok {
+		return fmt.Errorf("tenant %s already exists", t.cfg.Name)
+	}
+	r.m[t.cfg.Name] = t
+	return nil
+}
+
+// Get looks a tenant up by name.
+func (r *Registry) Get(name string) (*Tenant, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.m[name]
+	return t, ok
+}
+
+// Remove unregisters and returns a tenant. New sessions stop resolving it
+// immediately; connections already pinned to it drain through the server's
+// drop path.
+func (r *Registry) Remove(name string) (*Tenant, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.m[name]
+	delete(r.m, name)
+	return t, ok
+}
+
+// List returns the registered tenants sorted by name.
+func (r *Registry) List() []*Tenant {
+	r.mu.RLock()
+	ts := make([]*Tenant, 0, len(r.m))
+	for _, t := range r.m {
+		ts = append(ts, t)
+	}
+	r.mu.RUnlock()
+	sort.Slice(ts, func(i, j int) bool { return ts[i].cfg.Name < ts[j].cfg.Name })
+	return ts
+}
+
+// Len returns the registered tenant count.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.m)
+}
+
+// Authenticate resolves name and verifies token (constant-time compare).
+// The error does not distinguish a missing tenant from a bad token, so
+// probing cannot enumerate namespaces.
+func (r *Registry) Authenticate(name, token string) (*Tenant, error) {
+	r.mu.RLock()
+	t, ok := r.m[name]
+	key := r.key
+	r.mu.RUnlock()
+	ok = ok && VerifyToken(key, name, token)
+	if !ok {
+		return nil, fmt.Errorf("tenant %q: unknown tenant or bad token", name)
+	}
+	return t, nil
+}
