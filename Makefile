@@ -75,12 +75,14 @@ bench:
 bench-serve:
 	$(GO) run ./cmd/impbench -exp serve -workers 1,4 -procs 1,4 -tenants 2 -json BENCH_serve.json
 
-# Throughput regression gate: re-run the serve experiment and fail if the
-# best tuples/sec per transport falls more than 25% below the committed
-# BENCH_serve.json. The tolerance absorbs run-to-run scheduler and CI-host
-# noise (single runs of a multi-second wall-clock measurement routinely
-# wobble 10-15%); a real fast-path regression — a reintroduced per-frame
-# allocation, a lost writev batch — costs far more than 25%.
+# Regression gate: re-run the serve experiment and fail if, per transport,
+# the best tuples/sec falls more than 25% below the committed
+# BENCH_serve.json — or the leanest allocs-per-batch rises more than 25%
+# above it. The tolerance absorbs run-to-run scheduler and CI-host noise
+# (single runs of a multi-second wall-clock measurement routinely wobble
+# 10-15%); a real fast-path regression — a reintroduced per-frame or
+# per-tuple allocation, a lost writev batch — costs far more than 25% on
+# its axis.
 bench-gate:
 	$(GO) run ./cmd/impbench -exp serve -workers 1,4 -procs 1,4 -tenants 2 -gate BENCH_serve.json
 

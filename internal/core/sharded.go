@@ -255,6 +255,64 @@ func (ss *ShardedSketch) HashPair(a, b string) HashedPair {
 	return HashedPair{AH: ss.ahash.Sum(a), BH: ss.bhash.Sum(b)}
 }
 
+// HashPairKeys implements imps.HashedPartitionedAdder: the planner computes
+// this sketch's own seeded hashes once and forwards them through the plan
+// IR, so the ingest path never re-hashes a key.
+func (ss *ShardedSketch) HashPairKeys(a, b string) (ah, bh uint64) {
+	return ss.ahash.Sum(a), ss.bhash.Sum(b)
+}
+
+// IngestPartitionHashed routes a pre-hashed A key; it must agree with
+// IngestPartitionString for hashes produced by HashPairKeys, which it does
+// trivially — both mask the same ahash.Sum value.
+func (ss *ShardedSketch) IngestPartitionHashed(ah uint64, n int) int {
+	if n > len(ss.shards) {
+		n = len(ss.shards)
+	}
+	return int(ah & uint64(n-1))
+}
+
+// AddHashedPairs ingests plan-IR pairs whose hashes came from HashPairKeys.
+// It is AddHashedBatch over the embedded hashes — the keys ride along for
+// exact backends and are ignored here — so bit-identity to AddBatch of the
+// same pairs follows from both paths calling the same seeded hash functions.
+func (ss *ShardedSketch) AddHashedPairs(pairs []imps.HashedPair) {
+	if len(ss.shards) == 1 {
+		sh := &ss.shards[0]
+		sh.mu.Lock()
+		for i := range pairs {
+			bm, rank := ss.router.Route(pairs[i].AH)
+			if rank >= Levels {
+				rank = Levels - 1
+			}
+			sh.sk.addRouted(bm>>ss.shardShift, rank, pairs[i].AH, pairs[i].BH)
+		}
+		sh.mu.Unlock()
+		return
+	}
+	for si := range ss.shards {
+		sh := &ss.shards[si]
+		locked := false
+		for i := range pairs {
+			if int(pairs[i].AH&ss.shardMask) != si {
+				continue
+			}
+			if !locked {
+				sh.mu.Lock()
+				locked = true
+			}
+			bm, rank := ss.router.Route(pairs[i].AH)
+			if rank >= Levels {
+				rank = Levels - 1
+			}
+			sh.sk.addRouted(bm>>ss.shardShift, rank, pairs[i].AH, pairs[i].BH)
+		}
+		if locked {
+			sh.mu.Unlock()
+		}
+	}
+}
+
 // HashIDs pre-hashes one integer-identified tuple for AddHashedBatch.
 func (ss *ShardedSketch) HashIDs(a, b uint64) HashedPair {
 	return HashedPair{AH: ss.ahash.SumUint64(a), BH: ss.bhash.SumUint64(b)}
@@ -437,3 +495,4 @@ func (ss *ShardedSketch) Reset() {
 var _ imps.Estimator = (*ShardedSketch)(nil)
 var _ imps.MultiplicityAverager = (*ShardedSketch)(nil)
 var _ imps.PartitionedAdder = (*ShardedSketch)(nil)
+var _ imps.HashedPartitionedAdder = (*ShardedSketch)(nil)

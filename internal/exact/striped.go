@@ -140,6 +140,51 @@ func (s *Striped) IngestPartitionString(a string, n int) int {
 	return int(s.hash.Sum(a) & uint64(n-1))
 }
 
+// HashPairKeys implements imps.HashedPartitionedAdder. Only the A key is
+// hashed — stripes and partitions both route on it — so bh is 0.
+func (s *Striped) HashPairKeys(a, b string) (ah, bh uint64) {
+	return s.hash.Sum(a), 0
+}
+
+// IngestPartitionHashed routes a pre-hashed A key; identical to
+// IngestPartitionString for hashes from HashPairKeys, both masking the
+// same fixed-seed hash value.
+func (s *Striped) IngestPartitionHashed(ah uint64, n int) int {
+	return int(ah & uint64(n-1))
+}
+
+// AddHashedPairs ingests plan-IR pairs whose AH came from HashPairKeys,
+// reusing the forwarded hash for stripe routing instead of re-hashing. The
+// per-stripe Counter indexes by key string, so the apply is byte-identical
+// to AddBatch of the same pairs.
+func (s *Striped) AddHashedPairs(pairs []imps.HashedPair) {
+	if len(pairs) == 0 {
+		return
+	}
+	if len(s.stripes) == 1 {
+		st := &s.stripes[0]
+		st.mu.Lock()
+		for i := range pairs {
+			st.c.Add(pairs[i].A, pairs[i].B)
+		}
+		st.mu.Unlock()
+		return
+	}
+	cur := -1
+	for i := range pairs {
+		si := int(pairs[i].AH & s.mask)
+		if si != cur {
+			if cur >= 0 {
+				s.stripes[cur].mu.Unlock()
+			}
+			s.stripes[si].mu.Lock()
+			cur = si
+		}
+		s.stripes[si].c.Add(pairs[i].A, pairs[i].B)
+	}
+	s.stripes[cur].mu.Unlock()
+}
+
 func (s *Striped) lockAll() {
 	for i := range s.stripes {
 		s.stripes[i].mu.Lock()
@@ -400,4 +445,5 @@ func (c *Counter) restoreItem(a string, st *state) error {
 var _ imps.Estimator = (*Striped)(nil)
 var _ imps.MultiplicityAverager = (*Striped)(nil)
 var _ imps.PartitionedAdder = (*Striped)(nil)
+var _ imps.HashedPartitionedAdder = (*Striped)(nil)
 var _ imps.BatchAdder = (*Striped)(nil)

@@ -77,6 +77,12 @@ type IngestRow struct {
 	// Implications is the final implication count, recorded so a variant
 	// that silently drops tuples cannot report a flattering throughput.
 	Implications float64 `json:"implications"`
+	// AllocsPerOp is heap allocations per batch-sized chunk of the stream
+	// (IngestConfig.Batch tuples) over the variant's run, whole process.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// BytesPerOp is heap bytes allocated per batch-sized chunk, measured
+	// like AllocsPerOp.
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
 }
 
 // ingestCond mirrors the benchmark conditions: a support floor high enough
@@ -176,7 +182,13 @@ func RunIngest(cfg IngestConfig) ([]IngestRow, error) {
 // and appends the measured rows.
 func runIngestVariants(cfg IngestConfig, pairs []imps.Pair, procs int, rows *[]IngestRow) error {
 	cond := ingestCond()
+	// One "op" is a batch-sized chunk of the stream for every variant, the
+	// per-tuple ones included, so the allocation columns compare across
+	// variants on equal footing.
+	ops := (len(pairs) + cfg.Batch - 1) / cfg.Batch
+	var am allocMeter
 	record := func(variant string, producers int, dur time.Duration, impl float64) {
+		allocs, allocBytes := am.perOp(ops)
 		*rows = append(*rows, IngestRow{
 			Variant:      variant,
 			Procs:        procs,
@@ -185,6 +197,8 @@ func runIngestVariants(cfg IngestConfig, pairs []imps.Pair, procs int, rows *[]I
 			Seconds:      dur.Seconds(),
 			TuplesPerSec: float64(len(pairs)) / dur.Seconds(),
 			Implications: impl,
+			AllocsPerOp:  allocs,
+			BytesPerOp:   allocBytes,
 		})
 	}
 
@@ -193,6 +207,7 @@ func runIngestVariants(cfg IngestConfig, pairs []imps.Pair, procs int, rows *[]I
 		if err != nil {
 			return err
 		}
+		am.start()
 		start := time.Now()
 		for _, p := range pairs {
 			sk.Add(p.A, p.B)
@@ -201,6 +216,7 @@ func runIngestVariants(cfg IngestConfig, pairs []imps.Pair, procs int, rows *[]I
 	}
 	{
 		sk, _ := core.NewSketch(cond, cfg.Options)
+		am.start()
 		start := time.Now()
 		chunks(pairs, cfg.Batch, sk.AddBatch)
 		record("serial-batch", 1, time.Since(start), sk.ImplicationCount())
@@ -208,6 +224,7 @@ func runIngestVariants(cfg IngestConfig, pairs []imps.Pair, procs int, rows *[]I
 	{
 		m := &mutexSketch{}
 		m.sk, _ = core.NewSketch(cond, cfg.Options)
+		am.start()
 		dur := feedConcurrent(pairs, cfg.Producers, func(part []imps.Pair) {
 			for _, p := range part {
 				m.add(p.A, p.B)
@@ -218,6 +235,7 @@ func runIngestVariants(cfg IngestConfig, pairs []imps.Pair, procs int, rows *[]I
 	{
 		m := &mutexSketch{}
 		m.sk, _ = core.NewSketch(cond, cfg.Options)
+		am.start()
 		dur := feedConcurrent(pairs, cfg.Producers, func(part []imps.Pair) {
 			chunks(part, cfg.Batch, m.addBatch)
 		})
@@ -228,6 +246,7 @@ func runIngestVariants(cfg IngestConfig, pairs []imps.Pair, procs int, rows *[]I
 		if err != nil {
 			return err
 		}
+		am.start()
 		dur := feedConcurrent(pairs, cfg.Producers, func(part []imps.Pair) {
 			for _, p := range part {
 				ss.Add(p.A, p.B)
@@ -236,6 +255,7 @@ func runIngestVariants(cfg IngestConfig, pairs []imps.Pair, procs int, rows *[]I
 		record(fmt.Sprintf("sharded-%d", n), cfg.Producers, dur, ss.ImplicationCount())
 
 		ssb, _ := core.NewShardedSketch(cond, cfg.Options, n)
+		am.start()
 		dur = feedConcurrent(pairs, cfg.Producers, func(part []imps.Pair) {
 			chunks(part, cfg.Batch, ssb.AddBatch)
 		})
@@ -250,9 +270,9 @@ func PrintIngest(w io.Writer, cfg IngestConfig, rows []IngestRow) {
 	fmt.Fprintf(w, "Ingestion throughput (%d tuples, %d producers, batch %d)\n",
 		cfg.Tuples, cfg.Producers, cfg.Batch)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "variant\tprocs\tproducers\ttuples/s\tseconds\timplications")
+	fmt.Fprintln(tw, "variant\tprocs\tproducers\ttuples/s\tseconds\tallocs/op\tKiB/op\timplications")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\t%.3f\t%.1f\n", r.Variant, r.Procs, r.Producers, r.TuplesPerSec, r.Seconds, r.Implications)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\t%.3f\t%.1f\t%.1f\t%.1f\n", r.Variant, r.Procs, r.Producers, r.TuplesPerSec, r.Seconds, r.AllocsPerOp, r.BytesPerOp/1024, r.Implications)
 	}
 	tw.Flush()
 }

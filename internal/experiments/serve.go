@@ -68,6 +68,10 @@ type ServeConfig struct {
 	// cannot), so fleet rows are not count-comparable with tcp/udp rows and
 	// replace them.
 	Leaves int
+	// DispatchShards is the fair-dispatch shard count per tenant lane
+	// (server.Config.DispatchShards); 0 selects 1, the single-dispatcher
+	// path.
+	DispatchShards int
 	// Seed drives the workload generator.
 	Seed int64
 }
@@ -137,6 +141,41 @@ type ServeRow struct {
 	Rejected int64 `json:"rejected"`
 	// PoolSaturation counts dispatches that found a worker queue full.
 	PoolSaturation int64 `json:"pool_saturation"`
+	// AllocsPerOp is heap allocations per ingested batch across the whole
+	// loopback process (producers included) — the arena-path health metric
+	// the bench gate watches alongside throughput.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// BytesPerOp is heap bytes allocated per ingested batch, measured like
+	// AllocsPerOp.
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+}
+
+// allocMeter measures whole-process heap allocation deltas around a bench
+// region, reporting them per operation. ReadMemStats stops the world, so
+// both reads sit outside the timed region's steady state by a hair — noise
+// well under the gate's tolerance.
+type allocMeter struct{ m0 runtime.MemStats }
+
+func (a *allocMeter) start() { runtime.ReadMemStats(&a.m0) }
+
+func (a *allocMeter) perOp(ops int) (allocs, bytes float64) {
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	if ops <= 0 {
+		return 0, 0
+	}
+	return float64(m1.Mallocs-a.m0.Mallocs) / float64(ops),
+		float64(m1.TotalAlloc-a.m0.TotalAlloc) / float64(ops)
+}
+
+// batchOps counts the batches a run ingests — the "op" of the per-op
+// allocation metrics.
+func batchOps(payloads [][]encBatch) int {
+	ops := 0
+	for _, pb := range payloads {
+		ops += len(pb)
+	}
+	return ops
 }
 
 // RunServe measures loopback ingest throughput at each configured pool
@@ -256,11 +295,12 @@ func runServeVariant(cfg ServeConfig, schema *stream.Schema, payloads [][]encBat
 		return ServeRow{}, err
 	}
 	sc := server.Config{
-		Addr:       "127.0.0.1:0",
-		Schema:     schema,
-		Engine:     eng,
-		QueueDepth: cfg.Queue,
-		Workers:    workers,
+		Addr:           "127.0.0.1:0",
+		Schema:         schema,
+		Engine:         eng,
+		QueueDepth:     cfg.Queue,
+		Workers:        workers,
+		DispatchShards: cfg.DispatchShards,
 		// Blocking backpressure: with pipelined producers, a busy-refused
 		// batch would be re-sent behind its successors and reorder the
 		// per-key stream the determinism cross-check depends on.
@@ -276,6 +316,8 @@ func runServeVariant(cfg ServeConfig, schema *stream.Schema, payloads [][]encBat
 
 	var wg sync.WaitGroup
 	errs := make(chan error, cfg.Producers)
+	var am allocMeter
+	am.start()
 	start := time.Now()
 	for p := 0; p < cfg.Producers; p++ {
 		wg.Add(1)
@@ -307,6 +349,7 @@ func runServeVariant(cfg ServeConfig, schema *stream.Schema, payloads [][]encBat
 		return ServeRow{}, err
 	}
 	dur := time.Since(start)
+	allocs, allocBytes := am.perOp(batchOps(payloads))
 	close(errs)
 	for err := range errs {
 		if err != nil {
@@ -329,6 +372,8 @@ func runServeVariant(cfg ServeConfig, schema *stream.Schema, payloads [][]encBat
 		Implications:   st.Count(),
 		Rejected:       sn.BatchesRejected,
 		PoolSaturation: sn.PoolSaturation,
+		AllocsPerOp:    allocs,
+		BytesPerOp:     allocBytes,
 	}, nil
 }
 
@@ -350,14 +395,15 @@ func runServeTenantsVariant(cfg ServeConfig, schema *stream.Schema, payloads [][
 		}
 	}
 	srv, err := server.Listen(server.Config{
-		Addr:        "127.0.0.1:0",
-		Schema:      schema,
-		Engine:      query.NewEngine(schema), // default tenant: present, idle
-		QueueDepth:  cfg.Queue,
-		Workers:     workers,
-		BlockOnFull: true,
-		Tenants:     tcfgs,
-		Backends:    tenant.Backends{"exact-striped": striped},
+		Addr:           "127.0.0.1:0",
+		Schema:         schema,
+		Engine:         query.NewEngine(schema), // default tenant: present, idle
+		QueueDepth:     cfg.Queue,
+		Workers:        workers,
+		DispatchShards: cfg.DispatchShards,
+		BlockOnFull:    true,
+		Tenants:        tcfgs,
+		Backends:       tenant.Backends{"exact-striped": striped},
 	})
 	if err != nil {
 		return ServeRow{}, err
@@ -365,6 +411,8 @@ func runServeTenantsVariant(cfg ServeConfig, schema *stream.Schema, payloads [][
 
 	var wg sync.WaitGroup
 	errs := make(chan error, cfg.Producers)
+	var am allocMeter
+	am.start()
 	start := time.Now()
 	for p := 0; p < cfg.Producers; p++ {
 		wg.Add(1)
@@ -391,6 +439,7 @@ func runServeTenantsVariant(cfg ServeConfig, schema *stream.Schema, payloads [][
 		return ServeRow{}, err
 	}
 	dur := time.Since(start)
+	allocs, allocBytes := am.perOp(batchOps(payloads))
 	close(errs)
 	for err := range errs {
 		if err != nil {
@@ -422,6 +471,8 @@ func runServeTenantsVariant(cfg ServeConfig, schema *stream.Schema, payloads [][
 		Implications:   count,
 		Rejected:       sn.BatchesRejected,
 		PoolSaturation: sn.PoolSaturation,
+		AllocsPerOp:    allocs,
+		BytesPerOp:     allocBytes,
 	}, nil
 }
 
@@ -448,12 +499,13 @@ func runServeFleetVariant(cfg ServeConfig, schema *stream.Schema, payloads [][]e
 			return ServeRow{}, err
 		}
 		srv, err := server.Listen(server.Config{
-			Addr:        "127.0.0.1:0",
-			Schema:      schema,
-			Engine:      eng,
-			QueueDepth:  cfg.Queue,
-			Workers:     workers,
-			BlockOnFull: true,
+			Addr:           "127.0.0.1:0",
+			Schema:         schema,
+			Engine:         eng,
+			QueueDepth:     cfg.Queue,
+			Workers:        workers,
+			DispatchShards: cfg.DispatchShards,
+			BlockOnFull:    true,
 		})
 		if err != nil {
 			closeLeaves()
@@ -481,6 +533,8 @@ func runServeFleetVariant(cfg ServeConfig, schema *stream.Schema, payloads [][]e
 
 	var wg sync.WaitGroup
 	errs := make(chan error, cfg.Producers)
+	var am allocMeter
+	am.start()
 	start := time.Now()
 	for p := 0; p < cfg.Producers; p++ {
 		wg.Add(1)
@@ -498,6 +552,7 @@ func runServeFleetVariant(cfg ServeConfig, schema *stream.Schema, payloads [][]e
 	wg.Wait()
 	flushErr := co.Flush()
 	dur := time.Since(start)
+	allocs, allocBytes := am.perOp(batchOps(payloads))
 	close(errs)
 	for err := range errs {
 		if err != nil {
@@ -542,6 +597,8 @@ func runServeFleetVariant(cfg ServeConfig, schema *stream.Schema, payloads [][]e
 		Implications:   q.Count,
 		Rejected:       rejected,
 		PoolSaturation: saturation,
+		AllocsPerOp:    allocs,
+		BytesPerOp:     allocBytes,
 	}, nil
 }
 
@@ -599,14 +656,14 @@ func PrintServe(w io.Writer, cfg ServeConfig, rows []ServeRow) {
 	fmt.Fprintf(w, "Serving-layer ingest throughput (%d tuples, batch %d, %d producers, window %d)\n",
 		cfg.Tuples, cfg.Batch, cfg.Producers, cfg.Window)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "transport\tprocs\tworkers\ttuples/s\tseconds\trejected\tpool-saturation\timplications")
+	fmt.Fprintln(tw, "transport\tprocs\tworkers\ttuples/s\tseconds\trejected\tpool-saturation\tallocs/op\tKiB/op\timplications")
 	for _, r := range rows {
 		tr := r.Transport
 		if r.Tenants > 0 {
 			tr = fmt.Sprintf("tenants(%d)", r.Tenants)
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\t%.3f\t%d\t%d\t%.1f\n",
-			tr, r.Procs, r.Workers, r.TuplesPerSec, r.Seconds, r.Rejected, r.PoolSaturation, r.Implications)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\t%.3f\t%d\t%d\t%.1f\t%.1f\t%.1f\n",
+			tr, r.Procs, r.Workers, r.TuplesPerSec, r.Seconds, r.Rejected, r.PoolSaturation, r.AllocsPerOp, r.BytesPerOp/1024, r.Implications)
 	}
 	tw.Flush()
 }
@@ -635,23 +692,44 @@ func WriteServeJSON(w io.Writer, cfg ServeConfig, rows []ServeRow) error {
 }
 
 // GateServe compares fresh serve rows against a committed baseline report
-// and fails on a regression beyond tolerance (a fraction, e.g. 0.25). Only
-// the best tuples/sec per transport is compared: individual rows move with
-// scheduler noise, but the envelope of the fast path should not.
+// and fails on a regression beyond tolerance (a fraction, e.g. 0.25), on
+// either axis the bench records: the best tuples/sec per transport must not
+// fall below the baseline's floor, and the lowest allocs-per-batch per
+// transport must not rise above the baseline's ceiling. The envelope is
+// compared, not individual rows — those move with scheduler noise.
+// Baselines written before the allocation metrics existed carry zeros
+// there, which gate nothing.
 func GateServe(baseline io.Reader, rows []ServeRow, tolerance float64) error {
 	var base serveReport
 	if err := json.NewDecoder(baseline).Decode(&base); err != nil {
 		return fmt.Errorf("gate: decoding baseline: %w", err)
 	}
+	transport := func(r ServeRow) string {
+		if r.Transport == "" {
+			return "tcp" // pre-transport baseline rows
+		}
+		return r.Transport
+	}
 	best := func(rs []ServeRow) map[string]float64 {
 		m := make(map[string]float64)
 		for _, r := range rs {
-			tr := r.Transport
-			if tr == "" {
-				tr = "tcp" // pre-transport baseline rows
-			}
-			if r.TuplesPerSec > m[tr] {
+			if tr := transport(r); r.TuplesPerSec > m[tr] {
 				m[tr] = r.TuplesPerSec
+			}
+		}
+		return m
+	}
+	// leanest is the envelope on the allocation axis: the lowest non-zero
+	// allocs/op per transport (zero means the metric was not recorded).
+	leanest := func(rs []ServeRow) map[string]float64 {
+		m := make(map[string]float64)
+		for _, r := range rs {
+			if r.AllocsPerOp <= 0 {
+				continue
+			}
+			tr := transport(r)
+			if cur, ok := m[tr]; !ok || r.AllocsPerOp < cur {
+				m[tr] = r.AllocsPerOp
 			}
 		}
 		return m
@@ -669,8 +747,20 @@ func GateServe(baseline io.Reader, rows []ServeRow, tolerance float64) error {
 				tr, cur, floor, b, tolerance*100))
 		}
 	}
+	baseLean, curLean := leanest(base.Rows), leanest(rows)
+	for tr, b := range baseLean {
+		cur, ok := curLean[tr]
+		if !ok {
+			continue // transport not re-run, or metrics absent in this run
+		}
+		ceiling := b * (1 + tolerance)
+		if cur > ceiling {
+			failures = append(failures, fmt.Sprintf("%s: %.1f allocs/op > ceiling %.1f (baseline %.1f, tolerance %.0f%%)",
+				tr, cur, ceiling, b, tolerance*100))
+		}
+	}
 	if len(failures) > 0 {
-		return fmt.Errorf("gate: throughput regression: %s", strings.Join(failures, "; "))
+		return fmt.Errorf("gate: bench regression: %s", strings.Join(failures, "; "))
 	}
 	return nil
 }

@@ -141,6 +141,43 @@ type StringPartitioner interface {
 	IngestPartitionString(a string, n int) int
 }
 
+// HashedPair is the hash-once plan IR: one tuple's projected keys together
+// with the estimator's own hashes of them, computed exactly once at plan
+// time by HashPairKeys. The strings stay because exact backends index by
+// key, not by hash; the hashes stay because sketch backends route and rank
+// by hash, not by key.
+type HashedPair struct {
+	A, B   string
+	AH, BH uint64
+}
+
+// HashedPartitionedAdder is implemented by partition-safe estimators that
+// can consume key hashes forwarded from the planner instead of re-hashing.
+// The hashes are estimator-specific — each implementation seeds its own
+// hash functions — so they must come from the same estimator's HashPairKeys.
+// The contract, on top of PartitionedAdder's:
+//
+//   - AddHashedPairs(pairs) with every pair's AH/BH from HashPairKeys(A, B)
+//     leaves the estimator in state bit-identical to AddBatch of the same
+//     pairs in the same order;
+//   - IngestPartitionHashed(ah, n) with ah from HashPairKeys(a, _) equals
+//     IngestPartitionString(a, n) for every key and every power-of-two n,
+//     so a hashed and an un-hashed planner bucket identically;
+//   - concurrent AddHashedPairs calls are safe under the same
+//     distinct-partition condition as AddBatch.
+type HashedPartitionedAdder interface {
+	PartitionedAdder
+	// HashPairKeys computes this estimator's hashes of one projected pair.
+	// Implementations that hash only the A key (exact stores) return bh = 0.
+	HashPairKeys(a, b string) (ah, bh uint64)
+	// IngestPartitionHashed routes a pre-hashed A key to its partition.
+	IngestPartitionHashed(ah uint64, n int) int
+	// AddHashedPairs ingests pairs whose hashes were forwarded from
+	// HashPairKeys. The caller may reuse the slice after the call returns;
+	// implementations must copy any key they retain.
+	AddHashedPairs(pairs []HashedPair)
+}
+
 // MultiplicityAverager is implemented by estimators that can additionally
 // report the average multiplicity |φ(a→B)| over the itemsets currently in
 // the implication count — the aggregate of Table 2's "Complex Implication"

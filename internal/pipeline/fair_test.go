@@ -34,12 +34,12 @@ func TestFairDRRWeights(t *testing.T) {
 	// Quantum 64 = one batch of credit per weight unit per round; deep
 	// backlogged lanes make the credit (not the backlog) the binding
 	// constraint, which is where the weights bite.
-	f := NewFair(64)
+	f := NewFair(64, 1)
 	var a, b atomic.Int64
 	counts := map[string]*atomic.Int64{"a": &a, "b": &b}
 	var dispatched atomic.Int64
 	const observe = 400
-	f.afterDispatch = func(l *Lane, _ *Batch) {
+	f.afterDispatch = func(l *Lane, _ int) {
 		if dispatched.Add(1) <= observe {
 			counts[l.Name()].Add(1)
 		}
@@ -83,12 +83,12 @@ func TestFairDRRWeights(t *testing.T) {
 // flooding lane must not push the steady lane below ~half the drained
 // batches. This is the noisy-neighbor property at the dispatch layer.
 func TestFairEqualShareUnderSkewedLoad(t *testing.T) {
-	f := NewFair(256)
+	f := NewFair(256, 1)
 	var flood, steady atomic.Int64
 	counts := map[string]*atomic.Int64{"flood": &flood, "steady": &steady}
 	var dispatched atomic.Int64
 	const observe = 400
-	f.afterDispatch = func(l *Lane, _ *Batch) {
+	f.afterDispatch = func(l *Lane, _ int) {
 		if dispatched.Add(1) <= observe {
 			counts[l.Name()].Add(1)
 		}
@@ -135,12 +135,12 @@ func TestFairEqualShareUnderSkewedLoad(t *testing.T) {
 // per-lane FIFO dispatch order (the bit-identity prerequisite), TryEnqueue
 // refusing at capacity, and RemoveLane/Close draining what was admitted.
 func TestFairLaneOrderAndBounds(t *testing.T) {
-	f := NewFair(0)
+	f := NewFair(0, 1)
 	var mu sync.Mutex
 	var order []int
-	f.afterDispatch = func(_ *Lane, b *Batch) {
+	f.afterDispatch = func(_ *Lane, tuples int) {
 		mu.Lock()
-		order = append(order, b.Tuples())
+		order = append(order, tuples)
 		mu.Unlock()
 	}
 	p := fairPool(t)
@@ -174,9 +174,9 @@ func TestFairLaneOrderAndBounds(t *testing.T) {
 
 	// A capacity-1 lane refuses the second TryEnqueue while the dispatcher
 	// is held off the first.
-	f2 := NewFair(0)
+	f2 := NewFair(0, 1)
 	gate := make(chan struct{})
-	f2.afterDispatch = func(*Lane, *Batch) { <-gate }
+	f2.afterDispatch = func(*Lane, int) { <-gate }
 	l2 := f2.AddLane("t", 1, 1, p, nil)
 	if _, ok := l2.TryEnqueue(planN(p, 1)); !ok {
 		t.Fatal("first TryEnqueue refused")
@@ -201,10 +201,10 @@ func TestFairLaneOrderAndBounds(t *testing.T) {
 // Fence the lane's pool, which is only legal from the dispatching
 // goroutine.
 func TestFairAfterHook(t *testing.T) {
-	f := NewFair(0)
+	f := NewFair(0, 1)
 	p := fairPool(t)
 	var fenced atomic.Int64
-	l := f.AddLane("t", 1, 16, p, func(b *Batch, _ time.Time) {
+	l := f.AddLane("t", 1, 16, p, func(tuples int, _ time.Time) {
 		p.Fence()
 		fenced.Add(1)
 	})

@@ -81,26 +81,49 @@ type Pool struct {
 	home   []int
 	queues []chan *task
 	wg     sync.WaitGroup
+	// free recycles Batches — and through them every plan-side buffer: the
+	// decode arena, the partition buckets, the task slice. A batch returns
+	// to the list when its last task applies (see applied), so steady-state
+	// ingest re-plans into warm memory instead of allocating per batch.
+	free sync.Pool
 }
 
 // Batch is one planned ingest batch: the per-statement work items Plan
-// derived from the tuples, ready for Dispatch. A Batch is single-use.
+// derived from the tuples, ready for Dispatch. A Batch is single-use
+// between acquisition (NewBatch/Plan) and release: dispatching hands
+// ownership to the pool, which recycles the batch after the last statement
+// applies — the caller must not touch it after Dispatch admits it.
 type Batch struct {
 	n         int
 	tasks     []task
 	remaining atomic.Int32
 	pool      *Pool
+	// arena backs the batch's decoded tuples (see Arena); recycled with the
+	// batch, so its lifetime is exactly the batch's plan-to-apply window.
+	arena stream.RecordArena
+	// hb and pb are the per-owner partition-bucket backing stores: owner i
+	// plans into window [i*parts, (i+1)*parts). Bucket capacity persists
+	// across reuse, which is what makes steady-state planning allocation-
+	// free.
+	hb [][]imps.HashedPair
+	pb [][]imps.Pair
 }
 
 // Tuples returns the batch's tuple count.
 func (b *Batch) Tuples() int { return b.n }
 
+// Arena returns the batch's decode arena: the server decodes a wire batch
+// into it, then plans the decoded tuples into the same batch, tying the
+// tuple buffers' lifetime to the batch's refcount.
+func (b *Batch) Arena() *stream.RecordArena { return &b.arena }
+
 // task is one unit of worker work: a planned partition bucket for a
-// partition-safe statement, a whole tuple batch for a serialized one, or a
-// fence sentinel.
+// partition-safe statement (hash-forwarding when the estimator supports
+// it), a whole tuple batch for a serialized one, or a fence sentinel.
 type task struct {
 	st     *query.Statement
 	pairs  []imps.Pair
+	hpairs []imps.HashedPair
 	tuples []stream.Tuple
 	batch  *Batch
 	worker int
@@ -111,17 +134,19 @@ type task struct {
 // statements. The pool owns the engine's ingest path until Close; queries
 // (Statement.Count) remain safe at any time.
 func New(eng *query.Engine, cfg Config) (*Pool, error) {
+	// Nonsensical knobs are rejected, not clamped: a negative value is
+	// always a caller bug, and silently running one worker would mask it.
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("pipeline: worker count %d must be >= 1 (or 0 for the default)", cfg.Workers)
+	}
+	if cfg.QueueLen < 0 {
+		return nil, fmt.Errorf("pipeline: queue length %d must be >= 1 (or 0 for the default)", cfg.QueueLen)
+	}
 	if cfg.Workers == 0 {
 		cfg.Workers = 1
 	}
-	if cfg.Workers < 1 {
-		return nil, fmt.Errorf("pipeline: worker count %d must be >= 1", cfg.Workers)
-	}
 	if cfg.QueueLen == 0 {
 		cfg.QueueLen = 128
-	}
-	if cfg.QueueLen < 1 {
-		return nil, fmt.Errorf("pipeline: queue length %d must be >= 1", cfg.QueueLen)
 	}
 	parts := 1
 	for parts < cfg.Workers {
@@ -134,6 +159,7 @@ func New(eng *query.Engine, cfg Config) (*Pool, error) {
 		parts:   parts,
 		queues:  make([]chan *task, cfg.Workers),
 	}
+	p.free.New = func() any { return &Batch{pool: p} }
 	serialized := 0
 	for _, st := range eng.Statements() {
 		if st.Shared() {
@@ -166,42 +192,126 @@ func (p *Pool) Workers() int { return p.workers }
 // against.
 func (p *Pool) Partitions() int { return p.parts }
 
-// Plan runs every owner statement's filters, projections and partition
-// hashing over the batch and returns the work items Dispatch will fan out.
-// Plan reads no mutable state: any number of goroutines may plan
-// concurrently while workers apply earlier batches. The caller hands ts to
-// the batch and must not reuse it until the batch is applied.
+// NewBatch acquires a batch from the pool's free list (or allocates a
+// fresh one). The caller decodes into its Arena, plans it with PlanInto,
+// and either dispatches it — after which the pool releases it — or hands
+// it back with Release on an admission failure.
+func (p *Pool) NewBatch() *Batch {
+	return p.free.Get().(*Batch)
+}
+
+// Plan acquires a batch and plans ts into it; see PlanInto.
 func (p *Pool) Plan(ts []stream.Tuple) *Batch {
-	b := &Batch{n: len(ts), pool: p}
+	return p.PlanInto(p.NewBatch(), ts)
+}
+
+// PlanInto runs every owner statement's filters, projections and partition
+// hashing over ts, materializing the work items Dispatch will fan out into
+// the acquired batch's recycled buffers. Planning reads no mutable
+// statement or pool state: any number of goroutines may plan concurrently
+// while workers apply earlier batches. The caller hands ts to the batch
+// and must not reuse it until the batch is applied (tuples decoded into
+// b.Arena() satisfy this by construction).
+//
+// Estimators that accept forwarded hashes (query.Statement.
+// HashedPartitionSafe) are planned through the hash-once IR: each key is
+// hashed here, once, with the estimator's own hash functions, and the
+// workers apply the hashes instead of re-hashing.
+func (p *Pool) PlanInto(b *Batch, ts []stream.Tuple) *Batch {
+	b.n = len(ts)
+	b.tasks = b.tasks[:0]
+	if len(b.hb) != len(p.owners)*p.parts {
+		b.hb = make([][]imps.HashedPair, len(p.owners)*p.parts)
+		b.pb = make([][]imps.Pair, len(p.owners)*p.parts)
+	}
 	for i, st := range p.owners {
 		if p.home[i] >= 0 {
-			b.tasks = append(b.tasks, task{st: st, tuples: ts, worker: p.home[i]})
+			b.tasks = append(b.tasks, task{st: st, tuples: ts, worker: p.home[i], batch: b})
 			continue
 		}
-		for part, bucket := range st.PlanPartitions(ts, p.parts, nil) {
+		if st.HashedPartitionSafe() {
+			win := st.PlanPartitionsHashed(ts, p.parts, b.hb[i*p.parts:(i+1)*p.parts])
+			for part, bucket := range win {
+				if len(bucket) == 0 {
+					continue
+				}
+				b.tasks = append(b.tasks, task{st: st, hpairs: bucket, worker: part % p.workers, batch: b})
+			}
+			continue
+		}
+		win := st.PlanPartitions(ts, p.parts, b.pb[i*p.parts:(i+1)*p.parts])
+		for part, bucket := range win {
 			if len(bucket) == 0 {
 				continue
 			}
-			b.tasks = append(b.tasks, task{st: st, pairs: bucket, worker: part % p.workers})
+			b.tasks = append(b.tasks, task{st: st, pairs: bucket, worker: part % p.workers, batch: b})
 		}
 	}
 	return b
+}
+
+// Release hands an acquired batch back to the pool's free list without
+// dispatching it — the admission-failure path (decode error after acquire,
+// quota refusal, busy lane, shutdown). Never call it on a dispatched
+// batch: dispatching transfers ownership, and the pool releases the batch
+// itself when the last statement applies.
+func (b *Batch) Release() { b.release() }
+
+// release zeroes the batch's task headers — so a pooled batch pins neither
+// its caller's tuple slice nor the statements — resets the arena, and
+// returns the batch to the free list. The partition buckets keep their
+// contents (capacity included); they are rewritten in place by the next
+// plan, and at most one batch's worth of key bytes stays reachable per
+// pooled batch in the interim.
+func (b *Batch) release() {
+	clear(b.tasks)
+	b.tasks = b.tasks[:0]
+	b.n = 0
+	b.arena.Reset()
+	b.pool.free.Put(b)
 }
 
 // Dispatch enqueues a planned batch. Calls must come from one goroutine;
 // the call order is the arrival order every estimator observes. Dispatch
 // blocks when a worker queue is full (reporting saturation) and returns as
 // soon as every task is enqueued — application completes asynchronously,
-// signalled through OnApplied.
+// signalled through OnApplied, after which the pool recycles the batch.
 func (p *Pool) Dispatch(b *Batch) {
 	if len(b.tasks) == 0 {
 		p.applied(b)
 		return
 	}
 	b.remaining.Store(int32(len(b.tasks)))
+	p.enqueueShard(b, 0, 1)
+}
+
+// prepareShared arms a batch for sharded dispatch: the refcount counts
+// every task plus one guard per dispatch shard, so the batch cannot be
+// applied-and-recycled while any shard still has tasks to enqueue. It must
+// run before the first DispatchShard — the fair dispatcher calls it at
+// admission, under its lock, strictly before any shard sees the batch.
+func (b *Batch) prepareShared(shards int) {
+	b.remaining.Store(int32(len(b.tasks) + shards))
+}
+
+// DispatchShard enqueues one shard's slice of a prepared batch: the tasks
+// whose worker w satisfies w % shards == shard. Each shard index must be
+// dispatched exactly once per batch, each from a single goroutine that
+// processes batches in admission order; distinct shards may run
+// concurrently. Because worker w only ever receives tasks from shard
+// w % shards, every worker queue still sees its tasks in admission order —
+// the per-partition FIFO the bit-identity argument needs (DESIGN.md §15).
+func (p *Pool) DispatchShard(b *Batch, shard, shards int) {
+	p.enqueueShard(b, shard, shards)
+	b.finish()
+}
+
+func (p *Pool) enqueueShard(b *Batch, shard, shards int) {
 	for i := range b.tasks {
 		t := &b.tasks[i]
-		t.batch = b
+		if shards > 1 && t.worker%shards != shard {
+			continue
+		}
 		select {
 		case p.queues[t.worker] <- t:
 		default:
@@ -213,14 +323,24 @@ func (p *Pool) Dispatch(b *Batch) {
 	}
 }
 
+// finish drops one guard reference; the last drop applies the batch.
+func (b *Batch) finish() {
+	if b.remaining.Add(-1) == 0 {
+		b.pool.applied(b)
+	}
+}
+
 // applied publishes a fully applied batch: the engine's tuple total first,
 // so a reader that learns of the batch through OnApplied (or through
 // telemetry fed from it) never observes an engine that has not counted it.
+// The batch is recycled afterwards — this is the single release point of
+// the arena lifecycle, reached exactly once per dispatched batch.
 func (p *Pool) applied(b *Batch) {
 	p.eng.AddTuples(int64(b.n))
 	if p.cfg.OnApplied != nil {
 		p.cfg.OnApplied(b.n)
 	}
+	b.release()
 }
 
 // run is one worker: it applies its queue in FIFO order until Close.
@@ -237,10 +357,14 @@ func (p *Pool) run(w int) {
 			start = time.Now()
 		}
 		units := 0
-		if t.pairs != nil {
+		switch {
+		case t.hpairs != nil:
+			t.st.ProcessHashedPairs(t.hpairs)
+			units = len(t.hpairs)
+		case t.pairs != nil:
 			t.st.ProcessPairs(t.pairs)
 			units = len(t.pairs)
-		} else {
+		default:
 			t.st.ProcessBatchExclusive(t.tuples)
 			units = len(t.tuples)
 		}
@@ -250,9 +374,9 @@ func (p *Pool) run(w int) {
 		if p.cfg.OnTask != nil {
 			p.cfg.OnTask(w, units)
 		}
-		if t.batch.remaining.Add(-1) == 0 {
-			p.applied(t.batch)
-		}
+		// finish may recycle the batch (and this task's own memory): read
+		// nothing from t after it.
+		t.batch.finish()
 	}
 }
 

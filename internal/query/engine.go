@@ -45,6 +45,10 @@ type Statement struct {
 	// partStr is est's string-key partition routing, nil when part is nil
 	// or the estimator routes bytes only.
 	partStr imps.StringPartitioner
+	// hashed is est's hash-forwarding ingest path (plan-time key hashing,
+	// hash-routed apply), nil when the estimator cannot consume forwarded
+	// hashes.
+	hashed imps.HashedPartitionedAdder
 	// estMu guards the estimator for the serialized class: exclusive for
 	// writers (ProcessBatchExclusive, Exclusive), shared for readers
 	// (Count). Statements aliasing one estimator alias its lock too.
@@ -158,8 +162,10 @@ func (st *Statement) bindEstimator(est imps.Estimator) {
 	st.bytes, _ = est.(imps.BytesAdder)
 	st.part, _ = est.(imps.PartitionedAdder)
 	st.partStr = nil
+	st.hashed = nil
 	if st.part != nil {
 		st.partStr, _ = est.(imps.StringPartitioner)
+		st.hashed, _ = est.(imps.HashedPartitionedAdder)
 	}
 }
 
@@ -222,6 +228,9 @@ func (st *Statement) PartitionSafe() bool { return st.part != nil }
 func (st *Statement) PlanPartitions(ts []stream.Tuple, parts int, buckets [][]imps.Pair) [][]imps.Pair {
 	if cap(buckets) >= parts {
 		buckets = buckets[:parts]
+		for i := range buckets {
+			buckets[i] = buckets[i][:0]
+		}
 	} else {
 		buckets = make([][]imps.Pair, parts)
 	}
@@ -278,6 +287,79 @@ func (st *Statement) PlanPartitions(ts []stream.Tuple, parts int, buckets [][]im
 // only valid for partition-safe statements.
 func (st *Statement) ProcessPairs(pairs []imps.Pair) {
 	st.part.AddBatch(pairs)
+}
+
+// HashedPartitionSafe reports whether the statement's estimator accepts the
+// hash-once plan IR (PlanPartitionsHashed / ProcessHashedPairs): the
+// planner computes the estimator's own key hashes once and the apply path
+// consumes them instead of re-hashing.
+func (st *Statement) HashedPartitionSafe() bool { return st.hashed != nil }
+
+// PlanPartitionsHashed is PlanPartitions emitting the hash-once IR: every
+// surviving pair carries the estimator's own key hashes, computed here so
+// the apply path (ProcessHashedPairs) never hashes again. Bucketing is
+// bit-identical to PlanPartitions — IngestPartitionHashed over a
+// HashPairKeys hash equals IngestPartitionString by contract — and so is
+// the resulting estimator state. Pure like PlanPartitions; only valid when
+// HashedPartitionSafe reports true.
+func (st *Statement) PlanPartitionsHashed(ts []stream.Tuple, parts int, buckets [][]imps.HashedPair) [][]imps.HashedPair {
+	if cap(buckets) >= parts {
+		buckets = buckets[:parts]
+		for i := range buckets {
+			buckets[i] = buckets[i][:0]
+		}
+	} else {
+		buckets = make([][]imps.HashedPair, parts)
+	}
+	aIdx, aOne := st.projA.Single()
+	bIdx, bOne := -1, true
+	if st.hasB {
+		bIdx, bOne = st.projB.Single()
+	}
+	fast := aOne && bOne
+	var bufA, bufB []byte
+	for i := range ts {
+		t := ts[i]
+		ok := true
+		for _, f := range st.filters {
+			if (t[f.idx] == f.value) == f.negate {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		var a, b string
+		if fast {
+			// Single-attribute projections: the key IS the tuple's value, so
+			// the pair references the batch's own strings and the loop
+			// allocates nothing (estimators clone any key they retain).
+			a = t[aIdx]
+			if st.hasB {
+				b = t[bIdx]
+			}
+		} else {
+			bufA = st.projA.AppendKey(bufA[:0], t)
+			if st.hasB {
+				bufB = st.projB.AppendKey(bufB[:0], t)
+			} else {
+				bufB = bufB[:0]
+			}
+			a, b = string(bufA), string(bufB)
+		}
+		ah, bh := st.hashed.HashPairKeys(a, b)
+		p := st.hashed.IngestPartitionHashed(ah, parts)
+		buckets[p] = append(buckets[p], imps.HashedPair{A: a, B: b, AH: ah, BH: bh})
+	}
+	return buckets
+}
+
+// ProcessHashedPairs feeds one hash-once planned bucket to the estimator.
+// Same concurrency contract as ProcessPairs; only valid when
+// HashedPartitionSafe reports true.
+func (st *Statement) ProcessHashedPairs(pairs []imps.HashedPair) {
+	st.hashed.AddHashedPairs(pairs)
 }
 
 // ProcessBatchExclusive feeds a batch through the statement under its

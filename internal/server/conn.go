@@ -107,21 +107,27 @@ func (s *Server) serveConn(c net.Conn) {
 	<-writerDone
 }
 
-// handleIngestFast is the reader-side ingest path: decode straight from
-// the frame buffer, plan on this goroutine, enqueue, and hand the reply to
-// the writer. Nothing here allocates per frame in steady state except the
-// batch's own tuples.
+// handleIngestFast is the reader-side ingest path: lease a recycled batch
+// from the tenant's pool, decode straight from the frame buffer into its
+// arena, plan on this goroutine, enqueue, and hand the reply to the
+// writer. In steady state the only per-frame allocation left is the
+// batch's record string (which the decoded keys alias); every other buffer
+// — tuples, partition buckets, tasks — is the leased batch's warm memory,
+// returned to the pool when the batch's last statement applies.
 func (s *Server) handleIngestFast(f proto.Frame, cs *connState, out chan<- reply) {
 	start := time.Now()
 	var r reply
-	tuples, err := s.decodeBatch(f.Payload)
+	b := cs.tenant.Pool.NewBatch()
+	tuples, err := s.decodeBatch(b.Arena(), f.Payload)
 	switch {
 	case err != nil:
+		b.Release()
 		r = reply{kind: replyGeneric, id: f.ID, t: proto.TError, payload: proto.EncodeError(fmt.Sprintf("ingest: %v", err))}
 	case s.draining.Load():
+		b.Release()
 		r = reply{kind: replyGeneric, id: f.ID, t: proto.TError, payload: proto.EncodeError("ingest: server is shutting down")}
 	default:
-		r = s.admitIngest(cs.tenant, f.ID, tuples, start)
+		r = s.admitIngest(cs.tenant, f.ID, b, tuples, start)
 	}
 	// One clock read serves both the latency histogram and the RPC span,
 	// mirroring the control-plane handler.
@@ -135,12 +141,17 @@ func (s *Server) handleIngestFast(f proto.Frame, cs *connState, out chan<- reply
 // quota check first (a refusal is a TQuota reply carrying the retry hint,
 // charged before planning so no partial state exists anywhere), then plan,
 // then the lane offer — blocking or busy-refusing per Config.BlockOnFull.
-func (s *Server) admitIngest(t *tenant.Tenant, id uint64, tuples []stream.Tuple, now time.Time) reply {
+// Every refusal path releases the leased batch; a successful enqueue
+// transfers ownership to the dispatcher, so nothing here touches b after
+// the lane accepts it.
+func (s *Server) admitIngest(t *tenant.Tenant, id uint64, b *pipeline.Batch, tuples []stream.Tuple, now time.Time) reply {
+	n := int64(len(tuples))
 	if q := t.Admit(len(tuples), now); q != nil {
+		b.Release()
 		payload := proto.Quota{Msg: q.Msg, RetryAfter: q.RetryAfter}.Encode()
 		return reply{kind: replyGeneric, id: id, t: proto.TQuota, payload: payload}
 	}
-	b := s.plan(t, tuples)
+	s.planInto(t, b, tuples)
 	var depth int
 	var ok bool
 	if s.cfg.BlockOnFull {
@@ -151,9 +162,11 @@ func (s *Server) admitIngest(t *tenant.Tenant, id uint64, tuples []stream.Tuple,
 		// this tenant's producers only.
 		depth, ok = t.Lane.Enqueue(b)
 		if !ok {
+			b.Release()
 			return reply{kind: replyGeneric, id: id, t: proto.TError, payload: proto.EncodeError("ingest: tenant dropped or server shutting down")}
 		}
 	} else if depth, ok = t.Lane.TryEnqueue(b); !ok {
+		b.Release()
 		if t.Lane.Closed() {
 			return reply{kind: replyGeneric, id: id, t: proto.TError, payload: proto.EncodeError("ingest: tenant dropped or server shutting down")}
 		}
@@ -164,31 +177,33 @@ func (s *Server) admitIngest(t *tenant.Tenant, id uint64, tuples []stream.Tuple,
 	t.AddBatch()
 	s.tel.AddBatch()
 	s.tel.ObserveQueueDepth(depth)
-	return reply{kind: replyAck, id: id, n: int64(len(tuples))}
+	return reply{kind: replyAck, id: id, n: n}
 }
 
 // decodeBatch parses an ingest payload — a complete binary stream (header
 // included) — validating the schema and the batch size. The fast path
 // compares the header bytes against the server schema's canonical encoding
-// and decodes the records in place (three allocations per batch); anything
-// else takes the slow path, whose job is the precise error message.
-func (s *Server) decodeBatch(payload []byte) ([]stream.Tuple, error) {
+// and decodes the records into the leased batch's arena (one allocation
+// per batch, the record string); anything else takes the slow path, whose
+// job is the precise error message.
+func (s *Server) decodeBatch(ar *stream.RecordArena, payload []byte) ([]stream.Tuple, error) {
 	if bytes.HasPrefix(payload, s.hdr) {
-		return stream.DecodeBinaryRecords(payload[len(s.hdr):], s.arity, s.cfg.MaxBatchTuples)
+		return ar.DecodeBinaryRecords(payload[len(s.hdr):], s.arity, s.cfg.MaxBatchTuples)
 	}
 	return s.decodeBatchSlow(payload)
 }
 
-// plan runs the pure planning stage — filters, projections, partition
-// hashing — on the caller's goroutine against the tenant's pool.
+// planInto runs the pure planning stage — filters, projections, partition
+// hashing (once, forwarded to the estimators) — on the caller's goroutine
+// against the tenant's pool, into the leased batch's recycled buffers.
 // Connection readers and the UDP lane both call it; the dispatcher never
 // does.
-func (s *Server) plan(t *tenant.Tenant, tuples []stream.Tuple) *pipeline.Batch {
+func (s *Server) planInto(t *tenant.Tenant, b *pipeline.Batch, tuples []stream.Tuple) *pipeline.Batch {
 	var planStart time.Time
 	if s.tracer != nil {
 		planStart = time.Now()
 	}
-	b := t.Pool.Plan(tuples)
+	t.Pool.PlanInto(b, tuples)
 	if s.tracer != nil {
 		s.tracer.Span(obs.SpanPlan, -1, int64(len(tuples)), planStart)
 	}

@@ -96,6 +96,14 @@ type Config struct {
 	// fanned out to. Zero selects GOMAXPROCS. Whatever the pool size,
 	// results are bit-identical to a single-worker run.
 	Workers int
+	// DispatchShards is the fair dispatcher's goroutine count: shard k
+	// enqueues the tasks of workers w with w % shards == k, so dispatch
+	// work parallelizes across tenants and partitions while every worker
+	// queue stays single-producer — results remain bit-identical to a
+	// single dispatcher at any shard count. Tenants with periodic
+	// checkpoints are pinned to the serial path regardless. Zero selects 1
+	// (the single-dispatcher mode).
+	DispatchShards int
 	// MaxBatchTuples bounds one ingest batch; larger batches are rejected
 	// as errors. Default 65536.
 	MaxBatchTuples int
@@ -177,6 +185,9 @@ func (c Config) withDefaults() Config {
 	if c.UDPWindow == 0 {
 		c.UDPWindow = 256
 	}
+	if c.DispatchShards == 0 {
+		c.DispatchShards = 1
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -245,6 +256,24 @@ func Listen(cfg Config) (*Server, error) {
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("server: worker count %d must be >= 1", cfg.Workers)
 	}
+	if cfg.DispatchShards < 1 {
+		return nil, fmt.Errorf("server: dispatch shard count %d must be >= 1", cfg.DispatchShards)
+	}
+	// The remaining knobs default on zero; a negative value is a caller
+	// bug that would otherwise fail obscurely (every batch rejected, a
+	// checkpoint per batch, a negative retry hint on the wire).
+	if cfg.MaxBatchTuples < 1 {
+		return nil, fmt.Errorf("server: max batch tuples %d must be >= 1", cfg.MaxBatchTuples)
+	}
+	if cfg.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("server: checkpoint interval %d must be >= 0", cfg.CheckpointEvery)
+	}
+	if cfg.RetryAfter < 0 {
+		return nil, fmt.Errorf("server: retry-after %v must be >= 0", cfg.RetryAfter)
+	}
+	if cfg.TraceSpans < 0 {
+		return nil, fmt.Errorf("server: trace span capacity %d must be >= 0", cfg.TraceSpans)
+	}
 	if len(cfg.Tenants) > 0 && len(cfg.Backends) == 0 {
 		return nil, fmt.Errorf("server: tenants declared without backends")
 	}
@@ -271,7 +300,7 @@ func Listen(cfg Config) (*Server, error) {
 	if cfg.TraceSpans > 0 {
 		s.tracer = obs.NewTracer(cfg.TraceSpans)
 	}
-	s.fair = pipeline.NewFair(0)
+	s.fair = pipeline.NewFair(0, cfg.DispatchShards)
 	if cfg.gate != nil {
 		s.fair.SetGate(cfg.gate)
 	}
@@ -330,9 +359,13 @@ func (s *Server) attach(t *tenant.Tenant) error {
 
 // afterDispatch builds the tenant's post-dispatch hook: the dispatch span
 // and the periodic-checkpoint cadence, both running in the dispatcher
-// goroutine (the only legal place to fence the tenant's pool). Nil when
-// neither applies, so the plain fast path takes no per-batch clock reads.
-func (s *Server) afterDispatch(t *tenant.Tenant) func(b *pipeline.Batch, start time.Time) {
+// goroutine (the only legal place to fence the tenant's pool — a non-nil
+// hook pins the tenant's lane to the serial dispatch path, see
+// pipeline.Fair.AddLane). Nil when neither applies, so the plain fast path
+// takes no per-batch clock reads and stays eligible for sharded dispatch.
+// The hook receives the batch's tuple count rather than the batch: the
+// pool may have recycled the batch by the time the hook runs.
+func (s *Server) afterDispatch(t *tenant.Tenant) func(tuples int, start time.Time) {
 	every := t.CheckpointEvery()
 	if s.tracer == nil && every <= 0 {
 		return nil
@@ -346,8 +379,8 @@ func (s *Server) afterDispatch(t *tenant.Tenant) func(b *pipeline.Batch, start t
 		ckptID = laneID
 	}
 	var sinceCkpt int64
-	return func(b *pipeline.Batch, start time.Time) {
-		n := int64(b.Tuples())
+	return func(tuples int, start time.Time) {
+		n := int64(tuples)
 		if s.tracer != nil {
 			s.tracer.Span(obs.SpanDispatch, laneID, n, start)
 		}

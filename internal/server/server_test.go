@@ -452,6 +452,24 @@ func TestListenValidation(t *testing.T) {
 	if _, err := Listen(Config{Addr: "127.0.0.1:0", Schema: schema, Engine: eng, QueueDepth: -1}); err == nil {
 		t.Error("negative queue depth accepted")
 	}
+	if _, err := Listen(Config{Addr: "127.0.0.1:0", Schema: schema, Engine: eng, Workers: -1}); err == nil {
+		t.Error("negative workers accepted")
+	}
+	if _, err := Listen(Config{Addr: "127.0.0.1:0", Schema: schema, Engine: eng, DispatchShards: -1}); err == nil {
+		t.Error("negative dispatch shards accepted")
+	}
+	if _, err := Listen(Config{Addr: "127.0.0.1:0", Schema: schema, Engine: eng, MaxBatchTuples: -1}); err == nil {
+		t.Error("negative max batch tuples accepted")
+	}
+	if _, err := Listen(Config{Addr: "127.0.0.1:0", Schema: schema, Engine: eng, CheckpointEvery: -1}); err == nil {
+		t.Error("negative checkpoint interval accepted")
+	}
+	if _, err := Listen(Config{Addr: "127.0.0.1:0", Schema: schema, Engine: eng, RetryAfter: -1}); err == nil {
+		t.Error("negative retry-after accepted")
+	}
+	if _, err := Listen(Config{Addr: "127.0.0.1:0", Schema: schema, Engine: eng, TraceSpans: -1}); err == nil {
+		t.Error("negative trace spans accepted")
+	}
 	if _, err := Listen(Config{Addr: "127.0.0.1:99999", Schema: schema, Engine: eng}); err == nil {
 		t.Error("unusable listen address accepted")
 	}

@@ -173,12 +173,16 @@ func (l *udpLane) apply(src *udpSource, seq uint64, payload []byte, retained boo
 		l.s.tel.AddUDPDrop()
 		return
 	}
-	tuples, err := l.s.decodeBatch(payload)
-	if err == nil {
-		if !l.s.enqueueWait(l.s.def, l.s.plan(l.s.def, tuples)) {
+	b := l.s.def.Pool.NewBatch()
+	tuples, err := l.s.decodeBatch(b.Arena(), payload)
+	if err != nil {
+		b.Release()
+	} else {
+		if !l.s.enqueueWait(l.s.def, l.s.planInto(l.s.def, b, tuples)) {
 			// The default lane closed mid-shutdown: the batch was not
 			// applied, so like the draining branch this refuses WITHOUT
 			// advancing the watermark.
+			b.Release()
 			l.mu.Lock()
 			src.drops++
 			l.mu.Unlock()

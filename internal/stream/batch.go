@@ -31,6 +31,37 @@ func BinaryHeader(schema *Schema) []byte {
 // maxBatchValueLen mirrors BinaryReader's per-value bound.
 const maxBatchValueLen = 1 << 24
 
+// RecordArena holds the reusable backing slices of one decoded batch: the
+// flat field array and the tuple headers. An arena-backed decode reuses
+// their capacity across batches, so a recycled arena's steady-state cost is
+// a single allocation per batch — the record-region string conversion,
+// which cannot be pooled because the decoded field strings alias it and
+// escape into the estimators' key comparisons. The caller owns the arena
+// and must not decode into it again while any tuple from the previous
+// decode is still reachable.
+type RecordArena struct {
+	flat   []string
+	tuples []Tuple
+}
+
+// Reset drops the arena's references into the last decoded batch without
+// releasing the backing capacity, so a pooled arena does not pin the
+// record strings of whatever batch it last carried.
+func (ar *RecordArena) Reset() {
+	clear(ar.flat)
+	clear(ar.tuples)
+	ar.flat = ar.flat[:0]
+	ar.tuples = ar.tuples[:0]
+}
+
+// DecodeBinaryRecords decodes like the package-level function of the same
+// name, but materializes the field and tuple slices in the arena's reused
+// capacity. The returned tuples remain valid until the next decode into
+// (or Reset of) this arena.
+func (ar *RecordArena) DecodeBinaryRecords(data []byte, arity, maxTuples int) ([]Tuple, error) {
+	return decodeBinaryRecords(data, arity, maxTuples, ar)
+}
+
 // DecodeBinaryRecords decodes the record region of a binary batch — the
 // bytes following the header, e.g. payload[len(BinaryHeader(schema)):] —
 // into tuples of the given arity. maxTuples bounds the batch; exceeding it
@@ -40,6 +71,10 @@ const maxBatchValueLen = 1 << 24
 // region, so the returned tuples are immutable, self-contained (they do
 // not alias data), and cost O(1) allocations for the whole batch.
 func DecodeBinaryRecords(data []byte, arity, maxTuples int) ([]Tuple, error) {
+	return decodeBinaryRecords(data, arity, maxTuples, nil)
+}
+
+func decodeBinaryRecords(data []byte, arity, maxTuples int, ar *RecordArena) ([]Tuple, error) {
 	if arity < 1 {
 		return nil, fmt.Errorf("stream: record decode needs arity >= 1")
 	}
@@ -76,8 +111,24 @@ func DecodeBinaryRecords(data []byte, arity, maxTuples int) ([]Tuple, error) {
 	// length prefixes ride along — a few percent of slack for zero
 	// compaction work); fields slice into it.
 	rec := string(data)
-	flat := make([]string, fields)
-	tuples := make([]Tuple, count)
+	var flat []string
+	var tuples []Tuple
+	if ar != nil {
+		if cap(ar.flat) >= fields {
+			flat = ar.flat[:fields]
+		} else {
+			flat = make([]string, fields)
+		}
+		if cap(ar.tuples) >= count {
+			tuples = ar.tuples[:count]
+		} else {
+			tuples = make([]Tuple, count)
+		}
+		ar.flat, ar.tuples = flat, tuples
+	} else {
+		flat = make([]string, fields)
+		tuples = make([]Tuple, count)
+	}
 	off = 0
 	for i := 0; i < fields; i++ {
 		n, w := binary.Uvarint(data[off:])
