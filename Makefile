@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race race bench bench-serve bench-ingest bench-obs bench-gate examples experiments paper clean checkpoint-fault serve-smoke serve-soak obs-smoke cluster-smoke tenant-smoke
+.PHONY: all build vet test test-race race bench bench-serve bench-ingest bench-obs bench-gate examples experiments paper clean checkpoint-fault serve-smoke serve-soak obs-smoke cluster-smoke tenant-smoke fleet-obs-smoke
 
 all: build vet test
 
@@ -55,6 +55,14 @@ cluster-smoke:
 obs-smoke:
 	$(GO) test -run TestObsSmoke -v ./cmd/impserved/
 
+# Fleet observability smoke under the race detector: impcoordd with -admin
+# and -trace-spans over three trace-aware leaves, ingest through the wire
+# front-end, then assert one assembled cross-node trace (every leaf's spans
+# parented under coordinator delivery spans) and a /metrics scrape carrying
+# the coordinator's per-leaf rows plus the rolled-up leaf series.
+fleet-obs-smoke:
+	$(GO) test -race -run TestFleetObsSmoke -count=1 -v ./cmd/impcoordd/
+
 # Multi-tenant smoke under the race detector: the noisy-neighbor isolation
 # bound (a quota-saturating tenant leaves a victim's throughput within 80%
 # of solo and its engine bit-identical to a dedicated run) and the
@@ -93,10 +101,12 @@ bench-ingest:
 
 # Observability overhead: the serve harness with the full observability
 # layer off and on (tracer in every layer + a live /metrics scraper),
-# recording the throughput delta in BENCH_obs.json. The delta is the
-# guardrail: instrumentation must stay within a few percent.
+# recording the throughput delta in BENCH_obs.json. -leaves adds the fleet
+# pair: a coordinator over 3 leaves with cross-node tracing and the fleet
+# /metrics roll-up scraped throughout. The delta is the guardrail:
+# instrumentation must stay within a few percent.
 bench-obs:
-	$(GO) run ./cmd/impbench -exp obs -procs 1,4 -json BENCH_obs.json
+	$(GO) run ./cmd/impbench -exp obs -procs 1,4 -leaves 3 -json BENCH_obs.json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -45,7 +45,7 @@ func parseFlags(args []string) (*config, error) {
 	fs.StringVar(&cfg.procs, "procs", "", "GOMAXPROCS sweep for ingest/serve/obs (comma-separated; default: current setting)")
 	fs.StringVar(&cfg.transports, "transports", "", "serve experiment transports (comma-separated from tcp,udp; default both)")
 	fs.IntVar(&cfg.window, "window", 0, "serve experiment per-producer pipelining window in batches (default 16)")
-	fs.IntVar(&cfg.leaves, "leaves", 0, "serve experiment fleet mode: a coordinator fronting N leaf servers (replaces the transport sweep); 0: single server")
+	fs.IntVar(&cfg.leaves, "leaves", 0, "serve/obs fleet mode: a coordinator fronting N leaf servers (serve: replaces the transport sweep; obs: adds fleet rows after the single-server pair); 0: single server")
 	fs.IntVar(&cfg.tenants, "tenants", 0, "serve experiment multi-tenant rows: one server hosting N named tenants, producers pinned round-robin; 0: off")
 	fs.IntVar(&cfg.shards, "dispatch-shards", 0, "serve experiment fair-dispatch shard count per lane (0: 1, the single-dispatcher path)")
 	fs.StringVar(&cfg.gate, "gate", "", "compare serve throughput against this baseline JSON and fail on a >25% regression")
@@ -324,7 +324,7 @@ func run(cfg *config, w io.Writer) error {
 
 	if want("obs") {
 		ran = true
-		ocfg := experiments.ObsConfig{Seed: cfg.seed, Producers: cfg.parallel, Procs: procs}
+		ocfg := experiments.ObsConfig{Seed: cfg.seed, Producers: cfg.parallel, Procs: procs, Leaves: cfg.leaves}
 		if cfg.paper {
 			ocfg.Tuples = 2_000_000
 		}

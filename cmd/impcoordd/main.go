@@ -65,9 +65,14 @@ func main() {
 		close(stop)
 	}()
 
-	ready := make(chan string, 1)
+	ready := make(chan coordAddrs, 1)
 	go func() {
-		log.Printf("coordinating %d leaves, listening on %s", len(cfg.leafSpecs), <-ready)
+		a := <-ready
+		if a.admin != "" {
+			log.Printf("coordinating %d leaves, listening on %s, admin on http://%s", len(cfg.leafSpecs), a.front, a.admin)
+			return
+		}
+		log.Printf("coordinating %d leaves, listening on %s", len(cfg.leafSpecs), a.front)
 	}()
 	if err := serve(cfg, ready, stop, os.Stdout); err != nil {
 		log.Fatal(err)

@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"implicate"
@@ -37,6 +40,9 @@ type config struct {
 	probeFails   int
 	drainTimeout time.Duration
 
+	admin      string
+	traceSpans int
+
 	leafSpecs []implicate.LeafSpec // filled by validate
 }
 
@@ -53,6 +59,8 @@ func parseFlags(args []string) (*config, []string, error) {
 	fs.DurationVar(&cfg.probeTimeout, "probe-timeout", time.Second, "health-probe round-trip bound")
 	fs.IntVar(&cfg.probeFails, "probe-fails", 3, "consecutive probe failures before a leaf is marked down")
 	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "bound on fleet flush and per-query merge quiesce")
+	fs.StringVar(&cfg.admin, "admin", "", "fleet admin HTTP address (/metrics, /healthz, /fleet, /trace, pprof); empty disables")
+	fs.IntVar(&cfg.traceSpans, "trace-spans", 0, "span ring capacity for cross-node tracing; 0 disables; leaves must be trace-aware builds")
 	if err := fs.Parse(args); err != nil {
 		return nil, nil, err
 	}
@@ -118,13 +126,23 @@ func (cfg *config) validate() error {
 	if cfg.probeEvery <= 0 || cfg.probeTimeout <= 0 || cfg.drainTimeout <= 0 {
 		return fmt.Errorf("-probe-every, -probe-timeout and -drain-timeout must be positive")
 	}
+	if cfg.traceSpans < 0 {
+		return fmt.Errorf("-trace-spans must be >= 0, got %d", cfg.traceSpans)
+	}
 	return nil
 }
 
+// coordAddrs is what serve reports on ready: the front-end's bound
+// address, and the admin endpoint's when one is configured.
+type coordAddrs struct {
+	front string
+	admin string
+}
+
 // serve runs the coordinator until stop closes, then flushes the fleet and
-// prints the final answers and membership to out. The front-end's bound
-// address is sent on ready.
-func serve(cfg *config, ready chan<- string, stop <-chan struct{}, out io.Writer) error {
+// prints the final answers and membership to out. The bound addresses are
+// sent on ready.
+func serve(cfg *config, ready chan<- coordAddrs, stop <-chan struct{}, out io.Writer) error {
 	names := strings.Split(cfg.schema, ",")
 	for i := range names {
 		names[i] = strings.TrimSpace(names[i])
@@ -143,6 +161,7 @@ func serve(cfg *config, ready chan<- string, stop <-chan struct{}, out io.Writer
 		ProbeTimeout:      cfg.probeTimeout,
 		ProbeFails:        cfg.probeFails,
 		DrainTimeout:      cfg.drainTimeout,
+		TraceSpans:        cfg.traceSpans,
 		Logf:              log.Printf,
 	})
 	if err != nil {
@@ -153,9 +172,34 @@ func serve(cfg *config, ready chan<- string, stop <-chan struct{}, out io.Writer
 		co.Close()
 		return err
 	}
-	ready <- fe.Addr()
+	var admin *implicate.AdminServer
+	if cfg.admin != "" {
+		admin, err = implicate.ServeCoordinatorAdmin(cfg.admin, co)
+		if err != nil {
+			fe.Close()
+			co.Close()
+			return err
+		}
+	}
+	if cfg.traceSpans > 0 {
+		// SIGQUIT dumps the coordinator's span ring, mirroring impserved.
+		// Registering it suppresses Go's die-with-stacks default only while
+		// tracing is on; SIGABRT still produces stacks.
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		defer signal.Stop(quit)
+		go func() {
+			for range quit {
+				dumpTrace(os.Stderr, co.Tracer().Snapshot())
+			}
+		}()
+	}
+	ready <- coordAddrs{front: fe.Addr(), admin: adminAddr(admin)}
 	<-stop
 	fe.Close()
+	if admin != nil {
+		admin.Close()
+	}
 	// Producers are cut; push every buffered tuple into the fleet so the
 	// final answers cover everything acknowledged.
 	if err := co.Flush(); err != nil {
@@ -165,6 +209,27 @@ func serve(cfg *config, ready chan<- string, stop <-chan struct{}, out io.Writer
 	err = printSummary(out, co, cfg.queries)
 	co.Close()
 	return err
+}
+
+func adminAddr(a *implicate.AdminServer) string {
+	if a == nil {
+		return ""
+	}
+	return a.Addr
+}
+
+// dumpTrace renders the coordinator's span dump as text, one span per
+// line, newest last — the same shape impserved's SIGQUIT dump has, with
+// the cross-node identity appended when a span carries one.
+func dumpTrace(w io.Writer, spans []implicate.TraceSpan) {
+	fmt.Fprintf(w, "--- trace: %d spans ---\n", len(spans))
+	for _, sp := range spans {
+		fmt.Fprintf(w, "%8d %-10s arg=%-4d units=%-8d %s +%v trace=%016x id=%016x\n",
+			sp.Seq, sp.Kind, sp.Arg, sp.Units,
+			time.Unix(0, sp.Start).UTC().Format("15:04:05.000000"),
+			time.Duration(sp.Dur).Round(time.Microsecond),
+			sp.Trace, sp.ID)
+	}
 }
 
 // printSummary renders the shutdown report: per-statement answers off the

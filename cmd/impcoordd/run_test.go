@@ -194,14 +194,15 @@ func TestClusterSmoke(t *testing.T) {
 	if err := cfg.validate(); err != nil {
 		t.Fatal(err)
 	}
-	ready := make(chan string, 1)
+	ready := make(chan coordAddrs, 1)
 	stop := make(chan struct{})
 	var out strings.Builder
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- serve(cfg, ready, stop, &out) }()
 	var feAddr string
 	select {
-	case feAddr = <-ready:
+	case a := <-ready:
+		feAddr = a.front
 	case err := <-serveErr:
 		t.Fatal(err)
 	case <-time.After(10 * time.Second):

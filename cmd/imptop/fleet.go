@@ -1,0 +1,140 @@
+// The fleet dashboard: imptop's -coord mode. Where the single-server mode
+// polls Stats/Health over the wire protocol, fleet mode polls the
+// coordinator admin endpoint's /fleet JSON document — the one place that
+// merges what the coordinator knows about each leaf (probe state, journal
+// depth, delivery latency) with what each leaf reports about itself
+// (applied tuples, worst self-assessed estimator error).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"implicate"
+)
+
+// fleetFrame is one /fleet poll plus the local receive time the rate math
+// runs on.
+type fleetFrame struct {
+	when time.Time
+	doc  implicate.FleetJSON
+}
+
+// coordBase normalizes the -coord flag into a base URL: a bare host:port
+// gets the http scheme, a trailing slash is dropped.
+func coordBase(coord string) string {
+	if !strings.Contains(coord, "://") {
+		coord = "http://" + coord
+	}
+	return strings.TrimSuffix(coord, "/")
+}
+
+func pollFleet(hc *http.Client, base string) (fleetFrame, error) {
+	resp, err := hc.Get(base + "/fleet")
+	if err != nil {
+		return fleetFrame{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fleetFrame{}, fmt.Errorf("%s/fleet: %s", base, resp.Status)
+	}
+	var f fleetFrame
+	if err := json.NewDecoder(resp.Body).Decode(&f.doc); err != nil {
+		return fleetFrame{}, fmt.Errorf("%s/fleet: %w", base, err)
+	}
+	f.when = time.Now()
+	return f, nil
+}
+
+// runFleet polls the coordinator admin endpoint and renders fleet frames
+// to out until stop closes or cfg.count frames have been drawn.
+func runFleet(cfg *config, out io.Writer, stop <-chan struct{}) error {
+	base := coordBase(cfg.coord)
+	hc := &http.Client{Timeout: 30 * time.Second}
+	var prev *fleetFrame
+	for i := 0; cfg.count == 0 || i < cfg.count; i++ {
+		if i > 0 {
+			select {
+			case <-stop:
+				return nil
+			case <-time.After(cfg.interval):
+			}
+		}
+		cur, err := pollFleet(hc, base)
+		if err != nil {
+			return err
+		}
+		if !cfg.plain {
+			fmt.Fprint(out, "\x1b[H\x1b[2J")
+		}
+		renderFleet(out, base, prev, cur)
+		prev = &cur
+	}
+	return nil
+}
+
+// renderFleet draws one fleet dashboard frame. prev is nil on the first
+// frame, which reports totals only; later frames add the per-leaf ingest
+// rates over the elapsed wall time between polls.
+func renderFleet(w io.Writer, base string, prev *fleetFrame, cur fleetFrame) {
+	doc := cur.doc
+	fmt.Fprintf(w, "imptop — fleet @ %s — %s\n\n", base, cur.when.Format("15:04:05"))
+
+	var dt time.Duration
+	var dRouted int64
+	if prev != nil {
+		dt = cur.when.Sub(prev.when)
+		dRouted = doc.TuplesRouted - prev.doc.TuplesRouted
+	}
+	rate := func(delta int64) string {
+		if prev == nil || dt <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f/s", float64(delta)/dt.Seconds())
+	}
+	up := 0
+	for _, lf := range doc.Leaves {
+		if lf.State == "up" {
+			up++
+		}
+	}
+	fmt.Fprintf(w, "fleet    leaves=%d up=%d partitions=%d  routed tuples=%d (%s) batches=%d\n\n",
+		len(doc.Leaves), up, doc.VirtualPartitions, doc.TuplesRouted, rate(dRouted), doc.BatchesRouted)
+
+	fmt.Fprintf(w, "%-12s %-10s %5s %5s %5s %12s %10s %9s %10s %10s %8s\n",
+		"leaf", "state", "parts", "epoch", "downs", "tuples", "rate", "pending", "dlvr-p50", "dlvr-p99", "relerr")
+	for _, lf := range doc.Leaves {
+		tuples, errStr := "-", "-"
+		if lf.TuplesIngested >= 0 {
+			tuples = fmt.Sprintf("%d", lf.TuplesIngested)
+		}
+		if lf.WorstRelErr >= 0 {
+			errStr = relErr(lf.WorstRelErr)
+		}
+		var dLeaf int64 = -1
+		if prev != nil && lf.TuplesIngested >= 0 {
+			for _, p := range prev.doc.Leaves {
+				if p.Name == lf.Name && p.TuplesIngested >= 0 {
+					dLeaf = lf.TuplesIngested - p.TuplesIngested
+				}
+			}
+		}
+		leafRate := "-"
+		if dLeaf >= 0 {
+			leafRate = rate(dLeaf)
+		}
+		p50, p99 := "-", "-"
+		if lf.Deliveries > 0 {
+			p50 = time.Duration(lf.DeliveryP50NS).Round(time.Microsecond).String()
+			p99 = time.Duration(lf.DeliveryP99NS).Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(w, "%-12s %-10s %5d %5d %5d %12s %10s %9d %10s %10s %8s\n",
+			lf.Name, lf.State, lf.Parts, lf.Epoch, lf.Downs,
+			tuples, leafRate, lf.PendingTuples, p50, p99, errStr)
+	}
+	fmt.Fprintf(w, "\n(pending: routed tuples not yet delivered; relerr: worst self-assessed estimator error; -: leaf unreachable this poll)\n")
+}

@@ -10,9 +10,15 @@
 //	imptop -addr 127.0.0.1:7171
 //	imptop -addr 127.0.0.1:7171 -interval 2s
 //	imptop -addr 127.0.0.1:7171 -count 5 -plain   # scripting: plain frames
+//	imptop -coord 127.0.0.1:7180                  # fleet mode
 //
 // -plain disables the ANSI in-place redraw and prints one frame per poll,
 // which is what non-terminal consumers (logs, tests, pipes) want.
+//
+// -coord switches to the fleet dashboard: it polls an impcoordd admin
+// endpoint's /fleet JSON instead of a single server's RPCs, and renders
+// one row per leaf — probe state, journal depth, delivery latency,
+// leaf-reported throughput and worst self-assessed estimator error.
 package main
 
 import (

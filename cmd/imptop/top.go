@@ -14,6 +14,7 @@ import (
 // config carries the parsed command line.
 type config struct {
 	addr     string
+	coord    string
 	interval time.Duration
 	count    int
 	plain    bool
@@ -23,6 +24,7 @@ func parseFlags(args []string) (*config, []string, error) {
 	fs := flag.NewFlagSet("imptop", flag.ContinueOnError)
 	cfg := &config{}
 	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:7171", "impserved address to watch")
+	fs.StringVar(&cfg.coord, "coord", "", "coordinator admin address (host:port or URL); fleet mode, overrides -addr")
 	fs.DurationVar(&cfg.interval, "interval", time.Second, "poll interval")
 	fs.IntVar(&cfg.count, "count", 0, "frames to render before exiting; 0: until interrupted")
 	fs.BoolVar(&cfg.plain, "plain", false, "print one frame per poll instead of redrawing in place")
@@ -33,7 +35,7 @@ func parseFlags(args []string) (*config, []string, error) {
 }
 
 func (cfg *config) validate() error {
-	if cfg.addr == "" {
+	if cfg.addr == "" && cfg.coord == "" {
 		return fmt.Errorf("missing -addr")
 	}
 	if cfg.interval <= 0 {
@@ -67,8 +69,12 @@ func poll(cl *implicate.Client) (frame, error) {
 }
 
 // run polls the server and renders frames to out until stop closes or
-// cfg.count frames have been drawn.
+// cfg.count frames have been drawn. With -coord set the fleet dashboard
+// takes over (fleet.go).
 func run(cfg *config, out io.Writer, stop <-chan struct{}) error {
+	if cfg.coord != "" {
+		return runFleet(cfg, out, stop)
+	}
 	cl, err := implicate.Dial(cfg.addr, nil, implicate.ClientOptions{})
 	if err != nil {
 		return err

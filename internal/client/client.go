@@ -483,8 +483,27 @@ func (cl *Client) callFencedIdempotent(t proto.Type, payload []byte, boot uint64
 // coordinator's journal replay) need this: an offset is only meaningful
 // against the incarnation it was established with.
 func (cl *Client) IngestFenced(payload []byte, n int64, boot uint64) error {
+	return cl.IngestFencedTraced(payload, n, boot, proto.TraceContext{})
+}
+
+// IngestFencedTraced is IngestFenced with a trace context stamped on the
+// ingest frame: the receiving server parents the batch's plan, dispatch and
+// apply spans under tc, so a coordinator's delivery span adopts the whole
+// leaf-side story of each routed batch. A zero context sends the exact
+// pre-trace wire bytes; a valid one sets the traced frame flag, which only
+// trace-aware servers accept — callers stamp a context only when they know
+// the peer speaks it (the coordinator arms tracing fleet-wide, never
+// per-leaf).
+func (cl *Client) IngestFencedTraced(payload []byte, n int64, boot uint64, tc proto.TraceContext) error {
 	for attempt := 0; ; attempt++ {
-		f, err := cl.callFenced(proto.TIngest, payload, boot)
+		c, err := cl.getConn()
+		if err != nil {
+			return err
+		}
+		if c.boot != boot {
+			return fmt.Errorf("%w: connection reached incarnation %016x, fenced to %016x", ErrIncarnation, c.boot, boot)
+		}
+		f, err := c.roundTripTC(proto.TIngest, payload, tc, cl.opt.RequestTimeout)
 		if err != nil {
 			return err
 		}
@@ -720,6 +739,8 @@ func (cl *Client) Health() ([]imps.HealthReport, error) {
 
 // Trace fetches the server's span ring: the most recent traced events,
 // oldest first. A server running without tracing returns an empty dump.
+// Against a coordinator — which answers with an assembled fleet trace —
+// the node labels are dropped; use FleetTrace to keep them.
 func (cl *Client) Trace() ([]obs.Span, error) {
 	f, err := cl.callIdempotent(proto.TTrace, nil)
 	if err != nil {
@@ -727,7 +748,48 @@ func (cl *Client) Trace() ([]obs.Span, error) {
 	}
 	switch f.Type {
 	case proto.TResult:
+		if obs.IsFleetTrace(f.Payload) {
+			fleet, err := obs.DecodeFleetTrace(f.Payload)
+			if err != nil {
+				return nil, err
+			}
+			spans := make([]obs.Span, len(fleet))
+			for i := range fleet {
+				spans[i] = fleet[i].Span
+			}
+			return spans, nil
+		}
 		return obs.DecodeSpans(f.Payload)
+	case proto.TError:
+		return nil, remoteError(f)
+	}
+	return nil, fmt.Errorf("client: unexpected %s reply to trace", f.Type)
+}
+
+// FleetTrace fetches a trace with node attribution. A coordinator answers
+// with its assembled, causally-ordered fleet trace — every span labeled
+// with the node that recorded it. A leaf answers with its own span dump,
+// which is returned with empty node labels, so the call works the same
+// against either kind of server.
+func (cl *Client) FleetTrace() ([]obs.FleetSpan, error) {
+	f, err := cl.callIdempotent(proto.TTrace, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch f.Type {
+	case proto.TResult:
+		if obs.IsFleetTrace(f.Payload) {
+			return obs.DecodeFleetTrace(f.Payload)
+		}
+		spans, err := obs.DecodeSpans(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		fleet := make([]obs.FleetSpan, len(spans))
+		for i := range spans {
+			fleet[i] = obs.FleetSpan{Span: spans[i]}
+		}
+		return fleet, nil
 	case proto.TError:
 		return nil, remoteError(f)
 	}
@@ -805,6 +867,13 @@ func (c *conn) readLoop() {
 // returned channel yields the response (or closes when the connection
 // dies); pass it to await.
 func (c *conn) send(t proto.Type, payload []byte) (uint64, chan proto.Frame, error) {
+	return c.sendTC(t, payload, proto.TraceContext{})
+}
+
+// sendTC is send with a trace context stamped on the frame. A zero context
+// keeps the frame byte-identical to the pre-trace wire format; a valid one
+// sets the traced flag, which only trace-aware servers accept.
+func (c *conn) sendTC(t proto.Type, payload []byte, tc proto.TraceContext) (uint64, chan proto.Frame, error) {
 	id := c.nextID.Add(1)
 	ch := make(chan proto.Frame, 1)
 	c.pmu.Lock()
@@ -817,7 +886,7 @@ func (c *conn) send(t proto.Type, payload []byte) (uint64, chan proto.Frame, err
 	c.pmu.Unlock()
 
 	c.wmu.Lock()
-	buf, err := proto.AppendFrame(c.wbuf[:0], proto.Frame{Type: t, ID: id, Payload: payload})
+	buf, err := proto.AppendFrame(c.wbuf[:0], proto.Frame{Type: t, ID: id, TC: tc, Payload: payload})
 	if err == nil {
 		c.wbuf = buf
 		_, err = c.nc.Write(buf)
@@ -852,7 +921,11 @@ func (c *conn) await(id uint64, ch chan proto.Frame, t proto.Type, timeout time.
 }
 
 func (c *conn) roundTrip(t proto.Type, payload []byte, timeout time.Duration) (proto.Frame, error) {
-	id, ch, err := c.send(t, payload)
+	return c.roundTripTC(t, payload, proto.TraceContext{}, timeout)
+}
+
+func (c *conn) roundTripTC(t proto.Type, payload []byte, tc proto.TraceContext, timeout time.Duration) (proto.Frame, error) {
+	id, ch, err := c.sendTC(t, payload, tc)
 	if err != nil {
 		return proto.Frame{}, err
 	}

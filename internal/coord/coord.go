@@ -28,9 +28,11 @@ import (
 	"implicate/internal/client"
 	"implicate/internal/core"
 	"implicate/internal/imps"
+	"implicate/internal/obs"
 	"implicate/internal/proto"
 	"implicate/internal/query"
 	"implicate/internal/stream"
+	"implicate/internal/telemetry"
 )
 
 // LeafSpec names one fleet member. Name is the stable identity the route
@@ -80,6 +82,15 @@ type Config struct {
 	Restart func(name string) (addr string, err error)
 	// ClientOptions tune the per-leaf clients.
 	ClientOptions client.Options
+	// TraceSpans, when positive, arms the coordinator's span ring with that
+	// capacity: every delivery to a leaf is recorded as the root span of a
+	// cross-node trace whose context is stamped on the leaf-bound frame, and
+	// the Trace RPC answers with the assembled fleet trace instead of an
+	// empty dump. Leaves must be trace-aware builds — a pre-trace peer
+	// rejects flagged frames — so arm this only on a fleet upgraded
+	// together. 0 disables tracing (the frames stay byte-identical to the
+	// untraced wire format).
+	TraceSpans int
 	// Logf, when non-nil, receives diagnostic messages (probe failures,
 	// recovery progress).
 	Logf func(format string, args ...any)
@@ -127,6 +138,12 @@ type Coordinator struct {
 	rt      *routeTable
 	leaves  []*leaf
 	boot    uint64 // this coordinator's incarnation nonce, served over TBoot
+	// tracer is the coordinator's span ring (nil when tracing is off):
+	// delivery root spans from the feeders, RPC spans from the front-end.
+	tracer *obs.Tracer
+	// tel is the coordinator's own counter set: routed tuples and batches,
+	// front-end RPC latency. Leaf-side counters live on each leaf.
+	tel telemetry.Set
 
 	// mu guards the router buffers and key scratch on the ingest path.
 	mu   sync.Mutex
@@ -162,6 +179,9 @@ func New(cfg Config) (*Coordinator, error) {
 		seen[l.Name] = true
 	}
 	co := &Coordinator{cfg: cfg, stop: make(chan struct{})}
+	if cfg.TraceSpans > 0 {
+		co.tracer = obs.NewTracer(cfg.TraceSpans)
+	}
 	nonce, err := proto.NewBootNonce()
 	if err != nil {
 		return nil, fmt.Errorf("coord: %w", err)
@@ -215,6 +235,8 @@ func (co *Coordinator) logf(format string, args ...any) { co.cfg.Logf(format, ar
 // each buffer as it fills. Tuples are retained until journaled; callers
 // may reuse the slice but not the tuples it holds.
 func (co *Coordinator) Ingest(tuples []stream.Tuple) error {
+	co.tel.AddBatch()
+	co.tel.AddTuples(int64(len(tuples)))
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	for _, t := range tuples {
@@ -374,6 +396,125 @@ func (co *Coordinator) Status() proto.ClusterStatus {
 		cs.Leaves = append(cs.Leaves, lf.status())
 	}
 	return cs
+}
+
+// The coordinator is the state behind the impcoordd admin endpoint.
+var _ obs.FleetAdminState = (*Coordinator)(nil)
+
+// Tracer returns the coordinator's span ring, nil when tracing is off —
+// the daemon's SIGQUIT dump and the admin endpoint read it directly.
+func (co *Coordinator) Tracer() *obs.Tracer { return co.tracer }
+
+// CoordStats snapshots the coordinator's own counter set: routed tuples
+// and batches, front-end RPC latency. Stats answers with it, and it is
+// half of the obs.FleetAdminState surface the admin endpoint reads.
+func (co *Coordinator) CoordStats() telemetry.Snapshot { return co.tel.Snapshot() }
+
+// VirtualPartitions reports the route-table size.
+func (co *Coordinator) VirtualPartitions() int { return co.rt.parts }
+
+// FleetTelemetry reports every leaf's coordinator-side observability row,
+// in leaf order.
+func (co *Coordinator) FleetTelemetry() []obs.LeafTelemetry {
+	out := make([]obs.LeafTelemetry, 0, len(co.leaves))
+	for _, lf := range co.leaves {
+		out = append(out, lf.telemetryRow())
+	}
+	return out
+}
+
+// FleetStats pulls every leaf's telemetry snapshot concurrently over the
+// Stats RPC, returning rows in leaf order. Down leaves and failed pulls
+// are skipped — the roll-up serves what the fleet can answer now rather
+// than blocking a scrape on a recovery.
+func (co *Coordinator) FleetStats() []obs.LeafStatsRow {
+	rows := make([]*obs.LeafStatsRow, len(co.leaves))
+	co.eachUpLeaf(func(i int, lf *leaf, cl *client.Client) {
+		sn, err := cl.Stats()
+		if err != nil {
+			return
+		}
+		rows[i] = &obs.LeafStatsRow{Name: lf.name, Stats: sn}
+	})
+	out := make([]obs.LeafStatsRow, 0, len(rows))
+	for _, r := range rows {
+		if r != nil {
+			out = append(out, *r)
+		}
+	}
+	return out
+}
+
+// FleetHealth pulls every leaf's estimator health reports concurrently
+// over the Health RPC, skipping down leaves and failed pulls like
+// FleetStats.
+func (co *Coordinator) FleetHealth() []obs.LeafHealthRow {
+	rows := make([]*obs.LeafHealthRow, len(co.leaves))
+	co.eachUpLeaf(func(i int, lf *leaf, cl *client.Client) {
+		reports, err := cl.Health()
+		if err != nil {
+			return
+		}
+		rows[i] = &obs.LeafHealthRow{Name: lf.name, Reports: reports}
+	})
+	out := make([]obs.LeafHealthRow, 0, len(rows))
+	for _, r := range rows {
+		if r != nil {
+			out = append(out, *r)
+		}
+	}
+	return out
+}
+
+// FleetTrace assembles the cross-node trace: the coordinator's own span
+// ring next to every reachable leaf's, each span labeled with the node
+// that recorded it, ordered causally (children directly after the parent
+// their frames linked them to). Down leaves are skipped — a partial trace
+// from a degraded fleet beats no trace, and the orphan rule in
+// obs.OrderFleetTrace keeps leaf spans visible even when the coordinator
+// ring lapped their delivery span out.
+func (co *Coordinator) FleetTrace() []obs.FleetSpan {
+	var out []obs.FleetSpan
+	for _, sp := range co.tracer.Snapshot() {
+		out = append(out, obs.FleetSpan{Node: "coord", Span: sp})
+	}
+	rows := make([][]obs.FleetSpan, len(co.leaves))
+	co.eachUpLeaf(func(i int, lf *leaf, cl *client.Client) {
+		spans, err := cl.Trace()
+		if err != nil {
+			return
+		}
+		row := make([]obs.FleetSpan, len(spans))
+		for j := range spans {
+			row[j] = obs.FleetSpan{Node: lf.name, Span: spans[j]}
+		}
+		rows[i] = row
+	})
+	for _, row := range rows {
+		out = append(out, row...)
+	}
+	return obs.OrderFleetTrace(out)
+}
+
+// eachUpLeaf runs fn concurrently for every leaf that is currently up and
+// not sticky-fatal, passing the admitted client. Used by the observability
+// fan-outs, which tolerate skipped leaves.
+func (co *Coordinator) eachUpLeaf(fn func(i int, lf *leaf, cl *client.Client)) {
+	var wg sync.WaitGroup
+	for i, lf := range co.leaves {
+		lf.mu.Lock()
+		cl, up := lf.cl, lf.state == leafUp && lf.fatal == nil && !lf.closed
+		lf.mu.Unlock()
+		if !up {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, lf *leaf, cl *client.Client) {
+			defer wg.Done()
+			fn(i, lf, cl)
+		}(i, lf, cl)
+	}
+	wg.Wait()
 }
 
 // Close stops the probers and feeders and closes every leaf client.

@@ -48,6 +48,11 @@ type fleet struct {
 	schema *stream.Schema
 	dir    string
 
+	// traceSpans, when positive, arms every leaf's span ring (and, via
+	// startCoordinator, the coordinator's) — the trace-aware fleet the
+	// cross-node trace tests run on.
+	traceSpans int
+
 	mu      sync.Mutex
 	servers map[string]*server.Server
 }
@@ -82,6 +87,7 @@ func (f *fleet) listen(name string, eng *query.Engine) (string, error) {
 		Workers:         2,
 		CheckpointPath:  f.ckptPath(name),
 		CheckpointEvery: 700,
+		TraceSpans:      f.traceSpans,
 	})
 	if err != nil {
 		return "", err
@@ -174,6 +180,7 @@ func startCoordinator(t *testing.T, fl *fleet, n int, prefix string) *Coordinato
 		Restart:           fl.restart,
 		ClientOptions:     client.Options{Conns: 1},
 		Logf:              t.Logf,
+		TraceSpans:        fl.traceSpans,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -104,54 +104,80 @@ func (fe *Frontend) serveConn(c net.Conn) {
 }
 
 func (fe *Frontend) handle(f proto.Frame) proto.Frame {
+	start := time.Now()
+	rpc, resp, ok := fe.dispatch(f)
+	if ok {
+		// One clock read serves both the latency histogram and the RPC span —
+		// parented under the inbound trace context when the frame carried
+		// one, so a parent coordinator's delivery spans adopt this tier's
+		// handling the same way leaf spans adopt this coordinator's.
+		dur := time.Since(start)
+		fe.co.tel.Observe(rpc, dur)
+		fe.co.tracer.RecordLinked(obs.Link{Trace: f.TC.Trace, Parent: f.TC.Parent},
+			obs.SpanRPC, int(rpc), 0, start, dur)
+	}
+	return resp
+}
+
+// dispatch routes one request frame; ok reports whether the type maps to
+// an instrumented RPC code (TCluster and unknown types do not).
+func (fe *Frontend) dispatch(f proto.Frame) (rpc telemetry.RPC, resp proto.Frame, ok bool) {
 	switch f.Type {
 	case proto.TIngest:
-		return fe.handleIngest(f)
+		return telemetry.RPCIngest, fe.handleIngest(f), true
 	case proto.TQuery:
 		req, err := proto.DecodeQueryReq(f.Payload)
 		if err != nil {
-			return errFrame(f.ID, err)
+			return telemetry.RPCQuery, errFrame(f.ID, err), true
 		}
 		res, err := fe.co.Query(int(req.Stmt))
 		if err != nil {
-			return errFrame(f.ID, err)
+			return telemetry.RPCQuery, errFrame(f.ID, err), true
 		}
-		return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: res.Encode()}
+		return telemetry.RPCQuery, proto.Frame{Type: proto.TResult, ID: f.ID, Payload: res.Encode()}, true
 	case proto.TSnapshot:
 		req, err := proto.DecodeSnapshotReq(f.Payload)
 		if err != nil {
-			return errFrame(f.ID, err)
+			return telemetry.RPCSnapshot, errFrame(f.ID, err), true
 		}
 		res, err := fe.co.Snapshot(int(req.Stmt))
 		if err != nil {
-			return errFrame(f.ID, err)
+			return telemetry.RPCSnapshot, errFrame(f.ID, err), true
 		}
-		return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: res.Encode()}
+		return telemetry.RPCSnapshot, proto.Frame{Type: proto.TResult, ID: f.ID, Payload: res.Encode()}, true
 	case proto.TCluster:
-		return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: fe.co.Status().Encode()}
+		return 0, proto.Frame{Type: proto.TResult, ID: f.ID, Payload: fe.co.Status().Encode()}, false
 	case proto.TBoot:
 		// The coordinator journals in memory, so its restart loses routing
 		// state the same way a leaf restart loses uncheckpointed tuples —
 		// stateful feeders fence against it just like against a leaf.
-		return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: proto.Boot{Nonce: fe.co.boot}.Encode()}
+		return telemetry.RPCBoot, proto.Frame{Type: proto.TResult, ID: f.ID, Payload: proto.Boot{Nonce: fe.co.boot}.Encode()}, true
 	case proto.THealth:
-		// The coordinator holds no estimators of its own; an empty report
-		// keeps Ping and health pollers working against either tier.
-		return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: obs.EncodeHealth(nil)}
+		// The coordinator holds no estimators of its own, and Ping rides
+		// this type — an empty report keeps liveness probes cheap instead of
+		// fanning out to N leaves per probe. The rolled-up fleet health lives
+		// on the admin endpoint and in FleetHealth.
+		return telemetry.RPCHealth, proto.Frame{Type: proto.TResult, ID: f.ID, Payload: obs.EncodeHealth(nil)}, true
 	case proto.TStats:
-		var empty telemetry.Set
-		return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: empty.Snapshot().Encode()}
+		return telemetry.RPCStats, proto.Frame{Type: proto.TResult, ID: f.ID, Payload: fe.co.tel.Snapshot().Encode()}, true
 	case proto.TTrace:
-		return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: obs.EncodeSpans(nil)}
+		// With tracing off this answers the empty single-node dump any
+		// pre-fleet client decodes; armed, it assembles the cross-node fleet
+		// trace (coordinator spans + every reachable leaf's ring, causally
+		// ordered and node-labeled).
+		if fe.co.tracer == nil {
+			return telemetry.RPCTrace, proto.Frame{Type: proto.TResult, ID: f.ID, Payload: obs.EncodeSpans(nil)}, true
+		}
+		return telemetry.RPCTrace, proto.Frame{Type: proto.TResult, ID: f.ID, Payload: obs.EncodeFleetTrace(fe.co.FleetTrace())}, true
 	case proto.TUDPAck:
 		// No UDP lane at this tier; the zero watermark is the protocol's
 		// "lane disabled" answer.
 		if _, err := proto.DecodeUDPAckReq(f.Payload); err != nil {
-			return errFrame(f.ID, err)
+			return telemetry.RPCUDPAck, errFrame(f.ID, err), true
 		}
-		return proto.Frame{Type: proto.TResult, ID: f.ID, Payload: proto.UDPAck{}.Encode()}
+		return telemetry.RPCUDPAck, proto.Frame{Type: proto.TResult, ID: f.ID, Payload: proto.UDPAck{}.Encode()}, true
 	}
-	return errFrame(f.ID, fmt.Errorf("unsupported request type %s", f.Type))
+	return 0, errFrame(f.ID, fmt.Errorf("unsupported request type %s", f.Type)), false
 }
 
 func (fe *Frontend) handleIngest(f proto.Frame) proto.Frame {

@@ -28,7 +28,9 @@ import (
 	"time"
 
 	"implicate/internal/client"
+	"implicate/internal/obs"
 	"implicate/internal/proto"
+	"implicate/internal/telemetry"
 )
 
 // entry is one journaled batch.
@@ -73,8 +75,16 @@ type leaf struct {
 	nextSend  int   // journal index the feeder delivers next
 	state     leafState
 	epoch     uint64 // completed recoveries
+	downs     int64  // up→down transitions (probe failures, send ambiguity, restarts)
+	replayed  int64  // journal entries re-delivered by recoveries
 	fatal     error  // sticky: recovery cannot proceed (journal misalignment)
 	closed    bool
+
+	// delivery is the coordinator-side delivery latency histogram: one
+	// observation per IngestBatch round trip to this leaf, failures
+	// included. Atomic and outside mu — the feeder observes it without the
+	// lock, telemetry readers snapshot it concurrently.
+	delivery telemetry.AtomicHistogram
 }
 
 func newLeaf(co *Coordinator, idx int, spec LeafSpec) (*leaf, error) {
@@ -107,6 +117,7 @@ func (lf *leaf) markDown() {
 	lf.mu.Lock()
 	if lf.state == leafUp && !lf.closed {
 		lf.state = leafDown
+		lf.downs++
 		lf.cond.Broadcast()
 	}
 	lf.mu.Unlock()
@@ -135,11 +146,27 @@ func (lf *leaf) run() {
 		e := lf.journal[lf.nextSend]
 		cl, boot := lf.cl, lf.boot
 		lf.mu.Unlock()
+		// When tracing is armed, the delivery is the root span of a
+		// cross-node trace: its ids are drawn BEFORE the send so the frame
+		// can carry them, and the leaf's plan/dispatch/apply spans parent
+		// under the delivery span's id in the assembled fleet trace. With
+		// tracing off the zero context leaves the frame byte-identical to
+		// the untraced wire format.
+		var link obs.Link
+		var tc proto.TraceContext
+		if tr := lf.co.tracer; tr != nil {
+			link = obs.Link{Trace: tr.NewTraceID(), ID: tr.NewSpanID()}
+			tc = proto.TraceContext{Trace: link.Trace, Parent: link.ID}
+		}
 		// Fenced to the admitted incarnation: if the leaf silently restarted
 		// (rolling back to its checkpoint) and the pool transparently
 		// redialed it, the send fails BEFORE writing instead of feeding a
 		// server whose applied-tuple offset no longer matches nextSend.
-		if err := cl.IngestFenced(e.payload, e.n, boot); err != nil {
+		start := time.Now()
+		err := cl.IngestFencedTraced(e.payload, e.n, boot, tc)
+		lf.delivery.Observe(time.Since(start))
+		lf.co.tracer.SpanLinked(link, obs.SpanDeliver, lf.idx, e.n, start)
+		if err != nil {
 			lf.co.logf("coord: leaf %s: send at offset %d: %v", lf.name, e.off, err)
 			lf.markDown()
 			continue
@@ -288,6 +315,11 @@ func (lf *leaf) tryRecover() error {
 		return &alignmentError{name: lf.name, tuples: tuples, maxKnow: journaled}
 	}
 	old := lf.cl
+	if lf.nextSend > idx {
+		// Entries between the restored boundary and the old send cursor were
+		// delivered to the previous incarnation and will be sent again.
+		lf.replayed += int64(lf.nextSend - idx)
+	}
 	lf.addr, lf.cl, lf.boot, lf.nextSend, lf.acked = addr, cl, boot, idx, tuples
 	lf.mu.Unlock()
 	if old != nil {
@@ -417,6 +449,37 @@ func (lf *leaf) status() proto.LeafStatus {
 		Journaled: lf.journaled,
 		Acked:     lf.acked,
 	}
+}
+
+// telemetryRow is this leaf's coordinator-side observability row.
+func (lf *leaf) telemetryRow() obs.LeafTelemetry {
+	lf.mu.Lock()
+	st := lf.state
+	if lf.fatal != nil {
+		st = leafDown
+	}
+	state := "up"
+	switch st {
+	case leafDown:
+		state = "down"
+	case leafRecovering:
+		state = "recovering"
+	}
+	row := obs.LeafTelemetry{
+		Name:           lf.name,
+		State:          state,
+		Epoch:          lf.epoch,
+		Parts:          int(lf.co.rt.share[lf.idx]),
+		JournalEntries: int64(len(lf.journal)),
+		JournalTuples:  lf.journaled,
+		PendingEntries: int64(len(lf.journal) - lf.nextSend),
+		PendingTuples:  lf.journaled - lf.acked,
+		Replayed:       lf.replayed,
+		Downs:          lf.downs,
+	}
+	lf.mu.Unlock()
+	row.Delivery = lf.delivery.Snapshot()
+	return row
 }
 
 // shut stops the feeder and closes the client.

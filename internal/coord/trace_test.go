@@ -1,0 +1,108 @@
+package coord
+
+import (
+	"fmt"
+	"testing"
+
+	"implicate/internal/obs"
+	"implicate/internal/proto"
+)
+
+// TestKillLeafFleetTraceParenting is the cross-node trace pin: a trace-aware
+// coordinator over three trace-aware leaves, one leaf killed mid-stream and
+// recovered through journal replay, and the assembled fleet trace must still
+// tell one causally-ordered story — every delivery span a root owned by the
+// coordinator, every leaf-side ingest span parented under the exact delivery
+// that carried its batch (trace and parent ids matching), parents ordered
+// before their children, and the recovered victim present with post-restart
+// spans adopted by replayed deliveries.
+func TestKillLeafFleetTraceParenting(t *testing.T) {
+	const leaves, victim = 3, 1
+	schema := fleetSchema(t)
+	fl := newFleet(t, schema)
+	fl.traceSpans = 4096
+	t.Cleanup(fl.closeAll)
+	co := startCoordinator(t, fl, leaves, "leaf")
+
+	tuples := fleetTuples(6000)
+	const chunk = 250
+	killAt := len(tuples) / 3
+	for off := 0; off < len(tuples); off += chunk {
+		end := min(off+chunk, len(tuples))
+		if err := co.Ingest(tuples[off:end]); err != nil {
+			t.Fatal(err)
+		}
+		if off <= killAt && killAt < end {
+			fl.kill(fmt.Sprintf("leaf%d", victim))
+		}
+	}
+	if err := co.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := co.Status(); st.Leaves[victim].State != proto.LeafUp || st.Leaves[victim].Epoch < 1 {
+		t.Fatalf("victim not recovered: %+v", st.Leaves[victim])
+	}
+
+	spans := co.FleetTrace()
+	if len(spans) == 0 {
+		t.Fatal("empty fleet trace from a traced run")
+	}
+
+	// Index the coordinator's delivery spans: the roots every cross-node
+	// trace hangs from.
+	delivers := make(map[uint64]obs.FleetSpan) // span id -> span
+	pos := make(map[uint64]int)                // span id -> index in the ordered dump
+	for i, s := range spans {
+		if s.ID != 0 {
+			pos[s.ID] = i
+		}
+		if s.Node == "coord" && s.Kind == obs.SpanDeliver {
+			if s.Trace == 0 || s.ID == 0 {
+				t.Fatalf("deliver span without identity: %+v", s)
+			}
+			if s.Parent != 0 {
+				t.Errorf("deliver span %016x has parent %016x, want root", s.ID, s.Parent)
+			}
+			if s.Arg < 0 || s.Arg >= leaves {
+				t.Errorf("deliver span names leaf index %d, fleet has %d", s.Arg, leaves)
+			}
+			delivers[s.ID] = s
+		}
+	}
+	if len(delivers) == 0 {
+		t.Fatal("no delivery spans in the fleet trace")
+	}
+
+	// Every traced leaf span must hang under a real delivery: same trace id,
+	// parent id naming an existing delivery span, and — the causal-order
+	// pin — the delivery ordered before it in the assembled dump.
+	adopted := make(map[string]int)
+	for i, s := range spans {
+		if s.Node == "coord" || s.Trace == 0 {
+			continue // untraced leaf spans (health probes, local work) are fine
+		}
+		d, ok := delivers[s.Parent]
+		if !ok {
+			t.Fatalf("leaf span %s/%v parent %016x names no delivery span", s.Node, s.Kind, s.Parent)
+		}
+		if d.Trace != s.Trace {
+			t.Fatalf("leaf span %s/%v trace %016x != its delivery's trace %016x", s.Node, s.Kind, s.Trace, d.Trace)
+		}
+		if pi := pos[s.Parent]; pi >= i {
+			t.Fatalf("span %d (%s/%v) ordered before its parent at %d", i, s.Node, s.Kind, pi)
+		}
+		adopted[s.Node]++
+	}
+	for i := 0; i < leaves; i++ {
+		name := fmt.Sprintf("leaf%d", i)
+		if adopted[name] == 0 {
+			t.Errorf("no leaf-side spans parented under deliveries for %s", name)
+		}
+	}
+	// The victim's ring died with it: everything it reports postdates the
+	// restart, so its adopted spans prove replayed deliveries re-stamped
+	// live contexts rather than replaying stale ones.
+	if adopted[fmt.Sprintf("leaf%d", victim)] == 0 {
+		t.Error("recovered victim contributed no adopted spans")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"runtime"
 	"sync"
@@ -11,6 +12,8 @@ import (
 	"time"
 
 	"implicate/internal/client"
+	"implicate/internal/coord"
+	"implicate/internal/core"
 	"implicate/internal/exact"
 	"implicate/internal/gen"
 	"implicate/internal/imps"
@@ -37,6 +40,17 @@ type ObsConfig struct {
 	Workers int
 	// Queue is the server's ingest queue depth in batches.
 	Queue int
+	// Leaves, when positive, adds a fleet pair per GOMAXPROCS setting
+	// after the single-server pair: a coordinator fronting that many leaf
+	// servers, with the observed variant arming cross-node tracing on the
+	// coordinator and every leaf, the fleet admin endpoint up, and the
+	// scraper walking the coordinator's /metrics — which itself fans
+	// Stats/Health RPCs out over the fleet on every poll. The leaves run
+	// merge-compatible "nips" sketches (the coordinator's merge fan-in
+	// round-trips marshalled sketches, which the exact backend cannot), so
+	// fleet rows are not count-comparable with single-server rows; the
+	// off/on equality check runs per topology.
+	Leaves int
 	// TraceSpans is the observed variant's ring capacity.
 	TraceSpans int
 	// ScrapeEvery is the observed variant's /metrics poll interval.
@@ -50,7 +64,10 @@ type ObsConfig struct {
 
 func (c ObsConfig) withDefaults() ObsConfig {
 	if c.Tuples == 0 {
-		c.Tuples = 300_000
+		// Long enough that each variant runs for whole seconds: the
+		// guardrail chases a few percent, which sub-200ms runs cannot
+		// resolve above scheduler noise.
+		c.Tuples = 1_000_000
 	}
 	if c.Batch == 0 {
 		c.Batch = 1000
@@ -84,6 +101,9 @@ type ObsRow struct {
 	// Observed marks the instrumented variant: tracing on in every layer,
 	// admin endpoint up, a scraper polling /metrics throughout the run.
 	Observed bool `json:"observed"`
+	// Leaves is the fleet size of a coordinator-fronted row; 0 for the
+	// single-server rows.
+	Leaves int `json:"leaves,omitempty"`
 	// Procs is the GOMAXPROCS value the variant ran under.
 	Procs int `json:"gomaxprocs"`
 	// Workers is the pipeline pool size.
@@ -161,25 +181,57 @@ func RunObs(cfg ObsConfig) ([]ObsRow, error) {
 	// otherwise be billed to whichever variant ran first. Its row is
 	// discarded.
 	variants := []struct{ observed, record bool }{{true, false}, {false, true}, {true, true}}
+	topologies := []int{0}
+	if cfg.Leaves > 0 {
+		topologies = append(topologies, cfg.Leaves)
+	}
 	var rows []ObsRow
 	prevProcs := runtime.GOMAXPROCS(0)
 	defer runtime.GOMAXPROCS(prevProcs)
 	for _, procs := range cfg.Procs {
 		runtime.GOMAXPROCS(procs)
-		for _, v := range variants {
-			row, err := runObsVariant(cfg, schema, payloads, procs, v.observed)
-			if err != nil {
-				return nil, err
-			}
-			if v.record {
-				rows = append(rows, row)
+		for _, leaves := range topologies {
+			for _, v := range variants {
+				var row ObsRow
+				var err error
+				if leaves > 0 {
+					row, err = runObsFleetVariant(cfg, schema, payloads, procs, v.observed)
+				} else {
+					row, err = runObsVariant(cfg, schema, payloads, procs, v.observed)
+				}
+				if err != nil {
+					return nil, err
+				}
+				if v.record {
+					rows = append(rows, row)
+				}
 			}
 		}
 	}
-	for _, r := range rows[1:] {
-		if r.Implications != rows[0].Implications {
+	// The "observability must never change an answer" check runs per
+	// topology. Single-server rows answer from the exact backend, which is
+	// interleaving-invariant under the key-hash routing above, so they must
+	// agree bit for bit. Fleet rows answer from merged sketches whose
+	// fringe evictions depend on cross-producer arrival order — an
+	// interleaving no layer controls, observed or not; uninstrumented
+	// back-to-back fleet runs under GOMAXPROCS > 1 land ~2% apart — so
+	// they are held to a 3% band instead, well inside the sketch's own
+	// accuracy guarantee; a tracer that biased the estimate would blow
+	// past it.
+	ref := map[int]float64{}
+	for _, r := range rows {
+		want, ok := ref[r.Leaves]
+		if !ok {
+			ref[r.Leaves] = r.Implications
+			continue
+		}
+		if r.Leaves == 0 && r.Implications != want {
 			return nil, fmt.Errorf("obs bench: observed=%t procs=%d count %v != first row's count %v — instrumentation changed an answer",
-				r.Observed, r.Procs, r.Implications, rows[0].Implications)
+				r.Observed, r.Procs, r.Implications, want)
+		}
+		if r.Leaves > 0 && math.Abs(r.Implications-want) > 0.03*want {
+			return nil, fmt.Errorf("obs bench: observed=%t leaves=%d procs=%d count %v is over 3%% from the fleet's first count %v — instrumentation changed an answer",
+				r.Observed, r.Leaves, r.Procs, r.Implications, want)
 		}
 	}
 	return rows, nil
@@ -302,16 +354,193 @@ func runObsVariant(cfg ObsConfig, schema *stream.Schema, payloads [][]encBatch, 
 	}, nil
 }
 
+// runObsFleetVariant runs one fleet ingest — cfg.Leaves leaf servers
+// behind a coordinator front-end — with the fleet observability layer off
+// or on. The observed variant pays for everything PR 10 added: cross-node
+// delivery spans on the coordinator, trace-aware leaves parenting their
+// pipeline spans under inbound contexts, the fleet admin endpoint, and a
+// scraper walking /metrics (coordinator series plus the per-leaf roll-up,
+// which fans Stats and Health RPCs over the fleet on every poll). The
+// timed region runs from first send through the coordinator's Flush — the
+// fleet-wide quiesce — so journal depth cannot fake throughput.
+func runObsFleetVariant(cfg ObsConfig, schema *stream.Schema, payloads [][]encBatch, procs int, observed bool) (ObsRow, error) {
+	backend := func(cond imps.Conditions) (imps.Estimator, error) {
+		return core.NewSketch(cond, core.Options{Seed: uint64(cfg.Seed)*2 + 1})
+	}
+	leaves := make([]*server.Server, 0, cfg.Leaves)
+	closeLeaves := func() {
+		for _, srv := range leaves {
+			srv.Close()
+		}
+	}
+	specs := make([]coord.LeafSpec, cfg.Leaves)
+	for i := 0; i < cfg.Leaves; i++ {
+		eng := query.NewEngine(schema)
+		if _, err := eng.RegisterSQL(serveSQL, backend); err != nil {
+			closeLeaves()
+			return ObsRow{}, err
+		}
+		scfg := server.Config{
+			Addr:        "127.0.0.1:0",
+			Schema:      schema,
+			Engine:      eng,
+			QueueDepth:  cfg.Queue,
+			Workers:     cfg.Workers,
+			BlockOnFull: true,
+		}
+		if observed {
+			scfg.TraceSpans = cfg.TraceSpans
+		}
+		srv, err := server.Listen(scfg)
+		if err != nil {
+			closeLeaves()
+			return ObsRow{}, err
+		}
+		leaves = append(leaves, srv)
+		specs[i] = coord.LeafSpec{Name: fmt.Sprintf("leaf%d", i), Addr: srv.Addr()}
+	}
+	ccfg := coord.Config{
+		Schema:      schema,
+		Statements:  []string{serveSQL},
+		Leaves:      specs,
+		FlushTuples: cfg.Batch,
+	}
+	if observed {
+		ccfg.TraceSpans = cfg.TraceSpans
+	}
+	co, err := coord.New(ccfg)
+	if err != nil {
+		closeLeaves()
+		return ObsRow{}, err
+	}
+	fe, err := coord.Serve(co, "127.0.0.1:0")
+	if err != nil {
+		co.Close()
+		closeLeaves()
+		return ObsRow{}, err
+	}
+
+	var admin *obs.AdminServer
+	var scrapes int64
+	scrapeDone := make(chan struct{})
+	stopScrape := make(chan struct{})
+	if observed {
+		admin, err = obs.ListenFleetAdmin("127.0.0.1:0", co)
+		if err != nil {
+			fe.Close()
+			co.Close()
+			closeLeaves()
+			return ObsRow{}, err
+		}
+		go func() {
+			defer close(scrapeDone)
+			hc := &http.Client{Timeout: 5 * time.Second}
+			for {
+				select {
+				case <-stopScrape:
+					return
+				case <-time.After(cfg.ScrapeEvery):
+				}
+				resp, err := hc.Get("http://" + admin.Addr + "/metrics")
+				if err != nil {
+					continue // coordinator mid-shutdown
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				scrapes++
+			}
+		}()
+	} else {
+		close(scrapeDone)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Producers)
+	start := time.Now()
+	for p := 0; p < cfg.Producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			cl, err := client.Dial(fe.Addr(), schema, client.Options{
+				Conns:       1,
+				BusyRetries: -1,
+				RetryBase:   200 * time.Microsecond,
+				RetryCap:    5 * time.Millisecond,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for _, b := range payloads[p] {
+				if err := cl.IngestEncoded(b.payload, b.n); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	flushErr := co.Flush()
+	dur := time.Since(start)
+	close(stopScrape)
+	<-scrapeDone
+	admin.Close()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			fe.Close()
+			co.Close()
+			closeLeaves()
+			return ObsRow{}, err
+		}
+	}
+	if flushErr != nil {
+		fe.Close()
+		co.Close()
+		closeLeaves()
+		return ObsRow{}, flushErr
+	}
+	q, err := co.Query(0)
+	spans := co.Tracer().Recorded()
+	fe.Close()
+	co.Close()
+	for _, srv := range leaves {
+		spans += srv.Tracer().Recorded()
+		if cerr := srv.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return ObsRow{}, err
+	}
+	if q.Tuples != int64(cfg.Tuples) {
+		return ObsRow{}, fmt.Errorf("obs bench: observed=%t fleet of %d applied %d of %d tuples", observed, cfg.Leaves, q.Tuples, cfg.Tuples)
+	}
+	return ObsRow{
+		Observed:     observed,
+		Leaves:       cfg.Leaves,
+		Procs:        procs,
+		Workers:      cfg.Workers,
+		Tuples:       cfg.Tuples,
+		Seconds:      dur.Seconds(),
+		TuplesPerSec: float64(cfg.Tuples) / dur.Seconds(),
+		Implications: q.Count,
+		Spans:        spans,
+		Scrapes:      scrapes,
+	}, nil
+}
+
 // ObsOverheadPct is the observed variant's throughput loss against the
 // baseline, in percent (negative: the observed run was faster — noise).
 // With a GOMAXPROCS sweep the rows hold one baseline/observed pair per
-// setting; the worst pair is the guardrail number.
+// setting and topology; the worst pair is the guardrail number.
 func ObsOverheadPct(rows []ObsRow) float64 {
 	worst := 0.0
 	first := true
 	for i := 0; i+1 < len(rows); i += 2 {
 		base, obsd := rows[i], rows[i+1]
-		if base.Observed || !obsd.Observed || base.TuplesPerSec == 0 {
+		if base.Observed || !obsd.Observed || base.Leaves != obsd.Leaves || base.TuplesPerSec == 0 {
 			continue
 		}
 		pct := 100 * (1 - obsd.TuplesPerSec/base.TuplesPerSec)
@@ -325,14 +554,21 @@ func ObsOverheadPct(rows []ObsRow) float64 {
 // PrintObs writes the observability-overhead table.
 func PrintObs(w io.Writer, cfg ObsConfig, rows []ObsRow) {
 	cfg = cfg.withDefaults()
-	fmt.Fprintf(w, "Observability overhead (%d tuples, batch %d, %d producers, %d workers, %d-span ring)\n",
-		cfg.Tuples, cfg.Batch, cfg.Producers, cfg.Workers, cfg.TraceSpans)
+	topo := "single server"
+	if cfg.Leaves > 0 {
+		topo = fmt.Sprintf("single server + coordinator over %d leaves", cfg.Leaves)
+	}
+	fmt.Fprintf(w, "Observability overhead (%s, %d tuples, batch %d, %d producers, %d workers, %d-span ring)\n",
+		topo, cfg.Tuples, cfg.Batch, cfg.Producers, cfg.Workers, cfg.TraceSpans)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "variant\tprocs\ttuples/s\tseconds\tspans\tscrapes\timplications")
 	for _, r := range rows {
 		name := "baseline"
 		if r.Observed {
 			name = "traced+scraped"
+		}
+		if r.Leaves > 0 {
+			name = "fleet-" + name
 		}
 		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.3f\t%d\t%d\t%.1f\n",
 			name, r.Procs, r.TuplesPerSec, r.Seconds, r.Spans, r.Scrapes, r.Implications)
@@ -348,6 +584,7 @@ type obsReport struct {
 	Producers   int      `json:"producers"`
 	Workers     int      `json:"workers"`
 	TraceSpans  int      `json:"trace_spans"`
+	Leaves      int      `json:"leaves,omitempty"`
 	OverheadPct float64  `json:"overhead_pct"`
 	Rows        []ObsRow `json:"rows"`
 }
@@ -363,6 +600,7 @@ func WriteObsJSON(w io.Writer, cfg ObsConfig, rows []ObsRow) error {
 		Producers:   cfg.Producers,
 		Workers:     cfg.Workers,
 		TraceSpans:  cfg.TraceSpans,
+		Leaves:      cfg.Leaves,
 		OverheadPct: ObsOverheadPct(rows),
 		Rows:        rows,
 	})

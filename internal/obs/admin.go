@@ -48,14 +48,19 @@ type TenantAdmin interface {
 
 // jsonSpan is a Span rendered for the /trace dump: kind named, times
 // readable, attribution spelled out. The binary RPC codec ships raw Spans;
-// JSON exists for humans and jq.
+// JSON exists for humans and jq. The identity fields only appear on spans
+// that carry them (cross-node traces); single-node dumps stay unchanged.
 type jsonSpan struct {
-	Seq   uint64 `json:"seq"`
-	Kind  string `json:"kind"`
-	Arg   int32  `json:"arg"`
-	Start string `json:"start"`
-	DurNS int64  `json:"dur_ns"`
-	Units int64  `json:"units"`
+	Node   string `json:"node,omitempty"`
+	Seq    uint64 `json:"seq"`
+	Kind   string `json:"kind"`
+	Arg    int32  `json:"arg"`
+	Start  string `json:"start"`
+	DurNS  int64  `json:"dur_ns"`
+	Units  int64  `json:"units"`
+	Trace  uint64 `json:"trace,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
+	ID     uint64 `json:"id,omitempty"`
 }
 
 // NewAdminMux returns the impserved admin handler: Prometheus-text
@@ -112,12 +117,15 @@ func NewAdminMux(st AdminState) *http.ServeMux {
 		out := make([]jsonSpan, len(spans))
 		for i, s := range spans {
 			out[i] = jsonSpan{
-				Seq:   s.Seq,
-				Kind:  s.Kind.String(),
-				Arg:   s.Arg,
-				Start: time.Unix(0, s.Start).UTC().Format(time.RFC3339Nano),
-				DurNS: s.Dur,
-				Units: s.Units,
+				Seq:    s.Seq,
+				Kind:   s.Kind.String(),
+				Arg:    s.Arg,
+				Start:  time.Unix(0, s.Start).UTC().Format(time.RFC3339Nano),
+				DurNS:  s.Dur,
+				Units:  s.Units,
+				Trace:  s.Trace,
+				Parent: s.Parent,
+				ID:     s.ID,
 			}
 		}
 		w.Header().Set("Content-Type", "application/json")

@@ -28,6 +28,30 @@ func WriteMetrics(w io.Writer, sn telemetry.Snapshot, health []imps.HealthReport
 	mw.gauge("imps_queue_high_water", "Deepest the ingest queue has been.", float64(sn.QueueHighWater))
 	mw.counter("imps_pool_saturation_total", "Dispatches that found a pipeline worker queue full and blocked.", sn.PoolSaturation)
 
+	mw.counter("imps_udp_datagrams_total", "Valid UDP ingest datagrams received.", sn.UDPDatagrams)
+	mw.counter("imps_udp_applied_total", "UDP ingest batches applied to the engine.", sn.UDPApplied)
+	mw.counter("imps_udp_duplicates_total", "UDP datagrams dropped as duplicates.", sn.UDPDups)
+	mw.counter("imps_udp_drops_total", "UDP datagrams dropped for any non-duplicate reason.", sn.UDPDrops)
+	mw.counter("imps_udp_window_drops_total", "UDP datagrams dropped beyond the reorder window.", sn.UDPWindowDrops)
+	mw.counter("imps_udp_decode_drops_total", "In-window UDP datagrams whose payload failed to decode.", sn.UDPDecodeDrops)
+	mw.counter("imps_udp_reorders_total", "Out-of-order UDP datagrams parked in the reorder window.", sn.UDPReorders)
+	mw.counter("imps_udp_crc_failures_total", "UDP datagrams rejected before sequencing (truncated, version-skewed or bad checksum).", sn.UDPCRCFailures)
+
+	if len(sn.Shards) > 0 {
+		mw.help("imps_dispatch_shard_tasks_total", "Worker tasks enqueued, per dispatch shard.", "counter")
+		for i := range sn.Shards {
+			sh := &sn.Shards[i]
+			mw.series("imps_dispatch_shard_tasks_total",
+				fmt.Sprintf(`lane="%s",shard="%d"`, escapeLabel(sh.Lane), sh.Shard), float64(sh.Tasks))
+		}
+		mw.help("imps_dispatch_shard_high_water", "Deepest unconsumed lane backlog observed, per dispatch shard.", "gauge")
+		for i := range sn.Shards {
+			sh := &sn.Shards[i]
+			mw.series("imps_dispatch_shard_high_water",
+				fmt.Sprintf(`lane="%s",shard="%d"`, escapeLabel(sh.Lane), sh.Shard), float64(sh.HighWater))
+		}
+	}
+
 	mw.help("imps_worker_tasks_total", "Pipeline tasks applied, per worker.", "counter")
 	for i, ws := range sn.Workers {
 		mw.series("imps_worker_tasks_total", fmt.Sprintf(`worker="%d"`, i), float64(ws.Tasks))
@@ -80,7 +104,7 @@ func WriteMetrics(w io.Writer, sn telemetry.Snapshot, health []imps.HealthReport
 			mw.help(g.name, g.help, g.typ)
 			for i := range sn.Tenants {
 				t := &sn.Tenants[i]
-				mw.series(g.name, fmt.Sprintf(`tenant="%s"`, t.Name), g.value(t))
+				mw.series(g.name, fmt.Sprintf(`tenant="%s"`, escapeLabel(t.Name)), g.value(t))
 			}
 		}
 	}
@@ -118,7 +142,7 @@ func WriteMetrics(w io.Writer, sn telemetry.Snapshot, health []imps.HealthReport
 		for i := range health {
 			h := &health[i]
 			mw.series(g.name,
-				fmt.Sprintf(`stmt="%d",kind="%s",shared="%t"`, h.Stmt, h.Kind, h.Shared),
+				fmt.Sprintf(`stmt="%d",kind="%s",shared="%t"`, h.Stmt, escapeLabel(h.Kind), h.Shared),
 				g.value(h))
 		}
 	}
@@ -160,4 +184,31 @@ func (m *metricsWriter) gauge(name, help string, v float64) {
 // "NaN", which is exactly what strconv emits for the non-finite cases.
 func formatValue(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the Prometheus text exposition
+// format: backslash, double quote and newline are the three characters a
+// quoted label value cannot carry literally. Everything in this repo's own
+// label vocabulary is already clean — this guards values that originate
+// outside it (tenant names, estimator kinds, leaf names).
+func escapeLabel(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == '\\' || c == '"' || c == '\n' {
+			out := make([]byte, 0, len(s)+4)
+			for j := 0; j < len(s); j++ {
+				switch s[j] {
+				case '\\':
+					out = append(out, '\\', '\\')
+				case '"':
+					out = append(out, '\\', '"')
+				case '\n':
+					out = append(out, '\\', 'n')
+				default:
+					out = append(out, s[j])
+				}
+			}
+			return string(out)
+		}
+	}
+	return s
 }

@@ -8,6 +8,8 @@
 package obs
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -34,6 +36,10 @@ const (
 	SpanCheckpoint
 	// SpanRPC is one request frame handled, any type.
 	SpanRPC
+	// SpanDeliver is one journaled batch delivered to a leaf by a
+	// coordinator feeder — the root span of a cross-node trace; the leaf's
+	// plan/dispatch/apply spans parent under it.
+	SpanDeliver
 	numSpanKinds
 )
 
@@ -52,6 +58,8 @@ func (k SpanKind) String() string {
 		return "checkpoint"
 	case SpanRPC:
 		return "rpc"
+	case SpanDeliver:
+		return "deliver"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -65,8 +73,9 @@ type Span struct {
 	Kind SpanKind
 	// Arg is the kind-specific attribution: the applying worker's index for
 	// SpanApply, the telemetry.RPC code for SpanRPC, the target statement
-	// index for SpanMerge, the statement count for SpanCheckpoint, -1 where
-	// no attribution applies.
+	// index for SpanMerge, the statement count for SpanCheckpoint, the
+	// destination leaf's index for SpanDeliver, -1 where no attribution
+	// applies.
 	Arg int32
 	// Start is the event's start wall time, Unix nanoseconds.
 	Start int64
@@ -77,6 +86,27 @@ type Span struct {
 	// the checkpoint's applied-tuple offset for checkpoint, 0 for RPC spans
 	// (their histogram lives in telemetry).
 	Units int64
+	// Trace is the distributed trace the span belongs to; 0 means the span
+	// was recorded outside any cross-node trace (the single-node common
+	// case — every pre-fleet span).
+	Trace uint64
+	// Parent is the span id this span is causally under: a coordinator
+	// delivery span's id for a leaf's plan/dispatch/apply spans, 0 for a
+	// root span.
+	Parent uint64
+	// ID is the span's own id, set only when something downstream must
+	// reference it (coordinator delivery spans); 0 means unreferenced.
+	ID uint64
+}
+
+// Link is the causal identity a span is recorded under: the trace it
+// belongs to, the parent span it sits beneath, and optionally its own id
+// when downstream spans will reference it. The zero Link records an
+// ordinary untraced span.
+type Link struct {
+	Trace  uint64
+	Parent uint64
+	ID     uint64
 }
 
 // DefaultSpans is the ring capacity a zero TraceSpans configuration gets
@@ -95,6 +125,11 @@ type Tracer struct {
 	slots []slot
 	mask  uint64
 	next  atomic.Uint64
+	// salt seeds NewSpanID's high bits so ids from different tracers (and
+	// different processes) in one fleet do not collide; ids is the low-bits
+	// counter.
+	salt uint64
+	ids  atomic.Uint64
 }
 
 // slot holds one span with every field atomic: a lapped writer and a
@@ -105,10 +140,13 @@ type slot struct {
 	// writer holding ticket is mid-write, 2·ticket+2 that write completed.
 	state atomic.Uint64
 	// meta packs kind<<32 | uint32(arg).
-	meta  atomic.Uint64
-	start atomic.Int64
-	dur   atomic.Int64
-	units atomic.Int64
+	meta   atomic.Uint64
+	start  atomic.Int64
+	dur    atomic.Int64
+	units  atomic.Int64
+	trace  atomic.Uint64
+	parent atomic.Uint64
+	id     atomic.Uint64
 }
 
 // NewTracer returns a tracer holding the most recent capacity spans;
@@ -118,8 +156,32 @@ func NewTracer(capacity int) *Tracer {
 	for n < capacity {
 		n *= 2
 	}
-	return &Tracer{slots: make([]slot, n), mask: uint64(n - 1)}
+	var b [8]byte
+	rand.Read(b[:]) // crypto/rand.Read never fails on supported platforms
+	return &Tracer{slots: make([]slot, n), mask: uint64(n - 1), salt: binary.LittleEndian.Uint64(b[:])}
 }
+
+// NewSpanID draws a span id unique across the fleet with overwhelming
+// probability: the tracer's random salt in the high 32 bits, an atomic
+// counter below. Ids are drawn before the span is recorded — a sender
+// must stamp its delivery span's id on the outbound frame before it knows
+// the delivery's duration. Never returns 0 (the "unreferenced" value); a
+// nil tracer returns 0, meaning callers without tracing get untraced
+// behavior for free.
+func (t *Tracer) NewSpanID() uint64 {
+	if t == nil {
+		return 0
+	}
+	id := t.salt<<32 | t.ids.Add(1)&0xFFFFFFFF
+	if id == 0 {
+		id = t.salt<<32 | t.ids.Add(1)&0xFFFFFFFF
+	}
+	return id
+}
+
+// NewTraceID draws a fresh trace id for a root operation; like NewSpanID
+// it is never 0 and is 0 on a nil tracer.
+func (t *Tracer) NewTraceID() uint64 { return t.NewSpanID() }
 
 // Cap returns the ring capacity (0 for a nil tracer).
 func (t *Tracer) Cap() int {
@@ -137,9 +199,16 @@ func (t *Tracer) Recorded() uint64 {
 	return t.next.Load()
 }
 
-// Record stores one span, overwriting the oldest when the ring is full.
-// Safe for any number of concurrent writers; no-op on a nil tracer.
+// Record stores one untraced span, overwriting the oldest when the ring is
+// full. Safe for any number of concurrent writers; no-op on a nil tracer.
 func (t *Tracer) Record(kind SpanKind, arg int, units int64, start time.Time, dur time.Duration) {
+	t.RecordLinked(Link{}, kind, arg, units, start, dur)
+}
+
+// RecordLinked stores one span under the given causal link (zero Link for
+// an untraced span). Safe for any number of concurrent writers; no-op on a
+// nil tracer.
+func (t *Tracer) RecordLinked(link Link, kind SpanKind, arg int, units int64, start time.Time, dur time.Duration) {
 	if t == nil {
 		return
 	}
@@ -150,6 +219,9 @@ func (t *Tracer) Record(kind SpanKind, arg int, units int64, start time.Time, du
 	s.start.Store(start.UnixNano())
 	s.dur.Store(int64(dur))
 	s.units.Store(units)
+	s.trace.Store(link.Trace)
+	s.parent.Store(link.Parent)
+	s.id.Store(link.ID)
 	s.state.Store(2*ticket + 2)
 }
 
@@ -158,6 +230,11 @@ func (t *Tracer) Record(kind SpanKind, arg int, units int64, start time.Time, du
 // defer tr.Span(kind, arg, units, time.Now()).
 func (t *Tracer) Span(kind SpanKind, arg int, units int64, start time.Time) {
 	t.Record(kind, arg, units, start, time.Since(start))
+}
+
+// SpanLinked is Span under a causal link.
+func (t *Tracer) SpanLinked(link Link, kind SpanKind, arg int, units int64, start time.Time) {
+	t.RecordLinked(link, kind, arg, units, start, time.Since(start))
 }
 
 // Snapshot copies out every coherent span currently in the ring, oldest
@@ -175,10 +252,13 @@ func (t *Tracer) Snapshot() []Span {
 			continue
 		}
 		sp := Span{
-			Seq:   (st - 2) / 2,
-			Start: s.start.Load(),
-			Dur:   s.dur.Load(),
-			Units: s.units.Load(),
+			Seq:    (st - 2) / 2,
+			Start:  s.start.Load(),
+			Dur:    s.dur.Load(),
+			Units:  s.units.Load(),
+			Trace:  s.trace.Load(),
+			Parent: s.parent.Load(),
+			ID:     s.id.Load(),
 		}
 		meta := s.meta.Load()
 		sp.Kind = SpanKind(meta >> 32)

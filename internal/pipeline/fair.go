@@ -21,6 +21,8 @@ package pipeline
 import (
 	"sync"
 	"time"
+
+	"implicate/internal/obs"
 )
 
 // DefaultQuantum is the per-round deficit credit in tuples a weight-1 lane
@@ -75,11 +77,12 @@ type Lane struct {
 	// serial path.
 	shards int
 	// after, when set, runs in the dispatcher goroutine right after each of
-	// this lane's batches is dispatched, with the batch's tuple count and
-	// the clock read taken just before the dispatch — the legal place to
-	// Fence the lane's pool (periodic checkpoints), since a lane with an
-	// after hook is dispatched by exactly one goroutine.
-	after func(tuples int, start time.Time)
+	// this lane's batches is dispatched, with the batch's inbound trace
+	// link, its tuple count and the clock read taken just before the
+	// dispatch — the legal place to Fence the lane's pool (periodic
+	// checkpoints), since a lane with an after hook is dispatched by exactly
+	// one goroutine.
+	after func(link obs.Link, tuples int, start time.Time)
 
 	// q holds admitted entries not yet consumed by every shard; base is the
 	// absolute admission index of q[0], and pos[k] the absolute index of
@@ -101,6 +104,33 @@ type Lane struct {
 	room      sync.Cond // lane drained below cap, or lane/dispatcher closing
 	closed    bool
 	highWater int64
+	// tasks counts worker tasks each shard has enqueued, and shardHW is
+	// each shard's deepest unconsumed backlog in batches — together the
+	// shard-imbalance telemetry (a shard whose task share or backlog runs
+	// hot owns a skewed slice of the worker pool).
+	tasks   []int64
+	shardHW []int64
+}
+
+// ShardStat is one dispatch shard's accumulated counters.
+type ShardStat struct {
+	// Tasks is the number of worker tasks the shard enqueued.
+	Tasks int64
+	// HighWater is the deepest backlog (admitted entries not yet consumed
+	// by this shard) observed, in batches.
+	HighWater int64
+}
+
+// ShardStats returns a copy of the lane's per-shard counters, indexed by
+// dispatch shard.
+func (l *Lane) ShardStats() []ShardStat {
+	l.f.mu.Lock()
+	defer l.f.mu.Unlock()
+	out := make([]ShardStat, l.shards)
+	for k := 0; k < l.shards; k++ {
+		out[k] = ShardStat{Tasks: l.tasks[k], HighWater: l.shardHW[k]}
+	}
+	return out
 }
 
 // NewFair starts a fair-share dispatcher with the given per-round quantum
@@ -142,7 +172,7 @@ func (f *Fair) SetGate(fn func()) {
 // the lane onto the serial (single-shard) dispatch path — the fence a
 // checkpoint hook takes is only prefix-consistent when one goroutine owns
 // the lane's whole dispatch order. Safe to call while other lanes are live.
-func (f *Fair) AddLane(name string, weight, capacity int, pool *Pool, after func(tuples int, start time.Time)) *Lane {
+func (f *Fair) AddLane(name string, weight, capacity int, pool *Pool, after func(link obs.Link, tuples int, start time.Time)) *Lane {
 	if weight < 1 {
 		weight = 1
 	}
@@ -156,9 +186,11 @@ func (f *Fair) AddLane(name string, weight, capacity int, pool *Pool, after func
 	l := &Lane{
 		f: f, name: name, weight: weight, cap: capacity, pool: pool,
 		after: after, shards: shards,
-		pos:     make([]int64, shards),
-		deficit: make([]int64, shards),
+		pos:      make([]int64, shards),
+		deficit:  make([]int64, shards),
 		inflight: make([]int, shards),
+		tasks:    make([]int64, shards),
+		shardHW:  make([]int64, shards),
 	}
 	l.room.L = &f.mu
 	f.mu.Lock()
@@ -268,6 +300,12 @@ func (l *Lane) push(b *Batch) {
 	if d := int64(len(l.q)); d > l.highWater {
 		l.highWater = d
 	}
+	end := l.base + int64(len(l.q))
+	for k := 0; k < l.shards; k++ {
+		if d := end - l.pos[k]; d > l.shardHW[k] {
+			l.shardHW[k] = d
+		}
+	}
 }
 
 // Closed reports whether the lane has stopped accepting batches — removed,
@@ -372,32 +410,40 @@ func (f *Fair) loop(k int) {
 			l.advance()
 			l.room.Broadcast()
 			f.mu.Unlock()
+			tasks := int64(0)
 			for _, e := range run {
 				if gate != nil {
 					gate()
 				}
 				if l.shards == 1 {
 					// Serial lane: whole-batch dispatch plus the inline
-					// hooks, exactly the single-dispatcher semantics.
+					// hooks, exactly the single-dispatcher semantics. The
+					// task count and trace link are read before Dispatch —
+					// admitting the batch hands it to the pool, which may
+					// recycle it.
+					tasks += int64(len(e.b.tasks))
 					var start time.Time
+					var link obs.Link
 					if l.after != nil {
 						start = time.Now()
+						link = e.b.link
 					}
 					l.pool.Dispatch(e.b)
 					if f.afterDispatch != nil {
 						f.afterDispatch(l, e.tuples)
 					}
 					if l.after != nil {
-						l.after(e.tuples, start)
+						l.after(link, e.tuples, start)
 					}
 					continue
 				}
-				l.pool.DispatchShard(e.b, k, l.shards)
+				tasks += int64(l.pool.DispatchShard(e.b, k, l.shards))
 				if k == 0 && f.afterDispatch != nil {
 					f.afterDispatch(l, e.tuples)
 				}
 			}
 			f.mu.Lock()
+			l.tasks[k] += tasks
 			l.inflight[k] -= len(run)
 			l.advance()
 			l.room.Broadcast()

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"implicate/internal/obs"
 	"implicate/internal/query"
 	"implicate/internal/stream"
 )
@@ -204,7 +205,7 @@ func TestFairAfterHook(t *testing.T) {
 	f := NewFair(0, 1)
 	p := fairPool(t)
 	var fenced atomic.Int64
-	l := f.AddLane("t", 1, 16, p, func(tuples int, _ time.Time) {
+	l := f.AddLane("t", 1, 16, p, func(_ obs.Link, tuples int, _ time.Time) {
 		p.Fence()
 		fenced.Add(1)
 	})

@@ -107,7 +107,16 @@ type Batch struct {
 	// free.
 	hb [][]imps.HashedPair
 	pb [][]imps.Pair
+	// link is the causal identity the batch's apply spans record under —
+	// the inbound frame's trace context, threaded from the connection
+	// reader through dispatch to the workers. Zero for untraced batches.
+	link obs.Link
 }
+
+// SetLink attaches the inbound trace context the batch's apply spans will
+// be recorded under. Call it between acquisition and Dispatch; the pool
+// clears it when the batch is recycled.
+func (b *Batch) SetLink(l obs.Link) { b.link = l }
 
 // Tuples returns the batch's tuple count.
 func (b *Batch) Tuples() int { return b.n }
@@ -267,6 +276,7 @@ func (b *Batch) release() {
 	clear(b.tasks)
 	b.tasks = b.tasks[:0]
 	b.n = 0
+	b.link = obs.Link{}
 	b.arena.Reset()
 	b.pool.free.Put(b)
 }
@@ -301,17 +311,22 @@ func (b *Batch) prepareShared(shards int) {
 // concurrently. Because worker w only ever receives tasks from shard
 // w % shards, every worker queue still sees its tasks in admission order —
 // the per-partition FIFO the bit-identity argument needs (DESIGN.md §15).
-func (p *Pool) DispatchShard(b *Batch, shard, shards int) {
-	p.enqueueShard(b, shard, shards)
+// It returns the number of tasks this shard enqueued, for the per-shard
+// dispatch telemetry.
+func (p *Pool) DispatchShard(b *Batch, shard, shards int) int {
+	n := p.enqueueShard(b, shard, shards)
 	b.finish()
+	return n
 }
 
-func (p *Pool) enqueueShard(b *Batch, shard, shards int) {
+func (p *Pool) enqueueShard(b *Batch, shard, shards int) int {
+	n := 0
 	for i := range b.tasks {
 		t := &b.tasks[i]
 		if shards > 1 && t.worker%shards != shard {
 			continue
 		}
+		n++
 		select {
 		case p.queues[t.worker] <- t:
 		default:
@@ -321,6 +336,7 @@ func (p *Pool) enqueueShard(b *Batch, shard, shards int) {
 			p.queues[t.worker] <- t
 		}
 	}
+	return n
 }
 
 // finish drops one guard reference; the last drop applies the batch.
@@ -353,8 +369,10 @@ func (p *Pool) run(w int) {
 			continue
 		}
 		var start time.Time
+		var link obs.Link
 		if tr != nil {
 			start = time.Now()
+			link = t.batch.link
 		}
 		units := 0
 		switch {
@@ -369,7 +387,7 @@ func (p *Pool) run(w int) {
 			units = len(t.tuples)
 		}
 		if tr != nil {
-			tr.Span(obs.SpanApply, w, int64(units), start)
+			tr.SpanLinked(link, obs.SpanApply, w, int64(units), start)
 		}
 		if p.cfg.OnTask != nil {
 			p.cfg.OnTask(w, units)

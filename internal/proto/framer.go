@@ -83,7 +83,7 @@ func (fr *FrameReader) Next() (Frame, error) {
 // parseFrameBody validates a frame body (everything after the length
 // prefix) and builds the Frame view over it.
 func parseFrameBody(buf []byte) (Frame, error) {
-	if buf[0] != Version {
+	if buf[0]&^byte(FlagTraced) != Version {
 		return Frame{}, fmt.Errorf("%w: protocol version %d (want %d)", ErrMalformed, buf[0], Version)
 	}
 	f := Frame{
@@ -94,6 +94,16 @@ func parseFrameBody(buf []byte) (Frame, error) {
 	sum := binary.LittleEndian.Uint32(buf[10:])
 	if got := crc32.Checksum(f.Payload, castagnoli); got != sum {
 		return Frame{}, fmt.Errorf("%w: payload checksum mismatch (stored %08x, computed %08x)", ErrMalformed, sum, got)
+	}
+	if buf[0]&FlagTraced != 0 {
+		if len(f.Payload) < traceContextLen {
+			return Frame{}, fmt.Errorf("%w: traced frame shorter than its context", ErrMalformed)
+		}
+		f.TC = TraceContext{
+			Trace:  binary.LittleEndian.Uint64(f.Payload[0:]),
+			Parent: binary.LittleEndian.Uint64(f.Payload[8:]),
+		}
+		f.Payload = f.Payload[traceContextLen:]
 	}
 	return f, nil
 }

@@ -6,10 +6,12 @@
 // Frame layout (all integers little-endian):
 //
 //	u32  frame length       (bytes after this field; headerLen..MaxFrame)
-//	u8   protocol version   (Version)
+//	u8   protocol version   (Version, optionally | FlagTraced)
 //	u8   message type       (Type)
 //	u64  request id         (echoed verbatim in the response frame)
-//	u32  CRC-32C            (over the payload bytes)
+//	u32  CRC-32C            (over the payload region, trace context included)
+//	u64  trace id           (only when FlagTraced is set)
+//	u64  parent span id     (only when FlagTraced is set)
 //	...  payload
 //
 // The request id lets clients pipeline: many requests may be in flight on
@@ -40,6 +42,34 @@ import (
 // frames with any other version: guessing at an unknown layout risks
 // misparsing lengths and reading garbage as counts.
 const Version = 1
+
+// FlagTraced is OR'd into the version byte of a frame that carries a
+// TraceContext: sixteen extra bytes (trace id, parent span id) at the start
+// of the payload region, covered by the frame CRC like everything else.
+// Untraced frames are byte-identical to the pre-trace protocol, which is
+// the whole compatibility story: a peer that never stamps context emits
+// frames an old peer parses unchanged, and a trace-unaware peer that
+// receives a flagged frame rejects the version byte outright instead of
+// misreading the context as payload. Context is therefore only stamped
+// when tracing is armed on the sending side.
+const FlagTraced = 0x80
+
+// traceContextLen is the encoded TraceContext size: two u64s.
+const traceContextLen = 16
+
+// TraceContext identifies the position of a request in a distributed
+// trace: the trace id names the end-to-end operation, the parent span id
+// names the span on the sending node under which the receiver should
+// parent its own spans. The zero value means "no context" — the receiver
+// treats the request as a trace root.
+type TraceContext struct {
+	Trace  uint64
+	Parent uint64
+}
+
+// Valid reports whether the context carries a trace (a zero trace id is
+// the absent context, never stamped on the wire).
+func (tc TraceContext) Valid() bool { return tc.Trace != 0 }
 
 // MaxFrame bounds the length field: frames claiming more are rejected
 // before any allocation. 64 MiB comfortably fits the largest ingest batch
@@ -167,23 +197,42 @@ var ErrMalformed = errors.New("proto: malformed frame")
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// Frame is one decoded message.
+// Frame is one decoded message. TC is the trace context the frame carried
+// (zero when the frame was untraced); Payload never includes the encoded
+// context bytes.
 type Frame struct {
 	Type    Type
 	ID      uint64
+	TC      TraceContext
 	Payload []byte
 }
 
 // AppendFrame appends the encoded frame to dst and returns the extended
-// slice.
+// slice. A valid f.TC sets FlagTraced on the version byte and prefixes the
+// payload region with the encoded context.
 func AppendFrame(dst []byte, f Frame) ([]byte, error) {
-	if len(f.Payload) > MaxFrame-headerLen {
+	ver, extra := byte(Version), 0
+	if f.TC.Valid() {
+		ver |= FlagTraced
+		extra = traceContextLen
+	}
+	if len(f.Payload) > MaxFrame-headerLen-extra {
 		return dst, fmt.Errorf("proto: payload of %d bytes exceeds the %d-byte frame limit", len(f.Payload), MaxFrame)
 	}
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(headerLen+len(f.Payload)))
-	dst = append(dst, Version, uint8(f.Type))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(headerLen+extra+len(f.Payload)))
+	dst = append(dst, ver, uint8(f.Type))
 	dst = binary.LittleEndian.AppendUint64(dst, f.ID)
-	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(f.Payload, castagnoli))
+	if extra == 0 {
+		dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(f.Payload, castagnoli))
+		return append(dst, f.Payload...), nil
+	}
+	var tcb [traceContextLen]byte
+	binary.LittleEndian.PutUint64(tcb[0:], f.TC.Trace)
+	binary.LittleEndian.PutUint64(tcb[8:], f.TC.Parent)
+	sum := crc32.Checksum(tcb[:], castagnoli)
+	sum = crc32.Update(sum, castagnoli, f.Payload)
+	dst = binary.LittleEndian.AppendUint32(dst, sum)
+	dst = append(dst, tcb[:]...)
 	return append(dst, f.Payload...), nil
 }
 
@@ -222,7 +271,7 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	if _, err := io.ReadFull(r, head[4:]); err != nil {
 		return Frame{}, fmt.Errorf("%w: truncated frame body: %v", ErrMalformed, err)
 	}
-	if head[4] != Version {
+	if head[4]&^byte(FlagTraced) != Version {
 		return Frame{}, fmt.Errorf("%w: protocol version %d (want %d)", ErrMalformed, head[4], Version)
 	}
 	f := Frame{
@@ -236,6 +285,16 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	sum := binary.LittleEndian.Uint32(head[14:])
 	if got := crc32.Checksum(f.Payload, castagnoli); got != sum {
 		return Frame{}, fmt.Errorf("%w: payload checksum mismatch (stored %08x, computed %08x)", ErrMalformed, sum, got)
+	}
+	if head[4]&FlagTraced != 0 {
+		if len(f.Payload) < traceContextLen {
+			return Frame{}, fmt.Errorf("%w: traced frame shorter than its context", ErrMalformed)
+		}
+		f.TC = TraceContext{
+			Trace:  binary.LittleEndian.Uint64(f.Payload[0:]),
+			Parent: binary.LittleEndian.Uint64(f.Payload[8:]),
+		}
+		f.Payload = f.Payload[traceContextLen:]
 	}
 	return f, nil
 }

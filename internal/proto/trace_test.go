@@ -1,0 +1,172 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+)
+
+// TestTracedFrameRoundTrip pins the traced-frame layout through both
+// decoders: context decoded, payload stripped of the context bytes, and
+// both decoders agreeing.
+func TestTracedFrameRoundTrip(t *testing.T) {
+	tc := TraceContext{Trace: 0xfeedbeefcafe, Parent: 0x1234}
+	f := Frame{Type: TIngest, ID: 9, TC: tc, Payload: []byte("routed batch")}
+	enc, err := AppendFrame(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc[4] != Version|FlagTraced {
+		t.Fatalf("version byte %#02x, want %#02x", enc[4], Version|FlagTraced)
+	}
+
+	got, err := ReadFrame(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(bytes.NewReader(enc))
+	got2, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range []Frame{got, got2} {
+		if g.TC != tc {
+			t.Errorf("decoder %d: context %+v, want %+v", i, g.TC, tc)
+		}
+		if !bytes.Equal(g.Payload, f.Payload) {
+			t.Errorf("decoder %d: payload %q, want %q", i, g.Payload, f.Payload)
+		}
+		if g.Type != f.Type || g.ID != f.ID {
+			t.Errorf("decoder %d: header %v/%d, want %v/%d", i, g.Type, g.ID, f.Type, f.ID)
+		}
+	}
+}
+
+// TestUntracedFrameBytesUnchanged is the backward-compatibility pin: a
+// frame without context must be byte-identical to the pre-trace encoding
+// (hand-built here exactly as a PR 7–9 peer would), so every exchange
+// between peers that never arm tracing is indistinguishable from the old
+// protocol — in both directions.
+func TestUntracedFrameBytesUnchanged(t *testing.T) {
+	payload := []byte("legacy bytes")
+	enc, err := AppendFrame(nil, Frame{Type: TQuery, ID: 77, Payload: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The old encoder, verbatim: length, version 1, type, id, CRC, payload.
+	var old []byte
+	old = binary.LittleEndian.AppendUint32(old, uint32(headerLen+len(payload)))
+	old = append(old, 1, uint8(TQuery))
+	old = binary.LittleEndian.AppendUint64(old, 77)
+	old = binary.LittleEndian.AppendUint32(old, crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)))
+	old = append(old, payload...)
+
+	if !bytes.Equal(enc, old) {
+		t.Fatalf("untraced encode differs from the pre-trace layout\nnew: %x\nold: %x", enc, old)
+	}
+
+	// And the old peer's frame decodes with an absent context.
+	got, err := ReadFrame(bytes.NewReader(old))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TC.Valid() {
+		t.Fatalf("old-format frame decoded with context %+v", got.TC)
+	}
+	if !bytes.Equal(got.Payload, payload) {
+		t.Fatalf("payload %q, want %q", got.Payload, payload)
+	}
+}
+
+// TestTracedFrameCRCCoversContext flips one context byte and requires both
+// decoders to reject the frame: the trace context is protected like any
+// other payload byte.
+func TestTracedFrameCRCCoversContext(t *testing.T) {
+	enc, err := AppendFrame(nil, Frame{Type: TSnapshot, ID: 3, TC: TraceContext{Trace: 5, Parent: 6}, Payload: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc[4+headerLen] ^= 0xFF // first byte of the encoded trace id
+	if _, err := ReadFrame(bytes.NewReader(enc)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("ReadFrame accepted a corrupted context: %v", err)
+	}
+	fr := NewFrameReader(bytes.NewReader(enc))
+	if _, err := fr.Next(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("FrameReader accepted a corrupted context: %v", err)
+	}
+}
+
+// TestTracedFrameTooShortForContext rejects a flagged frame whose payload
+// region cannot hold the context.
+func TestTracedFrameTooShortForContext(t *testing.T) {
+	short := []byte{0xAB, 0xCD} // 2 bytes where 16 are required
+	var enc []byte
+	enc = binary.LittleEndian.AppendUint32(enc, uint32(headerLen+len(short)))
+	enc = append(enc, Version|FlagTraced, uint8(TIngest))
+	enc = binary.LittleEndian.AppendUint64(enc, 1)
+	enc = binary.LittleEndian.AppendUint32(enc, crc32.Checksum(short, castagnoli))
+	enc = append(enc, short...)
+	if _, err := ReadFrame(bytes.NewReader(enc)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("ReadFrame accepted a truncated context: %v", err)
+	}
+	fr := NewFrameReader(bytes.NewReader(enc))
+	if _, err := fr.Next(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("FrameReader accepted a truncated context: %v", err)
+	}
+}
+
+// TestTracedZeroPayloadFrame covers the degenerate traced frame: context
+// only, empty payload (a traced Query with a zero-length body would come
+// close; pin the exact boundary).
+func TestTracedZeroPayloadFrame(t *testing.T) {
+	enc, err := AppendFrame(nil, Frame{Type: TBoot, ID: 1, TC: TraceContext{Trace: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TC.Trace != 1 || got.TC.Parent != 0 || len(got.Payload) != 0 {
+		t.Fatalf("decoded %+v payload %d bytes", got.TC, len(got.Payload))
+	}
+	if _, err := ReadFrame(bytes.NewReader(enc[:len(enc)-1])); !errors.Is(err, ErrMalformed) {
+		t.Fatal("truncated traced frame accepted")
+	}
+}
+
+// TestFrameReaderTracedStreamMix interleaves traced and untraced frames on
+// one connection — the realistic wire: tracing armed mid-fleet, most
+// frames still bare.
+func TestFrameReaderTracedStreamMix(t *testing.T) {
+	frames := []Frame{
+		{Type: TIngest, ID: 1, Payload: []byte("plain")},
+		{Type: TIngest, ID: 2, TC: TraceContext{Trace: 11, Parent: 12}, Payload: []byte("traced")},
+		{Type: TQuery, ID: 3, TC: TraceContext{Trace: 11, Parent: 13}},
+		{Type: TStats, ID: 4},
+	}
+	var stream []byte
+	var err error
+	for _, f := range frames {
+		if stream, err = AppendFrame(stream, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(bytes.NewReader(stream))
+	for i, want := range frames {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.TC != want.TC || got.ID != want.ID || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: got %+v %q, want %+v %q", i, got.TC, got.Payload, want.TC, want.Payload)
+		}
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("at EOF: %v", err)
+	}
+}

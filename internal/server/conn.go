@@ -116,6 +116,10 @@ func (s *Server) serveConn(c net.Conn) {
 // returned to the pool when the batch's last statement applies.
 func (s *Server) handleIngestFast(f proto.Frame, cs *connState, out chan<- reply) {
 	start := time.Now()
+	// The inbound trace context (zero on untraced frames) parents every
+	// span this batch produces — plan, dispatch, apply, and the RPC span —
+	// so a coordinator's delivery span adopts the whole leaf-side story.
+	link := obs.Link{Trace: f.TC.Trace, Parent: f.TC.Parent}
 	var r reply
 	b := cs.tenant.Pool.NewBatch()
 	tuples, err := s.decodeBatch(b.Arena(), f.Payload)
@@ -127,13 +131,13 @@ func (s *Server) handleIngestFast(f proto.Frame, cs *connState, out chan<- reply
 		b.Release()
 		r = reply{kind: replyGeneric, id: f.ID, t: proto.TError, payload: proto.EncodeError("ingest: server is shutting down")}
 	default:
-		r = s.admitIngest(cs.tenant, f.ID, b, tuples, start)
+		r = s.admitIngest(cs.tenant, f.ID, b, tuples, link, start)
 	}
 	// One clock read serves both the latency histogram and the RPC span,
 	// mirroring the control-plane handler.
 	dur := time.Since(start)
 	s.tel.Observe(telemetry.RPCIngest, dur)
-	s.tracer.Record(obs.SpanRPC, int(telemetry.RPCIngest), 0, start, dur)
+	s.tracer.RecordLinked(link, obs.SpanRPC, int(telemetry.RPCIngest), 0, start, dur)
 	out <- r
 }
 
@@ -144,14 +148,14 @@ func (s *Server) handleIngestFast(f proto.Frame, cs *connState, out chan<- reply
 // Every refusal path releases the leased batch; a successful enqueue
 // transfers ownership to the dispatcher, so nothing here touches b after
 // the lane accepts it.
-func (s *Server) admitIngest(t *tenant.Tenant, id uint64, b *pipeline.Batch, tuples []stream.Tuple, now time.Time) reply {
+func (s *Server) admitIngest(t *tenant.Tenant, id uint64, b *pipeline.Batch, tuples []stream.Tuple, link obs.Link, now time.Time) reply {
 	n := int64(len(tuples))
 	if q := t.Admit(len(tuples), now); q != nil {
 		b.Release()
 		payload := proto.Quota{Msg: q.Msg, RetryAfter: q.RetryAfter}.Encode()
 		return reply{kind: replyGeneric, id: id, t: proto.TQuota, payload: payload}
 	}
-	s.planInto(t, b, tuples)
+	s.planInto(t, b, tuples, link)
 	var depth int
 	var ok bool
 	if s.cfg.BlockOnFull {
@@ -197,15 +201,18 @@ func (s *Server) decodeBatch(ar *stream.RecordArena, payload []byte) ([]stream.T
 // hashing (once, forwarded to the estimators) — on the caller's goroutine
 // against the tenant's pool, into the leased batch's recycled buffers.
 // Connection readers and the UDP lane both call it; the dispatcher never
-// does.
-func (s *Server) planInto(t *tenant.Tenant, b *pipeline.Batch, tuples []stream.Tuple) *pipeline.Batch {
+// does. The link (zero when the inbound frame carried no trace context)
+// parents the plan span here and rides the batch to parent its dispatch
+// and apply spans downstream.
+func (s *Server) planInto(t *tenant.Tenant, b *pipeline.Batch, tuples []stream.Tuple, link obs.Link) *pipeline.Batch {
 	var planStart time.Time
 	if s.tracer != nil {
 		planStart = time.Now()
+		b.SetLink(link)
 	}
 	t.Pool.PlanInto(b, tuples)
 	if s.tracer != nil {
-		s.tracer.Span(obs.SpanPlan, -1, int64(len(tuples)), planStart)
+		s.tracer.SpanLinked(link, obs.SpanPlan, -1, int64(len(tuples)), planStart)
 	}
 	return b
 }

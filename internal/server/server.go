@@ -365,7 +365,7 @@ func (s *Server) attach(t *tenant.Tenant) error {
 // takes no per-batch clock reads and stays eligible for sharded dispatch.
 // The hook receives the batch's tuple count rather than the batch: the
 // pool may have recycled the batch by the time the hook runs.
-func (s *Server) afterDispatch(t *tenant.Tenant) func(tuples int, start time.Time) {
+func (s *Server) afterDispatch(t *tenant.Tenant) func(link obs.Link, tuples int, start time.Time) {
 	every := t.CheckpointEvery()
 	if s.tracer == nil && every <= 0 {
 		return nil
@@ -379,10 +379,10 @@ func (s *Server) afterDispatch(t *tenant.Tenant) func(tuples int, start time.Tim
 		ckptID = laneID
 	}
 	var sinceCkpt int64
-	return func(tuples int, start time.Time) {
+	return func(link obs.Link, tuples int, start time.Time) {
 		n := int64(tuples)
 		if s.tracer != nil {
-			s.tracer.Span(obs.SpanDispatch, laneID, n, start)
+			s.tracer.SpanLinked(link, obs.SpanDispatch, laneID, n, start)
 		}
 		if every <= 0 {
 			return
@@ -484,8 +484,8 @@ func (s *Server) DropTenant(name string) error {
 func (s *Server) TenantStats() []telemetry.TenantStats { return s.snapshot().Tenants }
 
 // snapshot freezes the telemetry set, appending per-tenant rows when named
-// tenants exist — single-tenant servers keep the v3 wire encoding
-// byte-for-byte.
+// tenants exist and per-shard dispatch rows when dispatch is sharded —
+// default-config servers keep the v3 wire encoding byte-for-byte.
 func (s *Server) snapshot() telemetry.Snapshot {
 	sn := s.tel.Snapshot()
 	if s.reg.Len() > 0 {
@@ -495,6 +495,18 @@ func (s *Server) snapshot() telemetry.Snapshot {
 		}
 		sort.Slice(ts, func(i, j int) bool { return ts[i].Name < ts[j].Name })
 		sn.Tenants = ts
+	}
+	if s.cfg.DispatchShards > 1 {
+		tens := []*tenant.Tenant{s.def}
+		tens = append(tens, s.reg.List()...)
+		sort.Slice(tens, func(i, j int) bool { return tens[i].Name() < tens[j].Name() })
+		for _, t := range tens {
+			for k, st := range t.Lane.ShardStats() {
+				sn.Shards = append(sn.Shards, telemetry.ShardStats{
+					Lane: t.Name(), Shard: int64(k), Tasks: st.Tasks, HighWater: st.HighWater,
+				})
+			}
+		}
 	}
 	return sn
 }
@@ -625,10 +637,11 @@ func (s *Server) handle(f proto.Frame, cs *connState) proto.Frame {
 	default:
 		return errorFrame(f.ID, fmt.Sprintf("unsupported request type %s", f.Type))
 	}
-	// One clock read serves both the latency histogram and the RPC span.
+	// One clock read serves both the latency histogram and the RPC span —
+	// parented under the inbound trace context when the frame carried one.
 	dur := time.Since(start)
 	s.tel.Observe(rpc, dur)
-	s.tracer.Record(obs.SpanRPC, int(rpc), 0, start, dur)
+	s.tracer.RecordLinked(obs.Link{Trace: f.TC.Trace, Parent: f.TC.Parent}, obs.SpanRPC, int(rpc), 0, start, dur)
 	return resp
 }
 

@@ -16,6 +16,7 @@ import (
 	"net"
 	"sync"
 
+	"implicate/internal/obs"
 	"implicate/internal/proto"
 )
 
@@ -89,7 +90,10 @@ func (l *udpLane) readLoop() {
 		}
 		d, err := proto.DecodeDatagram(buf[:n])
 		if err != nil {
+			// Pre-sequencing rejection: truncated, version-skewed or failing
+			// its checksum. Counts in the aggregate and in its own series.
 			l.s.tel.AddUDPDrop()
+			l.s.tel.AddUDPCRCFailure()
 			continue
 		}
 		l.s.tel.AddUDPDatagram()
@@ -118,6 +122,7 @@ func (l *udpLane) ingest(d proto.Datagram) {
 		src.drops++
 		l.mu.Unlock()
 		l.s.tel.AddUDPDrop()
+		l.s.tel.AddUDPWindowDrop()
 		return
 	case d.Seq != src.cum+1:
 		if _, buffered := src.pending[d.Seq]; buffered {
@@ -131,6 +136,7 @@ func (l *udpLane) ingest(d proto.Datagram) {
 		// read overwrites.
 		src.pending[d.Seq] = proto.RetainPayload(d.Payload)
 		l.mu.Unlock()
+		l.s.tel.AddUDPReorder()
 		return
 	}
 	l.mu.Unlock()
@@ -178,7 +184,9 @@ func (l *udpLane) apply(src *udpSource, seq uint64, payload []byte, retained boo
 	if err != nil {
 		b.Release()
 	} else {
-		if !l.s.enqueueWait(l.s.def, l.s.planInto(l.s.def, b, tuples)) {
+		// Datagrams carry no trace context (the lane is fire-and-forget), so
+		// the batch's spans are roots.
+		if !l.s.enqueueWait(l.s.def, l.s.planInto(l.s.def, b, tuples, obs.Link{})) {
 			// The default lane closed mid-shutdown: the batch was not
 			// applied, so like the draining branch this refuses WITHOUT
 			// advancing the watermark.
@@ -200,6 +208,9 @@ func (l *udpLane) apply(src *udpSource, seq uint64, payload []byte, retained boo
 	l.mu.Unlock()
 	if err != nil {
 		l.s.tel.AddUDPDrop()
+		l.s.tel.AddUDPDecodeDrop()
+	} else {
+		l.s.tel.AddUDPApplied()
 	}
 }
 

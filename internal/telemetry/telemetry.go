@@ -83,6 +83,15 @@ type Set struct {
 	udpDatagrams    atomic.Int64
 	udpDups         atomic.Int64
 	udpDrops        atomic.Int64
+	// The fine-grained UDP lane attribution: udpDrops stays the aggregate
+	// (its wire position and meaning are fixed), these say why. Window,
+	// decode and CRC drops partition the aggregate's causes; applied and
+	// reorders are independent lane events.
+	udpApplied     atomic.Int64
+	udpWindowDrops atomic.Int64
+	udpDecodeDrops atomic.Int64
+	udpReorders    atomic.Int64
+	udpCRCFailures atomic.Int64
 	// workers is published atomically so a Snapshot or a straggling worker
 	// update racing a ConfigureWorkers reads a coherent (old or new) block,
 	// never a torn slice header.
@@ -148,6 +157,25 @@ func (s *Set) AddUDPDup() { s.udpDups.Add(1) }
 // reason: malformed, beyond the reorder window, or refused while draining.
 func (s *Set) AddUDPDrop() { s.udpDrops.Add(1) }
 
+// AddUDPApplied records one UDP ingest batch applied to the engine.
+func (s *Set) AddUDPApplied() { s.udpApplied.Add(1) }
+
+// AddUDPWindowDrop records one datagram dropped because its sequence
+// number lies beyond the per-source reorder window.
+func (s *Set) AddUDPWindowDrop() { s.udpWindowDrops.Add(1) }
+
+// AddUDPDecodeDrop records one in-window datagram whose batch payload
+// failed to decode (the sequence still advances — see the lane's apply).
+func (s *Set) AddUDPDecodeDrop() { s.udpDecodeDrops.Add(1) }
+
+// AddUDPReorder records one out-of-order datagram parked in the reorder
+// window to await its predecessors.
+func (s *Set) AddUDPReorder() { s.udpReorders.Add(1) }
+
+// AddUDPCRCFailure records one datagram rejected before sequencing:
+// truncated, version-skewed, or failing its checksum.
+func (s *Set) AddUDPCRCFailure() { s.udpCRCFailures.Add(1) }
+
 // ObserveQueueDepth folds one ingest-queue depth sample into the high-water
 // mark.
 func (s *Set) ObserveQueueDepth(depth int) {
@@ -195,6 +223,11 @@ func (s *Set) Snapshot() Snapshot {
 	sn.UDPDatagrams = s.udpDatagrams.Load()
 	sn.UDPDups = s.udpDups.Load()
 	sn.UDPDrops = s.udpDrops.Load()
+	sn.UDPApplied = s.udpApplied.Load()
+	sn.UDPWindowDrops = s.udpWindowDrops.Load()
+	sn.UDPDecodeDrops = s.udpDecodeDrops.Load()
+	sn.UDPReorders = s.udpReorders.Load()
+	sn.UDPCRCFailures = s.udpCRCFailures.Load()
 	if wp := s.workers.Load(); wp != nil && len(*wp) > 0 {
 		w := *wp
 		sn.Workers = make([]WorkerStats, len(w))
@@ -260,6 +293,29 @@ func (h Histogram) Quantile(q float64) time.Duration {
 	return time.Duration(uint64(1) << (HistBuckets - 1))
 }
 
+// AtomicHistogram is a live, lock-free latency histogram with the same
+// power-of-two nanosecond geometry as the per-RPC histograms, for latencies
+// the fixed RPC set does not cover (the coordinator's per-leaf delivery
+// latency). It never travels on the wire; Snapshot freezes it into a
+// Histogram for local rendering. The zero value is ready.
+type AtomicHistogram struct {
+	counts [HistBuckets]atomic.Uint64
+}
+
+// Observe records one latency sample.
+func (h *AtomicHistogram) Observe(d time.Duration) {
+	h.counts[bucketFor(d)].Add(1)
+}
+
+// Snapshot copies the live counts into a frozen Histogram.
+func (h *AtomicHistogram) Snapshot() Histogram {
+	var out Histogram
+	for b := range h.counts {
+		out.Counts[b] = h.counts[b].Load()
+	}
+	return out
+}
+
 // Snapshot is a frozen counter set — what the Stats RPC ships.
 type Snapshot struct {
 	// TuplesIngested counts tuples applied to the engine (not merely
@@ -287,6 +343,19 @@ type Snapshot struct {
 	// UDPDrops counts UDP datagrams dropped for any other reason:
 	// malformed, beyond the reorder window, or refused while draining.
 	UDPDrops int64
+	// UDPApplied counts UDP ingest batches applied to the engine.
+	UDPApplied int64
+	// UDPWindowDrops counts datagrams dropped beyond the reorder window.
+	UDPWindowDrops int64
+	// UDPDecodeDrops counts in-window datagrams whose payload failed to
+	// decode as a batch.
+	UDPDecodeDrops int64
+	// UDPReorders counts out-of-order datagrams parked in the reorder
+	// window.
+	UDPReorders int64
+	// UDPCRCFailures counts datagrams rejected before sequencing —
+	// truncated, version-skewed or failing their checksum.
+	UDPCRCFailures int64
 	// Workers holds per-pipeline-worker counters, one entry per worker; nil
 	// when the server predates worker configuration.
 	Workers []WorkerStats
@@ -297,6 +366,25 @@ type Snapshot struct {
 	// with tenants is encoded in the v4 format, so a server with no named
 	// tenants stays byte-compatible with v3 readers.
 	Tenants []TenantStats
+	// Shards holds per-dispatch-shard counters for servers running the
+	// sharded Fair dispatcher, ordered (lane, shard). Nil on the
+	// single-dispatcher path — and like Tenants, only a snapshot carrying
+	// shard rows (or fine-grained UDP counters) is encoded in the v5
+	// format, so default-config servers stay byte-compatible with v4
+	// readers.
+	Shards []ShardStats
+}
+
+// ShardStats is one (lane, dispatch shard) pair's frozen counters.
+type ShardStats struct {
+	// Lane is the name of the tenant lane the shard dispatches for.
+	Lane string
+	// Shard is the dispatch shard index within the lane.
+	Shard int64
+	// Tasks counts worker tasks the shard enqueued.
+	Tasks int64
+	// HighWater is the shard's deepest unconsumed backlog in batches.
+	HighWater int64
 }
 
 // TenantStats is one tenant's frozen counters.
@@ -331,26 +419,41 @@ type WorkerStats struct {
 	Units int64
 }
 
-// The snapshot wire versions. v4 ("IMPT\x04") appends the per-tenant
-// block; v3 ("IMPT\x03") added the UDP lane counters; v2 ("IMPT\x02")
-// added the pool-saturation counter and the per-worker block; v1
-// ("IMPT\x01") snapshots from older servers carry none of these and decode
-// with those fields zero. Encode writes v4 only when the snapshot carries
-// tenants, so servers without named tenants emit bytes a v3-only reader
-// still accepts.
+// The snapshot wire versions. v5 ("IMPT\x05") appends the fine-grained UDP
+// lane counters and the per-dispatch-shard block; v4 ("IMPT\x04") appended
+// the per-tenant block; v3 ("IMPT\x03") added the UDP lane counters; v2
+// ("IMPT\x02") added the pool-saturation counter and the per-worker block;
+// v1 ("IMPT\x01") snapshots from older servers carry none of these and
+// decode with those fields zero. Encode writes the newest version whose
+// extra blocks carry information and nothing newer — v5 only when a
+// fine-grained UDP counter is nonzero or shard rows exist, v4 only when the
+// snapshot carries tenants — so a default-config server emits bytes a
+// v3-only reader still accepts.
 const (
+	snapshotMagicV5 = "IMPT\x05"
 	snapshotMagicV4 = "IMPT\x04"
 	snapshotMagic   = "IMPT\x03"
 	snapshotMagicV2 = "IMPT\x02"
 	snapshotMagicV1 = "IMPT\x01"
 )
 
+// fineUDP reports whether any fine-grained UDP lane counter carries
+// information — one input to the v5 encoding gate.
+func (sn Snapshot) fineUDP() bool {
+	return sn.UDPApplied != 0 || sn.UDPWindowDrops != 0 || sn.UDPDecodeDrops != 0 ||
+		sn.UDPReorders != 0 || sn.UDPCRCFailures != 0
+}
+
 // Encode serializes the snapshot for the Stats RPC.
 func (sn Snapshot) Encode() []byte {
+	v5 := sn.fineUDP() || len(sn.Shards) > 0
 	e := wire.NewEncoder(64 + int(NumRPCs)*HistBuckets*8)
-	if len(sn.Tenants) > 0 {
+	switch {
+	case v5:
+		e.Raw([]byte(snapshotMagicV5))
+	case len(sn.Tenants) > 0:
 		e.Raw([]byte(snapshotMagicV4))
-	} else {
+	default:
 		e.Raw([]byte(snapshotMagic))
 	}
 	e.I64(sn.TuplesIngested)
@@ -374,7 +477,9 @@ func (sn Snapshot) Encode() []byte {
 			e.U64(sn.Latency[r].Counts[b])
 		}
 	}
-	if len(sn.Tenants) > 0 {
+	// v5 always writes the tenant block, even empty — unlike v4, whose
+	// presence is itself the "has tenants" signal.
+	if v5 || len(sn.Tenants) > 0 {
 		e.U32(uint32(len(sn.Tenants)))
 		for _, t := range sn.Tenants {
 			e.Str(t.Name)
@@ -388,12 +493,26 @@ func (sn Snapshot) Encode() []byte {
 			e.I64(t.QueueHighWater)
 		}
 	}
+	if v5 {
+		e.I64(sn.UDPApplied)
+		e.I64(sn.UDPWindowDrops)
+		e.I64(sn.UDPDecodeDrops)
+		e.I64(sn.UDPReorders)
+		e.I64(sn.UDPCRCFailures)
+		e.U32(uint32(len(sn.Shards)))
+		for _, sh := range sn.Shards {
+			e.Str(sh.Lane)
+			e.I64(sh.Shard)
+			e.I64(sh.Tasks)
+			e.I64(sh.HighWater)
+		}
+	}
 	return e.Bytes()
 }
 
 // DecodeSnapshot parses an encoded snapshot, rejecting any it cannot prove
-// intact. Both wire versions are accepted: v1 snapshots from older servers
-// decode with zero pool saturation and no worker block. The sender's RPC
+// intact. Every wire version is accepted: snapshots from older servers
+// decode with the fields their version predates left zero. The sender's RPC
 // list may be shorter than this build's — the list is append-only, so a
 // shorter list is a prefix and the newer RPCs' histograms stay zero — but
 // never longer, and the bucket geometry must match exactly (bucket
@@ -403,6 +522,7 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 	v1 := len(data) >= len(snapshotMagicV1) && string(data[:len(snapshotMagicV1)]) == snapshotMagicV1
 	v2 := len(data) >= len(snapshotMagicV2) && string(data[:len(snapshotMagicV2)]) == snapshotMagicV2
 	v4 := len(data) >= len(snapshotMagicV4) && string(data[:len(snapshotMagicV4)]) == snapshotMagicV4
+	v5 := len(data) >= len(snapshotMagicV5) && string(data[:len(snapshotMagicV5)]) == snapshotMagicV5
 	switch {
 	case v1:
 		d.Magic(snapshotMagicV1)
@@ -410,6 +530,8 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 		d.Magic(snapshotMagicV2)
 	case v4:
 		d.Magic(snapshotMagicV4)
+	case v5:
+		d.Magic(snapshotMagicV5)
 	default:
 		d.Magic(snapshotMagic)
 	}
@@ -447,7 +569,7 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 			sn.Latency[r].Counts[b] = d.U64()
 		}
 	}
-	if v4 {
+	if v4 || v5 {
 		// 68 is the smallest possible tenant row: empty-name length prefix
 		// plus eight i64 counters.
 		ntenants := d.Count(68)
@@ -468,11 +590,40 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 			}
 		}
 	}
+	if v5 {
+		sn.UDPApplied = d.I64()
+		sn.UDPWindowDrops = d.I64()
+		sn.UDPDecodeDrops = d.I64()
+		sn.UDPReorders = d.I64()
+		sn.UDPCRCFailures = d.I64()
+		// 28 is the smallest possible shard row: empty-lane length prefix
+		// plus three i64 counters.
+		nshards := d.Count(28)
+		if d.Err() == nil && nshards > 0 {
+			sn.Shards = make([]ShardStats, nshards)
+			for i := 0; i < nshards && d.Err() == nil; i++ {
+				sn.Shards[i] = ShardStats{
+					Lane:      d.Str(256),
+					Shard:     d.I64(),
+					Tasks:     d.I64(),
+					HighWater: d.I64(),
+				}
+			}
+		}
+	}
 	if err := d.Done(); err != nil {
 		return Snapshot{}, fmt.Errorf("telemetry: %w", err)
 	}
 	if sn.TuplesIngested < 0 || sn.Batches < 0 || sn.BatchesRejected < 0 || sn.Merges < 0 || sn.QueueHighWater < 0 || sn.PoolSaturation < 0 || sn.UDPDatagrams < 0 || sn.UDPDups < 0 || sn.UDPDrops < 0 {
 		return Snapshot{}, fmt.Errorf("%w: negative counter", wire.ErrCorrupt)
+	}
+	if sn.UDPApplied < 0 || sn.UDPWindowDrops < 0 || sn.UDPDecodeDrops < 0 || sn.UDPReorders < 0 || sn.UDPCRCFailures < 0 {
+		return Snapshot{}, fmt.Errorf("%w: negative counter", wire.ErrCorrupt)
+	}
+	for _, sh := range sn.Shards {
+		if sh.Shard < 0 || sh.Tasks < 0 || sh.HighWater < 0 {
+			return Snapshot{}, fmt.Errorf("%w: negative shard counter", wire.ErrCorrupt)
+		}
 	}
 	for _, w := range sn.Workers {
 		if w.Tasks < 0 || w.Units < 0 {

@@ -269,3 +269,68 @@ func TestRPCStrings(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshotV5RoundTrip pins the v5 wire form: fine-grained UDP counters
+// and per-shard rows round-trip, a snapshot carrying neither stays
+// byte-identical to the older encodings, and v5 carries the tenant block
+// even when empty.
+func TestSnapshotV5RoundTrip(t *testing.T) {
+	var s Set
+	s.AddTuples(11)
+	s.AddUDPApplied()
+	s.AddUDPWindowDrop()
+	s.AddUDPDecodeDrop()
+	s.AddUDPReorder()
+	s.AddUDPReorder()
+	s.AddUDPCRCFailure()
+	want := s.Snapshot()
+	want.Shards = []ShardStats{
+		{Lane: "", Shard: 0, Tasks: 40, HighWater: 3},
+		{Lane: "acme", Shard: 1, Tasks: 7, HighWater: 2},
+	}
+	enc := want.Encode()
+	if string(enc[:len(snapshotMagicV5)]) != snapshotMagicV5 {
+		t.Fatalf("v5 snapshot magic %q, want v5", enc[:5])
+	}
+	got, err := DecodeSnapshot(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if got.UDPReorders != 2 || got.UDPApplied != 1 || got.UDPCRCFailures != 1 {
+		t.Fatalf("fine-grained UDP counters %+v", got)
+	}
+
+	// Shard rows alone (no fine UDP counters) also select v5.
+	shardsOnly := (&Set{}).Snapshot()
+	shardsOnly.Shards = []ShardStats{{Lane: "", Shard: 0, Tasks: 1}}
+	if enc := shardsOnly.Encode(); string(enc[:len(snapshotMagicV5)]) != snapshotMagicV5 {
+		t.Fatalf("shard-only snapshot magic %q, want v5", enc[:5])
+	}
+
+	// Tenants ride along inside v5.
+	withTenants := want
+	withTenants.Tenants = []TenantStats{{Name: "acme", Weight: 2, Tuples: 6}}
+	got2, err := DecodeSnapshot(withTenants.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, withTenants) {
+		t.Fatalf("v5+tenants round trip mismatch:\n got %+v\nwant %+v", got2, withTenants)
+	}
+
+	// A quiet snapshot must not upgrade: byte-identical to v3.
+	quiet := (&Set{}).Snapshot()
+	if enc := quiet.Encode(); string(enc[:len(snapshotMagic)]) != snapshotMagic {
+		t.Fatalf("quiet snapshot magic %q, want v3", enc[:5])
+	}
+
+	// Negative shard counter is corruption.
+	bad := want
+	bad.Shards = []ShardStats{{Lane: "x", Tasks: -1}}
+	if _, err := DecodeSnapshot(bad.Encode()); err == nil || !strings.Contains(err.Error(), "negative shard") {
+		t.Errorf("negative shard counter accepted: %v", err)
+	}
+}

@@ -190,6 +190,31 @@ type SnapshotResult = proto.SnapshotResult
 // first for a clean handoff.
 func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) { return coord.New(cfg) }
 
+// FleetSpan is one span of an assembled cross-node fleet trace: the node
+// that recorded it ("coord", or a leaf's configured name) plus the span
+// itself. Client.FleetTrace returns these.
+type FleetSpan = obs.FleetSpan
+
+// FleetJSON is the coordinator admin endpoint's /fleet document: the
+// coordinator's own throughput plus one merged observability row per leaf.
+// imptop's coordinator mode decodes it.
+type FleetJSON = obs.FleetJSON
+
+// FleetLeafJSON is one leaf's merged row in a FleetJSON document.
+type FleetLeafJSON = obs.FleetLeafJSON
+
+// ServeCoordinatorAdmin starts the coordinator's admin HTTP endpoint:
+// three-layer Prometheus /metrics (the coordinator's own counters, the
+// coordinator-side imps_coord_leaf_* fleet series, and each leaf's stats
+// and health rolled up under a leaf="name" label), a fleet-aware /healthz
+// (ok, degraded or down, one line per leaf), the /fleet JSON document
+// imptop polls, a JSON /trace fleet-trace dump, and the pprof suite. Like
+// ServeAdmin the endpoint is unauthenticated — bind it to loopback or an
+// operations network.
+func ServeCoordinatorAdmin(addr string, co *Coordinator) (*AdminServer, error) {
+	return obs.ListenFleetAdmin(addr, co)
+}
+
 // ServeCoordinator starts a wire front-end for co on addr. Closing the
 // front-end leaves the coordinator running — callers own its shutdown.
 func ServeCoordinator(co *Coordinator, addr string) (*CoordinatorFrontend, error) {
